@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.opts.catalog import standard_optimizers
+from repro.workloads.suite import full_suite
+
+
+@pytest.fixture(scope="session")
+def optimizers():
+    return standard_optimizers()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return full_suite()

@@ -1,0 +1,20 @@
+"""Ablation benchmark: dependence recomputation between applications.
+
+The interactive interface lets the user skip recomputation (paper
+Figure 4, step 3.b.vi); this bench quantifies the trade on the suite.
+The driver's alive-edge guard makes stale graphs safe for the
+self-disabling scalar sequence, at a multi-x speedup.
+"""
+
+from repro.experiments.ablation import run_recompute_ablation
+
+
+def test_recompute_ablation(benchmark, capsys):
+    result = benchmark.pedantic(run_recompute_ablation, rounds=1,
+                                iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.table())
+    assert result.stale_is_faster_overall
+    assert result.all_correct
+    assert result.total_stale <= result.total_fresh

@@ -1,0 +1,23 @@
+"""Benchmark E2: the applicability sweep.
+
+Regenerates the paper's applicability observations: CTP is the most
+frequently applicable optimization; ICM has no application points; CPP
+appears in two programs; FUS in one.
+"""
+
+from repro.experiments.applicability import run_applicability
+
+
+def test_e2_report(benchmark, capsys):
+    result = benchmark.pedantic(run_applicability, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.table())
+    claims = result.paper_claims()
+    assert all(claims.values()), claims
+
+
+def test_applicability_single_program(benchmark):
+    from repro.workloads.suite import full_suite
+
+    benchmark(run_applicability, full_suite(["jacobian"]))

@@ -1,0 +1,26 @@
+"""Benchmark E5: cost and benefit of the optimizations.
+
+Regenerates the paper's cost/benefit study: instrumented precondition/
+transformation counts per application, validated against wall-clock
+time (high correlation), and estimated benefits under scalar, vector
+and multiprocessor models.  The headline shapes: INX cheap with large
+parallel benefit; CTP cheap (and an enabler); FUS rare and expensive
+with little benefit.
+"""
+
+from repro.experiments.costbenefit import run_costbenefit
+
+
+def test_e5_report(benchmark, capsys):
+    result = benchmark.pedantic(run_costbenefit, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.table())
+    assert result.correlation() > 0.8
+    inx = result.row("INX")
+    fus = result.row("FUS")
+    ctp = result.row("CTP")
+    assert inx.cost_per_application < fus.cost_per_application
+    assert inx.benefit["multiprocessor"] > 0
+    assert fus.applications == 1
+    assert ctp.applications == max(r.applications for r in result.rows)

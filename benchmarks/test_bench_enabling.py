@@ -1,0 +1,23 @@
+"""Benchmark E3: enabling interactions.
+
+Regenerates the paper's counts: "Of the total 97 application points for
+CTP, 13 of these enabled DCE, 5 enabled CFO and 41 enabled LUR ...  CPP
+... did not create opportunities for further optimization."  The
+absolute counts depend on the workload substitution; the shape (LUR
+first, DCE second, CFO third; CPP enabling nothing) must reproduce.
+"""
+
+from repro.experiments.enabling import run_enabling_matrix
+
+
+def test_e3_report(benchmark, capsys):
+    result = benchmark.pedantic(run_enabling_matrix, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.table())
+    ctp = result.results["CTP"]
+    assert ctp.enabled_counts["LUR"] > ctp.enabled_counts["DCE"]
+    assert ctp.enabled_counts["DCE"] > ctp.enabled_counts["CFO"]
+    assert ctp.enabled_counts["CFO"] > 0
+    cpp = result.results["CPP"]
+    assert sum(cpp.enabled_counts.values()) == 0

@@ -1,0 +1,19 @@
+"""Benchmark E4: the ordering study.
+
+Regenerates the paper's interaction findings on the ORDERING workload:
+FUS/INX/LUR enable and disable one another, different orders yield
+different programs, and "there is not a right order of application".
+"""
+
+from repro.experiments.ordering import run_ordering
+
+
+def test_e4_report(benchmark, capsys):
+    result = benchmark.pedantic(run_ordering, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.table())
+        print()
+        print(result.claims_table())
+    assert result.distinct_programs > 1
+    assert all(result.claims.values()), result.claims

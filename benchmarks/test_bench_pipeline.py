@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the core pipeline stages (paper Figure 3):
+parsing, dependence computation, optimizer generation, matching and
+application."""
+
+import pytest
+
+from repro.analysis.dependence import compute_dependences
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import (
+    DriverOptions,
+    find_application_points,
+    run_optimizer,
+)
+from repro.genesis.generator import generate_optimizer
+from repro.opts.specs import STANDARD_SPECS
+from repro.workloads.programs import SOURCES
+
+
+def test_parse_workload(benchmark):
+    """Source -> intermediate code (frontend)."""
+    benchmark(parse_program, SOURCES["gauss"])
+
+
+def test_compute_dependences(benchmark):
+    """Intermediate code -> dependence graph (the Figure 3 input box)."""
+    program = parse_program(SOURCES["gauss"])
+    benchmark(compute_dependences, program)
+
+
+def test_generate_optimizer_ctp(benchmark):
+    """GOSpeL -> generated optimizer (GENesis itself)."""
+    benchmark(generate_optimizer, STANDARD_SPECS["CTP"], "CTP")
+
+
+def test_generate_all_eleven(benchmark):
+    """Generating the whole catalog."""
+
+    def build_all():
+        for name, source in STANDARD_SPECS.items():
+            generate_optimizer(source, name=name)
+
+    benchmark(build_all)
+
+
+def test_find_points_ctp(benchmark, optimizers):
+    """Pattern matching + precondition checking without applying."""
+    program = parse_program(SOURCES["fft"])
+    graph = compute_dependences(program)
+    benchmark(
+        find_application_points, optimizers["CTP"], program, graph
+    )
+
+
+def test_apply_ctp_to_fixpoint(benchmark, optimizers):
+    """The full driver loop (Figure 5), dependences recomputed."""
+
+    def run():
+        program = parse_program(SOURCES["fft"])
+        run_optimizer(
+            optimizers["CTP"], program, DriverOptions(apply_all=True)
+        )
+
+    benchmark(run)
+
+
+def test_interpreter_throughput(benchmark):
+    """Reference-interpreter execution of the heaviest workload."""
+    from repro.ir.interp import run_program
+    from repro.workloads.suite import workload
+
+    item = workload("track")
+    program = item.load()
+    benchmark(run_program, program, item.inputs)

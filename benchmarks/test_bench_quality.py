@@ -1,0 +1,47 @@
+"""Benchmark E1: generated vs hand-coded optimizers.
+
+Regenerates the paper's quality comparison ("our optimizers found the
+same application points and the resulting code was comparable") and
+benchmarks both sides' full runs so their relative speed is visible.
+"""
+
+import pytest
+
+from repro.experiments.quality import run_quality
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.opts.handcoded import handcoded_optimizer
+from repro.workloads.suite import full_suite, workload
+
+
+def test_e1_report(benchmark, capsys):
+    """The full E1 table; asserts the paper's three claims."""
+    result = benchmark.pedantic(run_quality, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.table())
+    assert result.all_points_match
+    assert result.all_correct
+    assert result.all_comparable
+
+
+def test_generated_ctp_full_run(benchmark, optimizers):
+    item = workload("gauss")
+
+    def run():
+        program = item.load()
+        run_optimizer(
+            optimizers["CTP"], program, DriverOptions(apply_all=True)
+        )
+
+    benchmark(run)
+
+
+def test_handcoded_ctp_full_run(benchmark):
+    item = workload("gauss")
+    baseline = handcoded_optimizer("CTP")
+
+    def run():
+        program = item.load()
+        baseline.apply_all(program)
+
+    benchmark(run)

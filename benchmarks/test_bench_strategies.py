@@ -1,0 +1,60 @@
+"""Benchmark E6: implementation-strategy costs.
+
+E6a regenerates the LUR specification-variant comparison ("LUR is less
+costly to apply if the upper limit is checked before the lower bound");
+E6b the membership-method comparison ("varies tremendously and is not
+consistently better for one method over the other ... the heuristic
+correctly selected the best implementation").  The benchmarks time the
+two LUR variants' scans directly so the cost difference is visible in
+wall-clock too.
+"""
+
+from repro.experiments.strategies import (
+    run_lur_variants,
+    run_membership_strategies,
+)
+from repro.genesis.cost import CostCounters
+from repro.genesis.driver import find_application_points
+from repro.genesis.generator import generate_optimizer
+from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+from repro.workloads.suite import full_suite
+
+
+def test_e6a_report(benchmark, capsys):
+    result = benchmark.pedantic(run_lur_variants, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.table())
+    assert result.upper_first_cheaper
+
+
+def test_e6b_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_membership_strategies, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.table())
+    assert result.winners_differ
+    assert result.heuristic_always_optimal
+
+
+def _scan_all(optimizer, workloads):
+    for item in workloads:
+        find_application_points(
+            optimizer, item.load(), counters=CostCounters()
+        )
+
+
+def test_lur_upper_first_scan(benchmark):
+    optimizer = generate_optimizer(STANDARD_SPECS["LUR"], name="LUR")
+    workloads = full_suite()
+    benchmark(_scan_all, optimizer, workloads)
+
+
+def test_lur_lower_first_scan(benchmark):
+    optimizer = generate_optimizer(
+        VARIANT_SPECS["LUR_LOWER_FIRST"], name="LUR_LOWER_FIRST"
+    )
+    workloads = full_suite()
+    benchmark(_scan_all, optimizer, workloads)

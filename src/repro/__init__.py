@@ -1,0 +1,147 @@
+"""repro: Whitfield & Soffa's GOSpeL / GENesis optimizer generator.
+
+A from-scratch Python reproduction of *Automatic Generation of Global
+Optimizers* (PLDI 1991): a declarative specification language for
+global (dependence-based) optimizations, a generator that turns
+specifications into runnable optimizers, the ten optimizations the
+paper evaluates, hand-coded baselines, a mini-Fortran frontend, a quad
+IR with dependence analysis, and the full Section 4 experiment suite.
+
+Quick start::
+
+    import repro
+
+    program = repro.parse_program('''
+        program demo
+          integer i, n
+          real a(10)
+          n = 4
+          do i = 1, n
+            a(i) = a(i) + 1.0
+          end do
+          write a(2)
+        end
+    ''')
+    ctp = repro.generate_optimizer(repro.STANDARD_SPECS["CTP"], name="CTP")
+    print(ctp.source)                       # the generated code
+    repro.run_optimizer(ctp, program,
+                        repro.DriverOptions(apply_all=True))
+    print(repro.format_program(program))    # n propagated everywhere
+"""
+
+from repro.analysis import (
+    DepEdge,
+    DependenceGraph,
+    compute_dependences,
+)
+from repro.frontend import FrontendError, parse_program, parse_source
+from repro.genesis import (
+    ApplicationRecord,
+    CostCounters,
+    DriverOptions,
+    DriverResult,
+    GeneratedOptimizer,
+    GenesisRuntimeError,
+    MatchContext,
+    StrategyPolicy,
+    apply_at_point,
+    find_application_points,
+    generate_optimizer,
+    run_optimizer,
+)
+from repro.genesis.pipeline import PipelineReport, optimize, optimize_source
+from repro.genesis.session import OptimizerSession, SessionError
+from repro.gospel import (
+    GospelError,
+    Specification,
+    analyze_spec,
+    parse_spec,
+)
+from repro.ir import (
+    IRBuilder,
+    Opcode,
+    Program,
+    Quad,
+    format_program,
+    format_side_by_side,
+)
+from repro.ir.interp import run_program, same_behaviour
+from repro.machine import (
+    ALL_MODELS,
+    MULTIPROCESSOR,
+    MachineModel,
+    SCALAR,
+    VECTOR,
+    estimate_benefit,
+    estimate_time,
+)
+from repro.opts import (
+    EXTENDED_SPECS,
+    PAPER_TEN,
+    STANDARD_SPECS,
+    VARIANT_SPECS,
+    build_optimizer,
+    standard_optimizers,
+)
+from repro.opts.handcoded import HANDCODED, handcoded_optimizer
+from repro.workloads import SOURCES, Workload, full_suite, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODELS",
+    "ApplicationRecord",
+    "CostCounters",
+    "DepEdge",
+    "DependenceGraph",
+    "DriverOptions",
+    "DriverResult",
+    "EXTENDED_SPECS",
+    "FrontendError",
+    "GeneratedOptimizer",
+    "GenesisRuntimeError",
+    "GospelError",
+    "HANDCODED",
+    "IRBuilder",
+    "MULTIPROCESSOR",
+    "MachineModel",
+    "MatchContext",
+    "Opcode",
+    "OptimizerSession",
+    "PAPER_TEN",
+    "PipelineReport",
+    "Program",
+    "Quad",
+    "SCALAR",
+    "SOURCES",
+    "STANDARD_SPECS",
+    "SessionError",
+    "Specification",
+    "StrategyPolicy",
+    "VARIANT_SPECS",
+    "VECTOR",
+    "Workload",
+    "__version__",
+    "analyze_spec",
+    "apply_at_point",
+    "build_optimizer",
+    "compute_dependences",
+    "estimate_benefit",
+    "estimate_time",
+    "find_application_points",
+    "format_program",
+    "format_side_by_side",
+    "full_suite",
+    "generate_optimizer",
+    "handcoded_optimizer",
+    "optimize",
+    "optimize_source",
+    "parse_program",
+    "parse_source",
+    "parse_spec",
+    "run_optimizer",
+    "run_program",
+    "same_behaviour",
+    "standard_optimizers",
+    "workload",
+]

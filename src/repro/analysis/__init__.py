@@ -1,0 +1,55 @@
+"""Dependence analysis: CFG, dataflow, scalar/array/control dependences."""
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.control_dep import ControlDependence, compute_control_deps
+from repro.analysis.dataflow import bits_to_indices, solve_backward, solve_forward
+from repro.analysis.dependence import DependenceAnalyzer, compute_dependences
+from repro.analysis.dominators import (
+    DominatorTree,
+    compute_dominators,
+    compute_postdominators,
+    control_dependence_fow,
+)
+from repro.analysis.graph import KINDS, DepEdge, DependenceGraph
+from repro.analysis.liveness import Liveness, compute_liveness
+from repro.analysis.reaching import DefSite, ReachingDefinitions, compute_reaching
+from repro.analysis.subscript import (
+    ALL_DIRECTIONS,
+    LoopContext,
+    expand_direction_vectors,
+    lexicographic_class,
+    matches_direction_pattern,
+    reverse_vector,
+    test_access_pair,
+)
+
+__all__ = [
+    "ALL_DIRECTIONS",
+    "CFG",
+    "ControlDependence",
+    "DefSite",
+    "DepEdge",
+    "DependenceAnalyzer",
+    "DependenceGraph",
+    "DominatorTree",
+    "KINDS",
+    "Liveness",
+    "LoopContext",
+    "ReachingDefinitions",
+    "bits_to_indices",
+    "build_cfg",
+    "compute_control_deps",
+    "compute_dependences",
+    "compute_dominators",
+    "compute_liveness",
+    "compute_postdominators",
+    "compute_reaching",
+    "control_dependence_fow",
+    "expand_direction_vectors",
+    "lexicographic_class",
+    "matches_direction_pattern",
+    "reverse_vector",
+    "solve_backward",
+    "solve_forward",
+    "test_access_pair",
+]

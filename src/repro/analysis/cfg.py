@@ -1,0 +1,156 @@
+"""Statement-level control-flow graph for the structured quad IR.
+
+Because the IR is fully structured (DO/ENDDO, IF/ELSE/ENDIF, no gotos),
+the CFG is derived directly from the markers:
+
+* ``DO`` branches into its body and — for the zero-trip case — past the
+  matching ``ENDDO``;
+* ``ENDDO`` branches back to its ``DO`` (the *back edge*) and out;
+* ``IF`` branches to the THEN part and to the ELSE part (or past the
+  ``ENDIF`` when there is none);
+* ``ELSE`` is the "end of THEN" jump and goes straight to ``ENDIF``;
+* everything else falls through.
+
+Nodes are list positions (ints); the virtual exit node is
+``len(program)``.  Back edges are recorded so dependence analysis can
+distinguish loop-independent from loop-carried reaching paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.program import IRError, Program
+from repro.ir.quad import LOOP_HEADS, Opcode
+
+
+@dataclass
+class CFG:
+    """Control-flow graph over quad positions."""
+
+    program: Program
+    succs: list[list[int]] = field(default_factory=list)
+    preds: list[list[int]] = field(default_factory=list)
+    #: set of (src, dst) edges that are loop back edges
+    back_edges: set[tuple[int, int]] = field(default_factory=set)
+    #: position of matching ENDDO for each loop-head position
+    enddo_of: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    @property
+    def exit(self) -> int:
+        return len(self.program)
+
+    def node_count(self) -> int:
+        """Nodes = every quad position plus the virtual exit."""
+        return len(self.program) + 1
+
+    def successors(self, position: int) -> list[int]:
+        return self.succs[position]
+
+    def predecessors(self, position: int) -> list[int]:
+        return self.preds[position]
+
+    def forward_successors(self, position: int) -> list[int]:
+        """Successors excluding back edges (the acyclic CFG)."""
+        return [
+            succ
+            for succ in self.succs[position]
+            if (position, succ) not in self.back_edges
+        ]
+
+    def forward_predecessors(self, position: int) -> list[int]:
+        """Predecessors excluding back edges (the acyclic CFG)."""
+        return [
+            pred
+            for pred in self.preds[position]
+            if (pred, position) not in self.back_edges
+        ]
+
+
+def build_cfg(program: Program) -> CFG:
+    """Construct the CFG for a structured program.
+
+    Raises :class:`IRError` on malformed nesting (delegated to
+    :meth:`Program.check_structure` semantics).
+    """
+    program.check_structure()
+    size = len(program)
+    cfg = CFG(
+        program=program,
+        succs=[[] for _ in range(size + 1)],
+        preds=[[] for _ in range(size + 1)],
+    )
+
+    # match the structured regions
+    else_of: dict[int, Optional[int]] = {}
+    endif_of: dict[int, int] = {}
+    stack: list[tuple[str, int]] = []
+    for position, quad in enumerate(program):
+        op = quad.opcode
+        if op in LOOP_HEADS:
+            stack.append(("do", position))
+        elif op is Opcode.ENDDO:
+            kind, head = stack.pop()
+            assert kind == "do"
+            cfg.enddo_of[head] = position
+        elif op is Opcode.IF:
+            stack.append(("if", position))
+            else_of[position] = None
+        elif op is Opcode.ELSE:
+            kind, guard = stack[-1]
+            assert kind == "if"
+            else_of[guard] = position
+        elif op is Opcode.ENDIF:
+            kind, guard = stack.pop()
+            assert kind == "if"
+            endif_of[guard] = position
+
+    def add_edge(src: int, dst: int, back: bool = False) -> None:
+        cfg.succs[src].append(dst)
+        cfg.preds[dst].append(src)
+        if back:
+            cfg.back_edges.add((src, dst))
+
+    for position, quad in enumerate(program):
+        op = quad.opcode
+        if op in LOOP_HEADS:
+            enddo = cfg.enddo_of[position]
+            add_edge(position, position + 1)  # enter the body
+            add_edge(position, enddo + 1)  # zero-trip skip
+        elif op is Opcode.ENDDO:
+            head = _head_of(cfg.enddo_of, position)
+            add_edge(position, head, back=True)  # next iteration
+            add_edge(position, position + 1)  # loop exit
+        elif op is Opcode.IF:
+            add_edge(position, position + 1)  # THEN part
+            orelse = else_of[position]
+            if orelse is not None:
+                add_edge(position, orelse + 1)  # ELSE part
+            else:
+                add_edge(position, endif_of[position])
+        elif op is Opcode.ELSE:
+            guard = _guard_of(else_of, position)
+            add_edge(position, endif_of[guard])  # skip the ELSE body
+        else:
+            add_edge(position, position + 1)
+
+    return cfg
+
+
+def _head_of(enddo_of: dict[int, int], enddo_position: int) -> int:
+    for head, enddo in enddo_of.items():
+        if enddo == enddo_position:
+            return head
+    raise IRError(f"no loop head for ENDDO at position {enddo_position}")
+
+
+def _guard_of(else_of: dict[int, Optional[int]], else_position: int) -> int:
+    for guard, orelse in else_of.items():
+        if orelse == else_position:
+            return guard
+    raise IRError(f"no IF for ELSE at position {else_position}")

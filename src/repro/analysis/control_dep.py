@@ -1,0 +1,59 @@
+"""Control dependence for the structured IR.
+
+The paper: "A control dependence (Si δc Sj) exists between a control
+statement Si and all of the statements Sj under its control. In other
+words, if Si is an IF condition then all of the statements within the
+THEN and the ELSE are control dependent on Si."  Loop heads likewise
+control their bodies (a statement executes only when its loop does).
+
+With structured control flow these relations fall directly out of the
+:class:`~repro.ir.loops.StructureTable` controller stacks; the
+postdominance-frontier construction in :mod:`repro.analysis.dominators`
+is kept as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.loops import StructureTable
+from repro.ir.program import Program
+
+
+@dataclass
+class ControlDependence:
+    """controller qid -> controlled qids, and the inverse."""
+
+    controlled_by: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    controls: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def is_control_dependent(self, controlled_qid: int, guard_qid: int) -> bool:
+        """True when ``controlled_qid`` is under ``guard_qid``'s control."""
+        return guard_qid in self.controlled_by.get(controlled_qid, ())
+
+    def guards_of(self, qid: int) -> tuple[int, ...]:
+        """All guards controlling a statement, outermost first."""
+        return self.controlled_by.get(qid, ())
+
+    def region_of(self, guard_qid: int) -> tuple[int, ...]:
+        """All statements controlled by a guard."""
+        return self.controls.get(guard_qid, ())
+
+
+def compute_control_deps(
+    program: Program, structure: StructureTable | None = None
+) -> ControlDependence:
+    """Control dependences from the structure table."""
+    if structure is None:
+        structure = StructureTable(program)
+    controlled_by: dict[int, tuple[int, ...]] = {}
+    controls: dict[int, list[int]] = {}
+    for quad in program:
+        guards = structure.controllers.get(quad.qid, ())
+        controlled_by[quad.qid] = guards
+        for guard in guards:
+            controls.setdefault(guard, []).append(quad.qid)
+    return ControlDependence(
+        controlled_by=controlled_by,
+        controls={guard: tuple(qids) for guard, qids in controls.items()},
+    )

@@ -1,0 +1,531 @@
+"""Computing the dependence graph of a program.
+
+Scalar dependences come from reaching-definition-style dataflow over
+the statement CFG; the acyclic (back-edge-free) solution distinguishes
+loop-independent dependences (direction ``=`` at every common level)
+from loop-carried ones (``<`` at the carrying loop).  Array dependences
+come from the subscript tests of :mod:`repro.analysis.subscript`
+applied to every access pair, expanded into concrete direction
+vectors.  Control dependences come from the structured region table.
+
+This module implements the "data dependencies are computed" box of the
+paper's Figure 3 — the input every generated optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.control_dep import compute_control_deps
+from repro.analysis.dataflow import (
+    DataflowResult,
+    bits_to_indices,
+    solve_forward,
+)
+from repro.analysis.graph import DepEdge, DependenceGraph
+from repro.analysis.subscript import (
+    LoopContext,
+    expand_direction_vectors,
+    lexicographic_class,
+    test_access_pair,
+)
+from repro.ir.loops import Loop, StructureTable, trip_count
+from repro.ir.program import Program
+from repro.ir.quad import Opcode
+from repro.ir.types import Affine, ArrayRef
+
+#: Safety valve on direction-vector expansion per access pair.
+MAX_VECTORS_PER_PAIR = 128
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One scalar definition or use site."""
+
+    index: int  # bit position
+    position: int  # quad position (-1 for the synthetic boundary defs)
+    qid: int
+    var: str
+    pos: str  # operand position ("result", "a", "b", "step")
+
+
+@dataclass(frozen=True)
+class _ArrayAccess:
+    """One array element access."""
+
+    position: int
+    qid: int
+    pos: str
+    ref: ArrayRef
+    is_write: bool
+
+
+class DependenceAnalyzer:
+    """Builds the :class:`DependenceGraph` for one program version."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.cfg: CFG = build_cfg(program)
+        self.structure = StructureTable(program)
+        self.graph = DependenceGraph()
+        self._def_sites: list[_Site] = []
+        self._use_sites: list[_Site] = []
+        self._defs_of_var: dict[str, list[_Site]] = {}
+        self._uses_of_var: dict[str, list[_Site]] = {}
+        self._def_mask: dict[str, int] = {}
+        self._use_mask: dict[str, int] = {}
+        self._collect_scalar_sites()
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> DependenceGraph:
+        """Compute all four dependence kinds."""
+        self._scalar_dependences()
+        self._array_dependences()
+        self._control_dependences()
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # site collection
+    # ------------------------------------------------------------------
+    def _collect_scalar_sites(self) -> None:
+        variables = sorted(self.program.scalar_names())
+        # synthetic boundary definitions model "defined before entry",
+        # which makes upward exposure at loop heads visible in the
+        # acyclic reaching sets
+        for var in variables:
+            site = _Site(
+                index=len(self._def_sites), position=-1, qid=-1, var=var,
+                pos="result",
+            )
+            self._def_sites.append(site)
+            self._defs_of_var.setdefault(var, []).append(site)
+        for position, quad in enumerate(self.program):
+            var = quad.defined_scalar()
+            if var is not None:
+                def_pos = "a" if quad.opcode is Opcode.READ else "result"
+                site = _Site(
+                    index=len(self._def_sites), position=position,
+                    qid=quad.qid, var=var, pos=def_pos,
+                )
+                self._def_sites.append(site)
+                self._defs_of_var.setdefault(var, []).append(site)
+            for pos, operand in quad.use_positions():
+                for name in sorted(_scalar_uses_at(operand)):
+                    site = _Site(
+                        index=len(self._use_sites), position=position,
+                        qid=quad.qid, var=name, pos=pos,
+                    )
+                    self._use_sites.append(site)
+                    self._uses_of_var.setdefault(name, []).append(site)
+        for site in self._def_sites:
+            self._def_mask[site.var] = (
+                self._def_mask.get(site.var, 0) | (1 << site.index)
+            )
+        for site in self._use_sites:
+            self._use_mask[site.var] = (
+                self._use_mask.get(site.var, 0) | (1 << site.index)
+            )
+
+    # ------------------------------------------------------------------
+    # scalar dependences
+    # ------------------------------------------------------------------
+    def _scalar_dependences(self) -> None:
+        def_full, def_acyclic = self._solve_sites(self._def_sites, kill_defs=True)
+        use_full, use_acyclic = self._solve_sites(self._use_sites, kill_defs=True,
+                                                  gen_uses=True)
+        self._acyclic_defs_cache = def_acyclic
+        self._flow_and_out(def_full, def_acyclic)
+        self._anti(use_full, use_acyclic)
+
+    def _solve_sites(
+        self,
+        sites: Sequence[_Site],
+        kill_defs: bool,
+        gen_uses: bool = False,
+    ) -> tuple[DataflowResult, DataflowResult]:
+        size = len(self.program)
+        gen = [0] * size
+        kill = [0] * size
+        var_mask: dict[str, int] = {}
+        entry_bits = 0
+        for site in sites:
+            if site.position == -1:
+                entry_bits |= 1 << site.index
+            else:
+                gen[site.position] |= 1 << site.index
+            var_mask[site.var] = var_mask.get(site.var, 0) | (1 << site.index)
+        if kill_defs:
+            for position, quad in enumerate(self.program):
+                var = quad.defined_scalar()
+                if var is None:
+                    continue
+                mask = var_mask.get(var, 0)
+                if gen_uses:
+                    kill[position] |= mask  # a def kills pending uses
+                else:
+                    kill[position] |= mask & ~gen[position]
+        full = solve_forward(self.cfg, gen, kill, may=True,
+                             entry_bits=entry_bits)
+        acyclic = solve_forward(self.cfg, gen, kill, may=True, acyclic=True,
+                                entry_bits=entry_bits)
+        return full, acyclic
+
+    def _flow_and_out(
+        self, full: DataflowResult, acyclic: DataflowResult
+    ) -> None:
+        # Pairs are driven from the solved bit sets: a source site can
+        # produce an edge into a sink only if it reaches the sink in the
+        # full (may, cyclic) solution — carried edges included, since
+        # surviving a back edge into an exposed sink implies reaching
+        # it.  This keeps the work proportional to real dependences
+        # rather than |defs| x |uses| per variable.
+
+        # flow: def site reaches a use of the same variable
+        for use in self._use_sites:
+            def_bits = full.in_bits(use.position) & self._def_mask.get(
+                use.var, 0
+            )
+            for def_index in bits_to_indices(def_bits):
+                definition = self._def_sites[def_index]
+                if definition.position == -1:
+                    continue
+                if definition.qid == use.qid and definition.pos == use.pos:
+                    continue
+                self._emit_pair(
+                    kind="flow",
+                    src=definition,
+                    dst=use,
+                    full=full,
+                    acyclic=acyclic,
+                    allow_same_stmt_equal=False,
+                )
+        # out: def site reaches a later def of the same variable
+        for later in self._def_sites:
+            if later.position == -1:
+                continue
+            if self._is_own_lcv_def(later):
+                continue
+            def_bits = full.in_bits(later.position) & self._def_mask.get(
+                later.var, 0
+            )
+            for def_index in bits_to_indices(def_bits):
+                # a re-executed definition reaches itself around a back
+                # edge: the carried self-output that orders a loop's
+                # iterations appears here naturally
+                earlier = self._def_sites[def_index]
+                if earlier.position == -1:
+                    continue
+                self._emit_pair(
+                    kind="out",
+                    src=earlier,
+                    dst=later,
+                    full=full,
+                    acyclic=acyclic,
+                    allow_same_stmt_equal=False,
+                )
+
+    def _is_own_lcv_def(self, site: _Site) -> bool:
+        """A DO/DOALL header (re)initializing its own control variable.
+
+        FORTRAN's DO owns its variable (the body may read but not write
+        it), so anti/output dependences *into* the header's
+        initialization are not ordering constraints — the standard
+        induction-variable treatment.  Flow dependences from the header
+        to the variable's readers are kept; they carry all the real
+        ordering information.
+        """
+        if site.position == -1:
+            return False
+        quad = self.program[site.position]
+        return quad.opcode in (Opcode.DO, Opcode.DOALL) and (
+            quad.defined_scalar() == site.var
+        )
+
+    def _anti(self, full: DataflowResult, acyclic: DataflowResult) -> None:
+        # anti: use site "reaches" a def of the same variable
+        for definition in self._def_sites:
+            if definition.position == -1:
+                continue
+            if self._is_own_lcv_def(definition):
+                continue
+            use_bits = full.in_bits(definition.position) & (
+                self._use_mask.get(definition.var, 0)
+            )
+            for use_index in bits_to_indices(use_bits):
+                use = self._use_sites[use_index]
+                if use.qid == definition.qid:
+                    # within one statement the reads precede the write;
+                    # record the self-anti only when loop-carried
+                    self._emit_carried_only(
+                        kind="anti", src=use, dst=definition, full=full
+                    )
+                    continue
+                self._emit_pair(
+                    kind="anti",
+                    src=use,
+                    dst=definition,
+                    full=full,
+                    acyclic=acyclic,
+                    allow_same_stmt_equal=False,
+                )
+
+    # ------------------------------------------------------------------
+    def _emit_pair(
+        self,
+        kind: str,
+        src: _Site,
+        dst: _Site,
+        full: DataflowResult,
+        acyclic: DataflowResult,
+        allow_same_stmt_equal: bool,
+    ) -> None:
+        """Emit loop-independent and loop-carried edges for a site pair."""
+        bit = 1 << src.index
+        common = self.structure.common_loops(src.qid, dst.qid)
+        depth = len(common)
+        if acyclic.in_bits(dst.position) & bit:
+            self.graph.add(
+                DepEdge(
+                    kind=kind,
+                    src=src.qid,
+                    dst=dst.qid,
+                    var=src.var,
+                    vector=("=",) * depth,
+                    src_pos=src.pos,
+                    dst_pos=dst.pos,
+                )
+            )
+        self._emit_carried(kind, src, dst, full, common)
+
+    def _emit_carried_only(
+        self, kind: str, src: _Site, dst: _Site, full: DataflowResult
+    ) -> None:
+        common = self.structure.common_loops(src.qid, dst.qid)
+        self._emit_carried(kind, src, dst, full, common)
+
+    def _emit_carried(
+        self,
+        kind: str,
+        src: _Site,
+        dst: _Site,
+        full: DataflowResult,
+        common: Sequence[Loop],
+    ) -> None:
+        """Loop-carried edges: one per common loop whose back edge the
+        value survives and into whose next iteration the sink is
+        exposed."""
+        bit = 1 << src.index
+        depth = len(common)
+        for level, loop in enumerate(common):
+            enddo_position = self.program.position(loop.end_qid)
+            if not (full.in_bits(enddo_position) & bit):
+                continue
+            if not self._upward_exposed(dst, loop):
+                continue
+            vector = ("=",) * level + ("<",) + ("*",) * (depth - level - 1)
+            self.graph.add(
+                DepEdge(
+                    kind=kind,
+                    src=src.qid,
+                    dst=dst.qid,
+                    var=src.var,
+                    vector=vector,
+                    src_pos=src.pos,
+                    dst_pos=dst.pos,
+                )
+            )
+
+    def _upward_exposed(self, site: _Site, loop: Loop) -> bool:
+        """Is there a definition-free path from the loop head to the
+        site?  Detected by an *outside* definition (or the synthetic
+        boundary def) reaching the site in the acyclic solution."""
+        head_position = self.program.position(loop.head_qid)
+        end_position = self.program.position(loop.end_qid)
+        acyclic = self._acyclic_def_result
+        bits = acyclic.in_bits(site.position)
+        for definition in self._defs_of_var.get(site.var, ()):
+            if not (bits & (1 << definition.index)):
+                continue
+            if definition.position == -1:
+                return True
+            if not head_position < definition.position < end_position:
+                return True
+        return False
+
+    @property
+    def _acyclic_def_result(self) -> DataflowResult:
+        result = getattr(self, "_acyclic_defs_cache", None)
+        if result is None:
+            _full, result = self._solve_sites(self._def_sites, kill_defs=True)
+            self._acyclic_defs_cache = result
+        return result
+
+    # ------------------------------------------------------------------
+    # array dependences
+    # ------------------------------------------------------------------
+    def _array_dependences(self) -> None:
+        accesses: dict[str, list[_ArrayAccess]] = {}
+        for position, quad in enumerate(self.program):
+            written = quad.defined_array()
+            if written is not None:
+                accesses.setdefault(written.name, []).append(
+                    _ArrayAccess(position, quad.qid, "result", written, True)
+                )
+            for pos, ref in quad.used_array_refs():
+                accesses.setdefault(ref.name, []).append(
+                    _ArrayAccess(position, quad.qid, pos, ref, False)
+                )
+        for name, access_list in accesses.items():
+            for src in access_list:
+                for dst in access_list:
+                    if src is dst:
+                        continue
+                    if not (src.is_write or dst.is_write):
+                        continue
+                    self._array_pair(name, src, dst)
+
+    def _array_pair(
+        self, name: str, src: _ArrayAccess, dst: _ArrayAccess
+    ) -> None:
+        common = self.structure.common_loops(src.qid, dst.qid)
+        contexts = []
+        common_lcvs = set()
+        for loop in common:
+            head = self.program.quad(loop.head_qid)
+            common_lcvs.add(_lcv_name(head))
+            contexts.append(
+                LoopContext(var=_lcv_name(head), trip_count=trip_count(head))
+            )
+        src_subs = self._disambiguate(src, common_lcvs, "src")
+        dst_subs = self._disambiguate(dst, common_lcvs, "dst")
+        per_level = test_access_pair(src_subs, dst_subs, contexts)
+        if per_level is None:
+            return
+        vectors = expand_direction_vectors(per_level)
+        if len(vectors) > MAX_VECTORS_PER_PAIR:
+            vectors = vectors[:MAX_VECTORS_PER_PAIR]
+        if src.is_write and dst.is_write:
+            kind = "out"
+        elif src.is_write:
+            kind = "flow"
+        else:
+            kind = "anti"
+        for vector in vectors:
+            klass = lexicographic_class(vector)
+            if klass == "backward":
+                continue  # the reversed pair generates this dependence
+            if klass == "equal":
+                if src.qid == dst.qid:
+                    continue
+                if src.position > dst.position:
+                    continue
+                if not self._may_execute_in_order(src, dst):
+                    continue
+            self.graph.add(
+                DepEdge(
+                    kind=kind,
+                    src=src.qid,
+                    dst=dst.qid,
+                    var=name,
+                    vector=vector,
+                    src_pos=src.pos,
+                    dst_pos=dst.pos,
+                )
+            )
+
+    def _disambiguate(
+        self, access: _ArrayAccess, common_lcvs: set[str], tag: str
+    ):
+        """Rename non-common loop control variables in subscripts.
+
+        Two accesses in *different* loops frequently reuse the same
+        control-variable name (``do i`` everywhere); their ``i`` values
+        are unrelated, so the subscript tests must not unify them.
+        Renaming each side's private loop variables (``i`` becomes
+        ``i@src`` / ``i@dst``) makes unrelated symbols compare unequal,
+        which the tests then treat conservatively.  Non-lcv symbolic
+        terms (array bounds like ``n``) keep their names — the standard
+        assumption that symbolic subscript terms are invariant across
+        the region under test.
+        """
+        own_lcvs: set[str] = set()
+        current = self.structure.enclosing_loop.get(access.qid)
+        while current is not None:
+            head = self.program.quad(current)
+            lcv = _lcv_name(head)
+            if lcv not in common_lcvs:
+                own_lcvs.add(lcv)
+            current = self.structure.loops[current].parent
+        if not own_lcvs:
+            return access.ref.subscripts
+        renamed = []
+        for sub in access.ref.subscripts:
+            if isinstance(sub, Affine):
+                for var in sub.variables:
+                    if var in own_lcvs:
+                        sub = sub.substitute(
+                            var, Affine.var(f"{var}@{tag}")
+                        )
+                renamed.append(sub)
+            else:
+                renamed.append(sub)
+        return tuple(renamed)
+
+    def _may_execute_in_order(
+        self, src: _ArrayAccess, dst: _ArrayAccess
+    ) -> bool:
+        """Loop-independent feasibility: both on one control path.
+
+        Statements in mutually exclusive branches of the same IF cannot
+        run in the same iteration, so no loop-independent dependence
+        links them.
+        """
+        src_guards = self.structure.controllers.get(src.qid, ())
+        for guard in src_guards:
+            conditional = self.structure.conditionals.get(guard)
+            if conditional is None:
+                continue
+            dst_in_then = dst.qid in conditional.then_qids
+            dst_in_else = dst.qid in conditional.else_qids
+            if not (dst_in_then or dst_in_else):
+                continue
+            src_in_then = src.qid in conditional.then_qids
+            if src_in_then != dst_in_then:
+                return False  # opposite branches of the same IF
+        return True
+
+    # ------------------------------------------------------------------
+    # control dependences
+    # ------------------------------------------------------------------
+    def _control_dependences(self) -> None:
+        control = compute_control_deps(self.program, self.structure)
+        for qid, guards in control.controlled_by.items():
+            for guard in guards:
+                self.graph.add(
+                    DepEdge(kind="ctrl", src=guard, dst=qid, var="")
+                )
+
+
+def _scalar_uses_at(operand: object) -> frozenset[str]:
+    from repro.ir.types import used_scalars
+
+    return used_scalars(operand)
+
+
+def _lcv_name(head_quad) -> str:
+    from repro.ir.types import Var
+
+    lcv = head_quad.result
+    assert isinstance(lcv, Var)
+    return lcv.name
+
+
+def compute_dependences(program: Program) -> DependenceGraph:
+    """Compute the full dependence graph for a program.
+
+    This is the public entry point used by the generated optimizers'
+    interface (paper Figure 4, step 3.b.iv).
+    """
+    return DependenceAnalyzer(program).analyze()

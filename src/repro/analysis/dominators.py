@@ -1,0 +1,157 @@
+"""Dominators and postdominators over the statement-level CFG.
+
+The structured IR makes control dependence computable directly from the
+region markers (see :mod:`repro.analysis.control_dep`), but the
+classical Ferrante–Ottenstein–Warren construction via postdominance
+frontiers is implemented too: tests cross-check the structural answer
+against it, and it keeps the analysis package usable for any future
+unstructured extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.cfg import CFG
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator mapping for every reachable node."""
+
+    root: int
+    idom: dict[int, Optional[int]]
+
+    def dominates(self, node_a: int, node_b: int) -> bool:
+        """True when ``node_a`` dominates ``node_b`` (reflexive)."""
+        current: Optional[int] = node_b
+        while current is not None:
+            if current == node_a:
+                return True
+            current = self.idom.get(current)
+        return False
+
+    def strictly_dominates(self, node_a: int, node_b: int) -> bool:
+        return node_a != node_b and self.dominates(node_a, node_b)
+
+    def dominators_of(self, node: int) -> list[int]:
+        """All dominators of ``node``, from the node up to the root."""
+        chain = []
+        current: Optional[int] = node
+        while current is not None:
+            chain.append(current)
+            current = self.idom.get(current)
+        return chain
+
+
+def _compute_idoms(
+    nodes: list[int],
+    preds: dict[int, list[int]],
+    root: int,
+) -> dict[int, Optional[int]]:
+    """Cooper–Harvey–Kennedy iterative immediate dominators."""
+    order = _reverse_postorder(nodes, preds, root)
+    position = {node: i for i, node in enumerate(order)}
+    idom: dict[int, Optional[int]] = {root: root}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == root:
+                continue
+            candidates = [p for p in preds.get(node, []) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    result: dict[int, Optional[int]] = {}
+    for node, parent in idom.items():
+        result[node] = None if node == root else parent
+    return result
+
+
+def _reverse_postorder(
+    nodes: list[int], preds: dict[int, list[int]], root: int
+) -> list[int]:
+    succs: dict[int, list[int]] = {node: [] for node in nodes}
+    for node, plist in preds.items():
+        for pred in plist:
+            succs.setdefault(pred, []).append(node)
+    visited: set[int] = set()
+    postorder: list[int] = []
+
+    stack: list[tuple[int, int]] = [(root, 0)]
+    visited.add(root)
+    while stack:
+        node, child_index = stack[-1]
+        children = succs.get(node, [])
+        if child_index < len(children):
+            stack[-1] = (node, child_index + 1)
+            child = children[child_index]
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, 0))
+        else:
+            stack.pop()
+            postorder.append(node)
+    return list(reversed(postorder))
+
+
+def compute_dominators(cfg: CFG) -> DominatorTree:
+    """Dominator tree rooted at the CFG entry."""
+    nodes = list(range(cfg.node_count()))
+    preds = {node: list(cfg.predecessors(node)) for node in nodes}
+    return DominatorTree(
+        root=cfg.entry, idom=_compute_idoms(nodes, preds, cfg.entry)
+    )
+
+
+def compute_postdominators(cfg: CFG) -> DominatorTree:
+    """Postdominator tree rooted at the virtual exit node."""
+    nodes = list(range(cfg.node_count()))
+    # reverse the graph: preds of the reverse graph are the successors
+    preds = {node: list(cfg.successors(node)) if node < len(cfg.succs) else []
+             for node in nodes}
+    return DominatorTree(
+        root=cfg.exit, idom=_compute_idoms(nodes, preds, cfg.exit)
+    )
+
+
+def control_dependence_fow(cfg: CFG) -> dict[int, set[int]]:
+    """Control dependences via the postdominance criterion.
+
+    Returns ``controller -> {controlled positions}``: node Y is control
+    dependent on X when X has a successor from which Y is reachable
+    only through paths X "commits" to — i.e. Y postdominates some
+    successor of X but does not postdominate X itself.
+    """
+    pdom = compute_postdominators(cfg)
+    deps: dict[int, set[int]] = {}
+    for node in range(len(cfg.succs)):
+        successors = cfg.successors(node)
+        if len(successors) < 2:
+            continue
+        for succ in successors:
+            # walk the postdominator chain from succ up to (not
+            # including) node's immediate postdominator
+            stop = pdom.idom.get(node)
+            current: Optional[int] = succ
+            while current is not None and current != stop and current != node:
+                deps.setdefault(node, set()).add(current)
+                current = pdom.idom.get(current)
+    return deps

@@ -1,0 +1,101 @@
+"""Reaching definitions for scalar variables.
+
+Each quad that writes a scalar (computation result, loop control
+variable at a ``DO`` head, ``READ``) is a *definition site*.  The
+standard may-forward problem computes which definitions reach each
+program point; the acyclic variant (back edges dropped) distinguishes
+same-iteration reaches from loop-carried ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import DataflowResult, bits_to_indices, solve_forward
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """One scalar definition: which quad defines which variable."""
+
+    index: int  # dense definition number (bit position)
+    position: int  # quad position at analysis time
+    qid: int
+    var: str
+
+
+@dataclass
+class ReachingDefinitions:
+    """Reaching-definitions solution plus its definition-site table."""
+
+    cfg: CFG
+    defs: list[DefSite]
+    full: DataflowResult
+    acyclic: DataflowResult
+    defs_of_var: dict[str, list[DefSite]] = field(default_factory=dict)
+    def_at_position: dict[int, DefSite] = field(default_factory=dict)
+
+    def reaching_in(self, position: int, acyclic: bool = False) -> list[DefSite]:
+        """Definition sites reaching the entry of a quad."""
+        result = self.acyclic if acyclic else self.full
+        return [self.defs[i] for i in bits_to_indices(result.in_bits(position))]
+
+    def reaching_defs_of(
+        self, position: int, var: str, acyclic: bool = False
+    ) -> list[DefSite]:
+        """Definitions of ``var`` reaching the entry of a quad."""
+        return [d for d in self.reaching_in(position, acyclic) if d.var == var]
+
+    def definition_at(self, position: int) -> Optional[DefSite]:
+        """The definition site at a quad position, if it defines a scalar."""
+        return self.def_at_position.get(position)
+
+
+def compute_reaching(
+    program: Program, cfg: Optional[CFG] = None
+) -> ReachingDefinitions:
+    """Run reaching definitions (full and acyclic) for a program."""
+    if cfg is None:
+        cfg = build_cfg(program)
+
+    defs: list[DefSite] = []
+    defs_of_var: dict[str, list[DefSite]] = {}
+    def_at_position: dict[int, DefSite] = {}
+    for position, quad in enumerate(program):
+        var = quad.defined_scalar()
+        if var is None:
+            continue
+        site = DefSite(index=len(defs), position=position, qid=quad.qid,
+                       var=var)
+        defs.append(site)
+        defs_of_var.setdefault(var, []).append(site)
+        def_at_position[position] = site
+
+    size = len(program)
+    gen = [0] * size
+    kill = [0] * size
+    kill_mask: dict[str, int] = {}
+    for var, sites in defs_of_var.items():
+        mask = 0
+        for site in sites:
+            mask |= 1 << site.index
+        kill_mask[var] = mask
+    for position in range(size):
+        site = def_at_position.get(position)
+        if site is not None:
+            gen[position] = 1 << site.index
+            kill[position] = kill_mask[site.var] & ~(1 << site.index)
+
+    full = solve_forward(cfg, gen, kill, may=True)
+    acyclic = solve_forward(cfg, gen, kill, may=True, acyclic=True)
+    return ReachingDefinitions(
+        cfg=cfg,
+        defs=defs,
+        full=full,
+        acyclic=acyclic,
+        defs_of_var=defs_of_var,
+        def_at_position=def_at_position,
+    )

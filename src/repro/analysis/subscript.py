@@ -1,0 +1,273 @@
+"""Array subscript dependence tests with direction vectors.
+
+Implements the classical battery for affine subscripts:
+
+* **ZIV** (zero index variable): constant-vs-constant subscripts prove
+  independence when they differ;
+* **strong SIV** (single index variable, equal coefficients): an exact
+  integer distance, pruned against known trip counts, yielding a single
+  direction per level;
+* **GCD feasibility** for everything else (weak SIV, MIV): proves
+  independence when the linear Diophantine difference equation has no
+  solution, otherwise all directions remain possible.
+
+Each element of a *direction vector* is ``<`` (the source instance runs
+in an earlier iteration of that loop than the sink instance), ``=``
+(same iteration) or ``>`` (later); ``*`` in a GOSpeL specification
+matches any of the three, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.ir.types import Affine, Var
+
+#: All three concrete directions.
+ALL_DIRECTIONS = frozenset({"<", "=", ">"})
+
+Subscript = Union[Affine, Var]
+
+
+@dataclass(frozen=True)
+class LoopContext:
+    """What the tester needs to know about one common loop level."""
+
+    var: str
+    trip_count: Optional[int] = None  # None when bounds are symbolic
+
+
+def _as_affine(subscript: Subscript) -> Optional[Affine]:
+    """Affine view of a subscript; opaque Vars give None (unanalyzable)."""
+    if isinstance(subscript, Affine):
+        return subscript
+    return None
+
+
+def directions_for_dimension(
+    src: Subscript,
+    dst: Subscript,
+    loops: Sequence[LoopContext],
+) -> Optional[list[frozenset[str]]]:
+    """Possible directions per loop level for one subscript dimension.
+
+    Returns None when the dimension proves *independence* (no
+    dependence can exist through this array dimension), otherwise a
+    list of per-level direction sets to be intersected across
+    dimensions.  Unanalyzable subscripts yield all directions at every
+    level (conservative).
+    """
+    unconstrained = [ALL_DIRECTIONS for _ in loops]
+    src_affine = _as_affine(src)
+    dst_affine = _as_affine(dst)
+    if src_affine is None or dst_affine is None:
+        return list(unconstrained)
+
+    loop_vars = [loop.var for loop in loops]
+    involved = [
+        var
+        for var in loop_vars
+        if src_affine.coefficient(var) != 0 or dst_affine.coefficient(var) != 0
+    ]
+
+    # Any non-loop symbolic variables make the test conservative unless
+    # both sides agree exactly on them.
+    src_other = {
+        (v, c) for v, c in src_affine.terms if v not in loop_vars
+    }
+    dst_other = {
+        (v, c) for v, c in dst_affine.terms if v not in loop_vars
+    }
+    symbolic_mismatch = src_other != dst_other
+
+    if not involved:
+        # ZIV: subscripts do not vary with any common loop.
+        if symbolic_mismatch:
+            return list(unconstrained)  # can't tell; assume may-equal
+        if src_affine.const != dst_affine.const:
+            return None  # provably different elements
+        return list(unconstrained)  # same element in every iteration
+
+    if symbolic_mismatch:
+        return list(unconstrained)
+
+    if len(involved) == 1:
+        var = involved[0]
+        level = loop_vars.index(var)
+        loop = loops[level]
+        coeff_src = src_affine.coefficient(var)
+        coeff_dst = dst_affine.coefficient(var)
+        if coeff_src == coeff_dst:
+            # strong SIV: a*i_src + c1 == a*i_dst + c2
+            # => i_dst = i_src + (c1 - c2)/a
+            delta = src_affine.const - dst_affine.const
+            if delta % coeff_src != 0:
+                return None
+            distance = delta // coeff_src
+            if (
+                loop.trip_count is not None
+                and abs(distance) >= loop.trip_count
+            ):
+                return None  # farther apart than the loop ever iterates
+            if distance > 0:
+                direction = frozenset({"<"})
+            elif distance < 0:
+                direction = frozenset({">"})
+            else:
+                direction = frozenset({"="})
+            result = list(unconstrained)
+            result[level] = direction
+            return result
+        # weak SIV: coeff_src*i1 - coeff_dst*i2 = c2 - c1
+        if not _gcd_feasible(
+            [coeff_src, -coeff_dst], dst_affine.const - src_affine.const
+        ):
+            return None
+        return list(unconstrained)
+
+    # MIV: several loop variables involved; GCD feasibility only.
+    coeffs: list[int] = []
+    for var in involved:
+        coeffs.append(src_affine.coefficient(var))
+        coeffs.append(-dst_affine.coefficient(var))
+    if not _gcd_feasible(coeffs, dst_affine.const - src_affine.const):
+        return None
+    return list(unconstrained)
+
+
+def _gcd_feasible(coeffs: Sequence[int], constant: int) -> bool:
+    """Does ``sum(coeffs[i] * x_i) == constant`` have an integer solution?"""
+    nonzero = [abs(c) for c in coeffs if c != 0]
+    if not nonzero:
+        return constant == 0
+    divisor = nonzero[0]
+    for c in nonzero[1:]:
+        divisor = math.gcd(divisor, c)
+    return constant % divisor == 0
+
+
+def test_access_pair(
+    src_subscripts: Sequence[Subscript],
+    dst_subscripts: Sequence[Subscript],
+    loops: Sequence[LoopContext],
+) -> Optional[list[frozenset[str]]]:
+    """Combine per-dimension tests for a whole access pair.
+
+    Returns the per-level direction sets (to be expanded into direction
+    vectors) or None when any dimension proves independence.  Accesses
+    with different dimensionality (possible with opaque subscripts) are
+    treated conservatively dimension-by-dimension over the shared
+    prefix.
+    """
+    per_level = [set(ALL_DIRECTIONS) for _ in loops]
+    for src_sub, dst_sub in zip(src_subscripts, dst_subscripts):
+        verdict = directions_for_dimension(src_sub, dst_sub, loops)
+        if verdict is None:
+            return None
+        for level, allowed in enumerate(verdict):
+            per_level[level] &= allowed
+            if not per_level[level]:
+                return None
+    return [frozenset(allowed) for allowed in per_level]
+
+
+def expand_direction_vectors(
+    per_level: Sequence[frozenset[str]],
+) -> list[tuple[str, ...]]:
+    """All concrete direction vectors from per-level direction sets."""
+    vectors: list[tuple[str, ...]] = [()]
+    for allowed in per_level:
+        vectors = [
+            vector + (direction,)
+            for vector in vectors
+            for direction in sorted(allowed)
+        ]
+    return vectors
+
+
+def lexicographic_class(vector: Sequence[str]) -> str:
+    """Classify a direction vector.
+
+    ``forward``  — lexicographically positive (first non-'=' is '<'):
+    the dependence flows from the earlier iteration to the later one as
+    written.  ``equal`` — all '='; execution order within the iteration
+    decides.  ``backward`` — first non-'=' is '>': the true dependence
+    runs the other way with the reversed vector.
+    """
+    for direction in vector:
+        if direction == "<":
+            return "forward"
+        if direction == ">":
+            return "backward"
+    return "equal"
+
+
+def reverse_vector(vector: Sequence[str]) -> tuple[str, ...]:
+    """Reverse a direction vector (swap '<' and '>')."""
+    flip = {"<": ">", ">": "<", "=": "="}
+    return tuple(flip[d] for d in vector)
+
+
+def _element_matches(vector_dir: str, pattern_dir: str) -> bool:
+    """One direction position: ``*`` on either side matches anything.
+
+    A ``*`` in an *edge's* vector means the analysis could not narrow
+    the relation (may-dependence), so it may match any requested
+    direction — the conservative reading for safety conditions.
+    """
+    if pattern_dir in ("*", "any") or vector_dir == "*":
+        return True
+    return pattern_dir == vector_dir
+
+
+def matches_direction_pattern(
+    vector: Sequence[str], pattern: Optional[Sequence[str]]
+) -> bool:
+    """GOSpeL direction-vector matching (unanchored).
+
+    ``pattern`` is the vector written in a specification, whose
+    elements come from ``< > = * any``; None (omitted) matches any
+    dependence.  A pattern shorter than the edge's vector constrains a
+    prefix and implicitly requires ``=`` at deeper levels (the paper's
+    ``(=)`` names a loop-independent dependence at whatever depth);
+    pattern positions beyond the edge's nesting must be ``=`` or a
+    wildcard to match.
+    """
+    if pattern is None:
+        return True
+    for level in range(max(len(vector), len(pattern))):
+        pattern_dir = pattern[level] if level < len(pattern) else "="
+        vector_dir = vector[level] if level < len(vector) else "="
+        if not _element_matches(vector_dir, pattern_dir):
+            return False
+    return True
+
+
+def matches_anchored_pattern(
+    vector: Sequence[str],
+    pattern: Optional[Sequence[str]],
+    anchor_level: int,
+) -> bool:
+    """Direction matching anchored at a loop's nest level.
+
+    When a Depend clause restricts its statements to a loop L's body
+    (``mem(Sm, L)``), the written direction vector is relative to L:
+    pattern position 0 names L's level, ``anchor_level`` (0-based).
+    Loops *outer* to L must carry the dependence in the same iteration
+    (``=``) for it to be visible inside one execution of L; levels
+    deeper than the pattern are unconstrained.
+    """
+    if pattern is None:
+        return True
+    for level in range(anchor_level):
+        vector_dir = vector[level] if level < len(vector) else "="
+        if not _element_matches(vector_dir, "="):
+            return False
+    for offset, pattern_dir in enumerate(pattern):
+        level = anchor_level + offset
+        vector_dir = vector[level] if level < len(vector) else "="
+        if not _element_matches(vector_dir, pattern_dir):
+            return False
+    return True

@@ -1,0 +1,268 @@
+"""The ``genesis`` command-line tool.
+
+Subcommands::
+
+    genesis generate <spec.gospel> [--name OPT] [--policy P]
+        Parse a GOSpeL specification and print the generated code.
+
+    genesis optimize <program.f> --opts CTP,DCE [--all] [--show]
+        Optimize a mini-Fortran program with catalog optimizations.
+
+    genesis interact <program.f> [--opts ...]
+        Drive the interactive interface (paper Figure 4 step 3.b):
+        list / points OPT / apply OPT [all|N] / override OPT N /
+        recompute on|off / deps / show / history / reset / quit.
+
+    genesis experiments [--only E1,E2,...] [--out FILE]
+        Run the Section 4 reproduction and print the report.
+
+    genesis construct <dir> --opts CTP,DCE
+        Write a self-contained optimizer package (the constructor).
+
+    genesis suite
+        List the workload programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    run_all_experiments,
+    run_applicability,
+    run_costbenefit,
+    run_enabling_matrix,
+    run_lur_variants,
+    run_membership_strategies,
+    run_ordering,
+    run_quality,
+)
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.genesis.generator import generate_optimizer
+from repro.genesis.session import OptimizerSession, SessionError
+from repro.genesis.strategy import StrategyPolicy
+from repro.ir.printer import format_program
+from repro.opts.catalog import standard_optimizers
+from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+from repro.workloads.programs import SOURCES
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``genesis`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "optimize": _cmd_optimize,
+        "interact": _cmd_interact,
+        "experiments": _cmd_experiments,
+        "construct": _cmd_construct,
+        "suite": _cmd_suite,
+    }.get(args.command)
+    if handler is None:
+        parser.print_help()
+        return 2
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="genesis",
+        description="GENesis: generate global optimizers from GOSpeL "
+        "specifications (Whitfield & Soffa, PLDI 1991)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    generate = sub.add_parser(
+        "generate", help="generate optimizer code from a specification"
+    )
+    generate.add_argument("spec", help="GOSpeL file, or a catalog name "
+                          "like CTP")
+    generate.add_argument("--name", default=None, help="optimization name")
+    generate.add_argument(
+        "--policy",
+        choices=[p.value for p in StrategyPolicy],
+        default=StrategyPolicy.HEURISTIC.value,
+        help="Depend-clause implementation policy",
+    )
+
+    optimize = sub.add_parser("optimize", help="optimize a program")
+    optimize.add_argument("program", help="mini-Fortran source file, or a "
+                          "workload name like 'fft'")
+    optimize.add_argument(
+        "--opts", default="CTP,CFO,DCE",
+        help="comma-separated optimization sequence",
+    )
+    optimize.add_argument(
+        "--once", action="store_true",
+        help="apply each optimization at its first point only",
+    )
+    optimize.add_argument(
+        "--show", action="store_true", help="print the optimized code"
+    )
+    optimize.add_argument(
+        "--save", default=None, metavar="FILE",
+        help="write the optimized program as mini-Fortran source",
+    )
+
+    interact = sub.add_parser("interact", help="interactive session")
+    interact.add_argument("program")
+    interact.add_argument("--opts", default=",".join(sorted(STANDARD_SPECS)))
+
+    experiments = sub.add_parser(
+        "experiments", help="reproduce the paper's Section 4"
+    )
+    experiments.add_argument(
+        "--only", default=None,
+        help="comma-separated subset of E1,E2,E3,E4,E5,E6",
+    )
+    experiments.add_argument("--out", default=None, help="write report here")
+
+    construct = sub.add_parser(
+        "construct", help="package generated optimizers on disk"
+    )
+    construct.add_argument("directory")
+    construct.add_argument("--opts", default="CTP,CFO,DCE")
+
+    sub.add_parser("suite", help="list the workload programs")
+    return parser
+
+
+def _load_program_arg(text: str):
+    if text in SOURCES:
+        return parse_program(SOURCES[text])
+    return parse_program(Path(text).read_text())
+
+
+_ALL_SPECS = {**STANDARD_SPECS, **EXTENDED_SPECS, **VARIANT_SPECS}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.spec in _ALL_SPECS:
+        source = _ALL_SPECS[args.spec]
+        name = args.name or args.spec
+    else:
+        source = Path(args.spec).read_text()
+        name = args.name or Path(args.spec).stem.upper()
+    optimizer = generate_optimizer(
+        source, name=name, policy=StrategyPolicy(args.policy)
+    )
+    print(optimizer.source)
+    print(f"# {optimizer.describe()}", file=sys.stderr)
+    for warning in optimizer.warnings:
+        print(f"# warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load_program_arg(args.program)
+    names = tuple(name.strip().upper() for name in args.opts.split(","))
+    from repro.opts.catalog import build_optimizer
+
+    optimizers = {
+        name: (
+            standard_optimizers((name,))[name]
+            if name in STANDARD_SPECS
+            else build_optimizer(name)
+        )
+        for name in names
+    }
+    options = DriverOptions(apply_all=not args.once)
+    for name in names:
+        result = run_optimizer(optimizers[name], program, options)
+        print(result)
+    if args.show:
+        print(format_program(program))
+    if args.save:
+        from repro.frontend.unparse import unparse_program
+
+        Path(args.save).write_text(unparse_program(program))
+        print(f"saved optimized source to {args.save}")
+    return 0
+
+
+def _cmd_interact(args: argparse.Namespace) -> int:
+    program = _load_program_arg(args.program)
+    names = tuple(name.strip().upper() for name in args.opts.split(","))
+    session = OptimizerSession(program=program)
+    for optimizer in standard_optimizers(names).values():
+        session.register(optimizer)
+    print("GENesis interactive optimizer. Type 'help' or 'quit'.")
+    while True:
+        try:
+            command = input("genesis> ").strip()
+        except EOFError:
+            break
+        if command in ("quit", "exit", "q"):
+            break
+        if command == "help":
+            print(OptimizerSession.execute_command.__doc__)
+            continue
+        try:
+            output = session.execute_command(command)
+        except SessionError as error:
+            output = f"error: {error}"
+        if output:
+            print(output)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.only is None:
+        report = run_all_experiments()
+        text = report.render()
+        status = "ALL CLAIMS REPRODUCED" if report.all_claims_hold() else (
+            "SOME CLAIMS FAILED"
+        )
+        text += f"\n\n{status}\n"
+    else:
+        chunks = []
+        wanted = {part.strip().upper() for part in args.only.split(",")}
+        if "E1" in wanted:
+            chunks.append(run_quality().table())
+        if "E2" in wanted:
+            chunks.append(run_applicability().table())
+        if "E3" in wanted:
+            chunks.append(run_enabling_matrix().table())
+        if "E4" in wanted:
+            ordering = run_ordering()
+            chunks.append(ordering.table())
+            chunks.append(ordering.claims_table())
+        if "E5" in wanted:
+            chunks.append(run_costbenefit().table())
+        if "E6" in wanted:
+            chunks.append(run_lur_variants().table())
+            chunks.append(run_membership_strategies().table())
+        text = "\n\n".join(chunks) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_construct(args: argparse.Namespace) -> int:
+    from repro.genesis.constructor import construct_package
+
+    names = [name.strip().upper() for name in args.opts.split(",")]
+    package = construct_package(names, args.directory)
+    print(f"constructed optimizer package at {package}")
+    print(f"run it with: python {package} <program.f> --show")
+    return 0
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    for name, source in SOURCES.items():
+        lines = source.strip().count("\n") + 1
+        print(f"{name:<12} {lines:>4} lines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The Section 4 experiment harness (E1–E6)."""
+
+from repro.experiments.ablation import AblationResult, run_recompute_ablation
+from repro.experiments.applicability import ApplicabilityResult, run_applicability
+from repro.experiments.costbenefit import CostBenefitResult, run_costbenefit
+from repro.experiments.enabling import (
+    EnablingMatrix,
+    EnablingResult,
+    run_enabling,
+    run_enabling_matrix,
+)
+from repro.experiments.ordering import OrderingResult, run_ordering
+from repro.experiments.quality import QualityResult, run_quality
+from repro.experiments.report import render_table
+from repro.experiments.runner import (
+    ExperimentReport,
+    collect_claims,
+    run_all_experiments,
+)
+from repro.experiments.strategies import (
+    MembershipResult,
+    VariantComparison,
+    run_lur_variants,
+    run_membership_strategies,
+)
+
+__all__ = [
+    "AblationResult",
+    "ApplicabilityResult",
+    "CostBenefitResult",
+    "EnablingMatrix",
+    "EnablingResult",
+    "ExperimentReport",
+    "MembershipResult",
+    "OrderingResult",
+    "QualityResult",
+    "VariantComparison",
+    "collect_claims",
+    "render_table",
+    "run_all_experiments",
+    "run_applicability",
+    "run_recompute_ablation",
+    "run_costbenefit",
+    "run_enabling",
+    "run_enabling_matrix",
+    "run_lur_variants",
+    "run_membership_strategies",
+    "run_ordering",
+    "run_quality",
+]

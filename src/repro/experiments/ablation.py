@@ -1,0 +1,146 @@
+"""Ablation: recomputing dependences between applications, or not.
+
+"The interface permits the user to decide if the data dependence should
+be re-calculated between execution of each optimization" and warns that
+stale information is the user's responsibility.  This ablation
+quantifies the trade on the workload suite: running a classic
+CTP → CFO → DCE sequence with recomputation on (the safe default)
+versus off (one dependence graph per optimizer invocation, reused
+across its applications).
+
+Measured per workload: applications performed, wall time, and whether
+the transformed program still produces the reference output.  The
+expected shape: stale mode is faster (dependence analysis dominates
+the driver's rescan loop) but can miss enabled applications — a freshly
+created constant assignment's uses are only visible to CTP's Depend
+section after recomputation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.report import render_table
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.ir.interp import run_program
+from repro.opts.catalog import standard_optimizers
+from repro.workloads.suite import Workload, full_suite
+
+DEFAULT_SEQUENCE = ("CTP", "CFO", "DCE")
+
+
+@dataclass
+class AblationRow:
+    """One workload under both recomputation policies."""
+
+    program: str
+    applications_fresh: int = 0
+    applications_stale: int = 0
+    seconds_fresh: float = 0.0
+    seconds_stale: float = 0.0
+    correct_fresh: bool = True
+    correct_stale: bool = True
+
+    @property
+    def speedup(self) -> float:
+        if self.seconds_stale == 0:
+            return 1.0
+        return self.seconds_fresh / self.seconds_stale
+
+    @property
+    def missed_applications(self) -> int:
+        return self.applications_fresh - self.applications_stale
+
+
+@dataclass
+class AblationResult:
+    """The recomputation ablation over the suite."""
+
+    sequence: tuple[str, ...]
+    rows: list[AblationRow] = field(default_factory=list)
+
+    @property
+    def total_fresh(self) -> int:
+        return sum(row.applications_fresh for row in self.rows)
+
+    @property
+    def total_stale(self) -> int:
+        return sum(row.applications_stale for row in self.rows)
+
+    @property
+    def stale_is_faster_overall(self) -> bool:
+        return sum(r.seconds_stale for r in self.rows) <= sum(
+            r.seconds_fresh for r in self.rows
+        )
+
+    @property
+    def all_correct(self) -> bool:
+        return all(row.correct_fresh and row.correct_stale
+                   for row in self.rows)
+
+    def table(self) -> str:
+        headers = [
+            "program", "apps (fresh)", "apps (stale)", "missed",
+            "ms (fresh)", "ms (stale)", "correct (stale)",
+        ]
+        rows = [
+            [
+                row.program,
+                row.applications_fresh,
+                row.applications_stale,
+                row.missed_applications,
+                round(row.seconds_fresh * 1e3, 2),
+                round(row.seconds_stale * 1e3, 2),
+                row.correct_stale,
+            ]
+            for row in self.rows
+        ]
+        title = (
+            "Ablation: dependence recomputation between applications "
+            f"({' -> '.join(self.sequence)}); fresh finds "
+            f"{self.total_fresh}, stale finds {self.total_stale}"
+        )
+        return render_table(headers, rows, title=title)
+
+
+def run_recompute_ablation(
+    workloads: Optional[Sequence[Workload]] = None,
+    sequence: Sequence[str] = DEFAULT_SEQUENCE,
+) -> AblationResult:
+    """Run the sequence under both policies and compare."""
+    workloads = list(workloads) if workloads is not None else full_suite()
+    optimizers = standard_optimizers(tuple(sorted(set(sequence))))
+    result = AblationResult(sequence=tuple(sequence))
+
+    for item in workloads:
+        reference = run_program(item.load(), inputs=item.inputs).observable()
+        row = AblationRow(program=item.name)
+
+        for stale in (False, True):
+            program = item.load()
+            applications = 0
+            start = time.perf_counter()
+            for name in sequence:
+                outcome = run_optimizer(
+                    optimizers[name],
+                    program,
+                    DriverOptions(
+                        apply_all=True,
+                        recompute_dependences=not stale,
+                    ),
+                )
+                applications += outcome.applied
+            elapsed = time.perf_counter() - start
+            output = run_program(program, inputs=item.inputs).observable()
+            if stale:
+                row.applications_stale = applications
+                row.seconds_stale = elapsed
+                row.correct_stale = output == reference
+            else:
+                row.applications_fresh = applications
+                row.seconds_fresh = elapsed
+                row.correct_fresh = output == reference
+        result.rows.append(row)
+    return result

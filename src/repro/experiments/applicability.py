@@ -1,0 +1,91 @@
+"""Experiment E2: where do the optimizations apply?
+
+Paper claims reproduced: "In the test programs, CTP was the most
+frequently applicable optimization ... while no application points for
+ICM were found" (the IR carries no array address calculations);
+"CPP occurred in only two programs"; FUS "was found to apply in only
+one test case".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.report import render_table
+from repro.genesis.driver import find_application_points
+from repro.opts.catalog import standard_optimizers
+from repro.opts.specs import STANDARD_SPECS
+from repro.workloads.suite import Workload, full_suite
+
+
+@dataclass
+class ApplicabilityResult:
+    """Application-point counts per (program, optimization)."""
+
+    counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    opt_names: tuple[str, ...] = ()
+
+    def total(self, opt_name: str) -> int:
+        return sum(row.get(opt_name, 0) for row in self.counts.values())
+
+    def programs_with_points(self, opt_name: str) -> list[str]:
+        return [
+            program
+            for program, row in self.counts.items()
+            if row.get(opt_name, 0) > 0
+        ]
+
+    def most_frequent(self) -> str:
+        return max(self.opt_names, key=self.total)
+
+    def table(self) -> str:
+        headers = ["program", *self.opt_names]
+        rows = [
+            [program, *[row.get(name, 0) for name in self.opt_names]]
+            for program, row in self.counts.items()
+        ]
+        rows.append(
+            ["TOTAL", *[self.total(name) for name in self.opt_names]]
+        )
+        return render_table(
+            headers, rows,
+            title="E2: application points per program and optimization",
+        )
+
+    def paper_claims(self) -> dict[str, bool]:
+        """The Section 4 applicability claims, checked on this run."""
+        return {
+            "CTP is the most frequently applicable": (
+                self.most_frequent() == "CTP"
+            ),
+            "ICM finds no application points": self.total("ICM") == 0,
+            "CPP occurs in exactly two programs": (
+                len(self.programs_with_points("CPP")) == 2
+            ),
+            "FUS applies in exactly one test case": (
+                len(self.programs_with_points("FUS")) == 1
+            ),
+        }
+
+
+def run_applicability(
+    workloads: Optional[Sequence[Workload]] = None,
+    opt_names: Optional[Sequence[str]] = None,
+) -> ApplicabilityResult:
+    """Count application points across the suite."""
+    workloads = list(workloads) if workloads is not None else full_suite()
+    names = tuple(opt_names) if opt_names is not None else tuple(
+        sorted(STANDARD_SPECS)
+    )
+    optimizers = standard_optimizers(names)
+    result = ApplicabilityResult(opt_names=names)
+    for item in workloads:
+        program = item.load()
+        row: dict[str, int] = {}
+        for name in names:
+            row[name] = len(
+                find_application_points(optimizers[name], program.clone())
+            )
+        result.counts[item.name] = row
+    return result

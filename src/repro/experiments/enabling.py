@@ -1,0 +1,145 @@
+"""Experiment E3: optimization enabling interactions.
+
+Paper claims reproduced: "CTP was also found to create opportunities to
+apply a number of other optimizations ... Of the total 97 application
+points for CTP, 13 of these enabled DCE, 5 enabled CFO and 41 enabled
+LUR (assuming that constant bounds are needed to unroll the loop).  CPP
+... did not create opportunities for further optimization."
+
+An application point of X *enables* optimization Y when applying X at
+that point creates at least one Y application point that did not exist
+before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.report import render_table
+from repro.genesis.driver import (
+    apply_at_point,
+    find_application_points,
+)
+from repro.opts.catalog import standard_optimizers
+from repro.workloads.suite import Workload, full_suite
+
+
+def _point_keys(points: list[dict[str, object]]) -> frozenset:
+    return frozenset(
+        tuple(sorted((k, repr(v)) for k, v in point.items()))
+        for point in points
+    )
+
+
+@dataclass
+class EnablingResult:
+    """How many points of the source optimization enabled each target."""
+
+    source: str
+    total_points: int = 0
+    enabled_counts: dict[str, int] = field(default_factory=dict)
+    #: (program, point index) pairs per enabled target, for inspection
+    enabled_sites: dict[str, list[tuple[str, int]]] = field(
+        default_factory=dict
+    )
+
+    def table(self) -> str:
+        headers = [f"{self.source} enables", "points", "share"]
+        rows = []
+        for target, count in sorted(self.enabled_counts.items()):
+            share = (
+                f"{count}/{self.total_points}" if self.total_points else "0/0"
+            )
+            rows.append([target, count, share])
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"E3: of {self.total_points} {self.source} application "
+                f"points, how many enable each optimization"
+            ),
+        )
+
+
+def run_enabling(
+    source: str = "CTP",
+    targets: Sequence[str] = ("DCE", "CFO", "LUR", "INX", "FUS", "BMP"),
+    workloads: Optional[Sequence[Workload]] = None,
+) -> EnablingResult:
+    """Apply ``source`` one point at a time and watch what it unlocks."""
+    workloads = list(workloads) if workloads is not None else full_suite()
+    optimizers = standard_optimizers(tuple(sorted({source, *targets})))
+    source_opt = optimizers[source]
+    result = EnablingResult(source=source)
+    for target in targets:
+        result.enabled_counts[target] = 0
+        result.enabled_sites[target] = []
+
+    for item in workloads:
+        base = item.load()
+        base_points = find_application_points(source_opt, base.clone())
+        result.total_points += len(base_points)
+        base_target_keys = {
+            target: _point_keys(
+                find_application_points(optimizers[target], base.clone())
+            )
+            for target in targets
+        }
+        for index in range(len(base_points)):
+            transformed = base.clone()
+            outcome = apply_at_point(source_opt, transformed, index)
+            if not outcome.applications:
+                continue
+            for target in targets:
+                new_keys = _point_keys(
+                    find_application_points(
+                        optimizers[target], transformed.clone()
+                    )
+                )
+                if new_keys - base_target_keys[target]:
+                    result.enabled_counts[target] += 1
+                    result.enabled_sites[target].append((item.name, index))
+    return result
+
+
+@dataclass
+class EnablingMatrix:
+    """Pairwise enabling counts between several optimizations."""
+
+    results: dict[str, EnablingResult] = field(default_factory=dict)
+
+    def table(self) -> str:
+        sources = sorted(self.results)
+        targets = sorted(
+            {t for r in self.results.values() for t in r.enabled_counts}
+        )
+        headers = ["source \\ enables", "points", *targets]
+        rows = []
+        for source in sources:
+            entry = self.results[source]
+            rows.append(
+                [
+                    source,
+                    entry.total_points,
+                    *[entry.enabled_counts.get(t, 0) for t in targets],
+                ]
+            )
+        return render_table(
+            headers, rows, title="E3: pairwise enabling interactions"
+        )
+
+
+def run_enabling_matrix(
+    sources: Sequence[str] = ("CTP", "CPP"),
+    targets: Sequence[str] = ("DCE", "CFO", "LUR"),
+    workloads: Optional[Sequence[Workload]] = None,
+) -> EnablingMatrix:
+    """The paper's CTP-vs-CPP contrast (CPP enables nothing)."""
+    workloads = list(workloads) if workloads is not None else full_suite()
+    matrix = EnablingMatrix()
+    for source in sources:
+        matrix.results[source] = run_enabling(
+            source=source, targets=targets, workloads=workloads
+        )
+    return matrix

@@ -1,0 +1,51 @@
+"""Plain-text table rendering shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Render a fixed-width table.
+
+    ``align_left`` lists column indices rendered flush left (the rest
+    are right-aligned, as numbers usually are).
+    """
+    cells = [[_text(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(row):
+            if index in align_left:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _text(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return str(int(cell))
+        return f"{cell:.3g}"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    return str(cell)

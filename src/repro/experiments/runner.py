@@ -1,0 +1,139 @@
+"""Running the whole experimental section in one call.
+
+``run_all_experiments()`` reproduces every Section 4 result and returns
+the printable report; this is what ``python -m repro.cli experiments``
+and EXPERIMENTS.md are generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.applicability import ApplicabilityResult, run_applicability
+from repro.experiments.costbenefit import CostBenefitResult, run_costbenefit
+from repro.experiments.enabling import EnablingMatrix, run_enabling_matrix
+from repro.experiments.ordering import OrderingResult, run_ordering
+from repro.experiments.quality import QualityResult, run_quality
+from repro.experiments.report import render_table
+from repro.experiments.strategies import (
+    MembershipResult,
+    VariantComparison,
+    run_lur_variants,
+    run_membership_strategies,
+)
+from repro.workloads.suite import Workload, full_suite
+
+
+@dataclass
+class ExperimentReport:
+    """All experiment results plus rendering."""
+
+    applicability: ApplicabilityResult
+    quality: QualityResult
+    enabling: EnablingMatrix
+    ordering: OrderingResult
+    costbenefit: CostBenefitResult
+    lur_variants: VariantComparison
+    membership: MembershipResult
+    claim_summary: dict[str, bool] = field(default_factory=dict)
+
+    def render(self) -> str:
+        sections = [
+            self.quality.table(),
+            self.applicability.table(),
+            self.enabling.table(),
+            self.ordering.table(),
+            self.ordering.claims_table(),
+            self.costbenefit.table(),
+            self.lur_variants.table(),
+            self.membership.table(),
+            self._claims_table(),
+        ]
+        return "\n\n".join(sections)
+
+    def _claims_table(self) -> str:
+        rows = [[claim, ok] for claim, ok in self.claim_summary.items()]
+        return render_table(
+            ["Section 4 claim", "reproduced"], rows,
+            title="Summary: paper claims vs this run",
+        )
+
+    def all_claims_hold(self) -> bool:
+        return all(self.claim_summary.values())
+
+
+def collect_claims(report: "ExperimentReport") -> dict[str, bool]:
+    """Evaluate every Section 4 claim against the results."""
+    claims: dict[str, bool] = {}
+    claims.update(report.applicability.paper_claims())
+    claims["generated optimizers find the hand-coded points"] = (
+        report.quality.all_points_match
+    )
+    claims["generated optimizers produce correct, comparable code"] = (
+        report.quality.all_correct and report.quality.all_comparable
+    )
+    ctp = report.enabling.results.get("CTP")
+    if ctp is not None:
+        claims["CTP enables DCE, CFO and LUR"] = (
+            ctp.enabled_counts.get("DCE", 0) > 0
+            and ctp.enabled_counts.get("CFO", 0) > 0
+            and ctp.enabled_counts.get("LUR", 0) > 0
+        )
+        claims["LUR is the most frequently enabled (41/97 in the paper)"] = (
+            ctp.enabled_counts.get("LUR", 0)
+            == max(ctp.enabled_counts.values())
+        )
+    cpp = report.enabling.results.get("CPP")
+    if cpp is not None:
+        claims["CPP creates no further opportunities"] = (
+            sum(cpp.enabled_counts.values()) == 0
+        )
+    claims["different orderings produce different programs"] = (
+        report.ordering.distinct_programs > 1
+    )
+    claims.update(report.ordering.claims)
+    claims["estimated cost tracks measured time (r > 0.8)"] = (
+        report.costbenefit.correlation() > 0.8
+    )
+    inx = report.costbenefit.row("INX")
+    fus = report.costbenefit.row("FUS")
+    claims["INX is inexpensive with large parallel benefit"] = (
+        inx.cost_per_application < fus.cost_per_application
+        and inx.benefit.get("multiprocessor", 0.0) > 0
+    )
+    claims["FUS applies rarely and is expensive with little benefit"] = (
+        fus.applications <= 1
+        and fus.cost_per_application > inx.cost_per_application
+        and fus.benefit.get("scalar", 0.0) < inx.benefit.get(
+            "multiprocessor", 0.0
+        )
+    )
+    claims["checking LUR's upper limit first is cheaper"] = (
+        report.lur_variants.upper_first_cheaper
+    )
+    claims["neither membership method always wins"] = (
+        report.membership.winners_differ
+    )
+    claims["the strategy heuristic picks the winner case by case"] = (
+        report.membership.heuristic_always_optimal
+    )
+    return claims
+
+
+def run_all_experiments(
+    workloads: Optional[Sequence[Workload]] = None,
+) -> ExperimentReport:
+    """Run E1–E6 over the suite and check every paper claim."""
+    workloads = list(workloads) if workloads is not None else full_suite()
+    report = ExperimentReport(
+        applicability=run_applicability(workloads),
+        quality=run_quality(workloads),
+        enabling=run_enabling_matrix(workloads=workloads),
+        ordering=run_ordering(),
+        costbenefit=run_costbenefit(workloads),
+        lur_variants=run_lur_variants(workloads),
+        membership=run_membership_strategies(workloads),
+    )
+    report.claim_summary = collect_claims(report)
+    return report

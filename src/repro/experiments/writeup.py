@@ -1,0 +1,273 @@
+"""Generating EXPERIMENTS.md from a live run of the harness.
+
+``python -m repro.experiments.writeup`` reruns E1–E6 and rewrites the
+paper-vs-measured record, so the document always reflects the code.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.ablation import run_recompute_ablation
+from repro.experiments.runner import ExperimentReport, run_all_experiments
+
+_HEADER = """\
+# EXPERIMENTS — paper vs. this reproduction
+
+Whitfield & Soffa's Section 4 reports its results in prose (the
+numbered figures are code listings), so this record is organized by the
+experiment ids E1–E6 defined in DESIGN.md §3.  Absolute counts differ
+from the paper's because the HOMPACK/numerical-analysis programs were
+replaced by the ten same-idiom workloads of `repro.workloads`
+(DESIGN.md §4); every *relational* claim — who wins, what enables what,
+which shape holds — is checked mechanically below.
+
+Regenerate this file with:
+
+    python -m repro.experiments.writeup
+
+Machine-independent counts (application points, precondition checks,
+enabling counts) are deterministic; wall-clock milliseconds and the
+cost/time correlation vary slightly per machine but stay far above the
+claim thresholds.
+"""
+
+_E1 = """\
+## E1 — generated vs. hand-coded optimizer quality
+
+**Paper:** "Our optimizers found the same application points and the
+resulting code was comparable to that produced by the hand-crafted
+optimizers.  There were no extraneous statements, and the optimizations
+were correctly performed."
+
+**Here:** every (program, optimization) pair is checked three ways —
+identical application-point sets, identical post-optimization program
+sizes, and identical `write` traces when executing both transformed
+programs on the workload inputs.  The hand-coded side is an independent
+classical implementation per optimization (`repro.opts.handcoded`).
+"""
+
+_E2 = """\
+## E2 — where the optimizations apply
+
+**Paper:** "CTP was the most frequently applicable optimization (often
+enabled) while no application points for ICM were found.  It should be
+noted that the intermediate code did not include address calculations
+for array accesses ...  CPP occurred in only two programs ...  FUS was
+found to apply in only one test case."  The paper counts 97 CTP
+application points over its ten programs.
+
+**Here:** same shape on the substitute suite (our IR likewise carries
+no address arithmetic, so ICM's zero is structural, not accidental).
+"""
+
+_E3 = """\
+## E3 — enabling interactions
+
+**Paper:** "Of the total 97 application points for CTP, 13 of these
+enabled DCE, 5 enabled CFO and 41 enabled LUR (assuming that constant
+bounds are needed to unroll the loop).  CPP ... did not create
+opportunities for further optimization."
+
+**Here:** an application point of X *enables* Y when applying X at that
+point creates a Y point that did not exist before.  The ordering
+LUR > DCE > CFO and CPP-enables-nothing both reproduce; the ratios are
+close to the paper's 41/13/5 out of 97.
+"""
+
+_E4 = """\
+## E4 — application order matters
+
+**Paper:** "In one program, FUS, INX, and LUR were all applicable and
+heavily interacted ... applying FUS disabled INX and applying LUR
+disabled FUS.  Different orderings produced different optimized
+programs ... when LUR was applied before FUS and INX, INX was not
+disabled ...  In one segment of the program INX disabled FUS, while in
+another segment INX enabled FUS.  Thus, there is not a right order of
+application.  The context of the application point is needed."
+
+**Here:** the ORDERING workload carries both segments; each of the six
+orders applies each optimization once at its first point (the paper's
+user-directed style), after constant propagation (whose enabling of LUR
+is itself part of the E3 story).
+"""
+
+_E5 = """\
+## E5 — cost and benefit
+
+**Paper:** "The cost of applying an optimization was estimated using
+the number of checks to determine preconditions and the number of
+operations to apply the code transformation ...  These cost values were
+validated by running the optimizers and timing their execution.  We
+found that the estimated times very closely reflect the actual times.
+... INX was found to be a relatively inexpensive operation with large
+benefits.  CTP is inexpensive to apply, and it also enables many
+parallelizing optimizations.  FUS was found to apply in only one test
+case and is a fairly expensive optimization to apply with little
+expected benefit unless various types of memory hierarchies are part of
+the parallel system."
+
+**Here:** costs are the instrumented counter totals (candidate scans +
+pattern/dependence/membership checks + action operations), amortizing
+each optimization's whole-suite scan over its applications — which is
+exactly what makes rarely-applicable FUS expensive per application.
+Wall time is measured on the same runs with the dependence graph
+precomputed.  Benefits are estimated cycles saved: executed-instruction
+deltas for the scalar optimizations, static machine-model estimates for
+the loop restructurers, with PAR applied after INX/CRC/FUS/BMP and
+DOALLs restricted to the level each target exploits (outermost for the
+multiprocessor, innermost for the vector unit).  PAR's *negative*
+multiprocessor total is the granularity effect the models are built to
+expose: forking an 8-trip loop costs more than it saves — and it is why
+INX (which moves parallelism outward) has the large benefit the paper
+describes.
+"""
+
+_E6 = """\
+## E6 — implementation strategies
+
+**Paper (specification order):** "if the specification of LUR requires
+that both the upper and lower limits are constant, LUR is less costly
+to apply if the upper limit is checked before the lower bound.  Our
+experimentation showed that it is more likely for the upper limit to be
+variable than the lower limit, thus discarding a non-application point
+earlier."
+
+**Paper (membership checking):** "Two straightforward ways of
+implementing the checking are (1) to determine statements that are
+members and then check for the desired dependence, and (2) to consider
+the dependences of one statement and check the corresponding dependent
+statements for membership.  We found that the cost of implementing the
+optimizations using these approaches varies tremendously and is not
+consistently better for one method over the other.  Using heuristics,
+GENesis was changed to select the least expensive method on a case by
+case basis.  In the tests performed, we found that the heuristic
+correctly selected the best implementation."
+
+**Here:** both reproduce.  In the suite's loops the lower bound is
+almost always the literal `1` while the upper bound is a symbolic `n`,
+so the upper-first variant discards candidates after one check (the
+counts below).  For the membership methods, ICM (whose dependence
+conditions have a bound endpoint, hence short adjacency lists) favours
+method 2 while PAR/INX/CRC (both endpoints free) favour method 1 —
+and the generation-time heuristic (`repro.genesis.strategy`) picks the
+winner in every case.
+"""
+
+
+_ABLATION = """\
+## Extra — ablation: skipping dependence recomputation
+
+**Paper:** "The interface permits the user to decide if the data
+dependence should be re-calculated between execution of each
+optimization" (with staleness the user's responsibility).
+
+**Here:** the classic CTP -> CFO -> DCE sequence runs under both
+policies.  Two implementation details make the stale mode safe for
+this self-disabling scalar sequence: dependence edges name statements
+by stable identity (deleted statements' edges are filtered out), and
+application points deduplicate by binding signature.  The result is a
+multi-x speedup at zero missed applications and unchanged outputs on
+the whole suite — the loop restructurers, whose preconditions consume
+direction vectors that transformation invalidates, still default to
+recomputation.
+"""
+
+
+def build_document(report: ExperimentReport) -> str:
+    ablation = run_recompute_ablation()
+    sections = [
+        _HEADER,
+        _E1,
+        _code(report.quality.table()),
+        _E2,
+        _code(report.applicability.table()),
+        _paper_vs_measured_e2(report),
+        _E3,
+        _code(report.enabling.table()),
+        _paper_vs_measured_e3(report),
+        _E4,
+        _code(report.ordering.table()),
+        _code(report.ordering.claims_table()),
+        _E5,
+        _code(report.costbenefit.table()),
+        _E6,
+        _code(report.lur_variants.table()),
+        _code(report.membership.table()),
+        _ABLATION,
+        _code(ablation.table()),
+        _summary(report),
+    ]
+    return "\n".join(sections)
+
+
+def _code(text: str) -> str:
+    return "```\n" + text + "\n```\n"
+
+
+def _paper_vs_measured_e2(report: ExperimentReport) -> str:
+    total_ctp = report.applicability.total("CTP")
+    return (
+        "| quantity | paper | here |\n"
+        "|---|---|---|\n"
+        f"| CTP application points (10 programs) | 97 | {total_ctp} |\n"
+        f"| ICM application points | 0 | "
+        f"{report.applicability.total('ICM')} |\n"
+        f"| programs where CPP applies | 2 | "
+        f"{len(report.applicability.programs_with_points('CPP'))} |\n"
+        f"| programs where FUS applies | 1 | "
+        f"{len(report.applicability.programs_with_points('FUS'))} |\n"
+    )
+
+
+def _paper_vs_measured_e3(report: ExperimentReport) -> str:
+    ctp = report.enabling.results["CTP"]
+    cpp = report.enabling.results["CPP"]
+    return (
+        "| quantity | paper | here |\n"
+        "|---|---|---|\n"
+        f"| CTP points enabling LUR | 41/97 | "
+        f"{ctp.enabled_counts.get('LUR', 0)}/{ctp.total_points} |\n"
+        f"| CTP points enabling DCE | 13/97 | "
+        f"{ctp.enabled_counts.get('DCE', 0)}/{ctp.total_points} |\n"
+        f"| CTP points enabling CFO | 5/97 | "
+        f"{ctp.enabled_counts.get('CFO', 0)}/{ctp.total_points} |\n"
+        f"| CPP points enabling anything | 0 | "
+        f"{sum(cpp.enabled_counts.values())} |\n"
+    )
+
+
+def _summary(report: ExperimentReport) -> str:
+    lines = [
+        "## Summary — every Section 4 claim\n",
+        "| claim | reproduced |",
+        "|---|---|",
+    ]
+    for claim, ok in report.claim_summary.items():
+        lines.append(f"| {claim} | {'yes' if ok else '**NO**'} |")
+    lines.append("")
+    verdict = (
+        "All claims reproduce."
+        if report.all_claims_hold()
+        else "SOME CLAIMS FAILED — see above."
+    )
+    lines.append(verdict)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_experiments_md(path: str = "EXPERIMENTS.md") -> ExperimentReport:
+    """Run everything and (re)write the record."""
+    report = run_all_experiments()
+    Path(path).write_text(build_document(report))
+    return report
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    outcome = write_experiments_md(target)
+    status = "all claims hold" if outcome.all_claims_hold() else (
+        "CLAIMS FAILED"
+    )
+    print(f"wrote {target}: {status}")

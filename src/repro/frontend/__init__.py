@@ -1,0 +1,20 @@
+"""Mini-Fortran frontend: lexer, parser and lowering to the quad IR."""
+
+from repro.frontend.ast import SourceProgram
+from repro.frontend.errors import FrontendError
+from repro.frontend.lexer import TokKind, Token, tokenize
+from repro.frontend.lower import lower_source, parse_program
+from repro.frontend.parser import parse_source
+from repro.frontend.unparse import UnparseError, unparse_program
+
+__all__ = [
+    "FrontendError",
+    "SourceProgram",
+    "TokKind",
+    "Token",
+    "lower_source",
+    "parse_program",
+    "parse_source",
+    "tokenize",
+    "unparse_program",
+]

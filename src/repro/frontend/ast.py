@@ -1,0 +1,157 @@
+"""Abstract syntax tree for the mini-Fortran source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expressions (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """A numeric literal."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A scalar variable reference."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """An array element reference ``ident(args...)``."""
+
+    ident: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """A binary operation; ``op`` is one of ``+ - * / **``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    """Unary minus or plus."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An intrinsic function call (sqrt, sin, cos, abs, exp, log, mod)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class Stmt:
+    """Base class for statements (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a Name or Index."""
+
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class Do(Stmt):
+    """``do var = start, stop [, step]`` ... ``end do``."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Optional[Expr]
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    """``if (left relop right) then`` ... [``else`` ...] ``end if``."""
+
+    left: Expr
+    relop: str
+    right: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Read(Stmt):
+    """``read target`` for a scalar or array element."""
+
+    target: Expr
+    line: int = 0
+
+
+@dataclass
+class Write(Stmt):
+    """``write expr``."""
+
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class Decl(Stmt):
+    """A type declaration: ``integer i, n`` / ``real a(100), x``."""
+
+    type_name: str  # "integer" | "real"
+    names: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class SourceProgram:
+    """A parsed program: its name, declarations, and statement body."""
+
+    name: str
+    decls: list[Decl] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+    def array_names(self) -> frozenset[str]:
+        """Names declared with dimensions."""
+        names = set()
+        for decl in self.decls:
+            for ident, dims in decl.names:
+                if dims:
+                    names.add(ident)
+        return frozenset(names)
+
+    def integer_names(self) -> frozenset[str]:
+        """Scalar names declared integer (used for affine subscripts)."""
+        names = set()
+        for decl in self.decls:
+            if decl.type_name == "integer":
+                for ident, dims in decl.names:
+                    if not dims:
+                        names.add(ident)
+        return frozenset(names)

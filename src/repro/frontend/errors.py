@@ -1,0 +1,22 @@
+"""Diagnostics for the mini-Fortran frontend."""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """A lexical, syntactic or semantic error in a source program.
+
+    Carries the 1-based source line and column so workload authors can
+    locate mistakes; ``str()`` renders ``line:col: message``.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.line:
+            return f"{self.line}:{self.column}: {self.message}"
+        return self.message

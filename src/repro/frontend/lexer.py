@@ -1,0 +1,196 @@
+"""Tokenizer for the mini-Fortran source language.
+
+The workload programs are written in a FORTRAN-77-flavoured subset:
+free-form, newline-terminated statements, ``!`` comments, C-style
+relational operators plus FORTRAN's ``/=``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.frontend.errors import FrontendError
+
+
+class TokKind(enum.Enum):
+    """Lexical token classes."""
+
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    KEYWORD = "keyword"
+    OP = "op"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "program",
+        "integer",
+        "real",
+        "do",
+        "enddo",
+        "if",
+        "then",
+        "else",
+        "endif",
+        "end",
+        "read",
+        "write",
+        "call",
+        "parameter",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_OPS = ("**", "<=", ">=", "==", "!=", "/=")
+SINGLE_OPS = "+-*/(),=<>"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokKind
+    text: str
+    line: int
+    column: int
+    value: Union[int, float, None] = None
+
+    def is_op(self, text: str) -> bool:
+        return self.kind is TokKind.OP and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a whole source program.
+
+    Consecutive newlines collapse into one ``NEWLINE`` token; the
+    stream always ends ``NEWLINE EOF`` so the parser can treat line
+    ends uniformly.
+
+    >>> [t.text for t in tokenize("x = 1")[:3]]
+    ['x', '=', '1']
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    position = 0
+    length = len(source)
+    pending_newline = False
+    emitted_any = False
+
+    def token(kind: TokKind, text: str, value=None) -> Token:
+        return Token(kind, text, line, column, value)
+
+    while position < length:
+        char = source[position]
+        if char == "!":
+            while position < length and source[position] != "\n":
+                position += 1
+            continue
+        if char == "\n":
+            if emitted_any and not pending_newline:
+                yield token(TokKind.NEWLINE, "\n")
+                pending_newline = True
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+
+        pending_newline = False
+        emitted_any = True
+
+        if char.isdigit() or (
+            char == "."
+            and position + 1 < length
+            and source[position + 1].isdigit()
+        ):
+            start = position
+            start_column = column
+            seen_dot = False
+            seen_exp = False
+            while position < length:
+                current = source[position]
+                if current.isdigit():
+                    position += 1
+                elif current == "." and not seen_dot and not seen_exp:
+                    # do not swallow e.g. `1..` or `1.eq.`
+                    seen_dot = True
+                    position += 1
+                elif current in "eEdD" and not seen_exp and position > start:
+                    follower = source[position + 1 : position + 2]
+                    if follower.isdigit() or follower in "+-":
+                        seen_exp = True
+                        position += 1
+                        if source[position : position + 1] in "+-":
+                            position += 1
+                    else:
+                        break
+                else:
+                    break
+            text = source[start:position]
+            column = start_column + len(text)
+            normalized = text.lower().replace("d", "e")
+            if seen_dot or seen_exp:
+                yield Token(
+                    TokKind.FLOAT, text, line, start_column, float(normalized)
+                )
+            else:
+                yield Token(TokKind.INT, text, line, start_column, int(text))
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            start_column = column
+            while position < length and (
+                source[position].isalnum() or source[position] in "_$"
+            ):
+                position += 1
+            text = source[start:position]
+            column = start_column + len(text)
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                yield Token(TokKind.KEYWORD, lowered, line, start_column)
+            else:
+                yield Token(TokKind.IDENT, lowered, line, start_column)
+            continue
+
+        matched = None
+        for op in MULTI_OPS:
+            if source.startswith(op, position):
+                matched = op
+                break
+        if matched is not None:
+            yield Token(TokKind.OP, "!=" if matched == "/=" else matched,
+                        line, column)
+            position += len(matched)
+            column += len(matched)
+            continue
+
+        if char in SINGLE_OPS:
+            yield Token(TokKind.OP, char, line, column)
+            position += 1
+            column += 1
+            continue
+
+        raise FrontendError(f"unexpected character {char!r}", line, column)
+
+    if emitted_any and not pending_newline:
+        yield Token(TokKind.NEWLINE, "\n", line, column)
+    yield Token(TokKind.EOF, "", line, column)

@@ -1,0 +1,320 @@
+"""Lowering from the mini-Fortran AST to the quad IR.
+
+The lowering is deliberately *naive*: no constant folding, no common
+subexpression elimination, no strength reduction.  Whatever redundancy
+the source contains survives into the IR — that is what gives the
+optimizers their application points, exactly as a simple 1991 front end
+would.
+
+Array subscripts are kept in affine form (:class:`repro.ir.types.Affine`)
+whenever the subscript expression is a linear combination of integer
+scalars with literal integer coefficients; otherwise the subscript is
+computed into a temporary and treated opaquely by dependence analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.frontend.ast import (
+    Assign,
+    Bin,
+    Call,
+    Do,
+    Expr,
+    If,
+    Index,
+    Name,
+    Num,
+    Read,
+    SourceProgram,
+    Stmt,
+    Un,
+    Write,
+)
+from repro.frontend.errors import FrontendError
+from repro.frontend.parser import parse_source
+from repro.ir.program import Program
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Affine, ArrayRef, Const, Operand, Var
+
+_BINOPS = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL,
+           "/": Opcode.DIV, "**": Opcode.POW}
+_UNARY_CALLS = {"sqrt": Opcode.SQRT, "sin": Opcode.SIN, "cos": Opcode.COS,
+                "abs": Opcode.ABS, "exp": Opcode.EXP, "log": Opcode.LOG,
+                "neg": Opcode.NEG}
+
+
+class Lowerer:
+    """Lowers one source program to a :class:`Program` of quads."""
+
+    def __init__(self, source_program: SourceProgram):
+        self.source = source_program
+        self.program = Program(name=source_program.name)
+        self.arrays = source_program.array_names()
+        self.int_vars = set(source_program.integer_names())
+        self._temp_counter = 0
+        self._active_lcvs: list[str] = []
+
+    # ------------------------------------------------------------------
+    def lower(self) -> Program:
+        self._collect_loop_vars(self.source.body)
+        for stmt in self.source.body:
+            self.lower_stmt(stmt)
+        self.program.check_structure()
+        return self.program
+
+    def _collect_loop_vars(self, body: list[Stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Do):
+                self.int_vars.add(stmt.var)
+                self._collect_loop_vars(stmt.body)
+            elif isinstance(stmt, If):
+                self._collect_loop_vars(stmt.then_body)
+                self._collect_loop_vars(stmt.else_body)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, Do):
+            self.lower_do(stmt)
+        elif isinstance(stmt, If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, Read):
+            target = self.lower_target(stmt.target)
+            self.emit(Quad(Opcode.READ, a=target, source_line=stmt.line))
+        elif isinstance(stmt, Write):
+            value = self.lower_expr(stmt.value)
+            self.emit(Quad(Opcode.WRITE, a=value, source_line=stmt.line))
+        else:
+            raise FrontendError(f"cannot lower {type(stmt).__name__}")
+
+    def lower_assign(self, stmt: Assign) -> None:
+        if (
+            isinstance(stmt.target, Name)
+            and stmt.target.ident in self._active_lcvs
+        ):
+            raise FrontendError(
+                f"FORTRAN DO semantics: the control variable "
+                f"{stmt.target.ident!r} may not be assigned in its loop "
+                "body",
+                stmt.line,
+            )
+        target = self.lower_target(stmt.target)
+        value = stmt.value
+        # Fold the outermost operation directly into the target when the
+        # expression shape allows it; inner subexpressions get temps.
+        if isinstance(value, Bin) and value.op in _BINOPS:
+            left = self.lower_expr(value.left)
+            right = self.lower_expr(value.right)
+            self.emit(
+                Quad(_BINOPS[value.op], result=target, a=left, b=right,
+                     source_line=stmt.line)
+            )
+            return
+        if isinstance(value, Call):
+            self.lower_call_into(target, value, stmt.line)
+            return
+        if isinstance(value, Un) and value.op == "-":
+            operand = self.lower_expr(value.operand)
+            if isinstance(operand, Const):
+                self.emit(
+                    Quad(Opcode.ASSIGN, result=target,
+                         a=Const(-operand.value), source_line=stmt.line)
+                )
+                return
+            self.emit(
+                Quad(Opcode.NEG, result=target, a=operand,
+                     source_line=stmt.line)
+            )
+            return
+        operand = self.lower_expr(value)
+        self.emit(
+            Quad(Opcode.ASSIGN, result=target, a=operand,
+                 source_line=stmt.line)
+        )
+
+    def lower_do(self, stmt: Do) -> None:
+        if stmt.var in self._active_lcvs:
+            raise FrontendError(
+                f"loop variable {stmt.var!r} is already controlling an "
+                "enclosing loop",
+                stmt.line,
+            )
+        init = self.lower_expr(stmt.start)
+        final = self.lower_expr(stmt.stop)
+        step = self.lower_expr(stmt.step) if stmt.step is not None else Const(1)
+        self.emit(
+            Quad(Opcode.DO, result=Var(stmt.var), a=init, b=final, step=step,
+                 source_line=stmt.line)
+        )
+        self._active_lcvs.append(stmt.var)
+        for inner in stmt.body:
+            self.lower_stmt(inner)
+        self._active_lcvs.pop()
+        self.emit(Quad(Opcode.ENDDO, source_line=stmt.line))
+
+    def lower_if(self, stmt: If) -> None:
+        left = self.lower_expr(stmt.left)
+        right = self.lower_expr(stmt.right)
+        self.emit(
+            Quad(Opcode.IF, a=left, b=right, relop=stmt.relop,
+                 source_line=stmt.line)
+        )
+        for inner in stmt.then_body:
+            self.lower_stmt(inner)
+        if stmt.else_body:
+            self.emit(Quad(Opcode.ELSE, source_line=stmt.line))
+            for inner in stmt.else_body:
+                self.lower_stmt(inner)
+        self.emit(Quad(Opcode.ENDIF, source_line=stmt.line))
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def lower_expr(self, expr: Expr) -> Operand:
+        """Lower an expression, emitting temps for interior nodes."""
+        if isinstance(expr, Num):
+            return Const(expr.value)
+        if isinstance(expr, Name):
+            return Var(expr.ident)
+        if isinstance(expr, Index):
+            return self.lower_index(expr)
+        if isinstance(expr, Un):
+            if expr.op == "+":
+                return self.lower_expr(expr.operand)
+            operand = self.lower_expr(expr.operand)
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            temp = self.fresh_temp()
+            self.emit(Quad(Opcode.NEG, result=temp, a=operand))
+            return temp
+        if isinstance(expr, Bin):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            temp = self.fresh_temp()
+            self.emit(Quad(_BINOPS[expr.op], result=temp, a=left, b=right))
+            return temp
+        if isinstance(expr, Call):
+            temp = self.fresh_temp()
+            self.lower_call_into(temp, expr, line=None)
+            return temp
+        raise FrontendError(f"cannot lower expression {type(expr).__name__}")
+
+    def lower_call_into(
+        self, target: Operand, call: Call, line: Optional[int]
+    ) -> None:
+        if call.func == "mod":
+            if len(call.args) != 2:
+                raise FrontendError("mod() takes two arguments")
+            left = self.lower_expr(call.args[0])
+            right = self.lower_expr(call.args[1])
+            self.emit(
+                Quad(Opcode.MOD, result=target, a=left, b=right,
+                     source_line=line)
+            )
+            return
+        opcode = _UNARY_CALLS.get(call.func)
+        if opcode is None:
+            raise FrontendError(f"unknown intrinsic {call.func!r}")
+        if len(call.args) != 1:
+            raise FrontendError(f"{call.func}() takes one argument")
+        operand = self.lower_expr(call.args[0])
+        self.emit(Quad(opcode, result=target, a=operand, source_line=line))
+
+    def lower_target(self, expr: Expr) -> Operand:
+        if isinstance(expr, Name):
+            return Var(expr.ident)
+        if isinstance(expr, Index):
+            return self.lower_index(expr)
+        raise FrontendError("assignment target must be a variable or element")
+
+    def lower_index(self, expr: Index) -> ArrayRef:
+        if expr.ident not in self.arrays:
+            raise FrontendError(
+                f"{expr.ident!r} used with subscripts but not declared as "
+                "an array"
+            )
+        subscripts: list[Union[Affine, Var]] = []
+        for arg in expr.args:
+            affine = self.try_affine(arg)
+            if affine is not None:
+                subscripts.append(affine)
+            else:
+                operand = self.lower_expr(arg)
+                if isinstance(operand, Var):
+                    subscripts.append(operand)
+                elif isinstance(operand, Const):
+                    subscripts.append(Affine.constant(int(operand.value)))
+                else:
+                    temp = self.fresh_temp()
+                    self.emit(Quad(Opcode.ASSIGN, result=temp, a=operand))
+                    subscripts.append(temp)
+        return ArrayRef(expr.ident, tuple(subscripts))
+
+    def try_affine(self, expr: Expr) -> Optional[Affine]:
+        """Extract an affine form, or None when the expression is not
+        a literal-coefficient linear combination of integer scalars."""
+        if isinstance(expr, Num):
+            if isinstance(expr.value, int):
+                return Affine.constant(expr.value)
+            return None
+        if isinstance(expr, Name):
+            if expr.ident in self.int_vars:
+                return Affine.var(expr.ident)
+            return None
+        if isinstance(expr, Un):
+            inner = self.try_affine(expr.operand)
+            if inner is None:
+                return None
+            return inner if expr.op == "+" else -inner
+        if isinstance(expr, Bin):
+            left = self.try_affine(expr.left)
+            right = self.try_affine(expr.right)
+            if expr.op == "+" and left is not None and right is not None:
+                return left + right
+            if expr.op == "-" and left is not None and right is not None:
+                return left - right
+            if expr.op == "*":
+                if left is not None and left.is_constant() and right is not None:
+                    return right.scale(left.const)
+                if right is not None and right.is_constant() and left is not None:
+                    return left.scale(right.const)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    def emit(self, quad: Quad) -> Quad:
+        return self.program.append(quad)
+
+    def fresh_temp(self) -> Var:
+        temp = Var(f"t${self._temp_counter}")
+        self._temp_counter += 1
+        return temp
+
+
+def lower_source(source_program: SourceProgram) -> Program:
+    """Lower a parsed program to quads."""
+    return Lowerer(source_program).lower()
+
+
+def parse_program(source: str) -> Program:
+    """Parse and lower mini-Fortran source text to the quad IR.
+
+    This is the main public entry point of the frontend::
+
+        program = parse_program('''
+            program demo
+              integer i, n
+              real a(100)
+              n = 10
+              do i = 1, n
+                a(i) = a(i) + 1.0
+              end do
+            end
+        ''')
+    """
+    return lower_source(parse_source(source))

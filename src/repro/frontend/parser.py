@@ -1,0 +1,346 @@
+"""Recursive-descent parser for the mini-Fortran source language.
+
+Grammar (statements are newline-terminated)::
+
+    program   := "program" IDENT NL decl* stmt* "end" NL?
+    decl      := ("integer" | "real") declitem ("," declitem)* NL
+    declitem  := IDENT [ "(" INT ("," INT)* ")" ]
+    stmt      := assign | do | if | read | write
+    assign    := target "=" expr NL
+    do        := "do" IDENT "=" expr "," expr ["," expr] NL stmt*
+                 ("end" "do" | "enddo") NL
+    if        := "if" "(" expr relop expr ")" "then" NL stmt*
+                 ["else" NL stmt*] ("end" "if" | "endif") NL
+    read      := "read" target NL
+    write     := "write" expr NL
+    target    := IDENT [ "(" expr ("," expr)* ")" ]
+    expr      := term (("+"|"-") term)*
+    term      := factor (("*"|"/") factor)*
+    factor    := primary ["**" factor]          (right associative)
+    primary   := NUM | ("-"|"+") primary | "(" expr ")"
+               | IDENT [ "(" expr ("," expr)* ")" ]   (array ref or call)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.ast import (
+    Assign,
+    Bin,
+    Call,
+    Decl,
+    Do,
+    Expr,
+    If,
+    Index,
+    Name,
+    Num,
+    Read,
+    SourceProgram,
+    Stmt,
+    Un,
+    Write,
+)
+from repro.frontend.errors import FrontendError
+from repro.frontend.lexer import TokKind, Token, tokenize
+
+#: Intrinsic function names recognized as calls rather than array refs.
+INTRINSICS = frozenset({"sqrt", "sin", "cos", "abs", "exp", "log", "mod",
+                        "neg"})
+
+RELOPS = ("<=", ">=", "==", "!=", "<", ">")
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokKind.EOF:
+            self.position += 1
+        return token
+
+    def expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            self._fail(f"expected {text!r}, found {self.current}")
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        if not self.current.is_keyword(text):
+            self._fail(f"expected {text!r}, found {self.current}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokKind.IDENT:
+            self._fail(f"expected identifier, found {self.current}")
+        return self.advance()
+
+    def expect_newline(self) -> None:
+        if self.current.kind is TokKind.EOF:
+            return
+        if self.current.kind is not TokKind.NEWLINE:
+            self._fail(f"expected end of statement, found {self.current}")
+        self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.current.kind is TokKind.NEWLINE:
+            self.advance()
+
+    def _fail(self, message: str) -> None:
+        raise FrontendError(message, self.current.line, self.current.column)
+
+    # ------------------------------------------------------------------
+    # program structure
+    # ------------------------------------------------------------------
+    def parse_program(self) -> SourceProgram:
+        self.skip_newlines()
+        self.expect_keyword("program")
+        name = self.expect_ident().text
+        self.expect_newline()
+        self.skip_newlines()
+
+        decls: list[Decl] = []
+        while self.current.kind is TokKind.KEYWORD and self.current.text in (
+            "integer",
+            "real",
+        ):
+            decls.append(self.parse_decl())
+            self.skip_newlines()
+
+        body = self.parse_statements(terminators=("end",))
+        self.expect_keyword("end")
+        self.skip_newlines()
+        if self.current.kind is not TokKind.EOF:
+            self._fail(f"text after 'end': {self.current}")
+        return SourceProgram(name=name, decls=decls, body=body)
+
+    def parse_decl(self) -> Decl:
+        line = self.current.line
+        type_name = self.advance().text
+        names: list[tuple[str, tuple[int, ...]]] = []
+        while True:
+            ident = self.expect_ident().text
+            dims: tuple[int, ...] = ()
+            if self.current.is_op("("):
+                self.advance()
+                sizes = []
+                while True:
+                    if self.current.kind is not TokKind.INT:
+                        self._fail("array dimensions must be integer literals")
+                    sizes.append(int(self.advance().value))
+                    if self.current.is_op(","):
+                        self.advance()
+                        continue
+                    break
+                self.expect_op(")")
+                dims = tuple(sizes)
+            names.append((ident, dims))
+            if self.current.is_op(","):
+                self.advance()
+                continue
+            break
+        self.expect_newline()
+        return Decl(type_name=type_name, names=names, line=line)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_statements(self, terminators: tuple[str, ...]) -> list[Stmt]:
+        body: list[Stmt] = []
+        while True:
+            self.skip_newlines()
+            token = self.current
+            if token.kind is TokKind.EOF:
+                self._fail("unexpected end of file")
+            if token.kind is TokKind.KEYWORD and token.text in terminators:
+                return body
+            if token.kind is TokKind.KEYWORD and token.text in (
+                "enddo",
+                "endif",
+                "else",
+            ):
+                if token.text in terminators:
+                    return body
+                self._fail(f"unexpected {token.text!r}")
+            body.append(self.parse_statement())
+
+    def parse_statement(self) -> Stmt:
+        token = self.current
+        if token.kind is TokKind.KEYWORD:
+            if token.text == "do":
+                return self.parse_do()
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "read":
+                return self.parse_read()
+            if token.text == "write":
+                return self.parse_write()
+            self._fail(f"unexpected keyword {token.text!r}")
+        if token.kind is TokKind.IDENT:
+            return self.parse_assign()
+        self._fail(f"unexpected token {token}")
+        raise AssertionError("unreachable")
+
+    def parse_assign(self) -> Assign:
+        line = self.current.line
+        target = self.parse_target()
+        self.expect_op("=")
+        value = self.parse_expr()
+        self.expect_newline()
+        return Assign(target=target, value=value, line=line)
+
+    def parse_target(self) -> Expr:
+        ident = self.expect_ident().text
+        if self.current.is_op("("):
+            self.advance()
+            args = [self.parse_expr()]
+            while self.current.is_op(","):
+                self.advance()
+                args.append(self.parse_expr())
+            self.expect_op(")")
+            return Index(ident=ident, args=tuple(args))
+        return Name(ident=ident)
+
+    def parse_do(self) -> Do:
+        line = self.current.line
+        self.expect_keyword("do")
+        var = self.expect_ident().text
+        self.expect_op("=")
+        start = self.parse_expr()
+        self.expect_op(",")
+        stop = self.parse_expr()
+        step: Optional[Expr] = None
+        if self.current.is_op(","):
+            self.advance()
+            step = self.parse_expr()
+        self.expect_newline()
+        body = self.parse_statements(terminators=("end", "enddo"))
+        if self.current.is_keyword("enddo"):
+            self.advance()
+        else:
+            self.expect_keyword("end")
+            self.expect_keyword("do")
+        self.expect_newline()
+        return Do(var=var, start=start, stop=stop, step=step, body=body,
+                  line=line)
+
+    def parse_if(self) -> If:
+        line = self.current.line
+        self.expect_keyword("if")
+        self.expect_op("(")
+        left = self.parse_expr()
+        relop = None
+        for candidate in RELOPS:
+            if self.current.is_op(candidate):
+                relop = candidate
+                self.advance()
+                break
+        if relop is None:
+            self._fail(f"expected relational operator, found {self.current}")
+        right = self.parse_expr()
+        self.expect_op(")")
+        self.expect_keyword("then")
+        self.expect_newline()
+        then_body = self.parse_statements(
+            terminators=("end", "endif", "else")
+        )
+        else_body: list[Stmt] = []
+        if self.current.is_keyword("else"):
+            self.advance()
+            self.expect_newline()
+            else_body = self.parse_statements(terminators=("end", "endif"))
+        if self.current.is_keyword("endif"):
+            self.advance()
+        else:
+            self.expect_keyword("end")
+            self.expect_keyword("if")
+        self.expect_newline()
+        return If(left=left, relop=relop, right=right, then_body=then_body,
+                  else_body=else_body, line=line)
+
+    def parse_read(self) -> Read:
+        line = self.current.line
+        self.expect_keyword("read")
+        target = self.parse_target()
+        self.expect_newline()
+        return Read(target=target, line=line)
+
+    def parse_write(self) -> Write:
+        line = self.current.line
+        self.expect_keyword("write")
+        value = self.parse_expr()
+        self.expect_newline()
+        return Write(value=value, line=line)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.current.is_op("+") or self.current.is_op("-"):
+            op = self.advance().text
+            right = self.parse_term()
+            left = Bin(op=op, left=left, right=right)
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.current.is_op("*") or self.current.is_op("/"):
+            op = self.advance().text
+            right = self.parse_factor()
+            left = Bin(op=op, left=left, right=right)
+        return left
+
+    def parse_factor(self) -> Expr:
+        base = self.parse_primary()
+        if self.current.is_op("**"):
+            self.advance()
+            exponent = self.parse_factor()  # right associative
+            return Bin(op="**", left=base, right=exponent)
+        return base
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind in (TokKind.INT, TokKind.FLOAT):
+            self.advance()
+            return Num(value=token.value)
+        if token.is_op("-") or token.is_op("+"):
+            self.advance()
+            return Un(op=token.text, operand=self.parse_primary())
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if token.kind is TokKind.IDENT:
+            ident = self.advance().text
+            if self.current.is_op("("):
+                self.advance()
+                args = [self.parse_expr()]
+                while self.current.is_op(","):
+                    self.advance()
+                    args.append(self.parse_expr())
+                self.expect_op(")")
+                if ident in INTRINSICS:
+                    return Call(func=ident, args=tuple(args))
+                return Index(ident=ident, args=tuple(args))
+            return Name(ident=ident)
+        self._fail(f"unexpected token {token} in expression")
+        raise AssertionError("unreachable")
+
+
+def parse_source(source: str) -> SourceProgram:
+    """Parse a mini-Fortran program into its AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,199 @@
+"""Unparsing: quad IR back to mini-Fortran source.
+
+The inverse of :mod:`repro.frontend.lower`, used to save optimized
+programs in compilable form.  The IR is already three-address, so every
+computing quad becomes one assignment statement; declarations are
+reconstructed from the names in use.  ``DOALL`` loops have no surface
+syntax — they unparse as ``do`` with a ``! parallel`` comment, keeping
+the text reparsable (and the round-trip behaviour-preserving, since the
+reference interpreter runs DOALL sequentially anyway).
+
+Round-trip guarantee (property-tested): ``parse_program(
+unparse_program(p))`` produces the same observable behaviour as ``p``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.ir.quad import BINARY_OPS, LOOP_HEADS, Opcode, Quad, UNARY_OPS
+from repro.ir.types import Affine, ArrayRef, Const, Operand, Var
+
+_BINOP_TEXT = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.MUL: "*",
+    Opcode.DIV: "/",
+    Opcode.POW: "**",
+}
+
+_UNARY_TEXT = {
+    Opcode.NEG: "neg",
+    Opcode.ABS: "abs",
+    Opcode.SQRT: "sqrt",
+    Opcode.SIN: "sin",
+    Opcode.COS: "cos",
+    Opcode.EXP: "exp",
+    Opcode.LOG: "log",
+}
+
+
+class UnparseError(Exception):
+    """Raised for IR that has no source form (should not occur for
+    well-formed programs)."""
+
+
+def unparse_program(program: Program, name: str = "optimized") -> str:
+    """Render a program as mini-Fortran source text."""
+    body_lines: list[str] = []
+    indent = 1
+    for quad in program:
+        op = quad.opcode
+        if op in (Opcode.ENDDO,):
+            indent -= 1
+            body_lines.append("  " * indent + "end do")
+            continue
+        if op is Opcode.ENDIF:
+            indent -= 1
+            body_lines.append("  " * indent + "end if")
+            continue
+        if op is Opcode.ELSE:
+            body_lines.append("  " * (indent - 1) + "else")
+            continue
+        body_lines.append("  " * indent + _statement_text(quad))
+        if op in LOOP_HEADS or op is Opcode.IF:
+            indent += 1
+
+    declarations = _declarations(program)
+    lines = [f"program {name}"]
+    lines.extend("  " + decl for decl in declarations)
+    lines.extend(body_lines)
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def _statement_text(quad: Quad) -> str:
+    op = quad.opcode
+    if op is Opcode.ASSIGN:
+        return f"{_operand(quad.result)} = {_operand(quad.a)}"
+    if op in BINARY_OPS:
+        if op is Opcode.MOD:
+            return (
+                f"{_operand(quad.result)} = "
+                f"mod({_operand(quad.a)}, {_operand(quad.b)})"
+            )
+        return (
+            f"{_operand(quad.result)} = "
+            f"{_operand(quad.a)} {_BINOP_TEXT[op]} {_operand(quad.b)}"
+        )
+    if op in UNARY_OPS:
+        if op is Opcode.NEG:
+            return f"{_operand(quad.result)} = -({_operand(quad.a)})"
+        return (
+            f"{_operand(quad.result)} = "
+            f"{_UNARY_TEXT[op]}({_operand(quad.a)})"
+        )
+    if op in LOOP_HEADS:
+        text = (
+            f"do {_operand(quad.result)} = "
+            f"{_operand(quad.a)}, {_operand(quad.b)}"
+        )
+        if quad.step != Const(1):
+            text += f", {_operand(quad.step)}"
+        if op is Opcode.DOALL:
+            text += "  ! parallel"
+        return text
+    if op is Opcode.IF:
+        relop = "/=" if quad.relop == "!=" else quad.relop
+        return f"if ({_operand(quad.a)} {relop} {_operand(quad.b)}) then"
+    if op is Opcode.READ:
+        return f"read {_operand(quad.a)}"
+    if op is Opcode.WRITE:
+        return f"write {_operand(quad.a)}"
+    if op is Opcode.NOP:
+        return "x$nop = x$nop"  # benign placeholder; NOPs are transient
+    raise UnparseError(f"no source form for {quad}")
+
+
+def _operand(operand: Operand | None) -> str:
+    if operand is None:
+        raise UnparseError("missing operand")
+    if isinstance(operand, Const):
+        value = operand.value
+        if isinstance(value, float):
+            text = repr(value)
+            return text if ("." in text or "e" in text) else text + ".0"
+        if value < 0:
+            return f"({value})"
+        return str(value)
+    if isinstance(operand, Var):
+        return operand.name
+    if isinstance(operand, ArrayRef):
+        subscripts = ", ".join(
+            _subscript(sub) for sub in operand.subscripts
+        )
+        return f"{operand.name}({subscripts})"
+    raise UnparseError(f"cannot unparse operand {operand!r}")
+
+
+def _subscript(sub: Affine | Var) -> str:
+    if isinstance(sub, Var):
+        return sub.name
+    parts: list[str] = []
+    for var, coeff in sub.terms:
+        if coeff == 1:
+            parts.append(f"+ {var}")
+        elif coeff == -1:
+            parts.append(f"- {var}")
+        elif coeff < 0:
+            parts.append(f"- {-coeff} * {var}")
+        else:
+            parts.append(f"+ {coeff} * {var}")
+    if sub.const or not parts:
+        sign = "+" if sub.const >= 0 else "-"
+        parts.append(f"{sign} {abs(sub.const)}")
+    text = " ".join(parts)
+    if text.startswith("+ "):
+        text = text[2:]
+    elif text.startswith("- "):
+        text = "-" + text[2:]
+    return text
+
+
+def _declarations(program: Program) -> list[str]:
+    """Reconstruct declarations from the names the program touches."""
+    integers: set[str] = set()
+    reals: set[str] = set()
+    arrays: dict[str, int] = {}
+
+    for quad in program:
+        if quad.opcode in LOOP_HEADS and isinstance(quad.result, Var):
+            integers.add(quad.result.name)
+        for operand in (quad.result, quad.a, quad.b, quad.step):
+            if isinstance(operand, ArrayRef):
+                arrays[operand.name] = max(
+                    arrays.get(operand.name, 0), len(operand.subscripts)
+                )
+                for sub in operand.subscripts:
+                    if isinstance(sub, Var):
+                        reals.add(sub.name)
+                    else:
+                        integers.update(sub.variables)
+            elif isinstance(operand, Var):
+                reals.add(operand.name)
+
+    # subscript variables must be integers for affine analysis to
+    # survive the round trip
+    reals -= integers
+    reals -= set(arrays)
+
+    lines: list[str] = []
+    if integers:
+        lines.append("integer " + ", ".join(sorted(integers)))
+    declared_arrays = [
+        f"{name}({', '.join(['64'] * rank)})"
+        for name, rank in sorted(arrays.items())
+    ]
+    real_names = sorted(reals) + declared_arrays
+    if real_names:
+        lines.append("real " + ", ".join(real_names))
+    return lines

@@ -1,0 +1,56 @@
+"""GENesis: the optimizer generator (generator, library, constructor)."""
+
+from repro.genesis.codegen import CodegenError, GeneratedSource, generate_source
+from repro.genesis.constructor import (
+    ConstructorError,
+    construct_package,
+    load_package,
+)
+from repro.genesis.cost import ApplicationRecord, CostCounters
+from repro.genesis.driver import (
+    DriverOptions,
+    DriverResult,
+    apply_at_point,
+    find_application_points,
+    make_context,
+    run_optimizer,
+)
+from repro.genesis.generator import (
+    GeneratedOptimizer,
+    generate_from_spec,
+    generate_optimizer,
+)
+from repro.genesis.library import (
+    GenesisRuntimeError,
+    MatchContext,
+    PosBinding,
+    dep,
+)
+from repro.genesis.strategy import ClauseStrategy, StrategyPolicy, choose_strategy
+
+__all__ = [
+    "ApplicationRecord",
+    "ClauseStrategy",
+    "CodegenError",
+    "ConstructorError",
+    "CostCounters",
+    "DriverOptions",
+    "DriverResult",
+    "GeneratedOptimizer",
+    "GeneratedSource",
+    "GenesisRuntimeError",
+    "MatchContext",
+    "PosBinding",
+    "StrategyPolicy",
+    "apply_at_point",
+    "choose_strategy",
+    "construct_package",
+    "dep",
+    "find_application_points",
+    "generate_from_spec",
+    "generate_optimizer",
+    "generate_source",
+    "load_package",
+    "make_context",
+    "run_optimizer",
+]

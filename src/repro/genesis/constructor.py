@@ -1,0 +1,184 @@
+"""The constructor: packaging generated optimizers on disk.
+
+Paper Figure 4, step 3: "Construct the optimizer by (a) packaging the
+produced code for all optimizations and library routines, (b) creating
+the interface from a template".  The in-memory path is
+:class:`~repro.genesis.session.OptimizerSession`; this module is the
+on-disk counterpart: it writes each optimization's *generated source*
+to its own module, a manifest, and a ``__main__`` entry point, yielding
+a self-contained optimizer package::
+
+    from repro.genesis.constructor import construct_package
+    construct_package(["CTP", "DCE"], "myopt")
+
+    $ python myopt program.f --opts CTP,DCE --show
+
+Loading the package back (:func:`load_package`) executes exactly the
+bytes on disk — which is how the tests prove the emitted text is the
+code that runs, not a shadow of it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.genesis.generator import GeneratedOptimizer
+from repro.genesis.strategy import StrategyPolicy
+from repro.gospel.sema import analyze_spec
+from repro.opts.catalog import build_optimizer
+from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+
+_MANIFEST = "manifest.json"
+
+_MAIN_TEMPLATE = '''\
+"""Constructed optimizer package entry point (GENesis constructor)."""
+
+import argparse
+import sys
+from pathlib import Path
+
+PACKAGE_DIR = Path(__file__).resolve().parent
+
+from repro.frontend.lower import parse_program
+from repro.genesis.constructor import load_package
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.ir.printer import format_program
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="constructed optimizer ({names})"
+    )
+    parser.add_argument("program", help="mini-Fortran source file")
+    parser.add_argument("--opts", default="{names}",
+                        help="comma-separated sequence to apply")
+    parser.add_argument("--once", action="store_true")
+    parser.add_argument("--show", action="store_true")
+    args = parser.parse_args(argv)
+
+    optimizers = load_package(PACKAGE_DIR)
+    program = parse_program(Path(args.program).read_text())
+    options = DriverOptions(apply_all=not args.once)
+    for name in args.opts.split(","):
+        name = name.strip()
+        result = run_optimizer(optimizers[name], program, options)
+        print(result)
+    if args.show:
+        print(format_program(program))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+'''
+
+
+class ConstructorError(Exception):
+    """Raised for malformed packages or unknown optimization names."""
+
+
+def _resolve(item: Union[str, GeneratedOptimizer],
+             policy: StrategyPolicy) -> GeneratedOptimizer:
+    if isinstance(item, GeneratedOptimizer):
+        return item
+    if item in STANDARD_SPECS or item in EXTENDED_SPECS or (
+        item in VARIANT_SPECS
+    ):
+        return build_optimizer(item, policy=policy)
+    raise ConstructorError(f"unknown optimization {item!r}")
+
+
+def construct_package(
+    optimizations: Sequence[Union[str, GeneratedOptimizer]],
+    directory: Union[str, Path],
+    policy: StrategyPolicy = StrategyPolicy.HEURISTIC,
+) -> Path:
+    """Write a self-contained optimizer package.
+
+    ``optimizations`` mixes catalog names and already-generated
+    optimizers (e.g. from user-authored specifications).  The directory
+    receives one ``opt_<name>.py`` per optimization containing the
+    generated source verbatim, a ``manifest.json`` mapping names to
+    modules and specification text, and a ``__main__.py`` batch
+    interface.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+
+    manifest: dict[str, dict[str, str]] = {}
+    for item in optimizations:
+        optimizer = _resolve(item, policy)
+        module_name = f"opt_{optimizer.name.lower()}"
+        (target / f"{module_name}.py").write_text(optimizer.source)
+        manifest[optimizer.name] = {
+            "module": f"{module_name}.py",
+            "generated_name": _generated_name(optimizer),
+            "spec": optimizer.spec.source,
+            "policy": optimizer.policy.value,
+        }
+
+    (target / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    names = ",".join(manifest)
+    (target / "__main__.py").write_text(
+        _MAIN_TEMPLATE.replace("{names}", names)
+    )
+    return target
+
+
+def _generated_name(optimizer: GeneratedOptimizer) -> str:
+    """The sanitized name used in the generated procedure names.
+
+    The set_up callable is named ``set_up_<sanitized>``.
+    """
+    return optimizer.set_up.__name__[len("set_up_"):]
+
+
+def load_package(directory: Union[str, Path]) -> dict[str, GeneratedOptimizer]:
+    """Load a constructed package, executing the on-disk modules.
+
+    Returns the optimizers keyed by name, rebuilt around the loaded
+    procedures: the specification text in the manifest supplies the
+    static metadata (binding plans, action names), while the callables
+    come from the files — guaranteeing what is shipped is what runs.
+    """
+    target = Path(directory)
+    manifest_path = target / _MANIFEST
+    if not manifest_path.exists():
+        raise ConstructorError(f"{target} is not a constructed package "
+                               f"(missing {_MANIFEST})")
+    manifest = json.loads(manifest_path.read_text())
+
+    from repro.gospel.parser import parse_spec
+
+    optimizers: dict[str, GeneratedOptimizer] = {}
+    for name, entry in manifest.items():
+        module_path = target / entry["module"]
+        spec = parse_spec(entry["spec"], name=name)
+        analyzed = analyze_spec(spec)
+        namespace = _import_module(module_path, f"constructed_{name}")
+        generated_name = entry["generated_name"]
+        optimizers[name] = GeneratedOptimizer(
+            name=name,
+            spec=spec,
+            analyzed=analyzed,
+            source=module_path.read_text(),
+            set_up=getattr(namespace, f"set_up_{generated_name}"),
+            match=getattr(namespace, f"match_{generated_name}"),
+            pre=getattr(namespace, f"pre_{generated_name}"),
+            act=getattr(namespace, f"act_{generated_name}"),
+            policy=StrategyPolicy(entry.get("policy", "heuristic")),
+        )
+    return optimizers
+
+
+def _import_module(path: Path, module_name: str):
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise ConstructorError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module

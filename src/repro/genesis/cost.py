@@ -1,0 +1,100 @@
+"""Cost instrumentation for generated optimizers.
+
+The paper estimates "the cost of applying an optimization ... using the
+number of checks to determine preconditions and the number of
+operations to apply the code transformation", computed "by using code
+that GENesis produced", and validates those estimates against measured
+execution times (experiment E5).  Every library routine the generated
+code calls bumps these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostCounters:
+    """Counts of precondition checks and transformation operations."""
+
+    #: format/comparison checks in Code_Pattern matching
+    pattern_checks: int = 0
+    #: dependence queries in the Depend precondition
+    dep_checks: int = 0
+    #: set-membership tests (``mem`` conditions)
+    mem_checks: int = 0
+    #: candidate statements/loops enumerated by the matcher
+    candidates: int = 0
+    #: primitive transformation operations executed
+    action_ops: int = 0
+
+    def precondition_checks(self) -> int:
+        """All checks performed before any transformation."""
+        return (
+            self.pattern_checks
+            + self.dep_checks
+            + self.mem_checks
+            + self.candidates
+        )
+
+    def total(self) -> int:
+        """The paper's scalar cost: precondition checks + actions."""
+        return self.precondition_checks() + self.action_ops
+
+    def snapshot(self) -> "CostCounters":
+        """An independent copy (for per-application-point deltas)."""
+        return CostCounters(
+            pattern_checks=self.pattern_checks,
+            dep_checks=self.dep_checks,
+            mem_checks=self.mem_checks,
+            candidates=self.candidates,
+            action_ops=self.action_ops,
+        )
+
+    def minus(self, earlier: "CostCounters") -> "CostCounters":
+        """Delta between two snapshots."""
+        return CostCounters(
+            pattern_checks=self.pattern_checks - earlier.pattern_checks,
+            dep_checks=self.dep_checks - earlier.dep_checks,
+            mem_checks=self.mem_checks - earlier.mem_checks,
+            candidates=self.candidates - earlier.candidates,
+            action_ops=self.action_ops - earlier.action_ops,
+        )
+
+    def add(self, other: "CostCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.pattern_checks += other.pattern_checks
+        self.dep_checks += other.dep_checks
+        self.mem_checks += other.mem_checks
+        self.candidates += other.candidates
+        self.action_ops += other.action_ops
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pattern_checks": self.pattern_checks,
+            "dep_checks": self.dep_checks,
+            "mem_checks": self.mem_checks,
+            "candidates": self.candidates,
+            "action_ops": self.action_ops,
+            "total": self.total(),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"cost(pattern={self.pattern_checks}, dep={self.dep_checks}, "
+            f"mem={self.mem_checks}, cand={self.candidates}, "
+            f"actions={self.action_ops}, total={self.total()})"
+        )
+
+
+@dataclass
+class ApplicationRecord:
+    """One successful application of an optimization."""
+
+    opt_name: str
+    bindings: dict[str, object] = field(default_factory=dict)
+    cost: CostCounters = field(default_factory=CostCounters)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.bindings.items()))
+        return f"{self.opt_name}[{pairs}] {self.cost}"

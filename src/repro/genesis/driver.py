@@ -1,0 +1,242 @@
+"""The standard optimizer driver (paper Figure 5).
+
+The driver is the same for every generated optimizer: it calls the call
+interface's ``set_up_OPT``, walks pattern matches (``match_OPT``),
+checks preconditions (``pre_OPT``), and fires ``act_OPT`` at accepted
+application points.  Extensions over the paper's pseudocode, all
+exposed through the interactive interface the paper describes: finding
+points without applying, applying at one chosen point or at all points,
+overriding dependence restrictions, and optionally recomputing
+dependences between applications.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis.dependence import compute_dependences
+from repro.analysis.graph import DependenceGraph
+from repro.genesis.cost import ApplicationRecord, CostCounters
+from repro.genesis.generator import GeneratedOptimizer
+from repro.genesis.library import LoopBinding, MatchContext, PosBinding
+from repro.ir.program import Program
+
+
+@dataclass
+class DriverOptions:
+    """Knobs of the interactive interface (Figure 4, step 3.b.iii)."""
+
+    #: apply at every (re-discovered) point rather than just the first
+    apply_all: bool = False
+    #: safety bound on repeated application (enabling chains terminate
+    #: in practice; this guards against oscillating transformations)
+    max_applications: int = 200
+    #: recompute the dependence graph after each application
+    recompute_dependences: bool = True
+    #: honour the Depend section's 'no' restrictions
+    enforce_restrictions: bool = True
+    #: accept only points whose bindings satisfy this predicate
+    point_filter: Optional[Callable[[dict[str, object]], bool]] = None
+    #: validate IR well-formedness after every application (debug aid)
+    validate: bool = False
+
+
+@dataclass
+class DriverResult:
+    """Outcome of one driver run."""
+
+    optimizer: str
+    applications: list[ApplicationRecord] = field(default_factory=list)
+    counters: CostCounters = field(default_factory=CostCounters)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def applied(self) -> int:
+        return len(self.applications)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.optimizer}: {self.applied} application(s), "
+            f"{self.counters}, {self.elapsed_seconds * 1e3:.2f} ms"
+        )
+
+
+def _point_bindings(
+    optimizer: GeneratedOptimizer, ctx: MatchContext
+) -> dict[str, object]:
+    """The bindings that identify an application point.
+
+    Restricted to names actually bound by ``any``/``all`` clauses —
+    leftover bindings from failed ``no``-clause scans are not part of
+    the point's identity.
+    """
+    relevant = optimizer.action_names
+    return {
+        name: value
+        for name, value in ctx.snapshot_bindings().items()
+        if name in relevant
+    }
+
+
+def _signature(bindings: dict[str, object]) -> tuple:
+    """A hashable identity for an application point."""
+    items = []
+    for name, value in sorted(bindings.items()):
+        if isinstance(value, (int, float, str, PosBinding, LoopBinding)):
+            items.append((name, value))
+        elif isinstance(value, tuple):
+            items.append((name, value))
+    return tuple(items)
+
+
+def make_context(
+    program: Program,
+    graph: Optional[DependenceGraph] = None,
+    counters: Optional[CostCounters] = None,
+) -> MatchContext:
+    """Build a match context, computing dependences when not supplied."""
+    if graph is None:
+        graph = compute_dependences(program)
+    return MatchContext(program=program, graph=graph, counters=counters)
+
+
+def find_application_points(
+    optimizer: GeneratedOptimizer,
+    program: Program,
+    graph: Optional[DependenceGraph] = None,
+    counters: Optional[CostCounters] = None,
+    enforce_restrictions: bool = True,
+    limit: Optional[int] = None,
+) -> list[dict[str, object]]:
+    """All application points of an optimizer, *without* applying it.
+
+    Each point is the binding environment of one complete
+    (Code_Pattern × Depend) match.  Points are deduplicated by binding
+    signature.
+    """
+    ctx = make_context(program, graph, counters)
+    ctx.enforce_restrictions = enforce_restrictions
+    optimizer.set_up(ctx)
+    points: list[dict[str, object]] = []
+    seen: set[tuple] = set()
+    for _match in optimizer.match(ctx):
+        for _pre in optimizer.pre(ctx):
+            bindings = _point_bindings(optimizer, ctx)
+            signature = _signature(bindings)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            points.append(bindings)
+            if limit is not None and len(points) >= limit:
+                return points
+    return points
+
+
+def run_optimizer(
+    optimizer: GeneratedOptimizer,
+    program: Program,
+    options: Optional[DriverOptions] = None,
+    graph: Optional[DependenceGraph] = None,
+) -> DriverResult:
+    """The Figure 5 driver: transform ``program`` in place.
+
+    Returns the applications performed with their individual costs.
+    The caller owns the program object (clone first to preserve the
+    original).
+    """
+    options = options or DriverOptions()
+    counters = CostCounters()
+    result = DriverResult(optimizer=optimizer.name, counters=counters)
+    applied_signatures: set[tuple] = set()
+    start = time.perf_counter()
+
+    current_graph = graph
+    while len(result.applications) < options.max_applications:
+        ctx = make_context(program, current_graph, counters)
+        ctx.enforce_restrictions = options.enforce_restrictions
+        optimizer.set_up(ctx)
+
+        chosen: Optional[dict[str, object]] = None
+        for _match in optimizer.match(ctx):
+            for _pre in optimizer.pre(ctx):
+                bindings = _point_bindings(optimizer, ctx)
+                signature = _signature(bindings)
+                if signature in applied_signatures:
+                    continue
+                if options.point_filter is not None and not (
+                    options.point_filter(bindings)
+                ):
+                    continue
+                applied_signatures.add(signature)
+                chosen = bindings
+                break
+            if chosen is not None:
+                break
+        if chosen is None:
+            break
+
+        before = counters.snapshot()
+        optimizer.act(ctx)
+        if options.validate:
+            from repro.ir.validate import validate_program
+
+            validate_program(program)
+        result.applications.append(
+            ApplicationRecord(
+                opt_name=optimizer.name,
+                bindings=chosen,
+                cost=counters.minus(before),
+            )
+        )
+        if not options.apply_all:
+            break
+        current_graph = (
+            None if options.recompute_dependences else ctx.graph
+        )
+
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+def apply_at_point(
+    optimizer: GeneratedOptimizer,
+    program: Program,
+    point_index: int,
+    graph: Optional[DependenceGraph] = None,
+    enforce_restrictions: bool = True,
+) -> DriverResult:
+    """Apply an optimizer at the N-th application point only.
+
+    This is the interface's "select application points" option; with
+    ``enforce_restrictions=False`` it also implements "override
+    dependence restrictions" (the Depend section's ``no`` clauses are
+    ignored — the user takes responsibility).
+    """
+    counters = CostCounters()
+    result = DriverResult(optimizer=optimizer.name, counters=counters)
+    start = time.perf_counter()
+
+    ctx = make_context(program, graph, counters)
+    ctx.enforce_restrictions = enforce_restrictions
+    optimizer.set_up(ctx)
+    seen = 0
+    for _match in optimizer.match(ctx):
+        for _pre in optimizer.pre(ctx):
+            if seen == point_index:
+                bindings = _point_bindings(optimizer, ctx)
+                before = counters.snapshot()
+                optimizer.act(ctx)
+                result.applications.append(
+                    ApplicationRecord(
+                        opt_name=optimizer.name,
+                        bindings=bindings,
+                        cost=counters.minus(before),
+                    )
+                )
+                result.elapsed_seconds = time.perf_counter() - start
+                return result
+            seen += 1
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

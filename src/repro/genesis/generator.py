@@ -1,0 +1,120 @@
+"""The GENesis generator: GOSpeL text in, optimizer out.
+
+Implements the paper's Figure 4 algorithm:
+
+    Step 1: input the GOSpeL specifications
+    Step 2: analyze them and generate code to
+            (a) set up the TYPE data structures,
+            (b) search for the Code_Pattern,
+            (c) check the Depend conditions,
+            (d) perform the actions via library routines
+    Step 3: construct the optimizer (packaging + interface)
+
+Step 2 happens here (parse → semantic analysis → code generation →
+``exec``); step 3 is :mod:`repro.genesis.session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.genesis.codegen import GeneratedSource, generate_source
+from repro.genesis.library import MatchContext
+from repro.genesis.strategy import ClauseStrategy, StrategyPolicy
+from repro.gospel.ast import Specification
+from repro.gospel.parser import parse_spec
+from repro.gospel.sema import AnalyzedSpec, analyze_spec
+
+
+@dataclass
+class GeneratedOptimizer:
+    """A packaged optimizer produced by GENesis.
+
+    Carries the four generated procedures, the emitted source text
+    (inspectable, exactly like the paper's Figure 6 listing), the
+    specification it came from and the per-clause implementation
+    strategies chosen.
+    """
+
+    name: str
+    spec: Specification
+    analyzed: AnalyzedSpec
+    source: str
+    set_up: Callable[[MatchContext], int]
+    match: Callable[[MatchContext], Iterator[bool]]
+    pre: Callable[[MatchContext], Iterator[bool]]
+    act: Callable[[MatchContext], int]
+    strategies: list[ClauseStrategy] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    policy: StrategyPolicy = StrategyPolicy.HEURISTIC
+
+    #: names that must be bound for the action section (for reporting)
+    @property
+    def action_names(self) -> frozenset[str]:
+        return self.analyzed.action_names
+
+    def describe(self) -> str:
+        """A one-paragraph description for the interactive interface."""
+        strategies = ", ".join(
+            f"clause {i + 1}: {s.method}" for i, s in enumerate(self.strategies)
+        )
+        return (
+            f"{self.name}: {len(self.spec.patterns)} pattern clause(s), "
+            f"{len(self.spec.depends)} dependence clause(s), "
+            f"{len(self.spec.actions)} action(s)"
+            + (f" [{strategies}]" if strategies else "")
+        )
+
+
+def generate_optimizer(
+    source: str,
+    name: str = "OPT",
+    policy: StrategyPolicy = StrategyPolicy.HEURISTIC,
+) -> GeneratedOptimizer:
+    """Generate an optimizer from GOSpeL specification text.
+
+    This is the whole GENesis front half: parse, check, emit Python
+    source for ``set_up_xxx``/``match_xxx``/``pre_xxx``/``act_xxx``,
+    and ``exec`` it into callables.
+    """
+    spec = parse_spec(source, name=name)
+    return generate_from_spec(spec, policy=policy)
+
+
+def generate_from_spec(
+    spec: Specification,
+    policy: StrategyPolicy = StrategyPolicy.HEURISTIC,
+) -> GeneratedOptimizer:
+    """Generate an optimizer from an already-parsed specification."""
+    analyzed = analyze_spec(spec)
+    generated = generate_source(analyzed, policy=policy)
+    namespace = _execute(generated)
+    name = generated.name
+    return GeneratedOptimizer(
+        name=spec.name,
+        spec=spec,
+        analyzed=analyzed,
+        source=generated.source,
+        set_up=namespace[f"set_up_{name}"],
+        match=namespace[f"match_{name}"],
+        pre=namespace[f"pre_{name}"],
+        act=namespace[f"act_{name}"],
+        strategies=generated.strategies,
+        warnings=generated.warnings,
+        policy=policy,
+    )
+
+
+def _execute(generated: GeneratedSource) -> dict[str, object]:
+    """``exec`` generated source into a fresh namespace.
+
+    The paper compiles its generated C with a library; the Python
+    analogue is compiling the emitted module text.
+    """
+    namespace: dict[str, object] = {}
+    code = compile(
+        generated.source, filename=f"<genesis:{generated.name}>", mode="exec"
+    )
+    exec(code, namespace)  # noqa: S102 - this is the generator's purpose
+    return namespace

@@ -1,0 +1,74 @@
+"""The end-to-end optimization pipeline of paper Figure 3.
+
+``source code -> intermediate code + data dependences -> OPT ->
+optimized intermediate code``: a convenience layer over the session for
+batch (non-interactive) use, as a conventional compiler phase would
+drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import DriverOptions, DriverResult, run_optimizer
+from repro.genesis.generator import GeneratedOptimizer
+from repro.ir.program import Program
+
+
+@dataclass
+class PipelineReport:
+    """What one pipeline run did."""
+
+    program: Program
+    results: list[DriverResult] = field(default_factory=list)
+
+    @property
+    def total_applications(self) -> int:
+        return sum(result.applied for result in self.results)
+
+    def applications_by_optimizer(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.optimizer] = counts.get(result.optimizer, 0) + (
+                result.applied
+            )
+        return counts
+
+    def __str__(self) -> str:
+        lines = [f"pipeline: {self.total_applications} application(s)"]
+        lines.extend(f"  {result}" for result in self.results)
+        return "\n".join(lines)
+
+
+def optimize(
+    program: Program,
+    optimizers: Sequence[GeneratedOptimizer],
+    options: Optional[DriverOptions] = None,
+    in_place: bool = False,
+) -> PipelineReport:
+    """Run a sequence of optimizers over a program (Figure 3's OPT box).
+
+    Optimizers run in the given order, each to exhaustion by default;
+    dependences are recomputed between applications.  Returns the
+    transformed program (a copy unless ``in_place``) and the per-
+    optimizer driver results.
+    """
+    options = options or DriverOptions(apply_all=True)
+    working = program if in_place else program.clone()
+    report = PipelineReport(program=working)
+    for optimizer in optimizers:
+        report.results.append(run_optimizer(optimizer, working, options))
+    return report
+
+
+def optimize_source(
+    source: str,
+    optimizers: Sequence[GeneratedOptimizer],
+    options: Optional[DriverOptions] = None,
+) -> PipelineReport:
+    """Parse mini-Fortran source and optimize it (the full Figure 3)."""
+    return optimize(
+        parse_program(source), optimizers, options, in_place=True
+    )

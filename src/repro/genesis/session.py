@@ -1,0 +1,276 @@
+"""The constructed optimizer's interactive interface.
+
+Paper Figure 4, step 3: "the constructor packages all of the produced
+code and the library routines within an interface, which prompts
+interaction with the user": read the source, convert to intermediate
+code, compute dependences, then repeatedly let the user
+
+1. select optimization(s) to perform,
+2. select application points,
+3. override dependence restrictions,
+
+perform the optimization, and optionally recompute dependences between
+executions.  :class:`OptimizerSession` is that interface in scriptable
+form; :meth:`OptimizerSession.execute_command` adds a tiny textual
+command language so the CLI (and tests) can drive it like the paper's
+prompt-driven tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.dependence import compute_dependences
+from repro.analysis.graph import DependenceGraph
+from repro.frontend.lower import parse_program
+from repro.genesis.cost import ApplicationRecord
+from repro.genesis.driver import (
+    DriverOptions,
+    DriverResult,
+    apply_at_point,
+    find_application_points,
+    run_optimizer,
+)
+from repro.genesis.generator import GeneratedOptimizer
+from repro.ir.printer import format_program
+from repro.ir.program import Program
+
+
+class SessionError(Exception):
+    """Raised for bad interactive requests (unknown optimizer, point)."""
+
+
+@dataclass
+class SessionEvent:
+    """One entry of the session history."""
+
+    command: str
+    result: Optional[DriverResult] = None
+
+    def __str__(self) -> str:
+        if self.result is None:
+            return self.command
+        return f"{self.command} -> {self.result}"
+
+
+@dataclass
+class OptimizerSession:
+    """A constructed optimizer: program + generated optimizations.
+
+    The session owns a working copy of the program; the original is
+    kept for before/after comparisons.
+    """
+
+    program: Program
+    optimizers: dict[str, GeneratedOptimizer] = field(default_factory=dict)
+    #: recompute dependences between optimizer executions (step 3.b.vi)
+    recompute_dependences: bool = True
+    history: list[SessionEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.original = self.program.clone()
+        self._graph: Optional[DependenceGraph] = None
+        self._graph_version = -1
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        optimizers: Sequence[GeneratedOptimizer] = (),
+    ) -> "OptimizerSession":
+        """Read source code and convert it to intermediate code
+        (interface steps i and ii)."""
+        session = cls(program=parse_program(source))
+        for optimizer in optimizers:
+            session.register(optimizer)
+        return session
+
+    def register(self, optimizer: GeneratedOptimizer) -> None:
+        """Add a generated optimization to the session."""
+        self.optimizers[optimizer.name] = optimizer
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    @property
+    def dependences(self) -> DependenceGraph:
+        """The dependence graph of the current program version (cached)."""
+        if self._graph is None or self._graph_version != self.program.version:
+            self._graph = compute_dependences(self.program)
+            self._graph_version = self.program.version
+        return self._graph
+
+    def _maybe_graph(self) -> Optional[DependenceGraph]:
+        """Graph to hand to the driver: stale is allowed when the user
+        disabled recomputation."""
+        if self.recompute_dependences:
+            return self.dependences
+        if self._graph is None:
+            return self.dependences
+        return self._graph
+
+    def list_optimizations(self) -> list[str]:
+        """Names of the registered optimizations."""
+        return sorted(self.optimizers)
+
+    def _optimizer(self, name: str) -> GeneratedOptimizer:
+        optimizer = self.optimizers.get(name)
+        if optimizer is None:
+            raise SessionError(
+                f"no optimization named {name!r}; registered: "
+                f"{self.list_optimizations()}"
+            )
+        return optimizer
+
+    def points(self, name: str) -> list[dict[str, object]]:
+        """Application points of one optimization on the current code."""
+        return find_application_points(
+            self._optimizer(name), self.program, self._maybe_graph()
+        )
+
+    # ------------------------------------------------------------------
+    # applying optimizations
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        name: str,
+        point: Optional[int] = None,
+        all_points: bool = False,
+        override_dependences: bool = False,
+    ) -> DriverResult:
+        """Perform an optimization (interface step v).
+
+        ``point`` selects the N-th application point; ``all_points``
+        applies everywhere; neither applies at the first point.
+        ``override_dependences`` ignores the Depend section's ``no``
+        restrictions (step 3.b.iii.3 — the user takes responsibility
+        for safety).
+        """
+        optimizer = self._optimizer(name)
+        graph = self._maybe_graph()
+        if point is not None:
+            result = apply_at_point(
+                optimizer,
+                self.program,
+                point,
+                graph=graph,
+                enforce_restrictions=not override_dependences,
+            )
+        else:
+            options = DriverOptions(
+                apply_all=all_points,
+                recompute_dependences=self.recompute_dependences,
+                enforce_restrictions=not override_dependences,
+            )
+            result = run_optimizer(optimizer, self.program, options, graph)
+        self.history.append(SessionEvent(command=f"apply {name}", result=result))
+        return result
+
+    def apply_sequence(
+        self, names: Sequence[str], all_points: bool = True
+    ) -> list[DriverResult]:
+        """Run several optimizations in the given order.
+
+        "For a sequence of optimizations to be applied to program code,
+        the various optimizers are called in the desired sequence."
+        """
+        return [self.apply(name, all_points=all_points) for name in names]
+
+    def reset(self) -> None:
+        """Restore the original program (fresh experiment)."""
+        self.program = self.original.clone()
+        self._graph = None
+        self._graph_version = -1
+        self.history.append(SessionEvent(command="reset"))
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def applications(self) -> list[ApplicationRecord]:
+        """Every application performed this session, in order."""
+        records: list[ApplicationRecord] = []
+        for event in self.history:
+            if event.result is not None:
+                records.extend(event.result.applications)
+        return records
+
+    def show(self) -> str:
+        """The current intermediate code, printed."""
+        return format_program(self.program)
+
+    def source_text(self) -> str:
+        """The current program as compilable mini-Fortran source."""
+        from repro.frontend.unparse import unparse_program
+
+        return unparse_program(self.program, name=self.program.name)
+
+    # ------------------------------------------------------------------
+    # the textual command interface
+    # ------------------------------------------------------------------
+    def execute_command(self, command: str) -> str:
+        """One interactive command; returns the printable response.
+
+        Commands::
+
+            list                      registered optimizations
+            points <OPT>              application points of <OPT>
+            apply <OPT>               apply at the first point
+            apply <OPT> all           apply at all points
+            apply <OPT> <N>           apply at point N
+            override <OPT> <N>        apply at point N ignoring 'no' deps
+            recompute on|off          toggle dependence recomputation
+            deps                      dependence summary
+            show                      print the intermediate code
+            save <file>               write the program as source text
+            history                   session history
+            reset                     restore the original program
+        """
+        words = command.split()
+        if not words:
+            return ""
+        verb = words[0].lower()
+        if verb == "list":
+            return "\n".join(self.list_optimizations())
+        if verb == "points" and len(words) == 2:
+            points = self.points(words[1])
+            lines = [
+                f"{index}: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(point.items()))
+                for index, point in enumerate(points)
+            ]
+            return "\n".join(lines) if lines else "(no application points)"
+        if verb == "apply" and len(words) >= 2:
+            name = words[1]
+            if len(words) == 2:
+                return str(self.apply(name))
+            if words[2].lower() == "all":
+                return str(self.apply(name, all_points=True))
+            return str(self.apply(name, point=int(words[2])))
+        if verb == "override" and len(words) == 3:
+            return str(
+                self.apply(words[1], point=int(words[2]),
+                           override_dependences=True)
+            )
+        if verb == "recompute" and len(words) == 2:
+            self.recompute_dependences = words[1].lower() == "on"
+            return f"recompute_dependences = {self.recompute_dependences}"
+        if verb == "deps":
+            summary = self.dependences.summary()
+            return ", ".join(f"{k}: {v}" for k, v in summary.items())
+        if verb == "show":
+            return self.show()
+        if verb == "save" and len(words) == 2:
+            from pathlib import Path
+
+            Path(words[1]).write_text(self.source_text())
+            return f"wrote {words[1]}"
+        if verb == "history":
+            return "\n".join(str(event) for event in self.history) or "(empty)"
+        if verb == "reset":
+            self.reset()
+            return "program restored"
+        raise SessionError(f"unknown command {command!r}")

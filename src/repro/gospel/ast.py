@@ -1,0 +1,473 @@
+"""Abstract syntax for GOSpeL specifications.
+
+A specification has three sections::
+
+    TYPE        variable declarations over code-element types
+    PRECOND     Code_Pattern (syntactic format) then Depend (dependences)
+    ACTION      sequence of primitive transformations
+
+The AST mirrors the paper's structure directly; GENesis's code
+generator walks it to emit the four per-optimization procedures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class ElemType(enum.Enum):
+    """GOSpeL code-element types."""
+
+    STMT = "Stmt"
+    LOOP = "Loop"
+    NESTED_LOOPS = "Nested Loops"
+    TIGHT_LOOPS = "Tight Loops"
+    ADJACENT_LOOPS = "Adjacent Loops"
+
+
+#: Pair types declare two loop variables at once.
+PAIR_TYPES = frozenset(
+    {ElemType.NESTED_LOOPS, ElemType.TIGHT_LOOPS, ElemType.ADJACENT_LOOPS}
+)
+
+
+class Quant(enum.Enum):
+    """Quantifiers over code elements."""
+
+    ANY = "any"
+    ALL = "all"
+    NO = "no"
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """One TYPE-section declaration: a variable (or pair) and its type."""
+
+    elem_type: ElemType
+    names: tuple[str, ...]  # one name, or a pair for the loop-pair types
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# value expressions (shared by patterns, conditions and actions)
+# ----------------------------------------------------------------------
+class Value:
+    """Base class for value expressions (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Ref(Value):
+    """An attribute reference chain: ``Si``, ``Si.opr_2``, ``L1.head.prev``."""
+
+    base: str
+    attrs: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return ".".join((self.base,) + self.attrs)
+
+
+@dataclass(frozen=True)
+class NumberLit(Value):
+    """A numeric literal."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SymbolLit(Value):
+    """A bare symbolic constant: ``assign``, ``const``, ``var``, ``doall``..."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FuncVal(Value):
+    """A builtin value function: ``type(x)``, ``class(S)``, ``trip(L)``,
+    ``operand(S, pos)``."""
+
+    func: str
+    args: tuple[Value, ...]
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Arith(Value):
+    """Arithmetic over values, evaluated at match/action time."""
+
+    op: str  # + - * /
+    left: Value
+    right: Value
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NewTemp(Value):
+    """A fresh temporary variable operand (action templates only)."""
+
+    def __str__(self) -> str:
+        return "newtemp"
+
+
+# ----------------------------------------------------------------------
+# boolean conditions
+# ----------------------------------------------------------------------
+class Cond:
+    """Base class for boolean conditions (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BoolOp(Cond):
+    """AND/OR over conditions (evaluated left-to-right, short-circuit —
+    conjunct order is observable in the cost model, experiment E6)."""
+
+    op: str  # "and" | "or"
+    terms: tuple[Cond, ...]
+
+    def __str__(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(str(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class NotOp(Cond):
+    """NOT(condition)."""
+
+    term: Cond
+
+    def __str__(self) -> str:
+        return f"NOT({self.term})"
+
+
+@dataclass(frozen=True)
+class Compare(Cond):
+    """``value relop value`` with relop in ``== != < <= > >=``."""
+
+    relop: str
+    left: Value
+    right: Value
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.relop} {self.right}"
+
+
+@dataclass(frozen=True)
+class DepCond(Cond):
+    """A dependence atom: ``flow_dep(Si, Sj, (=))``.
+
+    ``kind`` is flow/anti/out/ctrl/fused; ``direction`` is None when the
+    vector is omitted (any loop-carried relation acceptable).
+    """
+
+    kind: str
+    src: Value
+    dst: Value
+    direction: Optional[tuple[str, ...]] = None
+
+    def __str__(self) -> str:
+        vector = (
+            f", ({','.join(self.direction)})" if self.direction is not None else ""
+        )
+        return f"{self.kind}_dep({self.src}, {self.dst}{vector})"
+
+
+@dataclass(frozen=True)
+class MemCond(Cond):
+    """A membership qualification ``mem(Element, Set)``."""
+
+    element: Ref
+    set_expr: "SetExpr"
+
+    def __str__(self) -> str:
+        return f"mem({self.element}, {self.set_expr})"
+
+
+# ----------------------------------------------------------------------
+# set expressions
+# ----------------------------------------------------------------------
+class SetExpr:
+    """Base class for set expressions (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SetRef(SetExpr):
+    """A named set: a loop variable (its body) or an attribute chain."""
+
+    ref: Ref
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class PathSet(SetExpr):
+    """``path(Si, Sj)``: statements on paths between two statements."""
+
+    start: Value
+    stop: Value
+
+    def __str__(self) -> str:
+        return f"path({self.start}, {self.stop})"
+
+
+@dataclass(frozen=True)
+class RegionSet(SetExpr):
+    """``region(S, S')``: statements textually strictly between two
+    statements (no path widening — a static program segment)."""
+
+    start: Value
+    stop: Value
+
+    def __str__(self) -> str:
+        return f"region({self.start}, {self.stop})"
+
+
+@dataclass(frozen=True)
+class SetOp(SetExpr):
+    """``inter(s1, s2)`` / ``union(s1, s2)``."""
+
+    op: str  # "inter" | "union"
+    left: SetExpr
+    right: SetExpr
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class UsesSet(SetExpr):
+    """``uses(operand_value, set)``: (statement, position) use sites of
+    an operand within a set of statements (action ``forall`` domain)."""
+
+    operand: Value
+    within: SetExpr
+
+    def __str__(self) -> str:
+        return f"uses({self.operand}, {self.within})"
+
+
+@dataclass(frozen=True)
+class RangeSet(SetExpr):
+    """``range(init, final, step)``: integer iteration values (action
+    ``forall`` domain, used by loop unrolling)."""
+
+    init: Value
+    final: Value
+    step: Value
+
+    def __str__(self) -> str:
+        return f"range({self.init}, {self.final}, {self.step})"
+
+
+# ----------------------------------------------------------------------
+# precondition clauses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Binder:
+    """One bound name in a clause: ``Si`` or ``(Sj, pos)``.
+
+    The second form also binds (or, if already bound, *constrains*) the
+    operand position of the matched dependence — the paper's
+    ``(Sj,pos)`` notation with unification semantics.
+    """
+
+    name: str
+    pos_name: Optional[str] = None
+    line: int = 0
+
+    def __str__(self) -> str:
+        if self.pos_name:
+            return f"({self.name}, {self.pos_name})"
+        return self.name
+
+
+@dataclass(frozen=True)
+class PatternClause:
+    """A Code_Pattern clause: ``quant binders : format ;``."""
+
+    quant: Quant
+    binders: tuple[Binder, ...]
+    format: Optional[Cond]  # None for bare ``any(L1, L2);``
+    line: int = 0
+
+    def __str__(self) -> str:
+        binders = ", ".join(str(b) for b in self.binders)
+        if self.format is None:
+            return f"{self.quant.value} {binders};"
+        return f"{self.quant.value} {binders}: {self.format};"
+
+
+@dataclass(frozen=True)
+class DependClause:
+    """A Depend clause: ``quant binders : memberships, conditions ;``.
+
+    ``binders`` may be empty — the clause then merely tests the
+    condition over already-bound elements (Figure 2's
+    ``no L1.head flow_dep(L1.head, L2.head)``).
+    """
+
+    quant: Quant
+    binders: tuple[Binder, ...]
+    memberships: tuple[MemCond, ...]
+    condition: Optional[Cond]
+    line: int = 0
+
+    def __str__(self) -> str:
+        binders = ", ".join(str(b) for b in self.binders)
+        parts = [str(m) for m in self.memberships]
+        if self.condition is not None:
+            parts.append(str(self.condition))
+        return f"{self.quant.value} {binders}: {', '.join(parts)};"
+
+
+# ----------------------------------------------------------------------
+# actions
+# ----------------------------------------------------------------------
+class Action:
+    """Base class for actions (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class StmtTemplate:
+    """An element description for ``add``: ``stmt(result, opc, a [, b])``."""
+
+    result: Value
+    opcode: str
+    a: Value
+    b: Optional[Value] = None
+
+    def __str__(self) -> str:
+        operands = f"{self.result}, {self.opcode}, {self.a}"
+        if self.b is not None:
+            operands += f", {self.b}"
+        return f"stmt({operands})"
+
+
+@dataclass(frozen=True)
+class DeleteAction(Action):
+    """``delete(a)``: delete element ``a``."""
+
+    target: Value
+
+    def __str__(self) -> str:
+        return f"delete({self.target});"
+
+
+@dataclass(frozen=True)
+class MoveAction(Action):
+    """``move(a, b)``: remove ``a``, place it following ``b``."""
+
+    target: Value
+    after: Value
+
+    def __str__(self) -> str:
+        return f"move({self.target}, {self.after});"
+
+
+@dataclass(frozen=True)
+class CopyAction(Action):
+    """``copy(a, b, c)``: copy ``a``, place it following ``b``, name it
+    ``c``.  When ``a`` is a loop body the copy is the whole block."""
+
+    source: Value
+    after: Value
+    name: str
+
+    def __str__(self) -> str:
+        return f"copy({self.source}, {self.after}, {self.name});"
+
+
+@dataclass(frozen=True)
+class AddAction(Action):
+    """``add(a, description, b)``: create the described element after
+    ``a`` and name it ``b``."""
+
+    after: Value
+    template: StmtTemplate
+    name: str
+
+    def __str__(self) -> str:
+        return f"add({self.after}, {self.template}, {self.name});"
+
+
+@dataclass(frozen=True)
+class ModifyAction(Action):
+    """``modify(lvalue, new_value)``: overwrite an operand or attribute."""
+
+    lvalue: Value
+    new_value: Value
+
+    def __str__(self) -> str:
+        return f"modify({self.lvalue}, {self.new_value});"
+
+
+@dataclass(frozen=True)
+class ForallAction(Action):
+    """``forall binder in set [where cond] { actions }``."""
+
+    binder: Binder
+    domain: SetExpr
+    where: Optional[Cond]
+    body: tuple[Action, ...]
+
+    def __str__(self) -> str:
+        where = f" where {self.where}" if self.where is not None else ""
+        inner = " ".join(str(a) for a in self.body)
+        return f"forall {self.binder} in {self.domain}{where} {{ {inner} }}"
+
+
+# ----------------------------------------------------------------------
+# the whole specification
+# ----------------------------------------------------------------------
+@dataclass
+class Specification:
+    """A complete GOSpeL specification for one optimization."""
+
+    name: str
+    declarations: tuple[Declaration, ...]
+    patterns: tuple[PatternClause, ...]
+    depends: tuple[DependClause, ...]
+    actions: tuple[Action, ...]
+    source: str = ""
+
+    def declared_names(self) -> dict[str, ElemType]:
+        """Mapping from every declared variable to its element type."""
+        names: dict[str, ElemType] = {}
+        for decl in self.declarations:
+            for name in decl.names:
+                names[name] = decl.elem_type
+        return names
+
+    def loop_pairs(self) -> list[tuple[str, str, ElemType]]:
+        """The declared loop-pair variables with their pair types.
+
+        A pair declaration lists names two at a time; reused names
+        chain the pairs (``(L1, L2), (L2, L3)`` declares a triple).
+        """
+        pairs = []
+        for decl in self.declarations:
+            if decl.elem_type in PAIR_TYPES:
+                for i in range(0, len(decl.names) - 1, 2):
+                    pairs.append(
+                        (decl.names[i], decl.names[i + 1], decl.elem_type)
+                    )
+        return pairs

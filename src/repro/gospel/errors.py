@@ -1,0 +1,26 @@
+"""Diagnostics for GOSpeL specifications."""
+
+from __future__ import annotations
+
+
+class GospelError(Exception):
+    """A lexical, syntactic or semantic error in a GOSpeL specification."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.line:
+            return f"GOSpeL {self.line}:{self.column}: {self.message}"
+        return f"GOSpeL: {self.message}"
+
+
+class GospelSyntaxError(GospelError):
+    """Malformed specification text."""
+
+
+class GospelSemanticError(GospelError):
+    """Well-formed text violating GOSpeL's static rules."""

@@ -1,0 +1,726 @@
+"""Recursive-descent parser for GOSpeL.
+
+Accepts the concrete syntax of the paper's figures (Figure 1 and 2) and
+the Appendix BNF, extended with the action-language conveniences the
+prototype restricted (arithmetic in action arguments, ``forall`` over
+expression domains with ``where`` filters).
+
+Grammar sketch::
+
+    spec      := "TYPE" decl* "PRECOND" "Code_Pattern" pattern*
+                 "Depend" depend* "ACTION" action*
+    decl      := type_name ":" declarator ("," declarator)* ";"
+    type_name := "Stmt" | "Loop" | "Nested Loops" | "Tight Loops"
+               | "Adjacent Loops"
+    pattern   := quant binders [":" cond] ";"
+    depend    := quant [binders] ":" [mems ","] cond ";"
+               | quant ref cond ";"          (bound-element form, Fig. 2)
+    action    := prim ";" | "forall" binder "in" setexpr
+                 ["where" cond] "{" action* "}"
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gospel.ast import (
+    PAIR_TYPES,
+    Action,
+    AddAction,
+    Arith,
+    Binder,
+    BoolOp,
+    Compare,
+    Cond,
+    CopyAction,
+    Declaration,
+    DeleteAction,
+    DepCond,
+    DependClause,
+    ElemType,
+    ForallAction,
+    FuncVal,
+    MemCond,
+    ModifyAction,
+    MoveAction,
+    NewTemp,
+    NotOp,
+    NumberLit,
+    PatternClause,
+    PathSet,
+    Quant,
+    RangeSet,
+    Ref,
+    RegionSet,
+    SetExpr,
+    SetOp,
+    SetRef,
+    Specification,
+    StmtTemplate,
+    UsesSet,
+    Value,
+)
+from repro.gospel.errors import GospelSyntaxError
+from repro.gospel.tokens import GTok, Token, tokenize
+
+#: Dependence-atom names accepted in conditions.
+DEP_KINDS = {
+    "flow_dep": "flow",
+    "anti_dep": "anti",
+    "out_dep": "out",
+    "ctrl_dep": "ctrl",
+    "fused_dep": "fused",
+}
+
+#: Attribute names allowed in reference chains (case-folded).
+ATTRS = frozenset(
+    {
+        "opc",
+        "opr_1",
+        "opr_2",
+        "opr_3",
+        "head",
+        "end",
+        "body",
+        "lcv",
+        "init",
+        "final",
+        "step",
+        "next",
+        "prev",
+        "nxt",
+        "label",
+    }
+)
+
+_ATTR_CANON = {"nxt": "next"}
+
+RELOPS = ("==", "!=", "<=", ">=", "<", ">")
+
+DIRECTION_TOKENS = {"<": "<", ">": ">", "=": "=", "*": "*", "any": "*"}
+
+
+class GospelParser:
+    """Parses one specification's text."""
+
+    def __init__(self, source: str, name: str = "OPT"):
+        self.source = source
+        self.name = name
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.declared: dict[str, ElemType] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not GTok.EOF:
+            self.position += 1
+        return token
+
+    def expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            self._fail(f"expected {text!r}, found {self.current}")
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        if not self.current.is_keyword(text):
+            self._fail(f"expected {text!r}, found {self.current}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not GTok.IDENT:
+            self._fail(f"expected identifier, found {self.current}")
+        return self.advance()
+
+    def _fail(self, message: str) -> None:
+        raise GospelSyntaxError(message, self.current.line,
+                                self.current.column)
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse(self) -> Specification:
+        self.expect_keyword("type")
+        declarations = []
+        while not self.current.is_keyword("precond"):
+            declarations.append(self.parse_declaration())
+        self.expect_keyword("precond")
+
+        self.expect_keyword("code_pattern")
+        patterns = []
+        while not self.current.is_keyword("depend"):
+            patterns.append(self.parse_pattern_clause())
+        self.expect_keyword("depend")
+
+        depends = []
+        while not self.current.is_keyword("action"):
+            depends.append(self.parse_depend_clause())
+        self.expect_keyword("action")
+
+        actions = []
+        while self.current.kind is not GTok.EOF:
+            actions.append(self.parse_action())
+
+        return Specification(
+            name=self.name,
+            declarations=tuple(declarations),
+            patterns=tuple(patterns),
+            depends=tuple(depends),
+            actions=tuple(actions),
+            source=self.source,
+        )
+
+    # ------------------------------------------------------------------
+    # TYPE section
+    # ------------------------------------------------------------------
+    def parse_declaration(self) -> Declaration:
+        line = self.current.line
+        elem_type = self.parse_type_name()
+        self.expect_op(":")
+        names: list[str] = []
+        pair = elem_type in (
+            ElemType.NESTED_LOOPS,
+            ElemType.TIGHT_LOOPS,
+            ElemType.ADJACENT_LOOPS,
+        )
+        while True:
+            if pair:
+                self.expect_op("(")
+                first = self.expect_ident().text
+                self.expect_op(",")
+                second = self.expect_ident().text
+                self.expect_op(")")
+                names.extend((first, second))
+            else:
+                names.append(self.expect_ident().text)
+            if self.current.is_op(","):
+                self.advance()
+                continue
+            break
+        self.expect_op(";")
+        for name in names:
+            if name in self.declared and self.declared[name] is not elem_type:
+                self._fail(f"{name!r} declared twice with different types")
+            # repeating a name inside pair declarations chains the
+            # pairs: ``Tight Loops: (L1, L2), (L2, L3);`` names a
+            # perfect triple nest
+            self.declared[name] = elem_type
+        return Declaration(elem_type=elem_type, names=tuple(names), line=line)
+
+    def parse_type_name(self) -> ElemType:
+        token = self.current
+        if token.is_keyword("stmt"):
+            self.advance()
+            return ElemType.STMT
+        if token.is_keyword("loop"):
+            self.advance()
+            return ElemType.LOOP
+        if token.is_keyword("nested"):
+            self.advance()
+            self.expect_keyword("loops")
+            return ElemType.NESTED_LOOPS
+        if token.is_keyword("tight"):
+            self.advance()
+            self.expect_keyword("loops")
+            return ElemType.TIGHT_LOOPS
+        if token.is_keyword("adjacent"):
+            self.advance()
+            self.expect_keyword("loops")
+            return ElemType.ADJACENT_LOOPS
+        self._fail(f"expected a type name, found {token}")
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # PRECOND: Code_Pattern
+    # ------------------------------------------------------------------
+    def parse_pattern_clause(self) -> PatternClause:
+        line = self.current.line
+        quant = self.parse_quant()
+        binders = self.parse_binder_list()
+        format_cond: Optional[Cond] = None
+        if self.current.is_op(":"):
+            self.advance()
+            format_cond = self.parse_cond()
+        self.expect_op(";")
+        return PatternClause(
+            quant=quant, binders=tuple(binders), format=format_cond, line=line
+        )
+
+    def parse_quant(self) -> Quant:
+        token = self.current
+        for quant in Quant:
+            if token.is_keyword(quant.value):
+                self.advance()
+                return quant
+        self._fail(f"expected a quantifier (any/all/no), found {token}")
+        raise AssertionError("unreachable")
+
+    def parse_binder_list(self) -> list[Binder]:
+        binders = [self.parse_binder()]
+        while self.current.is_op(","):
+            self.advance()
+            binders.append(self.parse_binder())
+        return binders
+
+    def parse_binder(self) -> Binder:
+        line = self.current.line
+        if self.current.is_op("("):
+            self.advance()
+            first = self.expect_ident().text
+            self.expect_op(",")
+            second = self.expect_ident().text
+            self.expect_op(")")
+            second_type = self.declared.get(second)
+            if second_type is not None and second_type in PAIR_TYPES:
+                # a loop-pair occurrence like ``any(L1, L2)``: two
+                # element binders rather than a position capture; encode
+                # as one binder here, split by _split_pair_binders
+                return Binder(name=f"{first}\0{second}", line=line)
+            return Binder(name=first, pos_name=second, line=line)
+        name = self.expect_ident().text
+        return Binder(name=name, line=line)
+
+    # ------------------------------------------------------------------
+    # PRECOND: Depend
+    # ------------------------------------------------------------------
+    def parse_depend_clause(self) -> DependClause:
+        line = self.current.line
+        quant = self.parse_quant()
+        binders: list[Binder] = []
+
+        if self.current.is_op(":"):
+            self.advance()  # ``no : cond ;`` — bare condition
+        elif self._looks_like_bound_ref():
+            # Figure 2 form: ``no L1.head flow_dep(L1.head, L2.head)``
+            self.parse_ref()  # informational; the condition repeats it
+            if self.current.is_op(":"):
+                self.advance()
+        else:
+            binders = self.parse_binder_list()
+            self.expect_op(":")
+
+        memberships: list[MemCond] = []
+        condition: Optional[Cond] = None
+        while True:
+            if self.current.is_keyword("mem"):
+                memberships.append(self.parse_mem_cond())
+                if self.current.is_keyword("and"):
+                    self.advance()
+                    continue
+                if self.current.is_op(","):
+                    self.advance()
+                    continue
+                break
+            condition = self.parse_cond()
+            break
+        if self.current.is_op(";"):
+            self.advance()
+        else:
+            # the paper omits the ';' after the Fig. 2 first clause —
+            # accept a missing separator right before the next clause
+            if not (
+                self.current.is_keyword("no")
+                or self.current.is_keyword("any")
+                or self.current.is_keyword("all")
+                or self.current.is_keyword("action")
+            ):
+                self._fail(f"expected ';', found {self.current}")
+        return DependClause(
+            quant=quant,
+            binders=tuple(binders),
+            memberships=tuple(memberships),
+            condition=condition,
+            line=line,
+        )
+
+    def _looks_like_bound_ref(self) -> bool:
+        return (
+            self.current.kind is GTok.IDENT
+            and self.peek().is_op(".")
+        )
+
+    def parse_mem_cond(self) -> MemCond:
+        self.expect_keyword("mem")
+        self.expect_op("(")
+        element = self.parse_ref()
+        self.expect_op(",")
+        set_expr = self.parse_set_expr()
+        self.expect_op(")")
+        return MemCond(element=element, set_expr=set_expr)
+
+    def parse_set_expr(self) -> SetExpr:
+        token = self.current
+        if token.is_keyword("path"):
+            self.advance()
+            self.expect_op("(")
+            start = self.parse_value()
+            self.expect_op(",")
+            stop = self.parse_value()
+            self.expect_op(")")
+            return PathSet(start=start, stop=stop)
+        if token.is_keyword("region"):
+            self.advance()
+            self.expect_op("(")
+            start = self.parse_value()
+            self.expect_op(",")
+            stop = self.parse_value()
+            self.expect_op(")")
+            return RegionSet(start=start, stop=stop)
+        if token.is_keyword("inter") or token.is_keyword("union"):
+            op = self.advance().text
+            self.expect_op("(")
+            left = self.parse_set_expr()
+            self.expect_op(",")
+            right = self.parse_set_expr()
+            self.expect_op(")")
+            return SetOp(op=op, left=left, right=right)
+        if token.is_keyword("uses"):
+            self.advance()
+            self.expect_op("(")
+            operand = self.parse_value()
+            self.expect_op(",")
+            within = self.parse_set_expr()
+            self.expect_op(")")
+            return UsesSet(operand=operand, within=within)
+        if token.is_keyword("range"):
+            self.advance()
+            self.expect_op("(")
+            init = self.parse_value()
+            self.expect_op(",")
+            final = self.parse_value()
+            self.expect_op(",")
+            step = self.parse_value()
+            self.expect_op(")")
+            return RangeSet(init=init, final=final, step=step)
+        return SetRef(ref=self.parse_ref())
+
+    # ------------------------------------------------------------------
+    # conditions
+    # ------------------------------------------------------------------
+    def parse_cond(self) -> Cond:
+        terms = [self.parse_cond_and()]
+        while self.current.is_keyword("or"):
+            self.advance()
+            terms.append(self.parse_cond_and())
+        if len(terms) == 1:
+            return terms[0]
+        return BoolOp(op="or", terms=tuple(terms))
+
+    def parse_cond_and(self) -> Cond:
+        terms = [self.parse_cond_atom()]
+        while self.current.is_keyword("and"):
+            self.advance()
+            terms.append(self.parse_cond_atom())
+        if len(terms) == 1:
+            return terms[0]
+        return BoolOp(op="and", terms=tuple(terms))
+
+    def parse_cond_atom(self) -> Cond:
+        token = self.current
+        if token.is_keyword("not"):
+            self.advance()
+            self.expect_op("(")
+            inner = self.parse_cond()
+            self.expect_op(")")
+            return NotOp(term=inner)
+        if token.kind is GTok.IDENT and token.text.lower() in DEP_KINDS:
+            return self.parse_dep_cond()
+        if token.is_keyword("mem"):
+            return self.parse_mem_cond()
+        if token.is_op("("):
+            # could be a parenthesized condition or a parenthesized
+            # value comparison; backtrack on failure
+            saved = self.position
+            self.advance()
+            try:
+                inner = self.parse_cond()
+                self.expect_op(")")
+                return inner
+            except GospelSyntaxError:
+                self.position = saved
+        left = self.parse_value()
+        for relop in RELOPS:
+            if self.current.is_op(relop):
+                self.advance()
+                right = self.parse_value()
+                return Compare(relop=relop, left=left, right=right)
+        self._fail(f"expected a relational operator, found {self.current}")
+        raise AssertionError("unreachable")
+
+    def parse_dep_cond(self) -> DepCond:
+        kind = DEP_KINDS[self.advance().text.lower()]
+        self.expect_op("(")
+        src = self.parse_value()
+        self.expect_op(",")
+        dst = self.parse_value()
+        direction: Optional[tuple[str, ...]] = None
+        if self.current.is_op(","):
+            self.advance()
+            direction = self.parse_direction_vector()
+        self.expect_op(")")
+        return DepCond(kind=kind, src=src, dst=dst, direction=direction)
+
+    def parse_direction_vector(self) -> tuple[str, ...]:
+        self.expect_op("(")
+        directions = []
+        while True:
+            token = self.current
+            key = token.text.lower() if token.kind is GTok.KEYWORD else token.text
+            if key in DIRECTION_TOKENS:
+                directions.append(DIRECTION_TOKENS[key])
+                self.advance()
+            else:
+                self._fail(f"expected a direction (<,>,=,*), found {token}")
+            if self.current.is_op(","):
+                self.advance()
+                continue
+            break
+        self.expect_op(")")
+        return tuple(directions)
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def parse_value(self) -> Value:
+        return self.parse_additive()
+
+    def parse_additive(self) -> Value:
+        left = self.parse_multiplicative()
+        while self.current.is_op("+") or self.current.is_op("-"):
+            op = self.advance().text
+            right = self.parse_multiplicative()
+            left = Arith(op=op, left=left, right=right)
+        return left
+
+    def parse_multiplicative(self) -> Value:
+        left = self.parse_value_atom()
+        while self.current.is_op("*") or self.current.is_op("/"):
+            op = self.advance().text
+            right = self.parse_value_atom()
+            left = Arith(op=op, left=left, right=right)
+        return left
+
+    def parse_value_atom(self) -> Value:
+        token = self.current
+        if token.kind is GTok.NUMBER:
+            self.advance()
+            return NumberLit(value=token.value)
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_value()
+            self.expect_op(")")
+            return inner
+        if token.is_op("-"):
+            self.advance()
+            inner = self.parse_value_atom()
+            return Arith(op="-", left=NumberLit(0), right=inner)
+        if token.is_keyword("newtemp"):
+            self.advance()
+            if self.current.is_op("("):
+                self.advance()
+                self.expect_op(")")
+            return NewTemp()
+        if token.is_keyword("operand"):
+            self.advance()
+            self.expect_op("(")
+            stmt = self.parse_value()
+            self.expect_op(",")
+            pos = self.parse_value()
+            self.expect_op(")")
+            return FuncVal(func="operand", args=(stmt, pos))
+        if token.kind in (GTok.IDENT, GTok.KEYWORD) and token.text.lower() in (
+            "type",
+            "class",
+            "trip",
+            "value",
+            "pos",
+        ) and self.peek().is_op("("):
+            func = self.advance().text.lower()
+            self.expect_op("(")
+            arg = self.parse_value()
+            self.expect_op(")")
+            return FuncVal(func=func, args=(arg,))
+        if token.kind is GTok.IDENT:
+            return self.parse_ref()
+        if token.kind is GTok.KEYWORD and token.text in ("add",):
+            # the 'add' action keyword doubles as the + opcode's symbol
+            self.advance()
+            return Ref(base=token.text)
+        self._fail(f"expected a value, found {token}")
+        raise AssertionError("unreachable")
+
+    def parse_ref(self) -> Ref:
+        base = self.expect_ident().text
+        attrs: list[str] = []
+        while self.current.is_op("."):
+            self.advance()
+            token = self.current
+            text = token.text.lower()
+            if token.kind not in (GTok.IDENT, GTok.KEYWORD) or text not in ATTRS:
+                self._fail(f"unknown attribute {token.text!r}")
+            self.advance()
+            attrs.append(_ATTR_CANON.get(text, text))
+        return Ref(base=base, attrs=tuple(attrs))
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def parse_action(self) -> Action:
+        token = self.current
+        if token.is_keyword("forall"):
+            return self.parse_forall()
+        if token.is_keyword("delete"):
+            self.advance()
+            self.expect_op("(")
+            target = self.parse_value()
+            self.expect_op(")")
+            self.expect_op(";")
+            return DeleteAction(target=target)
+        if token.is_keyword("move"):
+            self.advance()
+            self.expect_op("(")
+            target = self.parse_value()
+            self.expect_op(",")
+            after = self.parse_value()
+            self.expect_op(")")
+            self.expect_op(";")
+            return MoveAction(target=target, after=after)
+        if token.is_keyword("copy"):
+            self.advance()
+            self.expect_op("(")
+            source = self.parse_value()
+            self.expect_op(",")
+            after = self.parse_value()
+            self.expect_op(",")
+            name = self.expect_ident().text
+            self.expect_op(")")
+            self.expect_op(";")
+            return CopyAction(source=source, after=after, name=name)
+        if token.is_keyword("add"):
+            self.advance()
+            self.expect_op("(")
+            after = self.parse_value()
+            self.expect_op(",")
+            template = self.parse_template()
+            self.expect_op(",")
+            name = self.expect_ident().text
+            self.expect_op(")")
+            self.expect_op(";")
+            return AddAction(after=after, template=template, name=name)
+        if token.is_keyword("modify"):
+            self.advance()
+            self.expect_op("(")
+            lvalue = self.parse_value()
+            self.expect_op(",")
+            new_value = self.parse_value()
+            self.expect_op(")")
+            self.expect_op(";")
+            return ModifyAction(lvalue=lvalue, new_value=new_value)
+        self._fail(f"expected an action, found {token}")
+        raise AssertionError("unreachable")
+
+    def parse_forall(self) -> ForallAction:
+        self.expect_keyword("forall")
+        binder = self.parse_binder()
+        self.expect_keyword("in")
+        domain = self.parse_set_expr()
+        where: Optional[Cond] = None
+        if self.current.is_keyword("where"):
+            self.advance()
+            where = self.parse_cond()
+        self.expect_op("{")
+        body: list[Action] = []
+        while not self.current.is_op("}"):
+            body.append(self.parse_action())
+        self.expect_op("}")
+        return ForallAction(binder=binder, domain=domain, where=where,
+                            body=tuple(body))
+
+    def parse_template(self) -> StmtTemplate:
+        self.expect_keyword("stmt")
+        self.expect_op("(")
+        result = self.parse_value()
+        self.expect_op(",")
+        opcode = self.parse_opcode_name()
+        self.expect_op(",")
+        a = self.parse_value()
+        b: Optional[Value] = None
+        if self.current.is_op(","):
+            self.advance()
+            b = self.parse_value()
+        self.expect_op(")")
+        return StmtTemplate(result=result, opcode=opcode, a=a, b=b)
+
+    def parse_opcode_name(self) -> str:
+        token = self.current
+        if token.kind in (GTok.IDENT, GTok.KEYWORD):
+            self.advance()
+            return token.text.lower()
+        if token.kind is GTok.OP and token.text in ("+", "-", "*", "/"):
+            self.advance()
+            return token.text
+        self._fail(f"expected an opcode name, found {token}")
+        raise AssertionError("unreachable")
+
+
+def parse_spec(source: str, name: str = "OPT") -> Specification:
+    """Parse GOSpeL text into a :class:`Specification` AST."""
+    parser = GospelParser(source, name=name)
+    spec = parser.parse()
+    # split loop-pair occurrence binders encoded by parse_binder
+    spec = _split_pair_binders(spec)
+    return spec
+
+
+def _split_pair_binders(spec: Specification) -> Specification:
+    """Expand ``(L1, L2)`` occurrence binders into two binders."""
+    new_patterns = []
+    for clause in spec.patterns:
+        binders: list[Binder] = []
+        for binder in clause.binders:
+            if "\0" in binder.name:
+                first, second = binder.name.split("\0")
+                binders.append(Binder(name=first, line=binder.line))
+                binders.append(Binder(name=second, line=binder.line))
+            else:
+                binders.append(binder)
+        new_patterns.append(
+            PatternClause(
+                quant=clause.quant,
+                binders=tuple(binders),
+                format=clause.format,
+                line=clause.line,
+            )
+        )
+    new_depends = []
+    for clause in spec.depends:
+        binders = []
+        for binder in clause.binders:
+            if "\0" in binder.name:
+                first, second = binder.name.split("\0")
+                binders.append(Binder(name=first, line=binder.line))
+                binders.append(Binder(name=second, line=binder.line))
+            else:
+                binders.append(binder)
+        new_depends.append(
+            DependClause(
+                quant=clause.quant,
+                binders=tuple(binders),
+                memberships=clause.memberships,
+                condition=clause.condition,
+                line=clause.line,
+            )
+        )
+    spec.patterns = tuple(new_patterns)
+    spec.depends = tuple(new_depends)
+    return spec

@@ -1,0 +1,485 @@
+"""Static checking of GOSpeL specifications.
+
+Verifies the rules the paper's generator relies on:
+
+* every element name used is declared in the TYPE section;
+* Code_Pattern clauses precede Depend clauses (enforced by the grammar,
+  re-checked here for programmatically built ASTs);
+* attribute chains are valid for the element's type (``.opc`` on
+  statements, ``.head`` on loops, ...);
+* each clause's *search variables* (declared names not yet bound by an
+  earlier clause) are identified — the generated matcher enumerates
+  exactly these;
+* ``no``-quantified clauses bind nothing; ``any``/``all`` bind their
+  search variables for later clauses and the ACTION section;
+* names introduced by ``copy``/``add``/``forall`` are tracked through
+  the action sequence.
+
+The result, :class:`AnalyzedSpec`, carries the binding plan consumed by
+:mod:`repro.genesis.codegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.gospel.ast import (
+    Action,
+    AddAction,
+    Arith,
+    BoolOp,
+    Compare,
+    Cond,
+    CopyAction,
+    DeleteAction,
+    DepCond,
+    DependClause,
+    ElemType,
+    ForallAction,
+    FuncVal,
+    MemCond,
+    ModifyAction,
+    MoveAction,
+    NewTemp,
+    NotOp,
+    NumberLit,
+    PathSet,
+    PatternClause,
+    Quant,
+    RangeSet,
+    Ref,
+    RegionSet,
+    SetExpr,
+    SetOp,
+    SetRef,
+    Specification,
+    SymbolLit,
+    UsesSet,
+    Value,
+)
+from repro.gospel.errors import GospelSemanticError
+
+#: Attributes valid on statement-typed references.
+STMT_ATTRS = frozenset({"opc", "opr_1", "opr_2", "opr_3", "next", "prev"})
+
+#: Attributes valid on loop-typed references.  ``head``/``end`` yield
+#: statements; ``body`` yields a set; the rest yield operands.
+LOOP_ATTRS = frozenset(
+    {"head", "end", "body", "lcv", "init", "final", "step", "next", "prev",
+     "label"}
+)
+
+#: Loop attributes producing a statement-typed value.
+LOOP_STMT_ATTRS = frozenset({"head", "end"})
+
+#: Symbolic constants usable in comparisons.
+KNOWN_SYMBOLS = frozenset(
+    {
+        # operand kinds (``type()``)
+        "const", "var", "array", "none",
+        # statement classes (``class()``)
+        "assign", "binop", "unop", "compute", "loop_head", "if_stmt",
+        "io", "marker",
+        # opcode names (``.opc`` comparisons and PAR's retargeting)
+        "add", "sub", "mul", "div", "mod", "pow", "do", "doall", "read",
+        "write", "neg", "abs", "sqrt", "sin", "cos", "exp", "log",
+    }
+)
+
+
+@dataclass
+class ClausePlan:
+    """Binding plan for one precondition clause."""
+
+    search_vars: tuple[str, ...]  # enumerated by the generated matcher
+    new_pos_vars: tuple[str, ...]  # freshly bound dependence positions
+    bound_before: frozenset[str]  # names already bound entering the clause
+
+
+@dataclass
+class AnalyzedSpec:
+    """A checked specification plus its binding plan."""
+
+    spec: Specification
+    types: dict[str, ElemType]
+    pattern_plans: list[ClausePlan]
+    depend_plans: list[ClausePlan]
+    action_names: frozenset[str]  # names visible to the ACTION section
+    warnings: list[str] = field(default_factory=list)
+
+
+class SemanticChecker:
+    """Walks a specification and validates it."""
+
+    def __init__(self, spec: Specification):
+        self.spec = spec
+        self.types = spec.declared_names()
+        self.bound: set[str] = set()
+        self.pos_vars: set[str] = set()
+        self.warnings: list[str] = []
+
+    # ------------------------------------------------------------------
+    def check(self) -> AnalyzedSpec:
+        if not self.spec.patterns:
+            raise GospelSemanticError(
+                "a specification needs at least one Code_Pattern clause"
+            )
+        pattern_plans = [self._check_pattern(p) for p in self.spec.patterns]
+        depend_plans = [self._check_depend(d) for d in self.spec.depends]
+        action_names = self._check_actions()
+        return AnalyzedSpec(
+            spec=self.spec,
+            types=self.types,
+            pattern_plans=pattern_plans,
+            depend_plans=depend_plans,
+            action_names=action_names,
+            warnings=self.warnings,
+        )
+
+    # ------------------------------------------------------------------
+    # clause checking
+    # ------------------------------------------------------------------
+    def _check_pattern(self, clause: PatternClause) -> ClausePlan:
+        bound_before = frozenset(self.bound)
+        search: list[str] = []
+        for binder in clause.binders:
+            if binder.pos_name is not None:
+                raise GospelSemanticError(
+                    "position captures are only valid in Depend clauses",
+                    clause.line,
+                )
+            self._require_declared(binder.name, clause.line)
+            if binder.name not in self.bound and binder.name not in search:
+                search.append(binder.name)
+        if clause.format is not None:
+            for name in _element_names(clause.format):
+                if name in self.types and name not in self.bound and (
+                    name not in search
+                ):
+                    search.append(name)
+            self._check_cond(clause.format, clause.line, allow_dep=False)
+        if clause.quant is Quant.NO:
+            self.warnings.append(
+                f"line {clause.line}: 'no' in Code_Pattern matches nothing "
+                "and only warns (paper semantics)"
+            )
+        else:
+            self.bound.update(search)
+        return ClausePlan(
+            search_vars=tuple(search),
+            new_pos_vars=(),
+            bound_before=bound_before,
+        )
+
+    def _check_depend(self, clause: DependClause) -> ClausePlan:
+        bound_before = frozenset(self.bound)
+        search: list[str] = []
+        new_pos: list[str] = []
+        for binder in clause.binders:
+            self._require_declared(binder.name, clause.line)
+            if binder.name not in self.bound and binder.name not in search:
+                search.append(binder.name)
+            if binder.pos_name is not None:
+                if binder.pos_name in self.types:
+                    raise GospelSemanticError(
+                        f"position name {binder.pos_name!r} collides with a "
+                        "declared element",
+                        clause.line,
+                    )
+                if binder.pos_name not in self.pos_vars:
+                    new_pos.append(binder.pos_name)
+
+        referenced: set[str] = set()
+        for membership in clause.memberships:
+            referenced.update(_element_names(membership))
+            self._check_set_expr(membership.set_expr, clause.line)
+        if clause.condition is not None:
+            referenced.update(_element_names(clause.condition))
+            self._check_cond(clause.condition, clause.line, allow_dep=True)
+        for name in sorted(referenced):
+            if name in self.types and name not in self.bound and (
+                name not in search
+            ):
+                # implicitly existential (section 2.2's unbound Sj)
+                search.append(name)
+
+        if clause.quant is not Quant.NO:
+            self.bound.update(search)
+            self.pos_vars.update(new_pos)
+        return ClausePlan(
+            search_vars=tuple(search),
+            new_pos_vars=tuple(new_pos),
+            bound_before=bound_before,
+        )
+
+    # ------------------------------------------------------------------
+    # conditions / values
+    # ------------------------------------------------------------------
+    def _check_cond(self, cond: Cond, line: int, allow_dep: bool) -> None:
+        if isinstance(cond, BoolOp):
+            for term in cond.terms:
+                self._check_cond(term, line, allow_dep)
+        elif isinstance(cond, NotOp):
+            self._check_cond(cond.term, line, allow_dep)
+        elif isinstance(cond, Compare):
+            self._check_value(cond.left, line)
+            self._check_value(cond.right, line)
+        elif isinstance(cond, DepCond):
+            if not allow_dep:
+                raise GospelSemanticError(
+                    "dependence conditions belong in the Depend section "
+                    "(the paper orders Code_Pattern before Depend)",
+                    line,
+                )
+            self._check_value(cond.src, line, want_stmt=True)
+            self._check_value(cond.dst, line, want_stmt=True)
+            if cond.direction is not None:
+                for direction in cond.direction:
+                    if direction not in ("<", ">", "=", "*"):
+                        raise GospelSemanticError(
+                            f"bad direction {direction!r}", line
+                        )
+        elif isinstance(cond, MemCond):
+            self._check_value(cond.element, line, want_stmt=True)
+            self._check_set_expr(cond.set_expr, line)
+        else:
+            raise GospelSemanticError(f"unknown condition {cond!r}", line)
+
+    def _check_set_expr(self, set_expr: SetExpr, line: int) -> None:
+        if isinstance(set_expr, SetRef):
+            ref = set_expr.ref
+            self._require_declared(ref.base, line)
+            base_type = self.types[ref.base]
+            if base_type is ElemType.STMT:
+                raise GospelSemanticError(
+                    f"{ref.base!r} is a statement, not a set", line
+                )
+            for attr in ref.attrs:
+                if attr not in ("body",):
+                    raise GospelSemanticError(
+                        f"attribute .{attr} does not produce a set", line
+                    )
+        elif isinstance(set_expr, (PathSet, RegionSet)):
+            self._check_value(set_expr.start, line, want_stmt=True)
+            self._check_value(set_expr.stop, line, want_stmt=True)
+        elif isinstance(set_expr, SetOp):
+            self._check_set_expr(set_expr.left, line)
+            self._check_set_expr(set_expr.right, line)
+        elif isinstance(set_expr, UsesSet):
+            self._check_value(set_expr.operand, line)
+            self._check_set_expr(set_expr.within, line)
+        elif isinstance(set_expr, RangeSet):
+            for value in (set_expr.init, set_expr.final, set_expr.step):
+                self._check_value(value, line)
+        else:
+            raise GospelSemanticError(f"unknown set {set_expr!r}", line)
+
+    def _check_value(
+        self, value: Value, line: int, want_stmt: bool = False
+    ) -> None:
+        if isinstance(value, (NumberLit, NewTemp)):
+            return
+        if isinstance(value, Arith):
+            self._check_value(value.left, line)
+            self._check_value(value.right, line)
+            return
+        if isinstance(value, FuncVal):
+            for arg in value.args:
+                self._check_value(arg, line)
+            return
+        if isinstance(value, SymbolLit):
+            if value.name not in KNOWN_SYMBOLS:
+                raise GospelSemanticError(
+                    f"unknown symbolic constant {value.name!r}", line
+                )
+            return
+        if isinstance(value, Ref):
+            self._check_ref(value, line, want_stmt)
+            return
+        raise GospelSemanticError(f"unknown value {value!r}", line)
+
+    def _check_ref(self, ref: Ref, line: int, want_stmt: bool) -> None:
+        base = ref.base
+        if base not in self.types:
+            # bare identifiers that aren't declared elements are either
+            # symbolic constants or dependence-position names
+            if not ref.attrs and (
+                base.lower() in KNOWN_SYMBOLS or base in self.pos_vars
+                or base.lower() in ("pos",)
+            ):
+                return
+            if not ref.attrs and _is_probable_pos_name(base):
+                return
+            raise GospelSemanticError(f"undeclared name {base!r}", line)
+        elem_type = self.types[base]
+        current = "stmt" if elem_type is ElemType.STMT else "loop"
+        for attr in ref.attrs:
+            if current == "stmt":
+                if attr not in STMT_ATTRS:
+                    raise GospelSemanticError(
+                        f".{attr} is not a statement attribute", line
+                    )
+                current = "stmt" if attr in ("next", "prev") else "operand"
+            elif current == "loop":
+                if attr not in LOOP_ATTRS:
+                    raise GospelSemanticError(
+                        f".{attr} is not a loop attribute", line
+                    )
+                if attr in LOOP_STMT_ATTRS:
+                    current = "stmt"
+                elif attr in ("next", "prev"):
+                    current = "loop"
+                elif attr == "body":
+                    current = "set"
+                else:
+                    current = "operand"
+            elif current == "operand":
+                raise GospelSemanticError(
+                    f"cannot take .{attr} of an operand", line
+                )
+            elif current == "set":
+                raise GospelSemanticError(
+                    f"cannot take .{attr} of a set", line
+                )
+
+    def _require_declared(self, name: str, line: int) -> None:
+        if name not in self.types:
+            raise GospelSemanticError(f"undeclared element {name!r}", line)
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def _check_actions(self) -> frozenset[str]:
+        visible = set(self.bound) | set(self.pos_vars)
+        for action in self.spec.actions:
+            self._check_action(action, visible)
+        return frozenset(visible)
+
+    def _check_action(self, action: Action, visible: set[str]) -> None:
+        if isinstance(action, DeleteAction):
+            self._check_action_value(action.target, visible)
+        elif isinstance(action, MoveAction):
+            self._check_action_value(action.target, visible)
+            self._check_action_value(action.after, visible)
+        elif isinstance(action, CopyAction):
+            self._check_action_value(action.source, visible)
+            self._check_action_value(action.after, visible)
+            visible.add(action.name)
+        elif isinstance(action, AddAction):
+            self._check_action_value(action.after, visible)
+            for value in (action.template.result, action.template.a,
+                          action.template.b):
+                if value is not None:
+                    self._check_action_value(value, visible)
+            visible.add(action.name)
+        elif isinstance(action, ModifyAction):
+            self._check_action_value(action.lvalue, visible)
+            self._check_action_value(action.new_value, visible)
+        elif isinstance(action, ForallAction):
+            inner = set(visible)
+            inner.add(action.binder.name)
+            if action.binder.pos_name is not None:
+                inner.add(action.binder.pos_name)
+            self._check_action_set(action.domain, visible)
+            for sub in action.body:
+                self._check_action(sub, inner)
+        else:
+            raise GospelSemanticError(f"unknown action {action!r}")
+
+    def _check_action_value(self, value: Value, visible: set[str]) -> None:
+        if isinstance(value, Ref):
+            if value.base not in visible and value.base not in self.types:
+                if not value.attrs and (
+                    value.base.lower() in KNOWN_SYMBOLS
+                    or _is_probable_pos_name(value.base)
+                ):
+                    return
+                raise GospelSemanticError(
+                    f"action references unbound name {value.base!r}"
+                )
+            return
+        if isinstance(value, Arith):
+            self._check_action_value(value.left, visible)
+            self._check_action_value(value.right, visible)
+        elif isinstance(value, FuncVal):
+            for arg in value.args:
+                self._check_action_value(arg, visible)
+
+    def _check_action_set(self, set_expr: SetExpr, visible: set[str]) -> None:
+        if isinstance(set_expr, SetRef):
+            if set_expr.ref.base not in visible and (
+                set_expr.ref.base not in self.types
+            ):
+                raise GospelSemanticError(
+                    f"forall domain references unbound {set_expr.ref.base!r}"
+                )
+        elif isinstance(set_expr, UsesSet):
+            self._check_action_value(set_expr.operand, visible)
+            self._check_action_set(set_expr.within, visible)
+        elif isinstance(set_expr, RangeSet):
+            for value in (set_expr.init, set_expr.final, set_expr.step):
+                self._check_action_value(value, visible)
+        elif isinstance(set_expr, SetOp):
+            self._check_action_set(set_expr.left, visible)
+            self._check_action_set(set_expr.right, visible)
+        elif isinstance(set_expr, (PathSet, RegionSet)):
+            self._check_action_value(set_expr.start, visible)
+            self._check_action_value(set_expr.stop, visible)
+
+
+def _is_probable_pos_name(name: str) -> bool:
+    """Heuristic for dependence-position names (``pos``, ``pos2``...)."""
+    return name.lower().startswith("pos")
+
+
+def _element_names(node: object) -> set[str]:
+    """All base identifiers appearing in a condition/value tree."""
+    names: set[str] = set()
+
+    def walk(item: object) -> None:
+        if isinstance(item, Ref):
+            names.add(item.base)
+        elif isinstance(item, BoolOp):
+            for term in item.terms:
+                walk(term)
+        elif isinstance(item, NotOp):
+            walk(item.term)
+        elif isinstance(item, Compare):
+            walk(item.left)
+            walk(item.right)
+        elif isinstance(item, DepCond):
+            walk(item.src)
+            walk(item.dst)
+        elif isinstance(item, MemCond):
+            walk(item.element)
+            walk(item.set_expr)
+        elif isinstance(item, Arith):
+            walk(item.left)
+            walk(item.right)
+        elif isinstance(item, FuncVal):
+            for arg in item.args:
+                walk(arg)
+        elif isinstance(item, SetRef):
+            walk(item.ref)
+        elif isinstance(item, (PathSet, RegionSet)):
+            walk(item.start)
+            walk(item.stop)
+        elif isinstance(item, (SetOp,)):
+            walk(item.left)
+            walk(item.right)
+        elif isinstance(item, UsesSet):
+            walk(item.operand)
+            walk(item.within)
+        elif isinstance(item, RangeSet):
+            walk(item.init)
+            walk(item.final)
+            walk(item.step)
+
+    walk(node)
+    return names
+
+
+def analyze_spec(spec: Specification) -> AnalyzedSpec:
+    """Run all static checks and compute the binding plan."""
+    return SemanticChecker(spec).check()

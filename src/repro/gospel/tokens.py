@@ -1,0 +1,177 @@
+"""Tokens and lexer for GOSpeL.
+
+GOSpeL keywords are case-insensitive (the paper writes ``PRECOND`` and
+``Code_Pattern``; users wrote ``any``/``ANY`` interchangeably).
+Comments are C-style ``/* ... */`` as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.gospel.errors import GospelSyntaxError
+
+
+class GTok(enum.Enum):
+    """GOSpeL token kinds."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+#: Keywords, stored lowercase; the lexer folds case.
+KEYWORDS = frozenset(
+    {
+        "type",
+        "precond",
+        "code_pattern",
+        "depend",
+        "action",
+        "any",
+        "all",
+        "no",
+        "and",
+        "or",
+        "not",
+        "mem",
+        "path",
+        "region",
+        "inter",
+        "union",
+        "forall",
+        "in",
+        "where",
+        "stmt",
+        "loop",
+        "nested",
+        "tight",
+        "adjacent",
+        "loops",
+        "delete",
+        "copy",
+        "move",
+        "add",
+        "modify",
+        "operand",
+        "uses",
+        "range",
+        "newtemp",
+    }
+)
+
+#: Multi-character operators, longest first.
+MULTI_OPS = ("==", "!=", "<=", ">=")
+SINGLE_OPS = ";:,.(){}<>=*+-/"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One GOSpeL token."""
+
+    kind: GTok
+    text: str
+    line: int
+    column: int
+    value: Union[int, float, None] = None
+
+    def is_op(self, text: str) -> bool:
+        return self.kind is GTok.OP and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is GTok.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize GOSpeL specification text."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    position = 0
+    length = len(source)
+
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end == -1:
+                raise GospelSyntaxError("unterminated comment", line, column)
+            skipped = source[position : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            position = end + 2
+            continue
+
+        if char.isdigit():
+            start = position
+            start_column = column
+            seen_dot = False
+            while position < length and (
+                source[position].isdigit()
+                or (source[position] == "." and not seen_dot
+                    and source[position + 1 : position + 2].isdigit())
+            ):
+                if source[position] == ".":
+                    seen_dot = True
+                position += 1
+            text = source[start:position]
+            column = start_column + len(text)
+            value: Union[int, float] = float(text) if seen_dot else int(text)
+            tokens.append(Token(GTok.NUMBER, text, line, start_column, value))
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            start_column = column
+            while position < length and (
+                source[position].isalnum() or source[position] in "_$"
+            ):
+                position += 1
+            text = source[start:position]
+            column = start_column + len(text)
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(GTok.KEYWORD, lowered, line, start_column))
+            else:
+                tokens.append(Token(GTok.IDENT, text, line, start_column))
+            continue
+
+        matched = None
+        for op in MULTI_OPS:
+            if source.startswith(op, position):
+                matched = op
+                break
+        if matched is not None:
+            tokens.append(Token(GTok.OP, matched, line, column))
+            position += len(matched)
+            column += len(matched)
+            continue
+        if char in SINGLE_OPS:
+            tokens.append(Token(GTok.OP, char, line, column))
+            position += 1
+            column += 1
+            continue
+
+        raise GospelSyntaxError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(GTok.EOF, "", line, column))
+    return tokens

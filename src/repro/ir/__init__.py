@@ -1,0 +1,64 @@
+"""Quad intermediate representation with retained loop structure."""
+
+from repro.ir.builder import IRBuilder, as_operand, as_subscript
+from repro.ir.loops import Loop, StructureTable, loop_attributes, trip_count
+from repro.ir.printer import format_program, format_side_by_side
+from repro.ir.program import IRError, Program
+from repro.ir.quad import (
+    BINARY_OPS,
+    COMPUTE_OPS,
+    LOOP_HEADS,
+    RELOPS,
+    STRUCTURAL_OPS,
+    UNARY_OPS,
+    Opcode,
+    Quad,
+    assign,
+    binop,
+)
+from repro.ir.types import (
+    Affine,
+    ArrayRef,
+    Const,
+    Operand,
+    Var,
+    is_array,
+    is_const,
+    is_var,
+    operand_kind,
+    used_scalars,
+)
+
+__all__ = [
+    "Affine",
+    "ArrayRef",
+    "BINARY_OPS",
+    "COMPUTE_OPS",
+    "Const",
+    "IRBuilder",
+    "IRError",
+    "LOOP_HEADS",
+    "Loop",
+    "Opcode",
+    "Operand",
+    "Program",
+    "Quad",
+    "RELOPS",
+    "STRUCTURAL_OPS",
+    "StructureTable",
+    "UNARY_OPS",
+    "Var",
+    "as_operand",
+    "as_subscript",
+    "assign",
+    "binop",
+    "format_program",
+    "format_side_by_side",
+    "is_array",
+    "is_const",
+    "is_var",
+    "loop_attributes",
+    "operand_kind",
+    "trip_count",
+    "used_scalars",
+]

@@ -1,0 +1,213 @@
+"""A small fluent API for constructing IR programs directly.
+
+Tests and synthetic workloads build programs without going through the
+mini-Fortran frontend::
+
+    b = IRBuilder()
+    b.assign("n", 10)
+    with b.loop("i", 1, "n"):
+        b.binary(b.arr("a", "i"), b.arr("b", "i"), "+", 1)
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Union
+
+from repro.ir.program import Program
+from repro.ir.quad import BINARY_OPS, Opcode, Quad, UNARY_OPS
+from repro.ir.types import Affine, ArrayRef, Const, Operand, Var
+
+OperandLike = Union[Operand, str, int, float]
+SubscriptLike = Union[Affine, str, int]
+
+_BINOP_BY_SYMBOL = {op.value: op for op in BINARY_OPS}
+_UNOP_BY_NAME = {op.value: op for op in UNARY_OPS}
+
+
+def as_operand(value: OperandLike) -> Operand:
+    """Coerce a Python value to an operand.
+
+    Strings become :class:`Var`, numbers become :class:`Const`, and
+    operands pass through unchanged.
+    """
+    if isinstance(value, Operand):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot make an operand from {value!r}")
+
+
+def as_subscript(value: SubscriptLike) -> Union[Affine, Var]:
+    """Coerce a Python value to an array subscript expression."""
+    if isinstance(value, Affine):
+        return value
+    if isinstance(value, str):
+        return Affine.var(value)
+    if isinstance(value, int):
+        return Affine.constant(value)
+    raise TypeError(f"cannot make a subscript from {value!r}")
+
+
+class IRBuilder:
+    """Accumulates quads and produces a :class:`Program`."""
+
+    def __init__(self, name: str = "main"):
+        self._program = Program(name=name)
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+    def arr(self, name: str, *subscripts: SubscriptLike) -> ArrayRef:
+        """An array reference operand, e.g. ``b.arr("a", "i")``."""
+        return ArrayRef(name, tuple(as_subscript(sub) for sub in subscripts))
+
+    def temp(self) -> Var:
+        """A fresh compiler temporary (named ``t$0``, ``t$1``, ...)."""
+        var = Var(f"t${self._temp_counter}")
+        self._temp_counter += 1
+        return var
+
+    # ------------------------------------------------------------------
+    # statement emitters
+    # ------------------------------------------------------------------
+    def emit(self, quad: Quad) -> Quad:
+        """Append a raw quad."""
+        return self._program.append(quad)
+
+    def assign(self, target: OperandLike, source: OperandLike) -> Quad:
+        """``target := source``."""
+        return self.emit(
+            Quad(Opcode.ASSIGN, result=as_operand(target), a=as_operand(source))
+        )
+
+    def binary(
+        self,
+        target: OperandLike,
+        left: OperandLike,
+        symbol: str,
+        right: OperandLike,
+    ) -> Quad:
+        """``target := left <symbol> right`` with symbol in ``+ - * / mod **``."""
+        opcode = _BINOP_BY_SYMBOL.get(symbol)
+        if opcode is None:
+            raise ValueError(f"unknown binary operator {symbol!r}")
+        return self.emit(
+            Quad(
+                opcode,
+                result=as_operand(target),
+                a=as_operand(left),
+                b=as_operand(right),
+            )
+        )
+
+    def unary(self, target: OperandLike, name: str, source: OperandLike) -> Quad:
+        """``target := name(source)`` for an intrinsic (sqrt, sin, ...)."""
+        opcode = _UNOP_BY_NAME.get(name)
+        if opcode is None:
+            raise ValueError(f"unknown unary operator {name!r}")
+        return self.emit(
+            Quad(opcode, result=as_operand(target), a=as_operand(source))
+        )
+
+    def read(self, target: OperandLike) -> Quad:
+        """``read target``."""
+        return self.emit(Quad(Opcode.READ, a=as_operand(target)))
+
+    def write(self, source: OperandLike) -> Quad:
+        """``write source``."""
+        return self.emit(Quad(Opcode.WRITE, a=as_operand(source)))
+
+    # ------------------------------------------------------------------
+    # structured regions
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(
+        self,
+        lcv: str,
+        init: OperandLike,
+        final: OperandLike,
+        step: OperandLike = 1,
+        parallel: bool = False,
+    ) -> Iterator[Quad]:
+        """A ``do lcv = init, final, step`` ... ``enddo`` region."""
+        opcode = Opcode.DOALL if parallel else Opcode.DO
+        head = self.emit(
+            Quad(
+                opcode,
+                result=Var(lcv),
+                a=as_operand(init),
+                b=as_operand(final),
+                step=as_operand(step),
+            )
+        )
+        yield head
+        self.emit(Quad(Opcode.ENDDO))
+
+    @contextlib.contextmanager
+    def if_(
+        self, left: OperandLike, relop: str, right: OperandLike
+    ) -> Iterator[Quad]:
+        """An ``if left relop right`` ... ``endif`` region (THEN part)."""
+        guard = self.emit(
+            Quad(
+                Opcode.IF,
+                a=as_operand(left),
+                b=as_operand(right),
+                relop=relop,
+            )
+        )
+        yield guard
+        self.emit(Quad(Opcode.ENDIF))
+
+    @contextlib.contextmanager
+    def if_else(
+        self, left: OperandLike, relop: str, right: OperandLike
+    ) -> Iterator[tuple[Quad, "ElseMarker"]]:
+        """An ``if``/``else``/``endif`` region.
+
+        Usage::
+
+            with b.if_else("x", ">", 0) as (guard, orelse):
+                b.assign("y", 1)
+                orelse.begin()
+                b.assign("y", 2)
+        """
+        guard = self.emit(
+            Quad(
+                Opcode.IF,
+                a=as_operand(left),
+                b=as_operand(right),
+                relop=relop,
+            )
+        )
+        marker = ElseMarker(self)
+        yield guard, marker
+        if not marker.emitted:
+            raise ValueError("if_else region ended without orelse.begin()")
+        self.emit(Quad(Opcode.ENDIF))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finish and validate the program."""
+        self._program.check_structure()
+        return self._program
+
+
+class ElseMarker:
+    """Helper that emits the ELSE quad inside an ``if_else`` region."""
+
+    def __init__(self, builder: IRBuilder):
+        self._builder = builder
+        self.emitted = False
+
+    def begin(self) -> Quad:
+        """Start the ELSE branch."""
+        if self.emitted:
+            raise ValueError("orelse.begin() called twice")
+        self.emitted = True
+        return self._builder.emit(Quad(Opcode.ELSE))

@@ -1,0 +1,45 @@
+"""Pretty-printing of programs, quads and dependence information."""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.ir.quad import Opcode
+
+
+def format_program(program: Program, show_qids: bool = True) -> str:
+    """Render a program with indentation following the loop/IF structure.
+
+    >>> from repro.ir.builder import IRBuilder
+    >>> b = IRBuilder()
+    >>> _ = b.assign("x", 1)
+    >>> print(format_program(b.build(), show_qids=False))
+    x := 1
+    """
+    lines = []
+    indent = 0
+    for quad in program:
+        if quad.opcode in (Opcode.ENDDO, Opcode.ENDIF):
+            indent = max(0, indent - 1)
+        prefix = f"{quad.qid:>4}:  " if show_qids else ""
+        if quad.opcode is Opcode.ELSE:
+            lines.append(f"{prefix}{'    ' * max(0, indent - 1)}{quad}")
+        else:
+            lines.append(f"{prefix}{'    ' * indent}{quad}")
+        if quad.opcode in (Opcode.DO, Opcode.DOALL, Opcode.IF):
+            indent += 1
+    return "\n".join(lines)
+
+
+def format_side_by_side(before: Program, after: Program, width: int = 44) -> str:
+    """Two programs in columns, for before/after optimization reports."""
+    left_lines = format_program(before).splitlines()
+    right_lines = format_program(after).splitlines()
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    header = f"{'BEFORE':<{width}} | AFTER"
+    rule = "-" * width + "-+-" + "-" * width
+    rows = [header, rule]
+    for left, right in zip(left_lines, right_lines):
+        rows.append(f"{left:<{width}} | {right}")
+    return "\n".join(rows)

@@ -1,0 +1,248 @@
+"""The program container: an ordered list of quads with stable identity.
+
+A :class:`Program` is the unit that optimizers transform.  Quads are
+identified by *qids* that survive insertion, deletion and movement, so
+that dependence edges and GOSpeL statement bindings remain meaningful
+while a transformation rewrites the code.  Structural views (the loop
+table, conditional regions) are recomputed lazily and invalidated by a
+version counter whenever the quad list changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.ir.quad import Opcode, Quad
+
+
+class IRError(Exception):
+    """Raised for malformed IR manipulations (unknown qid, bad nesting)."""
+
+
+class Program:
+    """An ordered sequence of :class:`Quad` with stable qids.
+
+    The mutation API (``insert_after``, ``remove``, ``move_after``,
+    ``replace``) is exactly what the GENesis primitive-action library
+    needs to implement the paper's five action primitives.
+    """
+
+    def __init__(self, quads: Iterable[Quad] = (), name: str = "main"):
+        self.name = name
+        self._quads: list[Quad] = []
+        self._next_qid = 0
+        self._version = 0
+        self._index: dict[int, int] = {}
+        for quad in quads:
+            self.append(quad)
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation (cache key)."""
+        return self._version
+
+    @property
+    def quads(self) -> tuple[Quad, ...]:
+        """The quads in program order (read-only view)."""
+        return tuple(self._quads)
+
+    def __len__(self) -> int:
+        return len(self._quads)
+
+    def __iter__(self) -> Iterator[Quad]:
+        return iter(self._quads)
+
+    def __getitem__(self, position: int) -> Quad:
+        return self._quads[position]
+
+    def quad(self, qid: int) -> Quad:
+        """The quad with the given qid.
+
+        Raises :class:`IRError` for unknown (e.g. deleted) qids.
+        """
+        position = self._index.get(qid)
+        if position is None:
+            raise IRError(f"no quad with qid {qid}")
+        return self._quads[position]
+
+    def position(self, qid: int) -> int:
+        """Current list position of a qid (the library's ``find``)."""
+        position = self._index.get(qid)
+        if position is None:
+            raise IRError(f"no quad with qid {qid}")
+        return position
+
+    def contains(self, qid: int) -> bool:
+        """True when a quad with this qid is currently in the program."""
+        return qid in self._index
+
+    def qids(self) -> list[int]:
+        """All qids in program order."""
+        return [quad.qid for quad in self._quads]
+
+    def next_qid_of(self, qid: int) -> Optional[int]:
+        """qid of the following quad (GOSpeL ``.NXT``), or None at end."""
+        position = self.position(qid) + 1
+        if position >= len(self._quads):
+            return None
+        return self._quads[position].qid
+
+    def prev_qid_of(self, qid: int) -> Optional[int]:
+        """qid of the preceding quad (GOSpeL ``.PREV``), or None at start."""
+        position = self.position(qid) - 1
+        if position < 0:
+            return None
+        return self._quads[position].qid
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _assign_qid(self, quad: Quad) -> Quad:
+        if quad.qid != -1 and quad.qid in self._index:
+            raise IRError(f"qid {quad.qid} already present")
+        if quad.qid == -1:
+            quad.qid = self._next_qid
+        self._next_qid = max(self._next_qid, quad.qid) + 1
+        return quad
+
+    def _reindex(self, start: int = 0) -> None:
+        for position in range(start, len(self._quads)):
+            self._index[self._quads[position].qid] = position
+        self._version += 1
+
+    def append(self, quad: Quad) -> Quad:
+        """Add a quad at the end of the program, assigning it a qid."""
+        self._assign_qid(quad)
+        self._quads.append(quad)
+        self._index[quad.qid] = len(self._quads) - 1
+        self._version += 1
+        return quad
+
+    def insert_at(self, position: int, quad: Quad) -> Quad:
+        """Insert a quad at a list position, assigning it a qid."""
+        if not 0 <= position <= len(self._quads):
+            raise IRError(f"insert position {position} out of range")
+        self._assign_qid(quad)
+        self._quads.insert(position, quad)
+        self._reindex(position)
+        return quad
+
+    def insert_after(self, qid: int, quad: Quad) -> Quad:
+        """Insert ``quad`` immediately after the quad named ``qid``.
+
+        This is the placement rule of the paper's ``Add`` and ``Copy``
+        primitives ("place it following b").
+        """
+        return self.insert_at(self.position(qid) + 1, quad)
+
+    def insert_before(self, qid: int, quad: Quad) -> Quad:
+        """Insert ``quad`` immediately before the quad named ``qid``."""
+        return self.insert_at(self.position(qid), quad)
+
+    def remove(self, qid: int) -> Quad:
+        """Remove and return the quad named ``qid`` (``Delete``)."""
+        position = self.position(qid)
+        quad = self._quads.pop(position)
+        del self._index[qid]
+        self._reindex(position)
+        return quad
+
+    def move_after(self, qid: int, after_qid: int) -> None:
+        """Move the quad ``qid`` to just after ``after_qid`` (``Move``)."""
+        if qid == after_qid:
+            raise IRError("cannot move a quad after itself")
+        quad = self.remove(qid)
+        quad.qid = qid  # keep its identity across the move
+        self._quads.insert(self.position(after_qid) + 1, quad)
+        self._reindex()
+
+    def move_to_front(self, qid: int) -> None:
+        """Move the quad ``qid`` to the start of the program."""
+        quad = self.remove(qid)
+        quad.qid = qid
+        self._quads.insert(0, quad)
+        self._reindex()
+
+    def replace(self, qid: int, quad: Quad) -> Quad:
+        """Replace the quad named ``qid`` in place, keeping the qid."""
+        position = self.position(qid)
+        quad.qid = qid
+        self._quads[position] = quad
+        self._version += 1
+        return quad
+
+    def touch(self) -> None:
+        """Bump the version counter after an in-place quad mutation."""
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # whole-program operations
+    # ------------------------------------------------------------------
+    def clone(self) -> "Program":
+        """A deep copy preserving qids (for experiments and baselines)."""
+        fresh = Program(name=self.name)
+        for quad in self._quads:
+            duplicate = quad.copy()
+            duplicate.qid = quad.qid
+            fresh._assign_qid(duplicate)
+            fresh._quads.append(duplicate)
+            fresh._index[duplicate.qid] = len(fresh._quads) - 1
+        fresh._version += 1
+        return fresh
+
+    def scalar_names(self) -> frozenset[str]:
+        """Every scalar variable name defined or used in the program."""
+        names: set[str] = set()
+        for quad in self._quads:
+            names.update(quad.used_scalar_names())
+            defined = quad.defined_scalar()
+            if defined is not None:
+                names.add(defined)
+        return frozenset(names)
+
+    def array_names(self) -> frozenset[str]:
+        """Every array name referenced in the program."""
+        names: set[str] = set()
+        for quad in self._quads:
+            for _pos, ref in quad.used_array_refs():
+                names.add(ref.name)
+            written = quad.defined_array()
+            if written is not None:
+                names.add(written.name)
+            # READ/WRITE of whole arrays appear as ArrayRef in ``a``
+        return frozenset(names)
+
+    def check_structure(self) -> None:
+        """Validate that loop and conditional markers nest properly.
+
+        Raises :class:`IRError` on mismatched ``DO``/``ENDDO`` or
+        ``IF``/``ELSE``/``ENDIF`` nesting — transformations call this in
+        validation mode to catch primitive sequences that would tear the
+        structured IR.
+        """
+        stack: list[Opcode] = []
+        for quad in self._quads:
+            op = quad.opcode
+            if op in (Opcode.DO, Opcode.DOALL, Opcode.IF):
+                stack.append(op)
+            elif op is Opcode.ELSE:
+                if not stack or stack[-1] is not Opcode.IF:
+                    raise IRError(f"ELSE outside IF at qid {quad.qid}")
+            elif op is Opcode.ENDIF:
+                if not stack or stack[-1] is not Opcode.IF:
+                    raise IRError(f"unmatched ENDIF at qid {quad.qid}")
+                stack.pop()
+            elif op is Opcode.ENDDO:
+                if not stack or stack[-1] not in (Opcode.DO, Opcode.DOALL):
+                    raise IRError(f"unmatched ENDDO at qid {quad.qid}")
+                stack.pop()
+        if stack:
+            raise IRError(f"unterminated {stack[-1].name} region")
+
+    def __str__(self) -> str:
+        from repro.ir.printer import format_program
+
+        return format_program(self)

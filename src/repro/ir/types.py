@@ -1,0 +1,217 @@
+"""Operand types for the quad intermediate representation.
+
+The paper assumes assignment statements of the general form::
+
+    opr_1 := opr_2 opc opr_3
+
+Operands are scalar variables, constants, or array references.  Array
+subscripts are kept in *affine* form when possible (a linear function of
+integer variables plus a constant) because the dependence tests of
+:mod:`repro.analysis.subscript` reason about affine subscripts; anything
+more complicated is represented by an opaque scalar operand and treated
+conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine integer expression ``sum(coeff * var) + const``.
+
+    ``terms`` is a sorted tuple of ``(variable name, coefficient)``
+    pairs with zero-coefficient entries removed, so two equal affine
+    expressions always compare (and hash) equal.
+    """
+
+    terms: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def of(const: int = 0, **coeffs: int) -> "Affine":
+        """Build an affine expression from keyword coefficients.
+
+        >>> Affine.of(3, i=2)
+        Affine(terms=(('i', 2),), const=3)
+        """
+        terms = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return Affine(terms, const)
+
+    @staticmethod
+    def var(name: str) -> "Affine":
+        """The affine expression consisting of a single variable."""
+        return Affine(((name, 1),), 0)
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        """The affine expression consisting of a single constant."""
+        return Affine((), value)
+
+    def coefficient(self, name: str) -> int:
+        """Coefficient of ``name`` (0 when the variable is absent)."""
+        for var, coeff in self.terms:
+            if var == name:
+                return coeff
+        return 0
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Names of the variables appearing with nonzero coefficient."""
+        return tuple(var for var, _ in self.terms)
+
+    def is_constant(self) -> bool:
+        """True when the expression has no variable terms."""
+        return not self.terms
+
+    def __add__(self, other: "Affine | int") -> "Affine":
+        if isinstance(other, int):
+            other = Affine.constant(other)
+        coeffs: dict[str, int] = dict(self.terms)
+        for var, coeff in other.terms:
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        terms = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return Affine(terms, self.const + other.const)
+
+    def __neg__(self) -> "Affine":
+        return Affine(tuple((v, -c) for v, c in self.terms), -self.const)
+
+    def __sub__(self, other: "Affine | int") -> "Affine":
+        if isinstance(other, int):
+            other = Affine.constant(other)
+        return self + (-other)
+
+    def scale(self, factor: int) -> "Affine":
+        """Multiply the whole expression by an integer factor."""
+        if factor == 0:
+            return Affine.constant(0)
+        terms = tuple((v, c * factor) for v, c in self.terms)
+        return Affine(terms, self.const * factor)
+
+    def substitute(self, name: str, replacement: "Affine") -> "Affine":
+        """Replace ``name`` with ``replacement`` throughout."""
+        coeff = self.coefficient(name)
+        if coeff == 0:
+            return self
+        without = Affine(
+            tuple((v, c) for v, c in self.terms if v != name), self.const
+        )
+        return without + replacement.scale(coeff)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for var, coeff in self.terms:
+            if coeff == 1:
+                parts.append(var)
+            elif coeff == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coeff}*{var}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        text = parts[0]
+        for part in parts[1:]:
+            text += f" - {part[1:]}" if part.startswith("-") else f" + {part}"
+        return text
+
+
+class Operand:
+    """Base class for all quad operands (marker class)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Operand):
+    """A scalar variable operand."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Operand):
+    """A literal constant operand (integer or floating point)."""
+
+    value: Number
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ArrayRef(Operand):
+    """An array element reference ``name(sub_1, ..., sub_k)``.
+
+    Each subscript is an :class:`Affine` expression when the frontend
+    could prove it affine, or a :class:`Var` holding a precomputed
+    opaque subscript value otherwise.
+    """
+
+    name: str
+    subscripts: tuple[Union[Affine, Var], ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(sub) for sub in self.subscripts)
+        return f"{self.name}({inner})"
+
+
+def is_const(operand: object) -> bool:
+    """True when ``operand`` is a literal constant."""
+    return isinstance(operand, Const)
+
+
+def is_var(operand: object) -> bool:
+    """True when ``operand`` is a scalar variable."""
+    return isinstance(operand, Var)
+
+
+def is_array(operand: object) -> bool:
+    """True when ``operand`` is an array element reference."""
+    return isinstance(operand, ArrayRef)
+
+
+def operand_kind(operand: object) -> str:
+    """The GOSpeL ``type()`` of an operand: const, var, array or none.
+
+    GOSpeL code patterns write conditions such as
+    ``type(Si.opr_2) == const``; this function implements that
+    classification.
+    """
+    if operand is None:
+        return "none"
+    if isinstance(operand, Const):
+        return "const"
+    if isinstance(operand, Var):
+        return "var"
+    if isinstance(operand, ArrayRef):
+        return "array"
+    raise TypeError(f"not an operand: {operand!r}")
+
+
+def used_scalars(operand: object) -> frozenset[str]:
+    """Scalar variable names read when evaluating ``operand``.
+
+    For an array reference this is the set of variables appearing in
+    its subscripts (the array itself is not a scalar use).
+    """
+    if operand is None or isinstance(operand, Const):
+        return frozenset()
+    if isinstance(operand, Var):
+        return frozenset((operand.name,))
+    if isinstance(operand, ArrayRef):
+        names: set[str] = set()
+        for sub in operand.subscripts:
+            if isinstance(sub, Var):
+                names.add(sub.name)
+            else:
+                names.update(sub.variables)
+        return frozenset(names)
+    raise TypeError(f"not an operand: {operand!r}")

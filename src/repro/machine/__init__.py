@@ -1,0 +1,23 @@
+"""Target-machine cost models and execution-time estimation."""
+
+from repro.machine.estimate import TimeEstimate, estimate_benefit, estimate_time
+from repro.machine.models import (
+    ALL_MODELS,
+    DEFAULT_CYCLES,
+    MULTIPROCESSOR,
+    MachineModel,
+    SCALAR,
+    VECTOR,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "DEFAULT_CYCLES",
+    "MULTIPROCESSOR",
+    "MachineModel",
+    "SCALAR",
+    "TimeEstimate",
+    "VECTOR",
+    "estimate_benefit",
+    "estimate_time",
+]

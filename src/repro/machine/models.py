@@ -1,0 +1,93 @@
+"""Target-machine cost models for benefit estimation.
+
+"The expected benefit of applying an optimization was computed by
+estimating the impact the optimization has on execution time, taking
+into account code that was parallelized and code that was eliminated.
+Different architectural characteristics were considered, including
+vectorization and multi-processing."
+
+Three parametric models cover those characteristics: a scalar
+uniprocessor, a vector unit (DOALL bodies complete in ``ceil(trip /
+width)`` chimes), and a shared-memory multiprocessor (DOALL iterations
+spread over P processors with a fork/join overhead).  Cycle weights are
+deliberately round, late-1980s-flavoured numbers; the experiments only
+rely on their *relative* magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.ir.quad import Opcode
+
+#: Baseline per-opcode cycle weights (scalar execution of one quad).
+DEFAULT_CYCLES: dict[Opcode, float] = {
+    Opcode.ASSIGN: 1.0,
+    Opcode.ADD: 1.0,
+    Opcode.SUB: 1.0,
+    Opcode.MUL: 3.0,
+    Opcode.DIV: 8.0,
+    Opcode.MOD: 8.0,
+    Opcode.POW: 20.0,
+    Opcode.NEG: 1.0,
+    Opcode.ABS: 1.0,
+    Opcode.SQRT: 15.0,
+    Opcode.SIN: 25.0,
+    Opcode.COS: 25.0,
+    Opcode.EXP: 25.0,
+    Opcode.LOG: 25.0,
+    Opcode.DO: 2.0,  # per-iteration loop control (increment + test)
+    Opcode.DOALL: 2.0,
+    Opcode.ENDDO: 0.0,
+    Opcode.IF: 2.0,
+    Opcode.ELSE: 1.0,
+    Opcode.ENDIF: 0.0,
+    Opcode.READ: 10.0,
+    Opcode.WRITE: 10.0,
+    Opcode.NOP: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """One target machine for benefit estimation."""
+
+    name: str
+    cycles: Mapping[Opcode, float] = field(default_factory=lambda: DEFAULT_CYCLES)
+    #: vector width (1 = no vector unit)
+    vector_width: int = 1
+    #: processor count for DOALL loops (1 = uniprocessor)
+    processors: int = 1
+    #: one-time cost of starting a parallel/vector loop
+    doall_startup: float = 0.0
+    #: trip count assumed for loops with symbolic bounds
+    default_trip: int = 10
+
+    def cost_of(self, opcode: Opcode) -> float:
+        return self.cycles.get(opcode, 1.0)
+
+    def doall_factor(self, trip: int) -> float:
+        """Per-iteration speedup divisor of a DOALL loop."""
+        parallelism = max(self.vector_width, self.processors)
+        return float(min(parallelism, max(trip, 1)))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A scalar uniprocessor.
+SCALAR = MachineModel(name="scalar")
+
+#: A vector machine: 64-element pipes, cheap startup.
+VECTOR = MachineModel(
+    name="vector", vector_width=64, doall_startup=12.0
+)
+
+#: An 8-processor shared-memory machine with fork/join cost.
+MULTIPROCESSOR = MachineModel(
+    name="multiprocessor", processors=8, doall_startup=100.0
+)
+
+#: All models the cost/benefit experiment sweeps.
+ALL_MODELS = (SCALAR, VECTOR, MULTIPROCESSOR)

@@ -1,0 +1,18 @@
+"""Optimization specifications and hand-coded baselines."""
+
+from repro.opts.catalog import build_optimizer, standard_optimizers
+from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.specs import (
+    PAPER_TEN,
+    STANDARD_SPECS,
+    VARIANT_SPECS,
+)
+
+__all__ = [
+    "EXTENDED_SPECS",
+    "PAPER_TEN",
+    "STANDARD_SPECS",
+    "VARIANT_SPECS",
+    "build_optimizer",
+    "standard_optimizers",
+]

@@ -1,0 +1,48 @@
+"""Building the standard optimizer set from the specification catalog."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from repro.genesis.generator import GeneratedOptimizer, generate_optimizer
+from repro.genesis.strategy import StrategyPolicy
+from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+
+
+def build_optimizer(
+    name: str,
+    policy: StrategyPolicy = StrategyPolicy.HEURISTIC,
+) -> GeneratedOptimizer:
+    """Generate one optimizer from the standard catalog by name."""
+    source = (
+        STANDARD_SPECS.get(name)
+        or EXTENDED_SPECS.get(name)
+        or VARIANT_SPECS.get(name)
+    )
+    if source is None:
+        raise KeyError(
+            f"unknown optimization {name!r}; catalog has "
+            f"{sorted(STANDARD_SPECS) + sorted(EXTENDED_SPECS) + sorted(VARIANT_SPECS)}"
+        )
+    return generate_optimizer(source, name=name, policy=policy)
+
+
+@lru_cache(maxsize=None)
+def _cached(name: str, policy: StrategyPolicy) -> GeneratedOptimizer:
+    return build_optimizer(name, policy)
+
+
+def standard_optimizers(
+    names: Optional[tuple[str, ...]] = None,
+    policy: StrategyPolicy = StrategyPolicy.HEURISTIC,
+) -> dict[str, GeneratedOptimizer]:
+    """Generate (and cache) the standard optimizers.
+
+    Generated optimizers are stateless between runs — all per-run state
+    lives in the :class:`~repro.genesis.library.MatchContext` — so one
+    generated instance is safely shared across programs and sessions.
+    """
+    selected = names if names is not None else tuple(sorted(STANDARD_SPECS))
+    return {name: _cached(name, policy) for name in selected}

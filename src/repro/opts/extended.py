@@ -1,0 +1,205 @@
+"""Extended optimization catalog beyond the paper's evaluated ten.
+
+"Currently, we have used GOSpeL to specify approximately twenty
+optimizations found in the literature and have been successful in
+specifying all optimizations attempted.  ...  New optimizations can be
+created or existing optimizations tailored to the system and easily
+incorporated into an optimizer."
+
+These six take the specification count to the paper's "approximately
+twenty" (eleven standard + six here + three variants) and exercise
+corners of the language the standard set does not: textual ordering
+(``pos``), XOR-style arithmetic swaps of loop bounds, block copies to
+*before* a loop, and the loop-distribution action sequence that passes
+through temporarily unbalanced region markers.
+
+* CSE — common subexpression elimination (scalar operands);
+* STR — strength reduction: ``x := y ** 2`` becomes ``x := y * y``;
+* ALG — algebraic simplification: ``*1 +0 -0 /1 **1`` become copies;
+* RVS — loop reversal (legal exactly when PAR would be);
+* PEL — loop peeling: the first iteration moves in front of the loop;
+* FIS — loop distribution (fission) at a chosen split statement: the
+  inverse of FUS, user-directed like the paper's parallelizing
+  transformations.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Common subexpression elimination
+# ----------------------------------------------------------------------
+#: Conservative by design: the reused computation must be unconditional
+#: (executed whenever the later one is), both must target scalars, the
+#: operands must be scalar or constant (array elements are may-aliased),
+#: and neither the operands nor the first result may change in between.
+CSE = """
+TYPE
+  Stmt: Si, Sj, Sk, Sl, Sc, Sc2;
+PRECOND
+  Code_Pattern
+    /* two textually ordered computations of the same expression */
+    any Si, Sj: class(Si) == binop AND (Si != Sj) AND
+                Si.opc == Sj.opc AND
+                Si.opr_2 == Sj.opr_2 AND Si.opr_3 == Sj.opr_3 AND
+                type(Si.opr_1) == var AND type(Sj.opr_1) == var AND
+                type(Si.opr_2) != array AND type(Si.opr_3) != array AND
+                Si.opr_1 != Si.opr_2 AND Si.opr_1 != Si.opr_3 AND
+                pos(Si) < pos(Sj);
+  Depend
+    /* the first computation is not conditionally executed ... */
+    no Sc: ctrl_dep(Sc, Si) AND class(Sc) == if_stmt;
+    /* ... and every loop containing it also contains the second */
+    no Sc2: ctrl_dep(Sc2, Si) AND NOT(ctrl_dep(Sc2, Sj));
+    /* its operands are unchanged in between */
+    no Sk: mem(Sk, path(Si, Sj)), anti_dep(Si, Sk);
+    /* and so is its result */
+    no Sl: mem(Sl, path(Si, Sj)), out_dep(Si, Sl);
+ACTION
+  /* reuse the earlier result */
+  modify(Sj.opc, assign);
+  modify(Sj.opr_2, Si.opr_1);
+  modify(Sj.opr_3, none);
+"""
+
+# ----------------------------------------------------------------------
+# Strength reduction (peephole flavour; the paper notes GENesis "could
+# also be used to produce peephole optimizers")
+# ----------------------------------------------------------------------
+STR = """
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    /* squaring via the expensive power operator */
+    any Si: Si.opc == pow AND type(Si.opr_3) == const AND Si.opr_3 == 2;
+  Depend
+ACTION
+  /* x := y ** 2  ==>  x := y * y */
+  modify(Si.opc, mul);
+  modify(Si.opr_3, Si.opr_2);
+"""
+
+# ----------------------------------------------------------------------
+# Algebraic simplification of right-identity operations
+# ----------------------------------------------------------------------
+ALG = """
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    any Si: class(Si) == binop AND type(Si.opr_3) == const AND (
+            (Si.opc == mul AND Si.opr_3 == 1) OR
+            (Si.opc == add AND Si.opr_3 == 0) OR
+            (Si.opc == sub AND Si.opr_3 == 0) OR
+            (Si.opc == div AND Si.opr_3 == 1) OR
+            (Si.opc == pow AND Si.opr_3 == 1));
+  Depend
+ACTION
+  /* the operation is the identity on its left operand */
+  modify(Si.opc, assign);
+  modify(Si.opr_3, none);
+"""
+
+# ----------------------------------------------------------------------
+# Loop reversal
+# ----------------------------------------------------------------------
+#: Running the iterations backwards is legal exactly when running them
+#: in parallel would be (no loop-carried dependence).  The bounds swap
+#: is a three-step arithmetic exchange — the action language has no
+#: temporaries, but constant bounds fold.
+RVS = """
+TYPE
+  Loop: L1;
+  Stmt: Sm, Sn, Sio, Sx;
+PRECOND
+  Code_Pattern
+    any L1: L1.head.opc == do AND type(L1.init) == const AND
+            type(L1.final) == const AND L1.step == 1;
+  Depend
+    /* the control variable's exit value changes */
+    no Sx: flow_dep(L1.head, Sx) AND NOT(mem(Sx, L1));
+    /* reversing reorders I/O */
+    no Sio: mem(Sio, L1), class(Sio) == io;
+    /* no dependence carried by this loop */
+    no Sm, Sn: mem(Sm, L1) AND mem(Sn, L1),
+       flow_dep(Sm, Sn, (<)) OR anti_dep(Sm, Sn, (<)) OR
+       out_dep(Sm, Sn, (<));
+ACTION
+  /* swap the bounds arithmetically, then run downwards */
+  modify(L1.init, L1.init + L1.final);
+  modify(L1.final, L1.init - L1.final);
+  modify(L1.init, L1.init - L1.final);
+  modify(L1.step, 0 - 1);
+"""
+
+# ----------------------------------------------------------------------
+# Loop peeling
+# ----------------------------------------------------------------------
+#: Always legal (execution order is unchanged); needs constant bounds so
+#: the peeled copy's control-variable uses fold to the initial value and
+#: the loop is known to execute at least once.
+PEL = """
+TYPE
+  Loop: L1;
+PRECOND
+  Code_Pattern
+    any L1: type(L1.init) == const AND type(L1.final) == const AND
+            type(L1.step) == const AND trip(L1) >= 1;
+  Depend
+ACTION
+  /* the first iteration, verbatim, in front of the loop */
+  copy(L1.body, L1.head.prev, B1);
+  forall (Su, posu) in uses(L1.lcv, B1) {
+    modify(operand(Su, posu), L1.init);
+  }
+  modify(L1.init, L1.init + L1.step);
+"""
+
+# ----------------------------------------------------------------------
+# Loop distribution (fission) — user-directed
+# ----------------------------------------------------------------------
+#: Splits L1 at statement Sp: statements from Sp onwards move into a new
+#: loop with an identical header.  Like the paper's parallelizing
+#: transformations this is applied at a user-selected point (the driver
+#: enumerates every legal (L1, Sp) cut).  Illegal when any dependence
+#: runs from the second part back into the first (the distributed
+#: second loop runs entirely after the first), or when a scalar flows
+#: across the cut within an iteration (it would need expansion).
+FIS = """
+TYPE
+  Loop: L1;
+  Stmt: Sp, Sm, Sn, Sq, Sr, Sc;
+PRECOND
+  Code_Pattern
+    /* a non-trivial cut: statements exist on both sides of Sp */
+    any L1, Sp: class(Sp) == compute AND pos(Sp) > pos(L1.head) + 1;
+  Depend
+    /* the split statement heads the second part, directly in L1 */
+    any Sp: mem(Sp, L1);
+    no Sc: mem(Sc, L1), ctrl_dep(Sc, Sp);
+    /* nothing in the second part feeds back into the first */
+    no Sm, Sn: mem(Sm, region(Sp.prev, L1.end)) AND mem(Sn, region(L1.head, Sp)),
+       flow_dep(Sm, Sn) OR anti_dep(Sm, Sn) OR out_dep(Sm, Sn);
+    /* no per-iteration scalar value crosses the cut */
+    no Sq, Sr: mem(Sq, region(L1.head, Sp)) AND mem(Sr, region(Sp.prev, L1.end)),
+       flow_dep(Sq, Sr, (=)) AND type(Sq.opr_1) == var;
+ACTION
+  /* clone the header after the loop, then its end marker, then move
+     the second part across (the anchor E2.prev re-evaluates, keeping
+     statement order) */
+  copy(L1.head, L1.end, H2);
+  copy(L1.end, H2, E2);
+  forall Sx in region(Sp.prev, L1.end) {
+    move(Sx, E2.prev);
+  }
+"""
+
+#: name -> GOSpeL source for the extension catalog.
+EXTENDED_SPECS: dict[str, str] = {
+    "CSE": CSE,
+    "STR": STR,
+    "ALG": ALG,
+    "RVS": RVS,
+    "PEL": PEL,
+    "FIS": FIS,
+}

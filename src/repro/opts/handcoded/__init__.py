@@ -1,0 +1,61 @@
+"""Hand-crafted baseline optimizers (experiment E1's comparator)."""
+
+from repro.opts.handcoded.base import HandCodedOptimizer
+from repro.opts.handcoded.loop import (
+    HandCodedBMP,
+    HandCodedCRC,
+    HandCodedFUS,
+    HandCodedICM,
+    HandCodedINX,
+    HandCodedLUR,
+    HandCodedPAR,
+)
+from repro.opts.handcoded.scalar import (
+    HandCodedCFO,
+    HandCodedCPP,
+    HandCodedCTP,
+    HandCodedDCE,
+)
+
+#: All baselines by short name.
+HANDCODED: dict[str, type[HandCodedOptimizer]] = {
+    "CTP": HandCodedCTP,
+    "CPP": HandCodedCPP,
+    "DCE": HandCodedDCE,
+    "CFO": HandCodedCFO,
+    "ICM": HandCodedICM,
+    "INX": HandCodedINX,
+    "CRC": HandCodedCRC,
+    "BMP": HandCodedBMP,
+    "PAR": HandCodedPAR,
+    "LUR": HandCodedLUR,
+    "FUS": HandCodedFUS,
+}
+
+
+def handcoded_optimizer(name: str) -> HandCodedOptimizer:
+    """Instantiate one baseline by short name."""
+    try:
+        return HANDCODED[name]()
+    except KeyError:
+        raise KeyError(
+            f"no hand-coded baseline named {name!r}; have {sorted(HANDCODED)}"
+        ) from None
+
+
+__all__ = [
+    "HANDCODED",
+    "HandCodedBMP",
+    "HandCodedCFO",
+    "HandCodedCPP",
+    "HandCodedCRC",
+    "HandCodedCTP",
+    "HandCodedDCE",
+    "HandCodedFUS",
+    "HandCodedICM",
+    "HandCodedINX",
+    "HandCodedLUR",
+    "HandCodedOptimizer",
+    "HandCodedPAR",
+    "handcoded_optimizer",
+]

@@ -1,0 +1,59 @@
+"""Base class for the hand-crafted baseline optimizers.
+
+These are the reproduction's stand-ins for the paper's "hand coded
+optimizers": classical, independently written implementations of the
+same transformations, used by experiment E1 to check that the generated
+optimizers "found the same application points and the resulting code
+was comparable ... no extraneous statements, and the optimizations were
+correctly performed".
+
+They deliberately do *not* go through GOSpeL, the generated matchers or
+the primitive-action library; they manipulate the IR directly the way a
+textbook pass would.  They do share the IR and the dependence/dataflow
+analyses — as a 1991 hand-written optimizer shared its compiler's
+analysis phase.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.ir.program import Program
+
+
+class HandCodedOptimizer(abc.ABC):
+    """One classical optimization pass."""
+
+    #: the short name matching the generated optimizer (CTP, DCE, ...)
+    name: str = "?"
+
+    @abc.abstractmethod
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        """Application points on the current program, without applying.
+
+        Binding dictionaries use the same key names as the GOSpeL
+        specification of the same optimization, so point sets are
+        directly comparable in experiment E1.
+        """
+
+    @abc.abstractmethod
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        """Apply at the first application point; None when none exist."""
+
+    def apply_all(self, program: Program, limit: int = 200) -> int:
+        """Apply repeatedly until no new points remain (bounded)."""
+        count = 0
+        seen: set[tuple] = set()
+        while count < limit:
+            applied = self.apply_once(program)
+            if applied is None:
+                return count
+            signature = tuple(sorted(
+                (k, repr(v)) for k, v in applied.items()
+            ))
+            if signature in seen:
+                return count
+            seen.add(signature)
+            count += 1
+        return count

@@ -1,0 +1,535 @@
+"""Hand-coded loop optimizations: ICM, INX, CRC, BMP, PAR, LUR, FUS.
+
+Like a hand-written 1991 loop optimizer these passes consume the
+compiler's dependence analysis directly (direction vectors over the
+dependence graph) but do their own matching and transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.dependence import compute_dependences
+from repro.analysis.graph import DepEdge, DependenceGraph
+from repro.analysis.subscript import matches_anchored_pattern
+from repro.genesis.library import LoopBinding
+from repro.ir.loops import Loop, StructureTable, trip_count
+from repro.ir.program import Program
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Affine, ArrayRef, Const, Var
+from repro.opts.handcoded.base import HandCodedOptimizer
+
+
+def _binding(structure: StructureTable, loop: Loop) -> LoopBinding:
+    return LoopBinding(head=loop.head_qid, end=loop.end_qid)
+
+
+def _contains_io(program: Program, qids) -> bool:
+    return any(
+        program.quad(qid).opcode in (Opcode.READ, Opcode.WRITE)
+        for qid in qids
+    )
+
+
+def _lcv_read_after_loop(
+    graph: DependenceGraph, loop: Loop
+) -> bool:
+    """Does the control variable flow to a use outside the loop body?"""
+    members = set(loop.body_qids)
+    for edge in graph.query("flow", src=loop.head_qid):
+        if edge.dst not in members:
+            return True
+    return False
+
+
+def _body_edges(
+    graph: DependenceGraph,
+    body: Sequence[int],
+    kinds: Sequence[str] = ("flow", "anti", "out"),
+) -> list[DepEdge]:
+    members = set(body)
+    edges = []
+    for kind in kinds:
+        for edge in graph.query(kind):
+            if edge.src in members and edge.dst in members:
+                edges.append(edge)
+    return edges
+
+
+class HandCodedPAR(HandCodedOptimizer):
+    """Mark loops with no loop-carried dependence as DOALL."""
+
+    name = "PAR"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        graph = compute_dependences(program)
+        structure = StructureTable(program)
+        points = []
+        for loop in structure.loops_in_order():
+            head = program.quad(loop.head_qid)
+            if head.opcode is not Opcode.DO:
+                continue
+            if any(
+                program.quad(qid).opcode in (Opcode.READ, Opcode.WRITE)
+                for qid in loop.body_qids
+            ):
+                continue  # the I/O stream orders the iterations
+            level = structure.nesting_depth(loop.head_qid)
+            carried = any(
+                matches_anchored_pattern(edge.vector, ("<",), level)
+                for edge in _body_edges(graph, loop.body_qids)
+            )
+            if not carried:
+                points.append({"L1": _binding(structure, loop)})
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        binding: LoopBinding = point["L1"]  # type: ignore[assignment]
+        program.quad(binding.head).opcode = Opcode.DOALL
+        program.touch()
+        return point
+
+
+class HandCodedINX(HandCodedOptimizer):
+    """Interchange tightly nested loop pairs when no dependence has a
+    ``(<,>)`` direction at their levels."""
+
+    name = "INX"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        graph = compute_dependences(program)
+        structure = StructureTable(program)
+        points = []
+        for outer_qid, inner_qid in structure.tight_pairs():
+            outer = structure.loop_of(outer_qid)
+            inner = structure.loop_of(inner_qid)
+            if graph.query("flow", src=outer_qid, dst=inner_qid):
+                continue  # inner bounds depend on the outer lcv
+            if _contains_io(program, inner.body_qids):
+                continue  # interchanging would reorder the I/O streams
+            level = structure.nesting_depth(outer_qid)
+            blocked = any(
+                matches_anchored_pattern(edge.vector, ("<", ">"), level)
+                for edge in _body_edges(graph, inner.body_qids)
+            )
+            if not blocked:
+                points.append(
+                    {
+                        "L1": _binding(structure, outer),
+                        "L2": _binding(structure, inner),
+                    }
+                )
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        outer: LoopBinding = point["L1"]  # type: ignore[assignment]
+        inner: LoopBinding = point["L2"]  # type: ignore[assignment]
+        program.move_after(outer.head, inner.head)
+        last_body = program.prev_qid_of(inner.end)
+        assert last_body is not None
+        program.move_after(outer.end, last_body)
+        return point
+
+
+class HandCodedCRC(HandCodedOptimizer):
+    """Circulate the innermost loop of a perfect triple nest outward."""
+
+    name = "CRC"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        graph = compute_dependences(program)
+        structure = StructureTable(program)
+        tight = dict(structure.tight_pairs())
+        points = []
+        for l1_qid, l2_qid in tight.items():
+            l3_qid = tight.get(l2_qid)
+            if l3_qid is None:
+                continue
+            for src_qid, dst_qid in (
+                (l1_qid, l2_qid), (l1_qid, l3_qid), (l2_qid, l3_qid)
+            ):
+                if graph.query("flow", src=src_qid, dst=dst_qid):
+                    break
+            else:
+                inner = structure.loop_of(l3_qid)
+                if _contains_io(program, inner.body_qids):
+                    continue
+                level = structure.nesting_depth(l1_qid)
+                blocked = any(
+                    matches_anchored_pattern(
+                        edge.vector, ("*", "*", ">"), level
+                    )
+                    for edge in _body_edges(graph, inner.body_qids)
+                )
+                if not blocked:
+                    points.append(
+                        {
+                            "L1": _binding(structure, structure.loop_of(l1_qid)),
+                            "L2": _binding(structure, structure.loop_of(l2_qid)),
+                            "L3": _binding(structure, inner),
+                        }
+                    )
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        l1: LoopBinding = point["L1"]  # type: ignore[assignment]
+        l2: LoopBinding = point["L2"]  # type: ignore[assignment]
+        l3: LoopBinding = point["L3"]  # type: ignore[assignment]
+        program.move_after(l1.head, l3.head)
+        program.move_after(l2.head, l1.head)
+        program.move_after(l3.end, l1.end)
+        return point
+
+
+class HandCodedBMP(HandCodedOptimizer):
+    """Normalize constant lower bounds to 1 (loop bumping)."""
+
+    name = "BMP"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        structure = StructureTable(program)
+        graph = compute_dependences(program)
+        points = []
+        for loop in structure.loops_in_order():
+            head = program.quad(loop.head_qid)
+            if (
+                isinstance(head.a, Const)
+                and head.a.value != 1
+                and isinstance(head.b, Const)
+                and head.step == Const(1)
+                and not _lcv_read_after_loop(graph, loop)
+            ):
+                points.append({"L1": _binding(structure, loop)})
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        binding: LoopBinding = point["L1"]  # type: ignore[assignment]
+        head = program.quad(binding.head)
+        assert isinstance(head.a, Const) and isinstance(head.b, Const)
+        offset = int(head.a.value) - 1
+        lcv = head.result
+        assert isinstance(lcv, Var)
+        temp = self._fresh(program)
+        shift = Quad(
+            Opcode.ADD, result=temp, a=lcv, b=Const(offset)
+        )
+        placed = program.insert_after(binding.head, shift)
+        structure = StructureTable(program)
+        for qid in structure.loop_of(binding.head).body_qids:
+            if qid == placed.qid:
+                continue
+            _rename_uses(program.quad(qid), lcv.name, temp)
+        head.b = Const(int(head.b.value) - offset)
+        head.a = Const(1)
+        program.touch()
+        return point
+
+    @staticmethod
+    def _fresh(program: Program) -> Var:
+        existing = program.scalar_names()
+        index = 0
+        while f"h${index}" in existing:
+            index += 1
+        return Var(f"h${index}")
+
+
+def _rename_uses(quad: Quad, old: str, new: Var) -> None:
+    for pos, operand in list(quad.use_positions()):
+        if isinstance(operand, Var) and operand.name == old:
+            quad.set_operand(pos, new)
+        elif isinstance(operand, ArrayRef):
+            subscripts = []
+            for sub in operand.subscripts:
+                if isinstance(sub, Var) and sub.name == old:
+                    subscripts.append(new)
+                elif isinstance(sub, Affine) and sub.coefficient(old) != 0:
+                    subscripts.append(sub.substitute(old, Affine.var(new.name)))
+                else:
+                    subscripts.append(sub)
+            quad.set_operand(pos, ArrayRef(operand.name, tuple(subscripts)))
+
+
+class HandCodedLUR(HandCodedOptimizer):
+    """Fully unroll constant-bounds loops with small trip counts."""
+
+    name = "LUR"
+    max_trip = 16
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        structure = StructureTable(program)
+        graph = compute_dependences(program)
+        points = []
+        for loop in structure.loops_in_order():
+            head = program.quad(loop.head_qid)
+            trip = trip_count(head)
+            if trip is None or not 1 <= trip <= self.max_trip:
+                continue
+            if _lcv_read_after_loop(graph, loop):
+                continue
+            points.append({"L1": _binding(structure, loop)})
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        binding: LoopBinding = point["L1"]  # type: ignore[assignment]
+        head = program.quad(binding.head)
+        assert (
+            isinstance(head.a, Const)
+            and isinstance(head.b, Const)
+            and isinstance(head.step, Const)
+        )
+        lcv = head.result
+        assert isinstance(lcv, Var)
+        body_positions = range(
+            program.position(binding.head) + 1, program.position(binding.end)
+        )
+        body_qids = [program[i].qid for i in body_positions]
+        anchor = binding.end
+        value = int(head.a.value)
+        final = int(head.b.value)
+        step = int(head.step.value)
+        while (step > 0 and value <= final) or (step < 0 and value >= final):
+            for qid in body_qids:
+                duplicate = program.quad(qid).copy()
+                _rename_uses_to_const(duplicate, lcv.name, value)
+                placed = program.insert_after(anchor, duplicate)
+                anchor = placed.qid
+            value += step
+        for qid in body_qids:
+            program.remove(qid)
+        program.remove(binding.head)
+        program.remove(binding.end)
+        return point
+
+
+def _rename_uses_to_const(quad: Quad, old: str, value: int) -> None:
+    for pos, operand in list(quad.use_positions()):
+        if isinstance(operand, Var) and operand.name == old:
+            quad.set_operand(pos, Const(value))
+        elif isinstance(operand, ArrayRef):
+            subscripts = []
+            for sub in operand.subscripts:
+                if isinstance(sub, Var) and sub.name == old:
+                    subscripts.append(Affine.constant(value))
+                elif isinstance(sub, Affine) and sub.coefficient(old) != 0:
+                    subscripts.append(
+                        sub.substitute(old, Affine.constant(value))
+                    )
+                else:
+                    subscripts.append(sub)
+            quad.set_operand(pos, ArrayRef(operand.name, tuple(subscripts)))
+
+
+class HandCodedFUS(HandCodedOptimizer):
+    """Fuse adjacent loops with identical headers when legal."""
+
+    name = "FUS"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        structure = StructureTable(program)
+        points = []
+        for first_qid, second_qid in structure.adjacent_pairs():
+            first_head = program.quad(first_qid)
+            second_head = program.quad(second_qid)
+            if (
+                first_head.result != second_head.result
+                or first_head.a != second_head.a
+                or first_head.b != second_head.b
+                or first_head.step != second_head.step
+            ):
+                continue
+            first = structure.loop_of(first_qid)
+            second = structure.loop_of(second_qid)
+            has_io = any(
+                program.quad(qid).opcode in (Opcode.READ, Opcode.WRITE)
+                for qid in first.body_qids + second.body_qids
+            )
+            if has_io:
+                continue  # fusing would reorder the I/O streams
+            if self._fusion_prevented(program, first, second):
+                continue
+            points.append(
+                {
+                    "L1": _binding(structure, first),
+                    "L2": _binding(structure, second),
+                }
+            )
+        return points
+
+    @staticmethod
+    def _fusion_prevented(
+        program: Program, first: Loop, second: Loop
+    ) -> bool:
+        """A backward fused dependence: the second body reads/writes an
+        element the first body touches in a *later* iteration."""
+        first_lcv = program.quad(first.head_qid).result
+        second_lcv = program.quad(second.head_qid).result
+        assert isinstance(first_lcv, Var) and isinstance(second_lcv, Var)
+
+        def accesses(body: Sequence[int]):
+            found = []
+            for qid in body:
+                quad = program.quad(qid)
+                written = quad.defined_array()
+                if written is not None:
+                    found.append((written, True))
+                for _pos, ref in quad.used_array_refs():
+                    found.append((ref, False))
+                scalar = quad.defined_scalar()
+                if scalar is not None:
+                    found.append((scalar, True))
+                for name in quad.used_scalar_names():
+                    found.append((name, False))
+            return found
+
+        first_accesses = accesses(first.body_qids)
+        second_accesses = accesses(second.body_qids)
+        for ref_a, write_a in first_accesses:
+            for ref_b, write_b in second_accesses:
+                if not (write_a or write_b):
+                    continue
+                if isinstance(ref_a, str) or isinstance(ref_b, str):
+                    if ref_a == ref_b and ref_a not in (
+                        first_lcv.name, second_lcv.name
+                    ):
+                        return True  # conservative for scalars
+                    continue
+                if ref_a.name != ref_b.name:
+                    continue
+                if _backward_distance(ref_a, ref_b, first_lcv.name,
+                                      second_lcv.name):
+                    return True
+        return False
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        first: LoopBinding = point["L1"]  # type: ignore[assignment]
+        second: LoopBinding = point["L2"]  # type: ignore[assignment]
+        body = [
+            program[i].qid
+            for i in range(
+                program.position(second.head) + 1,
+                program.position(second.end),
+            )
+        ]
+        anchor = program.prev_qid_of(first.end)
+        assert anchor is not None
+        for qid in body:
+            program.move_after(qid, anchor)
+            anchor = qid
+        program.remove(second.head)
+        program.remove(second.end)
+        return point
+
+
+def _backward_distance(
+    ref_a: ArrayRef, ref_b: ArrayRef, lcv_a: str, lcv_b: str
+) -> bool:
+    """Would the dependence between the two references be backward
+    (sink iteration earlier than source) once the loops are fused?"""
+    for sub_a, sub_b in zip(ref_a.subscripts, ref_b.subscripts):
+        if isinstance(sub_a, Var) or isinstance(sub_b, Var):
+            return True  # opaque subscripts: assume prevented
+        aligned_b = sub_b.substitute(lcv_b, Affine.var(lcv_a))
+        coeff_a = sub_a.coefficient(lcv_a)
+        coeff_b = aligned_b.coefficient(lcv_a)
+        if coeff_a != coeff_b:
+            return True  # conservative: unknown distance
+        if coeff_a == 0:
+            if sub_a != aligned_b:
+                return False  # provably different elements: no dep
+            continue
+        delta = sub_a.const - aligned_b.const
+        if delta % coeff_a != 0:
+            return False  # no integer solution: independent
+        if delta // coeff_a < 0:
+            return True  # element written later in the first loop
+    return False
+
+
+class HandCodedICM(HandCodedOptimizer):
+    """Hoist loop-invariant scalar computations out of their loop."""
+
+    name = "ICM"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        graph = compute_dependences(program)
+        structure = StructureTable(program)
+        points = []
+        for loop in structure.loops_in_order():
+            body = set(loop.body_qids)
+            for qid in loop.body_qids:
+                quad = program.quad(qid)
+                if not quad.is_assignment():
+                    continue
+                if not isinstance(quad.result, Var):
+                    continue
+                if structure.enclosing_loop.get(qid) != loop.head_qid:
+                    continue  # hoist only from the innermost loop
+                if self._invariant(graph, structure, loop, qid, body):
+                    points.append(
+                        {"L1": _binding(structure, loop), "Si": qid}
+                    )
+        return points
+
+    @staticmethod
+    def _invariant(
+        graph: DependenceGraph,
+        structure: StructureTable,
+        loop: Loop,
+        qid: int,
+        body: set[int],
+    ) -> bool:
+        if graph.query("flow", src=loop.head_qid, dst=qid):
+            return False  # uses the loop control variable
+        for edge in graph.deps_to(qid, "flow"):
+            if edge.src in body:
+                return False  # operands computed inside the loop
+        for edge in graph.deps_from(qid, "out"):
+            if edge.dst in body and edge.dst != qid:
+                return False
+        for edge in graph.deps_to(qid, "out"):
+            if edge.src in body and edge.src != qid:
+                return False
+        for edge in graph.deps_to(qid, "anti"):
+            if edge.src in body and not edge.carried:
+                return False  # target read earlier in the iteration
+        for guard in structure.controllers.get(qid, ()):
+            if guard in body:
+                return False  # conditionally executed inside the loop
+        return True
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        binding: LoopBinding = point["L1"]  # type: ignore[assignment]
+        before = program.prev_qid_of(binding.head)
+        if before is None:
+            program.move_to_front(point["Si"])  # type: ignore[arg-type]
+        else:
+            program.move_after(point["Si"], before)  # type: ignore[arg-type]
+        return point

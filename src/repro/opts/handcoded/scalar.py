@@ -1,0 +1,252 @@
+"""Hand-coded scalar optimizations: CTP, CPP, DCE, CFO.
+
+Classical formulations over reaching definitions and liveness, written
+the way a compiler textbook presents them — no GOSpeL machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.reaching import ReachingDefinitions, compute_reaching
+from repro.genesis.library import PosBinding
+from repro.ir import interp
+from repro.ir.program import Program
+from repro.ir.quad import BINARY_OPS, Opcode, Quad
+from repro.ir.types import Affine, ArrayRef, Const, Var, used_scalars
+from repro.opts.handcoded.base import HandCodedOptimizer
+
+
+def _scalar_use_sites(program: Program) -> Iterator[tuple[int, Quad, str, str]]:
+    """(position, quad, operand position, variable) for scalar reads."""
+    for position, quad in enumerate(program):
+        for pos, operand in quad.use_positions():
+            for name in sorted(used_scalars(operand)):
+                yield position, quad, pos, name
+
+
+def _replace_use(quad: Quad, pos: str, var: str, replacement) -> None:
+    """Rewrite the read of ``var`` at operand position ``pos``."""
+    existing = quad.operand_at(pos)
+    if isinstance(existing, Var) and existing.name == var:
+        quad.set_operand(pos, replacement)
+        return
+    if isinstance(existing, ArrayRef):
+        subscripts = []
+        for sub in existing.subscripts:
+            if isinstance(sub, Var) and sub.name == var:
+                if isinstance(replacement, Const):
+                    subscripts.append(Affine.constant(int(replacement.value)))
+                else:
+                    subscripts.append(replacement)
+            elif isinstance(sub, Affine) and sub.coefficient(var) != 0:
+                if isinstance(replacement, Const):
+                    subscripts.append(
+                        sub.substitute(var, Affine.constant(
+                            int(replacement.value)))
+                    )
+                elif isinstance(replacement, Var):
+                    subscripts.append(
+                        sub.substitute(var, Affine.var(replacement.name))
+                    )
+                else:
+                    subscripts.append(sub)
+            else:
+                subscripts.append(sub)
+        quad.set_operand(pos, ArrayRef(existing.name, tuple(subscripts)))
+
+
+class HandCodedCTP(HandCodedOptimizer):
+    """Constant propagation via unique constant reaching definitions."""
+
+    name = "CTP"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        reaching = compute_reaching(program)
+        points = []
+        for position, quad, pos, var in _scalar_use_sites(program):
+            point = self._point_at(program, reaching, position, quad, pos, var)
+            if point is not None:
+                points.append(point)
+        return points
+
+    def _point_at(
+        self,
+        program: Program,
+        reaching: ReachingDefinitions,
+        position: int,
+        quad: Quad,
+        pos: str,
+        var: str,
+    ) -> Optional[dict[str, object]]:
+        defs = reaching.reaching_defs_of(position, var)
+        if len(defs) != 1:
+            return None
+        definition = defs[0]
+        def_quad = program[definition.position]
+        if def_quad.opcode is not Opcode.ASSIGN or not isinstance(
+            def_quad.a, Const
+        ):
+            return None
+        if def_quad.qid == quad.qid:
+            return None
+        # the single reaching def must also reach loop-independently
+        # (uses reached only around a back edge never see another value,
+        # but the first iteration would read an undefined variable —
+        # match the generated optimizer's (=) requirement)
+        acyclic = reaching.reaching_defs_of(position, var, acyclic=True)
+        if definition not in acyclic:
+            return None
+        return {
+            "Si": def_quad.qid,
+            "Sj": quad.qid,
+            "pos": PosBinding(pos=pos, var=var),
+        }
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        quad = program.quad(point["Sj"])  # type: ignore[arg-type]
+        definition = program.quad(point["Si"])  # type: ignore[arg-type]
+        binding: PosBinding = point["pos"]  # type: ignore[assignment]
+        _replace_use(quad, binding.pos, binding.var, definition.a)
+        program.touch()
+        return point
+
+
+class HandCodedCPP(HandCodedOptimizer):
+    """Copy propagation: unique reaching copy whose source is stable.
+
+    The source-stability check compares the reaching definitions of the
+    copied variable at the copy and at the use — if they are the same
+    set, no new definition of the source intervenes on any path.
+    """
+
+    name = "CPP"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        reaching = compute_reaching(program)
+        points = []
+        for position, quad, pos, var in _scalar_use_sites(program):
+            defs = reaching.reaching_defs_of(position, var)
+            if len(defs) != 1:
+                continue
+            definition = defs[0]
+            def_quad = program[definition.position]
+            if def_quad.opcode is not Opcode.ASSIGN or not isinstance(
+                def_quad.a, Var
+            ):
+                continue
+            if def_quad.qid == quad.qid:
+                continue
+            acyclic = reaching.reaching_defs_of(position, var, acyclic=True)
+            if definition not in acyclic:
+                continue
+            source = def_quad.a.name
+            defs_at_copy = frozenset(
+                d.qid for d in reaching.reaching_defs_of(
+                    definition.position, source
+                )
+            )
+            defs_at_use = frozenset(
+                d.qid for d in reaching.reaching_defs_of(position, source)
+            )
+            if defs_at_copy != defs_at_use:
+                continue  # the source may change between copy and use
+            if def_quad.qid in defs_at_use:
+                continue  # degenerate x := x copies
+            points.append(
+                {
+                    "Si": def_quad.qid,
+                    "Sj": quad.qid,
+                    "pos": PosBinding(pos=pos, var=var),
+                }
+            )
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        quad = program.quad(point["Sj"])  # type: ignore[arg-type]
+        definition = program.quad(point["Si"])  # type: ignore[arg-type]
+        binding: PosBinding = point["pos"]  # type: ignore[assignment]
+        _replace_use(quad, binding.pos, binding.var, definition.a)
+        program.touch()
+        return point
+
+
+class HandCodedDCE(HandCodedOptimizer):
+    """Dead code elimination via liveness (scalars) and read scans
+    (array elements)."""
+
+    name = "DCE"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        cfg = build_cfg(program)
+        liveness = compute_liveness(program, cfg)
+        graph = None
+        points = []
+        for position, quad in enumerate(program):
+            if not quad.is_assignment():
+                continue
+            target_scalar = quad.defined_scalar()
+            if target_scalar is not None:
+                if not liveness.is_live_out(position, target_scalar):
+                    points.append({"Si": quad.qid})
+                continue
+            if quad.defined_array() is not None:
+                # an array-element write is dead when its value flows
+                # to no read (dependence-based, like a hand optimizer
+                # consulting the compiler's dependence phase)
+                if graph is None:
+                    from repro.analysis.dependence import compute_dependences
+
+                    graph = compute_dependences(program)
+                if not graph.query("flow", src=quad.qid, var=None):
+                    points.append({"Si": quad.qid})
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        program.remove(point["Si"])  # type: ignore[arg-type]
+        return point
+
+
+class HandCodedCFO(HandCodedOptimizer):
+    """Constant folding of binary computations over literals."""
+
+    name = "CFO"
+
+    def find_points(self, program: Program) -> list[dict[str, object]]:
+        points = []
+        for quad in program:
+            if quad.opcode not in BINARY_OPS:
+                continue
+            if not isinstance(quad.a, Const) or not isinstance(quad.b, Const):
+                continue
+            if quad.opcode is Opcode.DIV and quad.b.value == 0:
+                continue
+            points.append({"Si": quad.qid})
+        return points
+
+    def apply_once(self, program: Program) -> Optional[dict[str, object]]:
+        points = self.find_points(program)
+        if not points:
+            return None
+        point = points[0]
+        quad = program.quad(point["Si"])  # type: ignore[arg-type]
+        folded = interp._apply_binary(quad.opcode, quad.a.value, quad.b.value)
+        quad.opcode = Opcode.ASSIGN
+        quad.a = Const(folded)
+        quad.b = None
+        program.touch()
+        return point

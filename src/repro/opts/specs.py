@@ -1,0 +1,388 @@
+"""GOSpeL specifications for the paper's optimizations.
+
+The ten optimizations of Section 4 — Copy Propagation (CPP), Constant
+Propagation (CTP), Dead Code Elimination (DCE), Invariant Code Motion
+(ICM), Loop Interchanging (INX), Loop Circulation (CRC), Bumping (BMP),
+Parallelization (PAR), Loop Unrolling (LUR), and Loop Fusion (FUS) —
+plus Constant Folding (CFO), which the enabling experiment references.
+
+``CTP_PAPER`` and ``INX_PAPER`` are near-verbatim transcriptions of the
+paper's Figures 1 and 2 (see the notes on each).  The catalog versions
+extend them only where soundness demands (e.g. INX also excludes
+``anti``/``out`` dependences with a ``(<,>)`` vector — the classical
+legality condition).  ``LUR_LOWER_FIRST`` is the deliberately more
+expensive specification variant of experiment E6a: it tests the (almost
+always constant) lower bound before the (often symbolic) upper bound,
+discarding non-application points later than ``LUR`` does.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Figure 1: Constant Propagation, as printed in the paper
+# ----------------------------------------------------------------------
+#: The paper's Figure 1 spec.  One transcription note: the figure's
+#: third clause reads ``operand(Sj,pos) != operand(Sl,pos)``, but the
+#: generated code of Figure 6 fails when the *same* operand is reached
+#: by another definition (``dep_opr(Sj) == dep_opr(Sl)``); reusing the
+#: bound ``pos`` name in ``(Sl, pos)`` expresses exactly that
+#: unification, so the clause needs no operand comparison at all.
+CTP_PAPER = """
+TYPE
+  Stmt: Si, Sj, Sl;
+PRECOND
+  Code_Pattern
+    /* Find a constant definition */
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    /* Use of Si with no other definitions reaching the same operand */
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos): flow_dep(Sl, Sj, (=)) AND (Si != Sl);
+ACTION
+  /* Change use of Si in Sj to be the constant */
+  modify(operand(Sj, pos), Si.opr_2);
+"""
+
+#: Catalog CTP.  One soundness fix over the Figure 1 text: the "no
+#: other definitions" clause must also reject *loop-carried* reaching
+#: definitions (``x`` redefined by a later iteration), so its direction
+#: vector is omitted (any direction) rather than ``(=)``.
+CTP = """
+TYPE
+  Stmt: Si, Sj, Sl;
+PRECOND
+  Code_Pattern
+    /* Find a constant definition of a scalar (array-element defs are
+       may-aliased; propagation from them is unsound) */
+    any Si: Si.opc == assign AND type(Si.opr_2) == const AND
+            type(Si.opr_1) == var;
+  Depend
+    /* Use of Si with no other definition reaching the same operand */
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos): flow_dep(Sl, Sj) AND (Si != Sl);
+ACTION
+  /* Change use of Si in Sj to be the constant */
+  modify(operand(Sj, pos), Si.opr_2);
+"""
+
+# ----------------------------------------------------------------------
+# Copy Propagation
+# ----------------------------------------------------------------------
+CPP = """
+TYPE
+  Stmt: Si, Sj, Sk, Sl;
+PRECOND
+  Code_Pattern
+    /* Find a scalar copy statement x := y */
+    any Si: Si.opc == assign AND type(Si.opr_2) == var AND
+            type(Si.opr_1) == var;
+  Depend
+    /* A use of the copy with no other reaching definition (in any
+       direction: loop-carried redefinitions also disqualify) */
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos): flow_dep(Sl, Sj) AND (Si != Sl);
+    /* The copied variable y is not redefined between copy and use */
+    no Sk: mem(Sk, path(Si, Sj)), anti_dep(Si, Sk);
+ACTION
+  /* Replace the use of x with y */
+  modify(operand(Sj, pos), Si.opr_2);
+"""
+
+# ----------------------------------------------------------------------
+# Dead Code Elimination
+# ----------------------------------------------------------------------
+DCE = """
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    /* Any computing statement */
+    any Si: class(Si) == compute;
+  Depend
+    /* Whose result reaches no use at all */
+    no Sj: flow_dep(Si, Sj);
+ACTION
+  delete(Si);
+"""
+
+# ----------------------------------------------------------------------
+# Constant Folding (referenced by the enabling experiment)
+# ----------------------------------------------------------------------
+CFO = """
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    /* A binary computation over two constants (guarding x/0) */
+    any Si: class(Si) == binop AND type(Si.opr_2) == const AND
+            type(Si.opr_3) == const AND
+            (Si.opc != div OR Si.opr_3 != 0);
+  Depend
+ACTION
+  /* Fold to a plain constant assignment */
+  modify(Si.opr_2, value(Si));
+  modify(Si.opc, assign);
+  modify(Si.opr_3, none);
+"""
+
+# ----------------------------------------------------------------------
+# Invariant Code Motion
+# ----------------------------------------------------------------------
+ICM = """
+TYPE
+  Loop: L1;
+  Stmt: Si, Sj, Sk, Sa, Sc;
+PRECOND
+  Code_Pattern
+    /* A scalar computation inside some loop */
+    any L1, Si: class(Si) == compute AND type(Si.opr_1) == var;
+  Depend
+    /* Si is in the loop body */
+    any Si: mem(Si, L1);
+    /* its operands do not use the loop control variable */
+    no: flow_dep(L1.head, Si);
+    /* its operands are not computed inside the loop (including Si
+       itself across iterations) */
+    no Sj: mem(Sj, L1), flow_dep(Sj, Si);
+    /* its target is assigned only by Si in the loop (the carried
+       self-output rewrites the same invariant value each iteration) */
+    no Sk: mem(Sk, L1), (Sk != Si) AND (out_dep(Si, Sk) OR out_dep(Sk, Si));
+    /* its target is not used earlier in the iteration */
+    no Sa: mem(Sa, L1), anti_dep(Sa, Si, (=));
+    /* it is not conditionally executed within the loop */
+    no Sc: mem(Sc, L1), ctrl_dep(Sc, Si);
+ACTION
+  /* Hoist the statement to just before the loop */
+  move(Si, L1.head.prev);
+"""
+
+# ----------------------------------------------------------------------
+# Figure 2: Loop Interchanging, as printed in the paper
+# ----------------------------------------------------------------------
+INX_PAPER = """
+TYPE
+  Stmt: Sn, Sm;
+  Tight Loops: (L1, L2);
+PRECOND
+  Code_Pattern
+    /* Find two tightly nested loops */
+    any (L1, L2);
+  Depend
+    /* Ensure invariant loop headers */
+    no L1.head: flow_dep(L1.head, L2.head);
+    /* No statement pair with a flow dependence and direction (<,>) */
+    no Sm, Sn: mem(Sm, L2) AND mem(Sn, L2), flow_dep(Sn, Sm, (<, >));
+ACTION
+  /* Interchange heads and tails */
+  move(L1.head, L2.head);
+  move(L1.end, L2.end.prev);
+"""
+
+#: Catalog INX: the paper's Figure 2 plus the classical requirement
+#: that *anti* and *output* dependences with a ``(<,>)`` vector also
+#: prevent interchange.
+INX = """
+TYPE
+  Stmt: Sn, Sm, Sio;
+  Tight Loops: (L1, L2);
+PRECOND
+  Code_Pattern
+    any (L1, L2);
+  Depend
+    no L1.head: flow_dep(L1.head, L2.head);
+    /* No I/O inside: interchanging would reorder the streams */
+    no Sio: mem(Sio, L2), class(Sio) == io;
+    no Sm, Sn: mem(Sm, L2) AND mem(Sn, L2),
+       flow_dep(Sn, Sm, (<, >)) OR anti_dep(Sn, Sm, (<, >)) OR
+       out_dep(Sn, Sm, (<, >));
+ACTION
+  move(L1.head, L2.head);
+  move(L1.end, L2.end.prev);
+"""
+
+# ----------------------------------------------------------------------
+# Loop Circulation: rotate the innermost loop of a perfect triple nest
+# to the outermost position ((L1,L2,L3) body -> (L3,L1,L2) body)
+# ----------------------------------------------------------------------
+CRC = """
+TYPE
+  Stmt: Sn, Sm, Sio;
+  Tight Loops: (L1, L2), (L2, L3);
+PRECOND
+  Code_Pattern
+    any (L1, L2), (L2, L3);
+  Depend
+    /* All three headers mutually invariant */
+    no: flow_dep(L1.head, L2.head) OR flow_dep(L1.head, L3.head) OR
+        flow_dep(L2.head, L3.head);
+    /* No I/O inside: rotating would reorder the streams */
+    no Sio: mem(Sio, L3), class(Sio) == io;
+    /* Rotating L3 outward must not reverse any dependence: illegal
+       exactly when some dependence is backward at L3's level */
+    no Sm, Sn: mem(Sm, L3) AND mem(Sn, L3),
+       flow_dep(Sn, Sm, (*, *, >)) OR anti_dep(Sn, Sm, (*, *, >)) OR
+       out_dep(Sn, Sm, (*, *, >));
+ACTION
+  /* heads H1 H2 H3 -> H3 H1 H2; ends E3 E2 E1 -> E2 E1 E3 */
+  move(L1.head, L3.head);
+  move(L2.head, L1.head);
+  move(L3.end, L1.end);
+"""
+
+# ----------------------------------------------------------------------
+# Bumping: normalize a loop's lower bound to 1
+# ----------------------------------------------------------------------
+BMP = """
+TYPE
+  Loop: L1;
+  Stmt: Sx;
+PRECOND
+  Code_Pattern
+    /* A loop over constant bounds not already starting at 1 */
+    any L1: type(L1.init) == const AND L1.init != 1 AND
+            type(L1.final) == const AND type(L1.step) == const AND
+            L1.step == 1;
+  Depend
+    /* Normalizing changes the control variable's final value, so it
+       must not be read after the loop */
+    no Sx: flow_dep(L1.head, Sx) AND NOT(mem(Sx, L1));
+ACTION
+  /* t := lcv + (init - 1) reconstructs the original index values */
+  add(L1.head, stmt(newtemp, add, L1.lcv, L1.init - 1), Sb);
+  forall (Su, posu) in uses(L1.lcv, L1.body) where Su != Sb {
+    modify(operand(Su, posu), Sb.opr_1);
+  }
+  modify(L1.final, L1.final - (L1.init - 1));
+  modify(L1.init, 1);
+"""
+
+# ----------------------------------------------------------------------
+# Parallelization: a loop with no loop-carried dependences becomes DOALL
+# ----------------------------------------------------------------------
+PAR = """
+TYPE
+  Loop: L1;
+  Stmt: Sm, Sn, Sio;
+PRECOND
+  Code_Pattern
+    /* A sequential loop */
+    any L1: L1.head.opc == do;
+  Depend
+    /* No I/O inside (the input/output stream orders iterations) */
+    no Sio: mem(Sio, L1), class(Sio) == io;
+    /* No dependence carried by this loop */
+    no Sm, Sn: mem(Sm, L1) AND mem(Sn, L1),
+       flow_dep(Sm, Sn, (<)) OR anti_dep(Sm, Sn, (<)) OR
+       out_dep(Sm, Sn, (<));
+ACTION
+  modify(L1.head.opc, doall);
+"""
+
+# ----------------------------------------------------------------------
+# Loop Unrolling: fully unroll a constant-bounds loop
+# ----------------------------------------------------------------------
+#: Checks the (more often symbolic) upper limit *first* — the paper
+#: found this ordering discards non-application points earlier and is
+#: cheaper (experiment E6a).
+LUR = """
+TYPE
+  Loop: L1;
+  Stmt: Sx;
+PRECOND
+  Code_Pattern
+    /* Constant bounds are needed to unroll the loop */
+    any L1: type(L1.final) == const AND type(L1.init) == const AND
+            type(L1.step) == const AND trip(L1) >= 1 AND trip(L1) <= 16;
+  Depend
+    /* The control variable must not be read after the loop: deleting
+       the loop removes its final value */
+    no Sx: flow_dep(L1.head, Sx) AND NOT(mem(Sx, L1));
+ACTION
+  /* Copy the body once per iteration value (descending placement
+     after the loop end keeps ascending execution order), substituting
+     the iteration constant for the loop control variable */
+  forall k in range(L1.final, L1.init, 0 - L1.step) {
+    copy(L1.body, L1.end, Bk);
+    forall (Su, posu) in uses(L1.lcv, Bk) {
+      modify(operand(Su, posu), k);
+    }
+  }
+  delete(L1);
+"""
+
+#: E6a variant: identical semantics, but tests the lower bound first.
+LUR_LOWER_FIRST = """
+TYPE
+  Loop: L1;
+  Stmt: Sx;
+PRECOND
+  Code_Pattern
+    /* Same as LUR but checking the lower limit before the upper */
+    any L1: type(L1.init) == const AND type(L1.final) == const AND
+            type(L1.step) == const AND trip(L1) >= 1 AND trip(L1) <= 16;
+  Depend
+    no Sx: flow_dep(L1.head, Sx) AND NOT(mem(Sx, L1));
+ACTION
+  forall k in range(L1.final, L1.init, 0 - L1.step) {
+    copy(L1.body, L1.end, Bk);
+    forall (Su, posu) in uses(L1.lcv, Bk) {
+      modify(operand(Su, posu), k);
+    }
+  }
+  delete(L1);
+"""
+
+# ----------------------------------------------------------------------
+# Loop Fusion: merge two adjacent conformable loops
+# ----------------------------------------------------------------------
+FUS = """
+TYPE
+  Stmt: Sm, Sn, Sio, Sio2;
+  Adjacent Loops: (L1, L2);
+PRECOND
+  Code_Pattern
+    /* Adjacent loops with identical headers */
+    any (L1, L2): L1.lcv == L2.lcv AND L1.init == L2.init AND
+                  L1.final == L2.final AND L1.step == L2.step;
+  Depend
+    /* No I/O in either body: fusing would reorder the streams */
+    no Sio: mem(Sio, L1), class(Sio) == io;
+    no Sio2: mem(Sio2, L2), class(Sio2) == io;
+    /* Fusing must not reverse any cross-loop dependence: illegal when
+       a dependence from the first body to the second would become
+       backward-carried in the fused loop */
+    no Sm, Sn: mem(Sm, L1) AND mem(Sn, L2), fused_dep(Sm, Sn, (>));
+ACTION
+  /* Move the second body into the first, then drop the empty loop */
+  forall Sx in L2.body {
+    move(Sx, L1.end.prev);
+  }
+  delete(L2);
+"""
+
+
+#: The standard catalog: name -> GOSpeL source.
+STANDARD_SPECS: dict[str, str] = {
+    "CPP": CPP,
+    "CTP": CTP,
+    "DCE": DCE,
+    "CFO": CFO,
+    "ICM": ICM,
+    "INX": INX,
+    "CRC": CRC,
+    "BMP": BMP,
+    "PAR": PAR,
+    "LUR": LUR,
+    "FUS": FUS,
+}
+
+#: Specification variants used by the cost experiments.
+VARIANT_SPECS: dict[str, str] = {
+    "LUR_LOWER_FIRST": LUR_LOWER_FIRST,
+    "CTP_PAPER": CTP_PAPER,
+    "INX_PAPER": INX_PAPER,
+}
+
+#: The ten optimizations named in the paper's experimental section.
+PAPER_TEN = ("CPP", "CTP", "DCE", "ICM", "INX", "CRC", "BMP", "PAR",
+             "LUR", "FUS")

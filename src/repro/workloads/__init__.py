@@ -1,0 +1,6 @@
+"""Workload programs: the HOMPACK/numerical-suite substitutes."""
+
+from repro.workloads.programs import SOURCES
+from repro.workloads.suite import Workload, full_suite, run_workload, workload
+
+__all__ = ["SOURCES", "Workload", "full_suite", "run_workload", "workload"]

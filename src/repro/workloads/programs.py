@@ -1,0 +1,347 @@
+"""The workload programs (substitute for HOMPACK + numerical suite).
+
+The paper evaluates on ten FORTRAN programs: HOMPACK routines (solving
+non-linear equations by the homotopy method) and a numerical-analysis
+test suite (FFT, Newton's method, ...).  Those sources are not
+available, so this module provides ten mini-Fortran programs written in
+the same idiom — constant setup code feeding loop bounds, dense-array
+DO loops, scalar recurrences, predictor-corrector steps — sized so the
+paper's applicability *shape* reproduces:
+
+* CTP is by far the most frequently applicable optimization and its
+  points enable DCE, CFO and (through constant loop bounds) LUR;
+* ICM finds no points (numerical FORTRAN keeps invariants out of
+  loops and the IR carries no address arithmetic);
+* CPP applies in exactly two programs (NEWTON and TRACK) and enables
+  nothing;
+* FUS applies in one test case (the ORDERING program);
+* the ORDERING program exhibits the FUS/INX/LUR interactions of the
+  ordering experiment (E4).
+"""
+
+from __future__ import annotations
+
+NEWTON = """
+program newton
+  ! Newton's method for f(x) = x**3 - 2x - 5 (Burden & Faires flavour)
+  integer k, maxit
+  real x, x0, fx, dfx, tol, err
+  maxit = 12
+  tol = 0.000001
+  read x
+  err = 1.0
+  do k = 1, maxit
+    x0 = x
+    fx = x0 * x0 * x0 - 2.0 * x0 - 5.0
+    dfx = 3.0 * x0 * x0 - 2.0
+    x = x0 - fx / dfx
+    err = abs(x - x0)
+    if (err < tol) then
+      write x
+    end if
+  end do
+  write x
+  write err
+end
+"""
+
+FFT = """
+program fft
+  ! one radix-2 butterfly stage over n points (numerical suite)
+  integer i, k, n, half
+  real xr(64), xi(64), yr(64), yi(64)
+  real wr, wi, ang, pi, twopi, tr, ti
+  n = 16
+  pi = 3.14159265
+  twopi = 2.0 * pi
+  half = n / 2
+  do i = 1, n
+    read xr(i)
+  end do
+  do k = 1, n
+    xi(k) = 0.0
+  end do
+  do k = 1, half
+    ang = twopi * k / n
+    wr = cos(ang)
+    wi = 0.0 - sin(ang)
+    tr = wr * xr(k + half) - wi * xi(k + half)
+    ti = wr * xi(k + half) + wi * xr(k + half)
+    yr(k) = xr(k) + tr
+    yi(k) = xi(k) + ti
+    yr(k + half) = xr(k) - tr
+    yi(k + half) = xi(k) - ti
+  end do
+  do k = 1, n
+    write yr(k)
+    write yi(k)
+  end do
+end
+"""
+
+GAUSS = """
+program gauss
+  ! Gaussian elimination without pivoting on an n x n system
+  integer i, j, k, n
+  real a(12,12), b(12), x(12), factor, sum
+  n = 6
+  do i = 1, n
+    do j = 1, n
+      read a(i,j)
+    end do
+  end do
+  do k = 1, n
+    read b(k)
+  end do
+  do k = 1, n - 1
+    do i = k + 1, n
+      factor = a(i,k) / a(k,k)
+      do j = k, n
+        a(i,j) = a(i,j) - factor * a(k,j)
+      end do
+      b(i) = b(i) - factor * b(k)
+    end do
+  end do
+  do i = 1, n
+    x(i) = b(i)
+  end do
+  do k = 1, n
+    write x(k)
+  end do
+end
+"""
+
+TRACK = """
+program track
+  ! homotopy path tracking: predictor-corrector steps (HOMPACK flavour)
+  integer step, nsteps, j, m
+  real t, dt, lambda, mu, x, xold, fx, hx, corr
+  nsteps = 10
+  m = 4
+  dt = 0.1
+  t = 0.0
+  read x
+  do step = 1, nsteps
+    t = t + dt
+    lambda = t
+    xold = x
+    mu = 1.0 - lambda
+    fx = xold * xold - 3.0 * xold + 1.0
+    hx = lambda * fx + mu * (xold - 1.0)
+    x = xold - 0.5 * hx
+    do j = 1, m
+      corr = lambda * (x * x - 3.0 * x + 1.0) + mu * (x - 1.0)
+      x = x - 0.25 * corr
+    end do
+  end do
+  write x
+  write t
+end
+"""
+
+JACOBIAN = """
+program jacobian
+  ! dense Jacobian evaluation by forward differences (HOMPACK flavour)
+  integer i, j, k, n
+  real jac(10,10), f0(10), f1(10), xx(10), t3(8,8,8), g(10,10), h
+  n = 8
+  h = 0.0001
+  do k = 1, n
+    read xx(k)
+  end do
+  do i = 1, n
+    f0(i) = xx(i) * xx(i) - xx(i)
+  end do
+  do j = 1, n
+    do i = 1, n
+      f1(i) = (xx(i) + h) * (xx(i) + h) - (xx(i) + h)
+      jac(i,j) = (f1(i) - f0(i)) / h
+    end do
+  end do
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        t3(i,j,k) = t3(i,j,k) * 0.5
+      end do
+    end do
+  end do
+  ! column relaxation: carried in i, independent in j — the loop pair
+  ! interchange turns into an outer parallel loop
+  do i = 2, n
+    do j = 1, n
+      g(i,j) = g(i-1,j) * 0.9
+    end do
+  end do
+  do i = 1, n
+    write jac(i,i)
+  end do
+  write t3(1,2,3)
+  write g(3,3)
+end
+"""
+
+SOLVE = """
+program solve
+  ! forward elimination + back substitution (HOMPACK linear algebra)
+  integer i, j, k, n
+  real l(10,10), u(10,10), b(10), y(10), z(10), acc
+  n = 6
+  do i = 1, n
+    read b(i)
+  end do
+  do k = 1, n
+    do j = 1, n
+      read l(k,j)
+    end do
+  end do
+  do i = 1, n
+    acc = b(i)
+    do j = 1, i - 1
+      acc = acc - l(i,j) * y(j)
+    end do
+    y(i) = acc / l(i,i)
+  end do
+  do i = 1, n
+    z(i) = y(n + 1 - i)
+  end do
+  do k = 1, n
+    write z(k)
+  end do
+end
+"""
+
+POLY = """
+program poly
+  ! polynomial evaluation at many points (Horner), unrollable degree
+  integer i, j, k, deg, npts
+  real coef(8), pts(32), val(32), p
+  deg = 5
+  npts = 12
+  do k = 1, deg
+    read coef(k)
+  end do
+  do j = 1, npts
+    read pts(j)
+  end do
+  do i = 1, npts
+    p = coef(1)
+    do k = 2, deg
+      p = p * pts(i) + coef(k)
+    end do
+    val(i) = p
+  end do
+  do j = 1, npts
+    write val(j)
+  end do
+end
+"""
+
+INTEGRATE = """
+program integrate
+  ! composite trapezoid rule for exp(-x*x) on [0, 1]
+  integer i, n
+  real h, s, x, fx, a, b
+  n = 10
+  a = 0.0
+  b = 1.0
+  h = (b - a) / n
+  s = 0.0
+  do i = 1, n - 1
+    x = a + i * h
+    fx = exp(0.0 - x * x)
+    s = s + fx
+  end do
+  s = 2.0 * s + 1.0 + exp(0.0 - b * b)
+  s = s * h / 2.0
+  write s
+end
+"""
+
+TRIDIAG = """
+program tridiag
+  ! Thomas algorithm: scalar recurrences that must stay sequential
+  integer i, k, n
+  real sub(16), diag(16), sup(16), rhs(16), cp(16), dp(16), x(16), m
+  n = 8
+  do i = 1, n
+    read diag(i)
+  end do
+  do k = 1, n
+    read rhs(k)
+  end do
+  do i = 1, n
+    sub(i) = 1.0
+  end do
+  do k = 1, n
+    sup(k) = 1.0
+  end do
+  cp(1) = sup(1) / diag(1)
+  dp(1) = rhs(1) / diag(1)
+  do i = 2, n
+    m = diag(i) - sub(i) * cp(i-1)
+    cp(i) = sup(i) / m
+    dp(i) = (rhs(i) - sub(i) * dp(i-1)) / m
+  end do
+  x(n) = dp(n)
+  do i = 1, n
+    write dp(i)
+  end do
+end
+"""
+
+ORDERING = """
+program ordering
+  ! the ordering-experiment program: FUS, INX and LUR all apply and
+  ! interact differently in its two segments
+  integer i, j, k, n, m, small
+  real a(12,12), b(12,12), c(12), d(12), e(12,12), w(12)
+  n = 8
+  m = 6
+  small = 4
+  ! --- segment 1: FUS(L1,L2) disables INX(L2,L3); INX(L2,L3) first
+  !     makes the outer loop control variable j, disabling FUS
+  do i = 1, n
+    c(i) = 0.0
+  end do
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = a(i,j) + b(j,i)
+    end do
+  end do
+  ! --- a small constant loop: LUR applies (and, applied to L4's
+  !     sibling below, removes the loop FUS would need)
+  do k = 1, small
+    w(k) = k * 1.0
+  end do
+  ! --- segment 2: INX(L6,L7) makes the outer loop run over j,
+  !     *enabling* FUS with L5 (same lcv and bounds)
+  do j = 1, m
+    d(j) = d(j) * 2.0
+  end do
+  do i = 1, m
+    do j = 1, m
+      e(j,i) = e(j,i) + d(j)
+    end do
+  end do
+  write c(1)
+  write a(2,3)
+  write w(2)
+  write d(3)
+  write e(4,5)
+end
+"""
+
+
+#: name -> source for the full ten-program suite.
+SOURCES: dict[str, str] = {
+    "newton": NEWTON,
+    "fft": FFT,
+    "gauss": GAUSS,
+    "track": TRACK,
+    "jacobian": JACOBIAN,
+    "solve": SOLVE,
+    "poly": POLY,
+    "integrate": INTEGRATE,
+    "tridiag": TRIDIAG,
+    "ordering": ORDERING,
+}

@@ -1,0 +1,73 @@
+"""Loading and executing the workload suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.frontend.lower import parse_program
+from repro.ir.interp import run_program
+from repro.ir.program import Program
+from repro.ir.types import Number
+from repro.workloads.programs import SOURCES
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One suite program plus inputs that exercise it."""
+
+    name: str
+    source: str
+    inputs: tuple[Number, ...] = ()
+
+    def load(self) -> Program:
+        """Parse and lower a fresh copy of the program."""
+        return parse_program(self.source)
+
+
+#: Inputs per program: enough values for every ``read`` it performs.
+_INPUTS: dict[str, tuple[Number, ...]] = {
+    "newton": (2.0,),
+    "fft": tuple(float((i * 7) % 5 - 2) for i in range(16)),
+    "gauss": tuple(
+        [4.0 if i % 7 == 0 else 1.0 + (i % 3) for i in range(36)]
+        + [float(1 + i % 4) for i in range(6)]
+    ),
+    "track": (0.5,),
+    "jacobian": tuple(0.5 + 0.25 * i for i in range(8)),
+    "solve": tuple(
+        [float(1 + i % 3) for i in range(6)]
+        + [5.0 if i % 7 == 0 else 0.5 for i in range(36)]
+    ),
+    "poly": tuple(
+        [1.0, -2.0, 0.5, 3.0, -1.0] + [0.1 * i - 0.5 for i in range(12)]
+    ),
+    "integrate": (),
+    "tridiag": tuple(
+        [4.0] * 8 + [float(i + 1) for i in range(8)]
+    ),
+    "ordering": (),
+}
+
+
+def workload(name: str) -> Workload:
+    """One workload by name."""
+    try:
+        source = SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; suite has {sorted(SOURCES)}"
+        ) from None
+    return Workload(name=name, source=source, inputs=_INPUTS.get(name, ()))
+
+
+def full_suite(names: Optional[Sequence[str]] = None) -> list[Workload]:
+    """The whole ten-program suite (or a named subset), in suite order."""
+    selected = names if names is not None else list(SOURCES)
+    return [workload(name) for name in selected]
+
+
+def run_workload(item: Workload, program: Optional[Program] = None):
+    """Execute a workload (optionally a transformed copy) on its inputs."""
+    target = program if program is not None else item.load()
+    return run_program(target, inputs=item.inputs)

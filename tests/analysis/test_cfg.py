@@ -1,0 +1,87 @@
+"""Unit tests for the statement-level CFG."""
+
+from repro.analysis.cfg import build_cfg
+from repro.ir.builder import IRBuilder
+
+
+def test_straight_line_chains():
+    b = IRBuilder()
+    b.assign("x", 1)
+    b.assign("y", 2)
+    cfg = build_cfg(b.build())
+    assert cfg.successors(0) == [1]
+    assert cfg.successors(1) == [2]  # virtual exit
+    assert cfg.exit == 2
+
+
+def test_loop_edges():
+    b = IRBuilder()
+    with b.loop("i", 1, 5):
+        b.assign("x", "i")
+    cfg = build_cfg(b.build())
+    # DO at 0, body at 1, ENDDO at 2
+    assert sorted(cfg.successors(0)) == [1, 3]  # body + zero-trip skip
+    assert sorted(cfg.successors(2)) == [0, 3]  # back edge + exit
+    assert (2, 0) in cfg.back_edges
+    assert cfg.enddo_of[0] == 2
+
+
+def test_forward_views_exclude_back_edges():
+    b = IRBuilder()
+    with b.loop("i", 1, 5):
+        b.assign("x", "i")
+    cfg = build_cfg(b.build())
+    assert cfg.forward_successors(2) == [3]
+    assert 2 not in cfg.forward_predecessors(0)
+
+
+def test_if_without_else():
+    b = IRBuilder()
+    with b.if_("x", ">", 0):
+        b.assign("y", 1)
+    cfg = build_cfg(b.build())
+    # IF at 0, then at 1, ENDIF at 2
+    assert sorted(cfg.successors(0)) == [1, 2]
+    assert cfg.successors(1) == [2]
+
+
+def test_if_with_else():
+    b = IRBuilder()
+    with b.if_else("x", ">", 0) as (_g, orelse):
+        b.assign("y", 1)
+        orelse.begin()
+        b.assign("y", 2)
+    cfg = build_cfg(b.build())
+    # IF=0 then=1 ELSE=2 else-body=3 ENDIF=4
+    assert sorted(cfg.successors(0)) == [1, 3]
+    assert cfg.successors(2) == [4]  # end of THEN jumps past the else
+    assert cfg.successors(3) == [4]
+
+
+def test_nested_loop_back_edges():
+    b = IRBuilder()
+    with b.loop("i", 1, 3):
+        with b.loop("j", 1, 3):
+            b.assign("x", 1)
+    cfg = build_cfg(b.build())
+    assert (3, 1) in cfg.back_edges  # inner ENDDO -> inner DO
+    assert (4, 0) in cfg.back_edges  # outer ENDDO -> outer DO
+
+
+def test_every_node_reaches_exit_in_structured_code():
+    b = IRBuilder()
+    b.assign("s", 0)
+    with b.loop("i", 1, 3):
+        with b.if_("s", "<", 10):
+            b.binary("s", "s", "+", "i")
+    cfg = build_cfg(b.build())
+    # BFS forward from entry covers all nodes
+    seen = {cfg.entry}
+    frontier = [cfg.entry]
+    while frontier:
+        node = frontier.pop()
+        for succ in cfg.successors(node) if node < len(cfg.succs) else []:
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    assert seen == set(range(cfg.node_count()))

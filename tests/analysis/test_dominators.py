@@ -1,0 +1,114 @@
+"""Unit tests for dominators, postdominators and FOW control deps."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.control_dep import compute_control_deps
+from repro.analysis.dominators import (
+    compute_dominators,
+    compute_postdominators,
+    control_dependence_fow,
+)
+from repro.ir.builder import IRBuilder
+
+
+def branchy_program():
+    b = IRBuilder()
+    b.assign("x", 0)  # 0
+    with b.if_else("x", ">", 0) as (_g, orelse):  # IF at 1
+        b.assign("y", 1)  # 2
+        orelse.begin()  # 3
+        b.assign("y", 2)  # 4
+    # ENDIF at 5
+    b.write("y")  # 6
+    return b.build()
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = build_cfg(branchy_program())
+        dom = compute_dominators(cfg)
+        for node in range(cfg.node_count()):
+            assert dom.dominates(cfg.entry, node)
+
+    def test_branch_does_not_dominate_merge_sides(self):
+        cfg = build_cfg(branchy_program())
+        dom = compute_dominators(cfg)
+        assert dom.dominates(1, 2)
+        assert dom.dominates(1, 4)
+        assert dom.dominates(1, 6)
+        assert not dom.dominates(2, 6)  # then-branch doesn't dominate merge
+
+    def test_strict_domination(self):
+        cfg = build_cfg(branchy_program())
+        dom = compute_dominators(cfg)
+        assert not dom.strictly_dominates(2, 2)
+        assert dom.strictly_dominates(0, 2)
+
+    def test_dominators_chain(self):
+        cfg = build_cfg(branchy_program())
+        dom = compute_dominators(cfg)
+        chain = dom.dominators_of(2)
+        assert chain[0] == 2 and chain[-1] == cfg.entry
+
+    def test_loop_header_dominates_body(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 3):
+            b.assign("x", "i")
+        cfg = build_cfg(b.build())
+        dom = compute_dominators(cfg)
+        assert dom.dominates(0, 1)
+        assert dom.dominates(0, 2)
+
+
+class TestPostdominators:
+    def test_exit_postdominates_everything(self):
+        cfg = build_cfg(branchy_program())
+        pdom = compute_postdominators(cfg)
+        for node in range(cfg.node_count()):
+            assert pdom.dominates(cfg.exit, node)
+
+    def test_merge_postdominates_branches(self):
+        cfg = build_cfg(branchy_program())
+        pdom = compute_postdominators(cfg)
+        assert pdom.dominates(6, 2)
+        assert pdom.dominates(6, 4)
+        assert not pdom.dominates(2, 1)
+
+
+class TestControlDependence:
+    def test_fow_marks_branch_bodies(self):
+        program = branchy_program()
+        cfg = build_cfg(program)
+        deps = control_dependence_fow(cfg)
+        assert 2 in deps[1]
+        assert 4 in deps[1]
+        assert 6 not in deps.get(1, set())
+
+    def test_structural_matches_fow_for_if_bodies(self):
+        program = branchy_program()
+        structural = compute_control_deps(program)
+        cfg = build_cfg(program)
+        fow = control_dependence_fow(cfg)
+        if_qid = program[1].qid
+        structural_controlled = {
+            program.position(q) for q in structural.region_of(if_qid)
+        }
+        # FOW computes positions; structural computes qids of real stmts
+        assert {2, 4} <= structural_controlled
+        assert {2, 4} <= fow[1]
+
+    def test_loop_controls_its_body(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 3) as head:
+            stmt = b.assign("x", "i")
+        program = b.build()
+        deps = compute_control_deps(program)
+        assert deps.is_control_dependent(stmt.qid, head.qid)
+        assert deps.guards_of(stmt.qid) == (head.qid,)
+
+    def test_nested_guards_ordered_outermost_first(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 3) as head:
+            with b.if_("x", ">", 0) as guard:
+                stmt = b.assign("y", 1)
+        deps = compute_control_deps(b.build())
+        assert deps.guards_of(stmt.qid) == (head.qid, guard.qid)

@@ -1,0 +1,126 @@
+"""Unit tests for reaching definitions and liveness."""
+
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.reaching import compute_reaching
+from repro.ir.builder import IRBuilder
+
+
+class TestReaching:
+    def test_straight_line_kill(self):
+        b = IRBuilder()
+        b.assign("x", 1)
+        b.assign("x", 2)
+        b.assign("y", "x")
+        reaching = compute_reaching(b.build())
+        defs = reaching.reaching_defs_of(2, "x")
+        assert [d.position for d in defs] == [1]
+
+    def test_branches_merge(self):
+        b = IRBuilder()
+        b.assign("x", 0)
+        with b.if_else("c", ">", 0) as (_g, orelse):
+            b.assign("x", 1)
+            orelse.begin()
+            b.assign("x", 2)
+        b.assign("y", "x")
+        program = b.build()
+        reaching = compute_reaching(program)
+        use_position = len(program) - 1
+        positions = {d.position
+                     for d in reaching.reaching_defs_of(use_position, "x")}
+        assert positions == {2, 4}  # both branch defs; initial killed
+
+    def test_conditional_def_does_not_kill(self):
+        b = IRBuilder()
+        b.assign("x", 0)
+        with b.if_("c", ">", 0):
+            b.assign("x", 1)
+        b.assign("y", "x")
+        program = b.build()
+        reaching = compute_reaching(program)
+        positions = {d.position
+                     for d in reaching.reaching_defs_of(len(program) - 1, "x")}
+        assert positions == {0, 2}
+
+    def test_loop_carried_def_in_full_not_acyclic(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 3):
+            use = b.assign("y", "x")  # reads x at loop top
+            b.assign("x", 1)  # defined later in the body
+        program = b.build()
+        reaching = compute_reaching(program)
+        use_position = program.position(use.qid)
+        full = {d.position
+                for d in reaching.reaching_defs_of(use_position, "x")}
+        acyclic = {
+            d.position
+            for d in reaching.reaching_defs_of(use_position, "x",
+                                               acyclic=True)
+        }
+        assert 2 in full
+        assert 2 not in acyclic
+
+    def test_loop_head_defines_lcv(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 3) as head:
+            use = b.assign("y", "i")
+        program = b.build()
+        reaching = compute_reaching(program)
+        defs = reaching.reaching_defs_of(program.position(use.qid), "i")
+        assert [d.qid for d in defs] == [head.qid]
+
+    def test_definition_at(self):
+        b = IRBuilder()
+        b.assign("x", 1)
+        b.write("x")
+        reaching = compute_reaching(b.build())
+        assert reaching.definition_at(0).var == "x"
+        assert reaching.definition_at(1) is None
+
+
+class TestLiveness:
+    def test_dead_def(self):
+        b = IRBuilder()
+        b.assign("x", 1)
+        b.assign("x", 2)
+        b.write("x")
+        liveness = compute_liveness(b.build())
+        assert not liveness.is_live_out(0, "x")
+        assert liveness.is_live_out(1, "x")
+
+    def test_live_through_loop(self):
+        b = IRBuilder()
+        b.assign("s", 0)
+        with b.loop("i", 1, 3):
+            b.binary("s", "s", "+", "i")
+        b.write("s")
+        liveness = compute_liveness(b.build())
+        assert liveness.is_live_out(0, "s")
+        assert liveness.is_live_out(2, "s")
+
+    def test_live_in_sets(self):
+        b = IRBuilder()
+        b.binary("z", "x", "+", "y")
+        liveness = compute_liveness(b.build())
+        assert liveness.live_in(0) == frozenset({"x", "y"})
+
+    def test_branch_use_keeps_value_live(self):
+        b = IRBuilder()
+        b.assign("x", 1)
+        with b.if_("c", ">", 0):
+            b.write("x")
+        liveness = compute_liveness(b.build())
+        assert liveness.is_live_out(0, "x")
+
+    def test_unknown_variable_not_live(self):
+        b = IRBuilder()
+        b.assign("x", 1)
+        liveness = compute_liveness(b.build())
+        assert not liveness.is_live_out(0, "nosuch")
+
+    def test_array_subscript_vars_are_uses(self):
+        b = IRBuilder()
+        b.assign("i", 1)
+        b.write(b.arr("a", "i"))
+        liveness = compute_liveness(b.build())
+        assert liveness.is_live_out(0, "i")

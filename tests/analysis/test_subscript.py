@@ -1,0 +1,189 @@
+"""Unit tests for the subscript dependence tests and direction vectors."""
+
+from repro.analysis.subscript import (
+    ALL_DIRECTIONS,
+    LoopContext,
+    directions_for_dimension,
+    expand_direction_vectors,
+    lexicographic_class,
+    matches_anchored_pattern,
+    matches_direction_pattern,
+    reverse_vector,
+)
+from repro.analysis.subscript import test_access_pair as check_access_pair
+from repro.ir.types import Affine, Var
+
+I = LoopContext(var="i", trip_count=10)
+J = LoopContext(var="j", trip_count=10)
+
+
+def aff(const=0, **coeffs):
+    return Affine.of(const, **coeffs)
+
+
+class TestZIV:
+    def test_different_constants_independent(self):
+        assert directions_for_dimension(aff(3), aff(5), [I]) is None
+
+    def test_equal_constants_unconstrained(self):
+        result = directions_for_dimension(aff(3), aff(3), [I])
+        assert result == [ALL_DIRECTIONS]
+
+    def test_matching_symbolics_equal(self):
+        result = directions_for_dimension(aff(0, n=1), aff(0, n=1), [I])
+        assert result == [ALL_DIRECTIONS]
+
+    def test_mismatched_symbolics_conservative(self):
+        result = directions_for_dimension(aff(0, n=1), aff(0, m=1), [I])
+        assert result == [ALL_DIRECTIONS]
+
+    def test_symbolic_vs_shifted_symbolic_conservative(self):
+        # n vs n+1 with the same symbol IS provably different
+        assert directions_for_dimension(aff(0, n=1), aff(1, n=1), [I]) is None
+
+
+class TestStrongSIV:
+    def test_zero_distance_gives_equal(self):
+        result = directions_for_dimension(aff(0, i=1), aff(0, i=1), [I])
+        assert result == [frozenset({"="})]
+
+    def test_positive_distance_gives_forward(self):
+        # write a(i), read a(i-1): sink iteration later
+        result = directions_for_dimension(aff(0, i=1), aff(-1, i=1), [I])
+        assert result == [frozenset({"<"})]
+
+    def test_negative_distance_gives_backward(self):
+        result = directions_for_dimension(aff(0, i=1), aff(1, i=1), [I])
+        assert result == [frozenset({">"})]
+
+    def test_non_integer_distance_independent(self):
+        # 2i vs 2i+1: never equal
+        assert directions_for_dimension(aff(0, i=2), aff(1, i=2), [I]) is None
+
+    def test_distance_beyond_trip_count_independent(self):
+        short = LoopContext(var="i", trip_count=3)
+        assert directions_for_dimension(
+            aff(0, i=1), aff(-5, i=1), [short]
+        ) is None
+
+    def test_unknown_trip_keeps_dependence(self):
+        unknown = LoopContext(var="i", trip_count=None)
+        result = directions_for_dimension(
+            aff(0, i=1), aff(-5, i=1), [unknown]
+        )
+        assert result == [frozenset({"<"})]
+
+    def test_coefficient_scaling(self):
+        # 2i vs 2i-2: distance 1
+        result = directions_for_dimension(aff(0, i=2), aff(-2, i=2), [I])
+        assert result == [frozenset({"<"})]
+
+
+class TestWeakAndMIV:
+    def test_weak_siv_gcd_infeasible(self):
+        # 2i vs 2j+1 over one loop var? different coefficients 2 and 2
+        # with odd offset: 2i1 - 2i2 = 1 unsolvable
+        assert directions_for_dimension(aff(0, i=2), aff(1, i=4), [I]) is None
+
+    def test_weak_siv_feasible_unconstrained(self):
+        result = directions_for_dimension(aff(0, i=1), aff(0, i=2), [I])
+        assert result == [ALL_DIRECTIONS]
+
+    def test_miv_gcd_feasible(self):
+        result = directions_for_dimension(
+            aff(0, i=1, j=1), aff(0, i=1), [I, J]
+        )
+        assert result is not None
+
+    def test_miv_gcd_infeasible(self):
+        assert directions_for_dimension(
+            aff(0, i=2, j=2), aff(1, i=2), [I, J]
+        ) is None
+
+    def test_opaque_var_subscript_conservative(self):
+        result = directions_for_dimension(Var("t"), aff(0, i=1), [I])
+        assert result == [ALL_DIRECTIONS]
+
+
+class TestAccessPair:
+    def test_dimensions_intersect(self):
+        # a(i, j) vs a(i, j-1): dim1 forces '=', dim2 forces '<'
+        result = check_access_pair(
+            (aff(0, i=1), aff(0, j=1)),
+            (aff(0, i=1), aff(-1, j=1)),
+            [I, J],
+        )
+        assert result == [frozenset({"="}), frozenset({"<"})]
+
+    def test_any_independent_dimension_kills_pair(self):
+        result = check_access_pair(
+            (aff(0, i=1), aff(1)),
+            (aff(0, i=1), aff(2)),
+            [I],
+        )
+        assert result is None
+
+    def test_contradictory_dimensions_kill_pair(self):
+        # a(i, i) vs a(i-1, i): dim1 wants '<', dim2 wants '='
+        result = check_access_pair(
+            (aff(0, i=1), aff(0, i=1)),
+            (aff(-1, i=1), aff(0, i=1)),
+            [I],
+        )
+        assert result is None
+
+
+class TestVectors:
+    def test_expansion(self):
+        vectors = expand_direction_vectors(
+            [frozenset({"="}), frozenset({"<", ">"})]
+        )
+        assert set(vectors) == {("=", "<"), ("=", ">")}
+
+    def test_lexicographic_class(self):
+        assert lexicographic_class(("=", "<")) == "forward"
+        assert lexicographic_class(("=", "=")) == "equal"
+        assert lexicographic_class((">", "<")) == "backward"
+        assert lexicographic_class(()) == "equal"
+
+    def test_reverse(self):
+        assert reverse_vector(("<", "=", ">")) == (">", "=", "<")
+
+
+class TestPatternMatching:
+    def test_none_matches_anything(self):
+        assert matches_direction_pattern(("<", ">"), None)
+
+    def test_exact_match(self):
+        assert matches_direction_pattern(("<", ">"), ("<", ">"))
+        assert not matches_direction_pattern(("<", "="), ("<", ">"))
+
+    def test_short_pattern_requires_equal_deeper(self):
+        assert matches_direction_pattern(("=", "="), ("=",))
+        assert not matches_direction_pattern(("=", "<"), ("=",))
+
+    def test_empty_vector_is_loop_independent(self):
+        assert matches_direction_pattern((), ("=",))
+        assert not matches_direction_pattern((), ("<",))
+
+    def test_wildcards(self):
+        assert matches_direction_pattern(("<", ">"), ("*", ">"))
+        assert matches_direction_pattern(("<",), ("any",))
+
+    def test_star_in_vector_is_may(self):
+        assert matches_direction_pattern(("*",), ("<",))
+        assert matches_direction_pattern(("<", "*"), ("<", ">"))
+
+    def test_anchored_requires_equal_outer_prefix(self):
+        # pattern (<) at level 1: outer level must be '='
+        assert matches_anchored_pattern(("=", "<"), ("<",), 1)
+        assert not matches_anchored_pattern(("<", "<"), ("<",), 1)
+
+    def test_anchored_deeper_levels_unconstrained(self):
+        assert matches_anchored_pattern(("<", "*"), ("<",), 0)
+        assert matches_anchored_pattern(("=", "<", ">"), ("<",), 1)
+
+    def test_anchored_vector_shorter_than_needed(self):
+        # missing levels read as '='
+        assert not matches_anchored_pattern((), ("<",), 0)
+        assert matches_anchored_pattern((), ("=",), 0)

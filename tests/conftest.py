@@ -1,0 +1,25 @@
+"""Shared fixtures: cached optimizers and workload programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.opts.catalog import standard_optimizers
+from repro.workloads.suite import full_suite
+
+
+@pytest.fixture(scope="session")
+def optimizers():
+    """All catalog optimizers, generated once per test session."""
+    return standard_optimizers()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The ten workload programs."""
+    return full_suite()
+
+
+@pytest.fixture(scope="session")
+def suite_by_name(suite):
+    return {item.name: item for item in suite}

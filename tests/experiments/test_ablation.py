@@ -1,0 +1,21 @@
+"""Tests for the dependence-recomputation ablation."""
+
+from repro.experiments.ablation import run_recompute_ablation
+from repro.workloads.suite import full_suite
+
+
+def test_ablation_on_subset():
+    result = run_recompute_ablation(full_suite(["newton", "poly"]))
+    assert len(result.rows) == 2
+    assert result.all_correct
+    assert result.total_stale <= result.total_fresh
+    assert "recomputation" in result.table()
+
+
+def test_row_derived_metrics():
+    result = run_recompute_ablation(full_suite(["integrate"]))
+    row = result.rows[0]
+    assert row.missed_applications == (
+        row.applications_fresh - row.applications_stale
+    )
+    assert row.speedup > 0

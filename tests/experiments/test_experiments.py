@@ -1,0 +1,186 @@
+"""Tests for the Section 4 experiment harness (E1–E6).
+
+Most experiments run on the full ten-program suite (a few seconds
+each); the assertions are the paper's claims.
+"""
+
+import pytest
+
+from repro.experiments.applicability import run_applicability
+from repro.experiments.costbenefit import run_costbenefit
+from repro.experiments.enabling import run_enabling, run_enabling_matrix
+from repro.experiments.ordering import run_ordering
+from repro.experiments.quality import run_quality
+from repro.experiments.report import render_table
+from repro.experiments.strategies import (
+    run_lur_variants,
+    run_membership_strategies,
+)
+from repro.workloads.suite import full_suite
+
+
+@pytest.fixture(scope="module")
+def applicability():
+    return run_applicability()
+
+
+@pytest.fixture(scope="module")
+def ordering():
+    return run_ordering()
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "count"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].startswith("a")
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_bool_and_float_formatting(self):
+        text = render_table(["a", "b", "c"], [[True, 1.0, 0.123456]])
+        assert "yes" in text
+        assert "0.123" in text
+
+
+class TestE2Applicability:
+    def test_ctp_is_most_frequent(self, applicability):
+        assert applicability.most_frequent() == "CTP"
+
+    def test_icm_zero(self, applicability):
+        assert applicability.total("ICM") == 0
+
+    def test_cpp_two_programs(self, applicability):
+        assert len(applicability.programs_with_points("CPP")) == 2
+
+    def test_fus_one_program(self, applicability):
+        assert applicability.programs_with_points("FUS") == ["ordering"]
+
+    def test_all_paper_claims(self, applicability):
+        assert all(applicability.paper_claims().values())
+
+    def test_table_renders_all_programs(self, applicability):
+        table = applicability.table()
+        for name in ("newton", "fft", "ordering", "TOTAL"):
+            assert name in table
+
+
+class TestE1Quality:
+    @pytest.fixture(scope="class")
+    def quality(self):
+        # a representative subset keeps the test quick
+        return run_quality(full_suite(["newton", "jacobian", "ordering"]))
+
+    def test_all_points_match(self, quality):
+        assert quality.all_points_match
+
+    def test_all_correct(self, quality):
+        assert quality.all_correct
+
+    def test_code_sizes_comparable(self, quality):
+        assert quality.all_comparable
+
+    def test_table_renders(self, quality):
+        assert "gen pts" in quality.table()
+
+
+class TestE3Enabling:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_enabling_matrix()
+
+    def test_ctp_enables_the_trio(self, matrix):
+        ctp = matrix.results["CTP"]
+        assert ctp.enabled_counts["DCE"] > 0
+        assert ctp.enabled_counts["CFO"] > 0
+        assert ctp.enabled_counts["LUR"] > 0
+
+    def test_lur_most_enabled(self, matrix):
+        ctp = matrix.results["CTP"]
+        assert ctp.enabled_counts["LUR"] == max(ctp.enabled_counts.values())
+
+    def test_cpp_enables_nothing(self, matrix):
+        cpp = matrix.results["CPP"]
+        assert sum(cpp.enabled_counts.values()) == 0
+
+    def test_sites_recorded(self, matrix):
+        ctp = matrix.results["CTP"]
+        assert ctp.enabled_sites["LUR"]
+
+    def test_single_source_run(self):
+        result = run_enabling(
+            source="CTP", targets=("DCE",),
+            workloads=full_suite(["newton"]),
+        )
+        assert result.total_points == 2
+        assert "enables" in result.table()
+
+
+class TestE4Ordering:
+    def test_six_orders(self, ordering):
+        assert len(ordering.runs) == 6
+
+    def test_orders_differ(self, ordering):
+        assert ordering.distinct_programs > 1
+
+    def test_all_claims_hold(self, ordering):
+        assert all(ordering.claims.values()), ordering.claims
+
+    def test_fus_first_orders_keep_fusion(self, ordering):
+        by_first = {run.order[0]: run for run in ordering.runs}
+        assert by_first["FUS"].applied["FUS"] == 1
+        assert by_first["INX"].applied["FUS"] == 0
+
+    def test_tables_render(self, ordering):
+        assert "order" in ordering.table()
+        assert "paper claim" in ordering.claims_table()
+
+
+class TestE5CostBenefit:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_costbenefit()
+
+    def test_cost_tracks_time(self, result):
+        assert result.correlation() > 0.8
+
+    def test_inx_cheap_fus_expensive(self, result):
+        inx = result.row("INX")
+        fus = result.row("FUS")
+        assert inx.cost_per_application < fus.cost_per_application
+
+    def test_inx_parallel_benefit_positive(self, result):
+        assert result.row("INX").benefit["multiprocessor"] > 0
+
+    def test_fus_applies_once_with_little_benefit(self, result):
+        fus = result.row("FUS")
+        inx = result.row("INX")
+        assert fus.applications == 1
+        assert fus.benefit["scalar"] < inx.benefit["multiprocessor"]
+
+    def test_lur_has_scalar_benefit(self, result):
+        assert result.row("LUR").benefit["scalar"] > 0
+
+    def test_table_renders(self, result):
+        assert "cost/app" in result.table()
+
+
+class TestE6Strategies:
+    def test_lur_upper_first_cheaper(self):
+        comparison = run_lur_variants()
+        assert comparison.upper_first_cheaper
+        assert comparison.upper_first_points == comparison.lower_first_points
+
+    def test_membership_methods_vary(self):
+        result = run_membership_strategies()
+        assert result.winners_differ
+        assert result.heuristic_always_optimal
+
+    def test_membership_table_renders(self):
+        result = run_membership_strategies(
+            full_suite(["jacobian"]), opt_names=("PAR",)
+        )
+        assert "method-1" in result.table()

@@ -1,0 +1,82 @@
+"""Unit tests for the mini-Fortran tokenizer."""
+
+import pytest
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.lexer import TokKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokKind.EOF]
+
+
+class TestBasics:
+    def test_idents_and_keywords(self):
+        tokens = tokenize("do i = 1, n")
+        assert tokens[0].kind is TokKind.KEYWORD
+        assert tokens[1].kind is TokKind.IDENT
+        assert tokens[1].text == "i"
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("DO")[0].is_keyword("do")
+        assert tokenize("Program")[0].is_keyword("program")
+
+    def test_integers_and_floats(self):
+        tokens = tokenize("42 3.5 .5 1e3 2.5e-2 1d0")
+        values = [t.value for t in tokens if t.kind is not TokKind.EOF
+                  and t.kind is not TokKind.NEWLINE]
+        assert values == [42, 3.5, 0.5, 1000.0, 0.025, 1.0]
+
+    def test_integer_vs_float_kinds(self):
+        tokens = tokenize("7 7.0")
+        assert tokens[0].kind is TokKind.INT
+        assert tokens[1].kind is TokKind.FLOAT
+
+    def test_operators(self):
+        assert texts("a = b ** 2 <= c") == ["a", "=", "b", "**", "2", "<=",
+                                            "c", "\n"]
+
+    def test_fortran_not_equal_normalized(self):
+        tokens = tokenize("a /= b")
+        assert tokens[1].text == "!="
+
+    def test_comments_stripped(self):
+        assert texts("x = 1 ! a comment\n") == ["x", "=", "1", "\n"]
+
+    def test_newlines_collapse(self):
+        newline_count = sum(
+            1 for t in tokenize("x = 1\n\n\ny = 2")
+            if t.kind is TokKind.NEWLINE
+        )
+        assert newline_count == 2
+
+    def test_leading_blank_lines_ignored(self):
+        tokens = tokenize("\n\n x = 1")
+        assert tokens[0].kind is TokKind.IDENT
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("x = 1\n  y = 2")
+        y_token = [t for t in tokens if t.text == "y"][0]
+        assert y_token.line == 2
+        assert y_token.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(FrontendError) as info:
+            tokenize("x = @")
+        assert "@" in str(info.value)
+
+    def test_ends_with_newline_eof(self):
+        tokens = tokenize("x = 1")
+        assert tokens[-2].kind is TokKind.NEWLINE
+        assert tokens[-1].kind is TokKind.EOF
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert [t.kind for t in tokens] == [TokKind.EOF]
+
+    def test_dollar_allowed_in_idents(self):
+        assert tokenize("t$0")[0].text == "t$0"

@@ -1,0 +1,171 @@
+"""Unit tests for AST-to-quad lowering."""
+
+import pytest
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.lower import parse_program
+from repro.ir.interp import run_program
+from repro.ir.quad import Opcode
+from repro.ir.types import Affine, ArrayRef, Const, Var
+
+
+def lower(statements, decls="  integer i, j, n\n  real a(10), b(10,10), x, y"):
+    return parse_program(f"program t\n{decls}\n{statements}\nend\n")
+
+
+class TestStatements:
+    def test_simple_assign_is_one_quad(self):
+        program = lower("x = 1")
+        assert len(program) == 1
+        assert program[0].opcode is Opcode.ASSIGN
+
+    def test_top_level_binop_folds_into_target(self):
+        program = lower("x = y + 1")
+        assert len(program) == 1
+        assert program[0].opcode is Opcode.ADD
+        assert program[0].result == Var("x")
+
+    def test_nested_expression_gets_temp(self):
+        program = lower("x = (y + 1) * 2")
+        assert len(program) == 2
+        assert program[0].result == Var("t$0")
+        assert program[1].opcode is Opcode.MUL
+
+    def test_unary_minus_target(self):
+        program = lower("x = -y")
+        assert program[0].opcode is Opcode.NEG
+
+    def test_unary_minus_of_literal_is_constant(self):
+        program = lower("x = -3")
+        assert program[0].opcode is Opcode.ASSIGN
+        assert program[0].a == Const(-3)
+
+    def test_intrinsic_into_target(self):
+        program = lower("x = sqrt(y)")
+        assert len(program) == 1
+        assert program[0].opcode is Opcode.SQRT
+
+    def test_mod_is_binary(self):
+        program = lower("x = mod(i, 2)")
+        assert program[0].opcode is Opcode.MOD
+
+    def test_do_loop_shape(self):
+        program = lower("do i = 1, n\n  x = i\nend do")
+        assert [q.opcode for q in program] == [
+            Opcode.DO, Opcode.ASSIGN, Opcode.ENDDO,
+        ]
+
+    def test_if_else_shape(self):
+        program = lower(
+            "if (x > y) then\n  x = 1\nelse\n  x = 2\nend if"
+        )
+        assert [q.opcode for q in program] == [
+            Opcode.IF, Opcode.ASSIGN, Opcode.ELSE, Opcode.ASSIGN,
+            Opcode.ENDIF,
+        ]
+
+    def test_read_write(self):
+        program = lower("read x\nwrite x")
+        assert [q.opcode for q in program] == [Opcode.READ, Opcode.WRITE]
+
+    def test_write_of_expression_uses_temp(self):
+        program = lower("write x + 1")
+        assert program[0].opcode is Opcode.ADD
+        assert program[1].opcode is Opcode.WRITE
+
+
+class TestSubscripts:
+    def test_affine_subscript(self):
+        program = lower("a(i + 1) = x")
+        target = program[0].result
+        assert isinstance(target, ArrayRef)
+        assert target.subscripts == (Affine.of(1, i=1),)
+
+    def test_affine_with_coefficient(self):
+        program = lower("a(2 * i - 1) = x")
+        assert program[0].result.subscripts == (Affine.of(-1, i=2),)
+
+    def test_multidim_affine(self):
+        program = lower("b(i, j + 1) = x")
+        assert program[0].result.subscripts == (
+            Affine.var("i"), Affine.of(1, j=1),
+        )
+
+    def test_loop_variable_counts_as_integer(self):
+        program = lower("do k = 1, n\n  a(k) = 1.0\nend do",
+                        decls="  integer n\n  real a(10)")
+        body = program[1]
+        assert body.result.subscripts == (Affine.var("k"),)
+
+    def test_non_affine_subscript_gets_temp(self):
+        program = lower("a(i * j) = x")
+        target = program[-1].result
+        assert isinstance(target.subscripts[0], Var)
+
+    def test_real_scalar_subscript_is_opaque(self):
+        program = lower("a(x) = 1.0")
+        assert program[0].result.subscripts == (Var("x"),)
+
+    def test_constant_subscript(self):
+        program = lower("a(3) = x")
+        assert program[0].result.subscripts == (Affine.constant(3),)
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(FrontendError):
+            lower("q(i) = 1", decls="  integer i")
+
+
+class TestSemantics:
+    def test_lowered_program_executes(self):
+        program = parse_program(
+            """
+            program t
+              integer i, n
+              real a(10), s
+              n = 4
+              s = 0.0
+              do i = 1, n
+                a(i) = i * i
+              end do
+              do i = 1, n
+                s = s + a(i)
+              end do
+              write s
+            end
+            """
+        )
+        assert run_program(program).output == [1 + 4 + 9 + 16]
+
+    def test_operator_precedence_preserved(self):
+        program = lower("x = 2 + 3 * 4\nwrite x")
+        assert run_program(program).output == [14]
+
+    def test_power(self):
+        program = lower("x = 2 ** 3 ** 2\nwrite x")
+        assert run_program(program).output == [512]
+
+    def test_if_semantics(self):
+        program = lower(
+            "x = 5\nif (x >= 5) then\n  y = 1\nelse\n  y = 2\nend if\nwrite y"
+        )
+        assert run_program(program).output == [1]
+
+    def test_structure_validated(self):
+        program = lower("do i = 1, n\n  x = 1\nend do")
+        program.check_structure()
+
+
+class TestDoVariableRules:
+    def test_assigning_active_lcv_rejected(self):
+        with pytest.raises(FrontendError):
+            lower("do i = 1, 3\n  i = 5\nend do")
+
+    def test_reusing_active_lcv_rejected(self):
+        with pytest.raises(FrontendError):
+            lower("do i = 1, 3\n  do i = 1, 2\n    x = 1\n  end do\nend do")
+
+    def test_reusing_lcv_sequentially_is_fine(self):
+        program = lower(
+            "do i = 1, 3\n  x = i\nend do\ndo i = 1, 2\n  y = i\nend do"
+        )
+        assert len(program) == 6

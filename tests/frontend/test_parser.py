@@ -1,0 +1,177 @@
+"""Unit tests for the mini-Fortran parser."""
+
+import pytest
+
+from repro.frontend.ast import (
+    Assign,
+    Bin,
+    Call,
+    Do,
+    If,
+    Index,
+    Name,
+    Num,
+    Read,
+    Un,
+    Write,
+)
+from repro.frontend.errors import FrontendError
+from repro.frontend.parser import parse_source
+
+
+def parse_body(statements, decls="  integer i, j, n\n  real a(10), x, y"):
+    return parse_source(
+        f"program t\n{decls}\n{statements}\nend\n"
+    ).body
+
+
+class TestProgramStructure:
+    def test_name_and_sections(self):
+        program = parse_source(
+            "program demo\n  integer i\n  x = 1\nend"
+        )
+        assert program.name == "demo"
+        assert len(program.decls) == 1
+        assert len(program.body) == 1
+
+    def test_declarations_with_dims(self):
+        program = parse_source(
+            "program t\n  real a(10,20), x\n  x = 1\nend"
+        )
+        assert program.decls[0].names == [("a", (10, 20)), ("x", ())]
+        assert program.array_names() == frozenset({"a"})
+
+    def test_integer_names(self):
+        program = parse_source(
+            "program t\n  integer i, k\n  real x\n  x = 1\nend"
+        )
+        assert program.integer_names() == frozenset({"i", "k"})
+
+    def test_missing_program_keyword(self):
+        with pytest.raises(FrontendError):
+            parse_source("x = 1\nend")
+
+    def test_text_after_end_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_source("program t\n  x = 1\nend\ny = 2")
+
+    def test_symbolic_dims_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_source("program t\n  real a(n)\n  x = 1\nend")
+
+
+class TestStatements:
+    def test_assignment(self):
+        (stmt,) = parse_body("x = 1")
+        assert isinstance(stmt, Assign)
+        assert stmt.target == Name("x")
+        assert stmt.value == Num(1)
+
+    def test_array_assignment(self):
+        (stmt,) = parse_body("a(i) = x")
+        assert isinstance(stmt.target, Index)
+        assert stmt.target.args == (Name("i"),)
+
+    def test_do_loop(self):
+        (stmt,) = parse_body("do i = 1, n\n  x = i\nend do")
+        assert isinstance(stmt, Do)
+        assert stmt.var == "i"
+        assert stmt.step is None
+        assert len(stmt.body) == 1
+
+    def test_do_loop_with_step_and_enddo(self):
+        (stmt,) = parse_body("do i = 1, 10, 2\n  x = i\nenddo")
+        assert stmt.step == Num(2)
+
+    def test_if_then(self):
+        (stmt,) = parse_body("if (x > 0) then\n  y = 1\nend if")
+        assert isinstance(stmt, If)
+        assert stmt.relop == ">"
+        assert stmt.else_body == []
+
+    def test_if_else_endif(self):
+        (stmt,) = parse_body(
+            "if (x /= y) then\n  x = 1\nelse\n  x = 2\nendif"
+        )
+        assert stmt.relop == "!="
+        assert len(stmt.else_body) == 1
+
+    def test_read_write(self):
+        stmts = parse_body("read x\nwrite a(i)")
+        assert isinstance(stmts[0], Read)
+        assert isinstance(stmts[1], Write)
+        assert isinstance(stmts[1].value, Index)
+
+    def test_nested_structures(self):
+        (outer,) = parse_body(
+            "do i = 1, n\n  do j = 1, n\n    if (i < j) then\n"
+            "      a(i) = j\n    end if\n  end do\nend do"
+        )
+        inner = outer.body[0]
+        assert isinstance(inner, Do)
+        assert isinstance(inner.body[0], If)
+
+    def test_unclosed_do_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_body("do i = 1, n\n  x = 1")
+
+    def test_missing_then_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_body("if (x > 0)\n  y = 1\nend if")
+
+    def test_missing_relop_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_body("if (x) then\n  y = 1\nend if")
+
+
+class TestExpressions:
+    def expr(self, text):
+        (stmt,) = parse_body(f"x = {text}")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        tree = self.expr("1 + 2 * 3")
+        assert isinstance(tree, Bin) and tree.op == "+"
+        assert isinstance(tree.right, Bin) and tree.right.op == "*"
+
+    def test_left_associativity(self):
+        tree = self.expr("8 - 3 - 1")
+        assert tree.op == "-"
+        assert isinstance(tree.left, Bin)
+        assert tree.right == Num(1)
+
+    def test_power_right_associative(self):
+        tree = self.expr("2 ** 3 ** 2")
+        assert tree.op == "**"
+        assert isinstance(tree.right, Bin)
+
+    def test_parentheses(self):
+        tree = self.expr("(1 + 2) * 3")
+        assert tree.op == "*"
+        assert isinstance(tree.left, Bin) and tree.left.op == "+"
+
+    def test_unary_minus(self):
+        tree = self.expr("-y")
+        assert isinstance(tree, Un) and tree.op == "-"
+
+    def test_intrinsic_call(self):
+        tree = self.expr("sqrt(y)")
+        assert isinstance(tree, Call) and tree.func == "sqrt"
+
+    def test_mod_call_two_args(self):
+        tree = self.expr("mod(i, 2)")
+        assert isinstance(tree, Call)
+        assert len(tree.args) == 2
+
+    def test_array_reference_vs_call(self):
+        tree = self.expr("a(i + 1)")
+        assert isinstance(tree, Index)
+        assert isinstance(tree.args[0], Bin)
+
+    def test_multidim_reference(self):
+        tree = self.expr("a(i, j)")
+        assert tree.args == (Name("i"), Name("j"))
+
+    def test_garbage_expression_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_body("x = * 2")

@@ -1,0 +1,46 @@
+"""Unit tests for cost counters."""
+
+from repro.genesis.cost import ApplicationRecord, CostCounters
+
+
+def test_total_sums_everything():
+    counters = CostCounters(pattern_checks=1, dep_checks=2, mem_checks=3,
+                            candidates=4, action_ops=5)
+    assert counters.precondition_checks() == 10
+    assert counters.total() == 15
+
+
+def test_snapshot_is_independent():
+    counters = CostCounters(pattern_checks=1)
+    snapshot = counters.snapshot()
+    counters.pattern_checks += 5
+    assert snapshot.pattern_checks == 1
+
+
+def test_minus_computes_delta():
+    counters = CostCounters(pattern_checks=7, action_ops=2)
+    earlier = CostCounters(pattern_checks=3)
+    delta = counters.minus(earlier)
+    assert delta.pattern_checks == 4
+    assert delta.action_ops == 2
+
+
+def test_add_accumulates():
+    counters = CostCounters(dep_checks=1)
+    counters.add(CostCounters(dep_checks=2, mem_checks=3))
+    assert counters.dep_checks == 3
+    assert counters.mem_checks == 3
+
+
+def test_as_dict_and_str():
+    counters = CostCounters(pattern_checks=2)
+    data = counters.as_dict()
+    assert data["pattern_checks"] == 2
+    assert data["total"] == counters.total()
+    assert "pattern=2" in str(counters)
+
+
+def test_application_record_str():
+    record = ApplicationRecord(opt_name="CTP", bindings={"Si": 3})
+    assert "CTP" in str(record)
+    assert "Si=3" in str(record)

@@ -1,0 +1,56 @@
+"""Unit tests for the generator front half (Figure 4, step 2)."""
+
+import pytest
+
+from repro.genesis.generator import generate_from_spec, generate_optimizer
+from repro.genesis.strategy import StrategyPolicy
+from repro.gospel.parser import parse_spec
+from repro.opts.specs import CTP, STANDARD_SPECS
+
+
+class TestGeneration:
+    def test_callables_are_executable(self):
+        optimizer = generate_optimizer(CTP, name="CTP")
+        assert callable(optimizer.set_up)
+        assert callable(optimizer.match)
+        assert callable(optimizer.pre)
+        assert callable(optimizer.act)
+
+    def test_source_is_kept(self):
+        optimizer = generate_optimizer(CTP, name="CTP")
+        assert "def act_CTP(ctx):" in optimizer.source
+
+    def test_generate_from_parsed_spec(self):
+        spec = parse_spec(CTP, name="CTP")
+        optimizer = generate_from_spec(spec)
+        assert optimizer.name == "CTP"
+        assert optimizer.spec is spec
+
+    def test_policy_recorded(self):
+        optimizer = generate_optimizer(
+            STANDARD_SPECS["PAR"], name="PAR",
+            policy=StrategyPolicy.FORCE_DEPS,
+        )
+        assert optimizer.policy is StrategyPolicy.FORCE_DEPS
+
+    def test_describe_mentions_clauses(self):
+        optimizer = generate_optimizer(CTP, name="CTP")
+        text = optimizer.describe()
+        assert "CTP" in text and "pattern clause" in text
+
+    def test_action_names_exposed(self):
+        optimizer = generate_optimizer(CTP, name="CTP")
+        assert {"Si", "Sj", "pos"} <= set(optimizer.action_names)
+
+    def test_syntax_error_propagates(self):
+        from repro.gospel.errors import GospelError
+
+        with pytest.raises(GospelError):
+            generate_optimizer("TYPE banana", name="BAD")
+
+    def test_generated_module_is_self_contained(self):
+        # exec'ing the source into a fresh namespace yields working code
+        optimizer = generate_optimizer(CTP, name="CTP")
+        namespace: dict = {}
+        exec(compile(optimizer.source, "<x>", "exec"), namespace)
+        assert "pre_OPT" in namespace

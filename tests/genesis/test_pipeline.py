@@ -1,0 +1,41 @@
+"""Unit tests for the batch pipeline (paper Figure 3)."""
+
+from repro.genesis.pipeline import optimize, optimize_source
+from repro.frontend.lower import parse_program
+
+SOURCE = """
+program t
+  integer a, b
+  a = 2
+  b = a * 3
+  write b
+end
+"""
+
+
+def test_optimize_clones_by_default(optimizers):
+    program = parse_program(SOURCE)
+    report = optimize(program, [optimizers["CTP"]])
+    assert report.program is not program
+    assert "a * 3" in str(program)  # original untouched
+    assert "2 * 3" in str(report.program)
+
+
+def test_optimize_in_place(optimizers):
+    program = parse_program(SOURCE)
+    optimize(program, [optimizers["CTP"]], in_place=True)
+    assert "2 * 3" in str(program)
+
+
+def test_sequence_order_applied(optimizers):
+    report = optimize_source(
+        SOURCE, [optimizers["CTP"], optimizers["CFO"], optimizers["DCE"]]
+    )
+    assert [r.optimizer for r in report.results] == ["CTP", "CFO", "DCE"]
+    assert report.applications_by_optimizer()["CTP"] == 1
+    assert report.total_applications >= 3
+
+
+def test_report_str(optimizers):
+    report = optimize_source(SOURCE, [optimizers["CTP"]])
+    assert "pipeline:" in str(report)

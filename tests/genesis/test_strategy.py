@@ -1,0 +1,88 @@
+"""Unit tests for Depend-clause strategy selection."""
+
+import pytest
+
+from repro.genesis.strategy import (
+    StrategyPolicy,
+    choose_strategy,
+    usable_primary_groups,
+)
+from repro.gospel.parser import parse_spec
+from repro.gospel.sema import analyze_spec
+from repro.opts.specs import STANDARD_SPECS
+
+
+def clause_and_plan(source, index=0, name="T"):
+    analyzed = analyze_spec(parse_spec(source, name=name))
+    return (
+        analyzed.spec.depends[index],
+        analyzed.depend_plans[index],
+        analyzed.types,
+    )
+
+
+def strategy_for(source, index=0, policy=StrategyPolicy.HEURISTIC):
+    clause, plan, types = clause_and_plan(source, index)
+    return choose_strategy(clause, plan, types, policy)
+
+
+class TestHeuristic:
+    def test_bound_endpoint_prefers_deps(self):
+        result = strategy_for(STANDARD_SPECS["DCE"])
+        assert result.method == "deps"
+
+    def test_both_free_prefers_members(self):
+        result = strategy_for(STANDARD_SPECS["PAR"], index=1)
+        assert result.method == "members"
+
+    def test_no_free_vars_is_check(self):
+        result = strategy_for(STANDARD_SPECS["INX"], index=0)
+        assert result.method == "check"
+
+    def test_pos_capture_forces_deps(self):
+        result = strategy_for(STANDARD_SPECS["CTP"], index=0)
+        assert result.method == "deps"
+        assert "position capture" in result.reason
+
+    def test_fused_dep_cannot_drive(self):
+        result = strategy_for(STANDARD_SPECS["FUS"], index=2)
+        assert result.method == "members"
+
+
+class TestPolicies:
+    def test_force_members(self):
+        result = strategy_for(
+            STANDARD_SPECS["DCE"], policy=StrategyPolicy.FORCE_MEMBERS
+        )
+        assert result.method == "members"
+
+    def test_force_deps_on_or_group(self):
+        result = strategy_for(
+            STANDARD_SPECS["PAR"], index=1, policy=StrategyPolicy.FORCE_DEPS
+        )
+        assert result.method == "deps"
+        assert len(result.primary_group) == 3  # flow OR anti OR out
+
+    def test_force_deps_without_candidates_degrades(self):
+        result = strategy_for(
+            STANDARD_SPECS["FUS"], index=2, policy=StrategyPolicy.FORCE_DEPS
+        )
+        assert result.method == "members"
+
+
+class TestGroups:
+    def test_or_of_same_endpoints_is_group(self):
+        clause, plan, _types = clause_and_plan(STANDARD_SPECS["PAR"], 1)
+        groups = usable_primary_groups(clause, plan)
+        assert any(len(g) == 3 for g in groups)
+
+    def test_single_atom_group(self):
+        clause, plan, _types = clause_and_plan(STANDARD_SPECS["DCE"], 0)
+        groups = usable_primary_groups(clause, plan)
+        assert [len(g) for g in groups] == [1]
+
+    def test_primary_dep_property(self):
+        result = strategy_for(STANDARD_SPECS["DCE"])
+        assert result.primary_dep is result.primary_group[0]
+        empty = strategy_for(STANDARD_SPECS["INX"], index=0)
+        assert empty.primary_dep is None

@@ -1,0 +1,92 @@
+"""Tests for the dialect extensions: region(), pos(), value(), add
+keyword-as-symbol."""
+
+import pytest
+
+from repro.gospel.ast import RegionSet
+from repro.gospel.parser import parse_spec
+from repro.genesis.generator import generate_optimizer
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import find_application_points
+
+
+def wrap(depend="", pattern="any Si: Si.opc == assign;",
+         action="delete(Si);", types="Stmt: Si, Sj, Sk;"):
+    return f"""
+    TYPE
+      {types}
+    PRECOND
+      Code_Pattern
+        {pattern}
+      Depend
+        {depend}
+    ACTION
+      {action}
+    """
+
+
+def test_region_parses_as_set():
+    spec = parse_spec(wrap(
+        depend="any Sj: flow_dep(Si, Sj);\n"
+               "no Sk: mem(Sk, region(Si, Sj)), anti_dep(Si, Sk);"
+    ))
+    membership = spec.depends[1].memberships[0]
+    assert isinstance(membership.set_expr, RegionSet)
+
+
+def test_region_is_static_interval():
+    optimizer = generate_optimizer(wrap(
+        pattern="any Si, Sj: Si.opc == assign AND Sj.opc == assign AND "
+                "pos(Si) < pos(Sj);",
+        depend="no Sk: mem(Sk, region(Si, Sj)), flow_dep(Si, Sk);",
+        action="modify(Sj.opr_2, Si.opr_2);",
+    ), name="REG")
+    # x := 1 ; y := x ; z := 1  -- the region between S0 and S2 holds S1,
+    # which is flow-dependent on S0: the (S0, S2) pair is rejected
+    program = parse_program(
+        "program t\n  integer x, y, z\n  x = 1\n  y = x\n  z = 1\n"
+        "  write y\n  write z\nend"
+    )
+    pairs = {
+        (point["Si"], point["Sj"])
+        for point in find_application_points(optimizer, program)
+    }
+    assert (0, 2) not in pairs
+    assert (1, 2) in pairs  # nothing between S1 and S2
+
+
+def test_pos_orders_statements():
+    optimizer = generate_optimizer(wrap(
+        pattern="any Si, Sj: Si.opc == assign AND Sj.opc == assign AND "
+                "pos(Si) < pos(Sj);",
+        depend="",
+        action="modify(Sj.opr_2, Si.opr_2);",
+    ), name="POSX")
+    program = parse_program(
+        "program t\n  integer x, y\n  x = 1\n  y = 2\n  write x\nend"
+    )
+    points = find_application_points(optimizer, program)
+    assert [(p["Si"], p["Sj"]) for p in points] == [(0, 1)]
+
+
+def test_add_keyword_usable_as_opcode_symbol():
+    spec = parse_spec(wrap(
+        pattern="any Si: Si.opc == add;",
+    ))
+    assert "add" in str(spec.patterns[0].format)
+
+
+def test_value_requires_constants():
+    from repro.genesis.library import GenesisRuntimeError
+
+    optimizer = generate_optimizer(wrap(
+        pattern="any Si: Si.opc == mul;",
+        action="modify(Si.opr_2, value(Si));",
+    ), name="BADVAL")
+    program = parse_program(
+        "program t\n  integer x, y\n  read y\n  x = y * 2\n  write x\nend"
+    )
+    from repro.genesis.driver import run_optimizer
+
+    with pytest.raises(GenesisRuntimeError):
+        run_optimizer(optimizer, program)

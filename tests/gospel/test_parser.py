@@ -1,0 +1,327 @@
+"""Unit tests for the GOSpeL parser, including the paper's figures."""
+
+import pytest
+
+from repro.gospel.ast import (
+    AddAction,
+    Binder,
+    BoolOp,
+    Compare,
+    CopyAction,
+    DeleteAction,
+    DepCond,
+    ElemType,
+    ForallAction,
+    MemCond,
+    ModifyAction,
+    MoveAction,
+    PathSet,
+    Quant,
+    RangeSet,
+    SetRef,
+    UsesSet,
+)
+from repro.gospel.errors import GospelSyntaxError
+from repro.gospel.parser import parse_spec
+from repro.opts.specs import CTP_PAPER, INX_PAPER, STANDARD_SPECS
+
+MINIMAL = """
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign;
+  Depend
+ACTION
+  delete(Si);
+"""
+
+
+class TestSections:
+    def test_minimal_spec(self):
+        spec = parse_spec(MINIMAL, name="MIN")
+        assert spec.name == "MIN"
+        assert len(spec.declarations) == 1
+        assert len(spec.patterns) == 1
+        assert spec.depends == ()
+        assert len(spec.actions) == 1
+
+    def test_declarations(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Stmt: Si, Sj;
+              Loop: L1;
+              Tight Loops: (La, Lb);
+              Nested Loops: (Lc, Ld);
+              Adjacent Loops: (Le, Lf);
+            PRECOND
+              Code_Pattern
+                any Si;
+              Depend
+            ACTION
+              delete(Si);
+            """
+        )
+        names = spec.declared_names()
+        assert names["Si"] is ElemType.STMT
+        assert names["L1"] is ElemType.LOOP
+        assert names["La"] is ElemType.TIGHT_LOOPS
+        assert names["Ld"] is ElemType.NESTED_LOOPS
+        assert names["Lf"] is ElemType.ADJACENT_LOOPS
+
+    def test_chained_pair_declaration(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Tight Loops: (L1, L2), (L2, L3);
+            PRECOND
+              Code_Pattern
+                any (L1, L2), (L2, L3);
+              Depend
+            ACTION
+              move(L1.head, L3.head);
+            """
+        )
+        assert spec.loop_pairs() == [
+            ("L1", "L2", ElemType.TIGHT_LOOPS),
+            ("L2", "L3", ElemType.TIGHT_LOOPS),
+        ]
+
+    def test_conflicting_redeclaration_rejected(self):
+        with pytest.raises(GospelSyntaxError):
+            parse_spec(
+                """
+                TYPE
+                  Stmt: Si;
+                  Loop: Si;
+                PRECOND
+                  Code_Pattern
+                    any Si;
+                  Depend
+                ACTION
+                  delete(Si);
+                """
+            )
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(GospelSyntaxError):
+            parse_spec("TYPE Stmt: Si;")
+
+
+class TestPaperFigures:
+    def test_figure_1_ctp(self):
+        spec = parse_spec(CTP_PAPER, name="CTP")
+        assert [b.name for b in spec.depends[0].binders] == ["Sj"]
+        assert spec.depends[0].binders[0].pos_name == "pos"
+        dep = spec.depends[0].condition
+        assert isinstance(dep, DepCond)
+        assert dep.kind == "flow"
+        assert dep.direction == ("=",)
+        action = spec.actions[0]
+        assert isinstance(action, ModifyAction)
+
+    def test_figure_2_inx(self):
+        spec = parse_spec(INX_PAPER, name="INX")
+        # first Depend clause: the bound-element form with no binders
+        first = spec.depends[0]
+        assert first.binders == ()
+        assert isinstance(first.condition, DepCond)
+        # second clause: two searched statements with memberships
+        second = spec.depends[1]
+        assert [b.name for b in second.binders] == ["Sm", "Sn"]
+        assert len(second.memberships) == 2
+        assert second.condition.direction == ("<", ">")
+        assert all(isinstance(a, MoveAction) for a in spec.actions)
+
+    def test_all_catalog_specs_parse(self):
+        for name, source in STANDARD_SPECS.items():
+            spec = parse_spec(source, name=name)
+            assert spec.patterns, name
+
+
+class TestClauses:
+    def test_pattern_pair_occurrence(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Tight Loops: (L1, L2);
+            PRECOND
+              Code_Pattern
+                any (L1, L2);
+              Depend
+            ACTION
+              move(L1.head, L2.head);
+            """
+        )
+        assert [b.name for b in spec.patterns[0].binders] == ["L1", "L2"]
+
+    def test_quantifiers(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Stmt: Si, Sj;
+            PRECOND
+              Code_Pattern
+                any Si: Si.opc == assign;
+              Depend
+                no Sj: flow_dep(Si, Sj);
+            ACTION
+              delete(Si);
+            """
+        )
+        assert spec.patterns[0].quant is Quant.ANY
+        assert spec.depends[0].quant is Quant.NO
+
+    def test_memberships_with_and(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Stmt: Sm, Sn;
+              Loop: L1;
+            PRECOND
+              Code_Pattern
+                any L1;
+              Depend
+                no Sm, Sn: mem(Sm, L1) AND mem(Sn, L1),
+                   flow_dep(Sm, Sn, (<));
+            ACTION
+              modify(L1.head.opc, doall);
+            """
+        )
+        clause = spec.depends[0]
+        assert len(clause.memberships) == 2
+        assert isinstance(clause.memberships[0], MemCond)
+        assert isinstance(clause.memberships[0].set_expr, SetRef)
+
+    def test_path_set(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Stmt: Si, Sj, Sk;
+            PRECOND
+              Code_Pattern
+                any Si;
+              Depend
+                any Sj: flow_dep(Si, Sj);
+                no Sk: mem(Sk, path(Si, Sj)), anti_dep(Si, Sk);
+            ACTION
+              delete(Si);
+            """
+        )
+        membership = spec.depends[1].memberships[0]
+        assert isinstance(membership.set_expr, PathSet)
+
+    def test_or_conditions(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Stmt: Si, Sj;
+            PRECOND
+              Code_Pattern
+                any Si;
+              Depend
+                no Sj: flow_dep(Si, Sj) OR anti_dep(Si, Sj);
+            ACTION
+              delete(Si);
+            """
+        )
+        condition = spec.depends[0].condition
+        assert isinstance(condition, BoolOp)
+        assert condition.op == "or"
+
+    def test_direction_vector_forms(self):
+        spec = parse_spec(
+            """
+            TYPE
+              Stmt: Si, Sj;
+            PRECOND
+              Code_Pattern
+                any Si;
+              Depend
+                no Sj: flow_dep(Si, Sj, (*, any, <, =, >));
+            ACTION
+              delete(Si);
+            """
+        )
+        assert spec.depends[0].condition.direction == (
+            "*", "*", "<", "=", ">",
+        )
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(GospelSyntaxError):
+            parse_spec(
+                """
+                TYPE
+                  Stmt: Si, Sj;
+                PRECOND
+                  Code_Pattern
+                    any Si;
+                  Depend
+                    no Sj: flow_dep(Si, Sj, (^));
+                ACTION
+                  delete(Si);
+                """
+            )
+
+
+class TestActions:
+    def full(self, actions):
+        return parse_spec(
+            f"""
+            TYPE
+              Stmt: Si, Sj;
+              Loop: L1;
+            PRECOND
+              Code_Pattern
+                any Si;
+              Depend
+            ACTION
+              {actions}
+            """
+        ).actions
+
+    def test_delete(self):
+        (action,) = self.full("delete(Si);")
+        assert isinstance(action, DeleteAction)
+
+    def test_move(self):
+        (action,) = self.full("move(Si, L1.end);")
+        assert isinstance(action, MoveAction)
+
+    def test_copy(self):
+        (action,) = self.full("copy(L1.body, L1.end, Bk);")
+        assert isinstance(action, CopyAction)
+        assert action.name == "Bk"
+
+    def test_add_with_template(self):
+        (action,) = self.full(
+            "add(L1.head, stmt(newtemp, add, L1.lcv, L1.init - 1), Sb);"
+        )
+        assert isinstance(action, AddAction)
+        assert action.template.opcode == "add"
+
+    def test_modify_operand(self):
+        (action,) = self.full("modify(operand(Si, pos), Si.opr_2);")
+        assert isinstance(action, ModifyAction)
+
+    def test_forall_uses_with_where(self):
+        (action,) = self.full(
+            "forall (Su, posu) in uses(L1.lcv, L1.body) where Su != Si "
+            "{ modify(operand(Su, posu), Si.opr_1); }"
+        )
+        assert isinstance(action, ForallAction)
+        assert isinstance(action.domain, UsesSet)
+        assert action.where is not None
+        assert len(action.body) == 1
+
+    def test_forall_range(self):
+        (action,) = self.full(
+            "forall k in range(L1.final, L1.init, 0 - L1.step) "
+            "{ copy(L1.body, L1.end, Bk); }"
+        )
+        assert isinstance(action.domain, RangeSet)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(GospelSyntaxError):
+            self.full("frobnicate(Si);")

@@ -1,0 +1,26 @@
+"""Guard the language reference against drift: its embedded complete
+example must parse and generate."""
+
+import re
+from pathlib import Path
+
+from repro.genesis.generator import generate_optimizer
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "gospel_reference.md"
+
+
+def test_reference_example_generates():
+    text = DOC.read_text()
+    blocks = re.findall(r"```\n(TYPE\n.*?)```", text, re.DOTALL)
+    assert blocks, "the reference must keep a complete TYPE...ACTION example"
+    complete = [b for b in blocks if "ACTION" in b]
+    assert complete
+    for block in complete:
+        optimizer = generate_optimizer(block, name="DOCX")
+        assert optimizer.source
+
+
+def test_reference_covers_all_primitives():
+    text = DOC.read_text()
+    for primitive in ("delete(", "copy(", "move(", "add(", "modify("):
+        assert primitive in text

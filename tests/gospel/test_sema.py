@@ -1,0 +1,189 @@
+"""Unit tests for GOSpeL semantic analysis and the binding plan."""
+
+import pytest
+
+from repro.gospel.errors import GospelSemanticError
+from repro.gospel.parser import parse_spec
+from repro.gospel.sema import analyze_spec
+from repro.opts.specs import STANDARD_SPECS
+
+
+def analyze(source, name="T"):
+    return analyze_spec(parse_spec(source, name=name))
+
+
+class TestBindingPlans:
+    def test_pattern_binds_search_vars(self):
+        analyzed = analyze(
+            """
+            TYPE
+              Stmt: Si, Sj;
+            PRECOND
+              Code_Pattern
+                any Si: Si.opc == assign;
+              Depend
+                any Sj: flow_dep(Si, Sj);
+            ACTION
+              delete(Sj);
+            """
+        )
+        assert analyzed.pattern_plans[0].search_vars == ("Si",)
+        assert analyzed.depend_plans[0].search_vars == ("Sj",)
+        assert "Sj" in analyzed.action_names
+
+    def test_no_clause_binds_nothing(self):
+        analyzed = analyze(
+            """
+            TYPE
+              Stmt: Si, Sl;
+            PRECOND
+              Code_Pattern
+                any Si;
+              Depend
+                no Sl: flow_dep(Sl, Si);
+            ACTION
+              delete(Si);
+            """
+        )
+        assert "Sl" not in analyzed.action_names
+
+    def test_pos_capture_recorded(self):
+        analyzed = analyze(STANDARD_SPECS["CTP"] if False else
+                           STANDARD_SPECS["CTP"], name="CTP")
+        assert analyzed.depend_plans[0].new_pos_vars == ("pos",)
+        assert analyzed.depend_plans[1].new_pos_vars == ()
+
+    def test_implicit_existential_names(self):
+        # section 2.2's example: Sj appears only inside the condition
+        analyzed = analyze(
+            """
+            TYPE
+              Stmt: Si, Sj;
+              Loop: L1, L2;
+            PRECOND
+              Code_Pattern
+                any L1;
+                any L2;
+              Depend
+                any Si: mem(Si, L1) AND mem(Sj, L2),
+                   flow_dep(Si, Sj, (=)) OR anti_dep(Si, Sj, (=));
+            ACTION
+              delete(Si);
+            """
+        )
+        assert set(analyzed.depend_plans[0].search_vars) == {"Si", "Sj"}
+
+    def test_all_catalog_specs_analyze(self):
+        for name, source in STANDARD_SPECS.items():
+            analyzed = analyze(source, name=name)
+            assert analyzed.spec.name == name
+
+
+class TestErrors:
+    def base(self, pattern="any Si: Si.opc == assign;", depend="",
+             action="delete(Si);", types="Stmt: Si;"):
+        return f"""
+            TYPE
+              {types}
+            PRECOND
+              Code_Pattern
+                {pattern}
+              Depend
+                {depend}
+            ACTION
+              {action}
+            """
+
+    def test_undeclared_element(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(self.base(pattern="any Sz: Sz.opc == assign;"))
+
+    def test_undeclared_in_condition(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(self.base(depend="no Sq: flow_dep(Si, Sq);"))
+
+    def test_dep_condition_in_pattern_rejected(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(
+                self.base(
+                    types="Stmt: Si, Sj;",
+                    pattern="any Si: flow_dep(Si, Sj);",
+                )
+            )
+
+    def test_bad_statement_attribute(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(self.base(pattern="any Si: Si.head == assign;"))
+
+    def test_bad_loop_attribute(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(
+                self.base(
+                    types="Loop: L1;",
+                    pattern="any L1: L1.opr_2 == const;",
+                    action="delete(L1);",
+                )
+            )
+
+    def test_attribute_of_operand_rejected(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(self.base(pattern="any Si: Si.opr_1.opc == assign;"))
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(self.base(pattern="any Si: Si.opc == banana;"))
+
+    def test_pos_name_colliding_with_element(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(
+                self.base(
+                    types="Stmt: Si, Sj;",
+                    depend="any (Sj, Si): flow_dep(Si, Sj);",
+                )
+            )
+
+    def test_position_capture_in_pattern_rejected(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(
+                self.base(pattern="any (Si, pos): Si.opc == assign;")
+            )
+
+    def test_action_unbound_name(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(self.base(action="delete(Sq);"))
+
+    def test_statement_as_set_rejected(self):
+        with pytest.raises(GospelSemanticError):
+            analyze(
+                self.base(
+                    types="Stmt: Si, Sj;",
+                    depend="no Sj: mem(Sj, Si), flow_dep(Si, Sj);",
+                )
+            )
+
+    def test_spec_without_patterns_rejected(self):
+        from repro.gospel.ast import Specification
+
+        spec = Specification(
+            name="E", declarations=(), patterns=(), depends=(), actions=()
+        )
+        with pytest.raises(GospelSemanticError):
+            analyze_spec(spec)
+
+
+class TestWarnings:
+    def test_no_in_code_pattern_warns(self):
+        analyzed = analyze(
+            """
+            TYPE
+              Stmt: Si, Sj;
+            PRECOND
+              Code_Pattern
+                any Si;
+                no Sj: Sj.opc == assign;
+              Depend
+            ACTION
+              delete(Si);
+            """
+        )
+        assert any("no" in w for w in analyzed.warnings)

@@ -1,0 +1,57 @@
+"""Unit tests for the GOSpeL tokenizer."""
+
+import pytest
+
+from repro.gospel.errors import GospelSyntaxError
+from repro.gospel.tokens import GTok, tokenize
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("TYPE Precond code_pattern DEPEND action")
+    assert all(t.kind is GTok.KEYWORD for t in tokens[:-1])
+    assert tokens[0].text == "type"
+
+
+def test_identifiers_keep_case():
+    tokens = tokenize("Si Sj L1")
+    assert [t.text for t in tokens[:-1]] == ["Si", "Sj", "L1"]
+
+
+def test_numbers():
+    tokens = tokenize("12 3.5")
+    assert tokens[0].value == 12
+    assert tokens[1].value == 3.5
+
+
+def test_multi_char_operators():
+    tokens = tokenize("== != <= >=")
+    assert [t.text for t in tokens[:-1]] == ["==", "!=", "<=", ">="]
+
+
+def test_single_char_operators():
+    tokens = tokenize("; : , . ( ) { } < > = * + - /")
+    assert all(t.kind is GTok.OP for t in tokens[:-1])
+
+
+def test_comments_stripped():
+    tokens = tokenize("any /* find it */ Si")
+    assert [t.text for t in tokens[:-1]] == ["any", "Si"]
+
+
+def test_multiline_comment_tracks_lines():
+    tokens = tokenize("/* one\ntwo */ Si")
+    assert tokens[0].line == 2
+
+
+def test_unterminated_comment():
+    with pytest.raises(GospelSyntaxError):
+        tokenize("/* never ends")
+
+
+def test_unexpected_character():
+    with pytest.raises(GospelSyntaxError):
+        tokenize("Si @ Sj")
+
+
+def test_eof_token():
+    assert tokenize("")[-1].kind is GTok.EOF

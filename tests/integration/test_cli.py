@@ -1,0 +1,114 @@
+"""Tests for the ``genesis`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestGenerate:
+    def test_catalog_name(self, capsys):
+        code, out, err = run_cli(capsys, "generate", "CTP")
+        assert code == 0
+        assert "def act_CTP(ctx):" in out
+        assert "CTP:" in err
+
+    def test_extended_name(self, capsys):
+        code, out, _err = run_cli(capsys, "generate", "RVS")
+        assert code == 0
+        assert "def pre_RVS(ctx):" in out
+
+    def test_from_file(self, capsys, tmp_path):
+        spec = tmp_path / "nop.gospel"
+        spec.write_text(
+            """
+            TYPE
+              Stmt: Si;
+            PRECOND
+              Code_Pattern
+                any Si: Si.opc == assign;
+              Depend
+            ACTION
+              modify(Si.opr_2, Si.opr_2);
+            """
+        )
+        code, out, _err = run_cli(capsys, "generate", str(spec))
+        assert code == 0
+        assert "def act_NOP(ctx):" in out
+
+    def test_policy_flag(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "generate", "PAR", "--policy", "deps"
+        )
+        assert code == 0
+        assert "lib.dep_candidates(ctx," in out
+
+
+class TestOptimize:
+    def test_workload_by_name(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "optimize", "integrate", "--opts", "CTP,CFO,DCE"
+        )
+        assert code == 0
+        assert "CTP:" in out and "DCE:" in out
+
+    def test_show_prints_program(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "optimize", "newton", "--opts", "CTP", "--show"
+        )
+        assert code == 0
+        assert "do k = 1, 12" in out  # maxit propagated
+
+    def test_once_flag(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "optimize", "poly", "--opts", "CTP", "--once"
+        )
+        assert code == 0
+        assert "1 application(s)" in out
+
+    def test_source_file(self, capsys, tmp_path):
+        source = tmp_path / "p.f"
+        source.write_text(
+            "program p\n  integer x\n  x = 2 * 3\n  write x\nend\n"
+        )
+        code, out, _err = run_cli(
+            capsys, "optimize", str(source), "--opts", "CFO", "--show"
+        )
+        assert code == 0
+        assert "x := 6" in out
+
+
+class TestOthers:
+    def test_suite_lists_programs(self, capsys):
+        code, out, _err = run_cli(capsys, "suite")
+        assert code == 0
+        assert "newton" in out and "ordering" in out
+
+    def test_no_command_shows_help(self, capsys):
+        code, out, _err = run_cli(capsys)
+        assert code == 2
+        assert "usage" in out.lower()
+
+    def test_experiments_subset(self, capsys, tmp_path):
+        target = tmp_path / "report.txt"
+        code, _out, _err = run_cli(
+            capsys, "experiments", "--only", "E6", "--out", str(target)
+        )
+        assert code == 0
+        assert "E6a" in target.read_text()
+
+    def test_interact_reads_commands(self, capsys, monkeypatch):
+        commands = iter(["list", "apply CTP all", "quit"])
+        monkeypatch.setattr(
+            "builtins.input", lambda _prompt: next(commands)
+        )
+        code, out, _err = run_cli(
+            capsys, "interact", "integrate", "--opts", "CTP,DCE"
+        )
+        assert code == 0
+        assert "CTP" in out

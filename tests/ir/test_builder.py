@@ -1,0 +1,111 @@
+"""Unit tests for the IR builder DSL."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder, as_operand, as_subscript
+from repro.ir.quad import Opcode
+from repro.ir.types import Affine, ArrayRef, Const, Var
+
+
+class TestCoercions:
+    def test_as_operand(self):
+        assert as_operand("x") == Var("x")
+        assert as_operand(3) == Const(3)
+        assert as_operand(2.5) == Const(2.5)
+        assert as_operand(Var("y")) == Var("y")
+
+    def test_as_operand_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_operand([1, 2])
+
+    def test_as_subscript(self):
+        assert as_subscript("i") == Affine.var("i")
+        assert as_subscript(4) == Affine.constant(4)
+        assert as_subscript(Affine.of(1, i=1)) == Affine.of(1, i=1)
+
+
+class TestEmission:
+    def test_assign_and_binary(self):
+        b = IRBuilder()
+        b.assign("x", 1)
+        b.binary("y", "x", "+", 2)
+        program = b.build()
+        assert program[0].opcode is Opcode.ASSIGN
+        assert program[1].opcode is Opcode.ADD
+
+    def test_binary_rejects_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            IRBuilder().binary("x", "y", "@", "z")
+
+    def test_unary(self):
+        b = IRBuilder()
+        b.unary("x", "sqrt", "y")
+        assert b.build()[0].opcode is Opcode.SQRT
+
+    def test_unary_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            IRBuilder().unary("x", "tan", "y")
+
+    def test_arr_builds_reference(self):
+        b = IRBuilder()
+        ref = b.arr("a", "i", 2)
+        assert ref == ArrayRef("a", (Affine.var("i"), Affine.constant(2)))
+
+    def test_temps_are_fresh(self):
+        b = IRBuilder()
+        assert b.temp() != b.temp()
+
+    def test_read_write(self):
+        b = IRBuilder()
+        b.read("x")
+        b.write("x")
+        program = b.build()
+        assert program[0].opcode is Opcode.READ
+        assert program[1].opcode is Opcode.WRITE
+
+
+class TestRegions:
+    def test_loop_region(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 5, step=2) as head:
+            b.assign("x", "i")
+        program = b.build()
+        assert program[0] is head
+        assert head.step == Const(2)
+        assert program[2].opcode is Opcode.ENDDO
+
+    def test_parallel_loop(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 5, parallel=True):
+            b.assign("x", "i")
+        assert b.build()[0].opcode is Opcode.DOALL
+
+    def test_if_region(self):
+        b = IRBuilder()
+        with b.if_("x", "<", 0):
+            b.assign("y", 1)
+        program = b.build()
+        assert program[0].opcode is Opcode.IF
+        assert program[-1].opcode is Opcode.ENDIF
+
+    def test_if_else_region(self):
+        b = IRBuilder()
+        with b.if_else("x", "==", 0) as (_guard, orelse):
+            b.assign("y", 1)
+            orelse.begin()
+            b.assign("y", 2)
+        opcodes = [q.opcode for q in b.build()]
+        assert Opcode.ELSE in opcodes
+
+    def test_if_else_without_begin_raises(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError):
+            with b.if_else("x", "==", 0):
+                b.assign("y", 1)
+
+    def test_orelse_begin_twice_raises(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError):
+            with b.if_else("x", "==", 0) as (_guard, orelse):
+                orelse.begin()
+                orelse.begin()

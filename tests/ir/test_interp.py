@@ -1,0 +1,267 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import (
+    InterpError,
+    run_program,
+    same_behaviour,
+)
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Const, Var
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "symbol,left,right,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 3, 12),
+            ("/", 7, 2, 3.5),
+            ("/", 8, 2, 4),
+            ("mod", 7, 3, 1),
+            ("**", 2, 5, 32),
+        ],
+    )
+    def test_binary(self, symbol, left, right, expected):
+        b = IRBuilder()
+        b.binary("x", left, symbol, right)
+        b.write("x")
+        assert run_program(b.build()).output == [expected]
+
+    @pytest.mark.parametrize(
+        "name,value,expected",
+        [
+            ("neg", 3, -3),
+            ("abs", -4, 4),
+            ("sqrt", 9, 3.0),
+        ],
+    )
+    def test_unary(self, name, value, expected):
+        b = IRBuilder()
+        b.unary("x", name, value)
+        b.write("x")
+        assert run_program(b.build()).output == [expected]
+
+    def test_trig(self):
+        import math
+
+        b = IRBuilder()
+        b.unary("s", "sin", 0)
+        b.unary("c", "cos", 0)
+        b.unary("e", "exp", 1)
+        b.write("s")
+        b.write("c")
+        b.write("e")
+        out = run_program(b.build()).output
+        assert out[0] == 0 and out[1] == 1
+        assert abs(out[2] - math.e) < 1e-12
+
+    def test_division_by_zero(self):
+        b = IRBuilder()
+        b.binary("x", 1, "/", 0)
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+    def test_sqrt_of_negative(self):
+        b = IRBuilder()
+        b.unary("x", "sqrt", -1)
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+    def test_log_of_zero(self):
+        b = IRBuilder()
+        b.unary("x", "log", 0)
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        b = IRBuilder()
+        b.assign("s", 0)
+        with b.loop("i", 1, 5):
+            b.binary("s", "s", "+", "i")
+        b.write("s")
+        assert run_program(b.build()).output == [15]
+
+    def test_loop_with_step(self):
+        b = IRBuilder()
+        b.assign("s", 0)
+        with b.loop("i", 1, 9, step=3):
+            b.binary("s", "s", "+", "i")
+        b.write("s")
+        assert run_program(b.build()).output == [1 + 4 + 7]
+
+    def test_negative_step(self):
+        b = IRBuilder()
+        b.assign("s", 0)
+        with b.loop("i", 3, 1, step=-1):
+            b.binary("s", "s", "*", 10)
+            b.binary("s", "s", "+", "i")
+        b.write("s")
+        assert run_program(b.build()).output == [321]
+
+    def test_zero_trip_loop(self):
+        b = IRBuilder()
+        b.assign("s", 7)
+        with b.loop("i", 5, 1):
+            b.assign("s", 0)
+        b.write("s")
+        assert run_program(b.build()).output == [7]
+
+    def test_lcv_after_loop_follows_fortran(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 4):
+            b.assign("x", "i")
+        b.write("i")
+        assert run_program(b.build()).output == [5]
+
+    def test_zero_step_raises(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 4, step=0):
+            b.assign("x", "i")
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+    def test_if_then_taken(self):
+        b = IRBuilder()
+        b.assign("x", 5)
+        with b.if_("x", ">", 0):
+            b.assign("y", 1)
+        b.write("y")
+        assert run_program(b.build()).output == [1]
+
+    def test_if_then_skipped(self):
+        b = IRBuilder()
+        b.assign("x", -5)
+        with b.if_("x", ">", 0):
+            b.assign("y", 1)
+        b.write("y")
+        assert run_program(b.build()).output == [0]
+
+    def test_if_else(self):
+        b = IRBuilder()
+        b.assign("x", -5)
+        with b.if_else("x", ">", 0) as (_g, orelse):
+            b.assign("y", 1)
+            orelse.begin()
+            b.assign("y", 2)
+        b.write("y")
+        assert run_program(b.build()).output == [2]
+
+    @pytest.mark.parametrize("relop,expected", [
+        ("<", 0), ("<=", 1), (">", 0), (">=", 1), ("==", 1), ("!=", 0),
+    ])
+    def test_relops(self, relop, expected):
+        b = IRBuilder()
+        b.assign("x", 3)
+        with b.if_(Var("x"), relop, 3):
+            b.assign("y", 1)
+        b.write("y")
+        assert run_program(b.build()).output == [expected]
+
+    def test_doall_executes_sequentially(self):
+        b = IRBuilder()
+        b.assign("s", 0)
+        with b.loop("i", 1, 4, parallel=True):
+            b.binary("s", "s", "+", 1)
+        b.write("s")
+        assert run_program(b.build()).output == [4]
+
+    def test_nested_loops(self):
+        b = IRBuilder()
+        b.assign("s", 0)
+        with b.loop("i", 1, 3):
+            with b.loop("j", 1, 4):
+                b.binary("s", "s", "+", 1)
+        b.write("s")
+        assert run_program(b.build()).output == [12]
+
+
+class TestIO:
+    def test_read_consumes_inputs(self):
+        b = IRBuilder()
+        b.read("x")
+        b.read("y")
+        b.binary("z", "x", "+", "y")
+        b.write("z")
+        assert run_program(b.build(), inputs=[3, 4]).output == [7]
+
+    def test_read_past_end_yields_zero(self):
+        b = IRBuilder()
+        b.read("x")
+        b.write("x")
+        assert run_program(b.build()).output == [0]
+
+    def test_array_elements(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 3):
+            b.assign(b.arr("a", "i"), "i")
+        b.write(b.arr("a", 2))
+        assert run_program(b.build()).output == [2]
+
+    def test_uninitialized_reads_are_zero(self):
+        b = IRBuilder()
+        b.write("nothing")
+        b.write(b.arr("a", 5))
+        assert run_program(b.build()).output == [0, 0]
+
+
+class TestStateAndLimits:
+    def test_initial_scalars_and_arrays(self):
+        b = IRBuilder()
+        b.binary("y", "x", "+", b.arr("a", 1))
+        b.write("y")
+        result = run_program(
+            b.build(), scalars={"x": 10}, arrays={"a": {(1,): 5}}
+        )
+        assert result.output == [15]
+
+    def test_result_carries_final_state(self):
+        b = IRBuilder()
+        b.assign("x", 42)
+        b.assign(b.arr("a", 3), 7)
+        result = run_program(b.build())
+        assert result.scalars["x"] == 42
+        assert result.arrays["a"][(3,)] == 7
+
+    def test_step_budget(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 1000):
+            b.assign("x", "i")
+        with pytest.raises(InterpError):
+            run_program(b.build(), max_steps=100)
+
+    def test_opcode_counts(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 3):
+            b.binary("x", "i", "*", 2)
+        counts = run_program(b.build()).opcode_counts
+        assert counts[Opcode.MUL] == 3
+
+    def test_observable_rounds_floats(self):
+        b1 = IRBuilder()
+        b1.assign("x", 0.1 + 0.2)
+        b1.write("x")
+        b2 = IRBuilder()
+        b2.assign("x", 0.3)
+        b2.write("x")
+        assert same_behaviour(b1.build(), b2.build())
+
+    def test_same_behaviour_detects_difference(self):
+        b1 = IRBuilder()
+        b1.write(1)
+        b2 = IRBuilder()
+        b2.write(2)
+        assert not same_behaviour(b1.build(), b2.build())
+
+    def test_nop_is_skipped(self):
+        from repro.ir.program import Program
+
+        program = Program()
+        program.append(Quad(Opcode.NOP))
+        program.append(Quad(Opcode.WRITE, a=Const(1)))
+        assert run_program(program).output == [1]

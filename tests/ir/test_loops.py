@@ -1,0 +1,180 @@
+"""Unit tests for loop/conditional structure recovery."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import StructureTable, loop_attributes, trip_count
+from repro.ir.program import IRError
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Const, Var
+
+
+def nest_program():
+    """do i { do j { body } }  followed by an adjacent loop."""
+    b = IRBuilder()
+    with b.loop("i", 1, 10) as outer:
+        with b.loop("j", 1, 5) as inner:
+            body = b.assign("x", "j")
+    with b.loop("k", 1, 3) as third:
+        b.assign("y", "k")
+    return b.build(), outer, inner, body, third
+
+
+class TestLoops:
+    def test_loops_in_order(self):
+        program, outer, inner, _body, third = nest_program()
+        heads = [l.head_qid for l in StructureTable(program).loops_in_order()]
+        assert heads == [outer.qid, inner.qid, third.qid]
+
+    def test_depths_and_parents(self):
+        program, outer, inner, _body, third = nest_program()
+        table = StructureTable(program)
+        assert table.loop_of(outer.qid).depth == 1
+        assert table.loop_of(inner.qid).depth == 2
+        assert table.loop_of(inner.qid).parent == outer.qid
+        assert table.loop_of(third.qid).parent is None
+
+    def test_children(self):
+        program, outer, inner, _b, _t = nest_program()
+        assert StructureTable(program).loop_of(outer.qid).children == [
+            inner.qid
+        ]
+
+    def test_body_qids_include_nested_markers(self):
+        program, outer, inner, body, _t = nest_program()
+        table = StructureTable(program)
+        assert body.qid in table.loop_of(outer.qid).body_qids
+        assert inner.qid in table.loop_of(outer.qid).body_qids
+        assert table.loop_of(inner.qid).body_qids == (body.qid,)
+
+    def test_loop_of_non_head_raises(self):
+        program, _o, _i, body, _t = nest_program()
+        with pytest.raises(IRError):
+            StructureTable(program).loop_of(body.qid)
+
+    def test_member(self):
+        program, outer, _i, body, third = nest_program()
+        table = StructureTable(program)
+        assert table.member(body.qid, outer.qid)
+        assert not table.member(body.qid, third.qid)
+
+    def test_enclosing_loop(self):
+        program, outer, inner, body, _t = nest_program()
+        table = StructureTable(program)
+        assert table.enclosing_loop[body.qid] == inner.qid
+        assert table.enclosing_loop[inner.qid] == outer.qid
+        assert table.enclosing_loop[outer.qid] is None
+
+    def test_nesting_depth(self):
+        program, outer, _i, body, _t = nest_program()
+        table = StructureTable(program)
+        assert table.nesting_depth(body.qid) == 2
+        assert table.nesting_depth(outer.qid) == 0
+
+
+class TestPairs:
+    def test_nested_pairs(self):
+        program, outer, inner, _b, third = nest_program()
+        pairs = StructureTable(program).nested_pairs()
+        assert (outer.qid, inner.qid) in pairs
+        assert (outer.qid, third.qid) not in pairs
+
+    def test_tight_pairs(self):
+        program, outer, inner, _b, _t = nest_program()
+        assert StructureTable(program).tight_pairs() == [
+            (outer.qid, inner.qid)
+        ]
+
+    def test_not_tight_with_statement_between_heads(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 10) as outer:
+            b.assign("t", 0)
+            with b.loop("j", 1, 5) as inner:
+                b.assign("x", "j")
+        program = b.build()
+        assert StructureTable(program).tight_pairs() == []
+        assert (outer.qid, inner.qid) in StructureTable(
+            program
+        ).nested_pairs()
+
+    def test_adjacent_pairs(self):
+        program, outer, _i, _b, third = nest_program()
+        assert StructureTable(program).adjacent_pairs() == [
+            (outer.qid, third.qid)
+        ]
+
+    def test_perfect_nest(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 4) as l1:
+            with b.loop("j", 1, 4) as l2:
+                with b.loop("k", 1, 4) as l3:
+                    b.assign("x", 1)
+        table = StructureTable(b.build())
+        assert table.perfect_nest_from(l1.qid) == [l1.qid, l2.qid, l3.qid]
+
+    def test_common_loops(self):
+        program, outer, inner, body, third = nest_program()
+        table = StructureTable(program)
+        y_stmt = table.loop_of(third.qid).body_qids[0]
+        assert [l.head_qid for l in table.common_loops(body.qid, body.qid)] \
+            == [outer.qid, inner.qid]
+        assert table.common_loops(body.qid, y_stmt) == []
+
+
+class TestConditionals:
+    def test_if_else_regions(self):
+        b = IRBuilder()
+        with b.if_else("x", ">", 0) as (guard, orelse):
+            then_stmt = b.assign("y", 1)
+            orelse.begin()
+            else_stmt = b.assign("y", 2)
+        table = StructureTable(b.build())
+        cond = table.conditionals[guard.qid]
+        assert then_stmt.qid in cond.then_qids
+        assert else_stmt.qid in cond.else_qids
+        assert else_stmt.qid not in cond.then_qids
+
+    def test_controllers_stack(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 5) as head:
+            with b.if_("x", "<", 3) as guard:
+                stmt = b.assign("y", 1)
+        table = StructureTable(b.build())
+        assert table.controllers[stmt.qid] == (head.qid, guard.qid)
+
+
+class TestAttributes:
+    def test_loop_attributes(self):
+        b = IRBuilder()
+        with b.loop("i", 2, "n", step=3) as head:
+            b.assign("x", "i")
+        program = b.build()
+        attrs = loop_attributes(program, head.qid)
+        assert attrs["lcv"] == Var("i")
+        assert attrs["init"] == Const(2)
+        assert attrs["final"] == Var("n")
+        assert attrs["step"] == Const(3)
+        assert attrs["head"] == head.qid
+
+    def test_trip_count_constant(self):
+        head = Quad(Opcode.DO, result=Var("i"), a=Const(1), b=Const(10))
+        assert trip_count(head) == 10
+
+    def test_trip_count_with_step(self):
+        head = Quad(Opcode.DO, result=Var("i"), a=Const(1), b=Const(10),
+                    step=Const(3))
+        assert trip_count(head) == 4
+
+    def test_trip_count_negative_step(self):
+        head = Quad(Opcode.DO, result=Var("i"), a=Const(5), b=Const(1),
+                    step=Const(-1))
+        assert trip_count(head) == 5
+
+    def test_trip_count_empty_loop(self):
+        head = Quad(Opcode.DO, result=Var("i"), a=Const(5), b=Const(1))
+        assert trip_count(head) == 0
+
+    def test_trip_count_symbolic_returns_default(self):
+        head = Quad(Opcode.DO, result=Var("i"), a=Const(1), b=Var("n"))
+        assert trip_count(head) is None
+        assert trip_count(head, default=10) == 10

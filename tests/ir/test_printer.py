@@ -1,0 +1,54 @@
+"""Unit tests for program pretty-printing."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import format_program, format_side_by_side
+
+
+def test_indentation_follows_structure():
+    b = IRBuilder()
+    with b.loop("i", 1, 3):
+        with b.if_("x", ">", 0):
+            b.assign("y", 1)
+    text = format_program(b.build(), show_qids=False)
+    lines = text.splitlines()
+    assert lines[0] == "do i = 1, 3"
+    assert lines[1] == "    if x > 0"
+    assert lines[2] == "        y := 1"
+    assert lines[3] == "    endif"
+    assert lines[4] == "enddo"
+
+
+def test_qids_shown_by_default():
+    b = IRBuilder()
+    b.assign("x", 1)
+    assert format_program(b.build()).startswith("   0:")
+
+
+def test_else_dedents_one_level():
+    b = IRBuilder()
+    with b.if_else("x", ">", 0) as (_g, orelse):
+        b.assign("y", 1)
+        orelse.begin()
+        b.assign("y", 2)
+    lines = format_program(b.build(), show_qids=False).splitlines()
+    assert lines[2] == "else"
+
+
+def test_side_by_side_contains_both_programs():
+    left = IRBuilder()
+    left.assign("x", 1)
+    right = IRBuilder()
+    right.assign("y", 2)
+    text = format_side_by_side(left.build(), right.build())
+    assert "BEFORE" in text and "AFTER" in text
+    assert "x := 1" in text and "y := 2" in text
+
+
+def test_side_by_side_pads_unequal_lengths():
+    left = IRBuilder()
+    left.assign("x", 1)
+    left.assign("x", 2)
+    right = IRBuilder()
+    right.assign("y", 2)
+    text = format_side_by_side(left.build(), right.build())
+    assert len(text.splitlines()) == 4  # header + rule + two rows

@@ -1,0 +1,114 @@
+"""Unit tests for operands and affine subscript expressions."""
+
+import pytest
+
+from repro.ir.types import (
+    Affine,
+    ArrayRef,
+    Const,
+    Var,
+    is_array,
+    is_const,
+    is_var,
+    operand_kind,
+    used_scalars,
+)
+
+
+class TestAffine:
+    def test_of_builds_sorted_terms(self):
+        expr = Affine.of(3, j=2, i=1)
+        assert expr.terms == (("i", 1), ("j", 2))
+        assert expr.const == 3
+
+    def test_of_drops_zero_coefficients(self):
+        assert Affine.of(1, i=0).terms == ()
+
+    def test_var_and_constant_constructors(self):
+        assert Affine.var("i") == Affine.of(0, i=1)
+        assert Affine.constant(7) == Affine.of(7)
+
+    def test_coefficient_lookup(self):
+        expr = Affine.of(0, i=2, j=-1)
+        assert expr.coefficient("i") == 2
+        assert expr.coefficient("j") == -1
+        assert expr.coefficient("k") == 0
+
+    def test_variables_property(self):
+        assert Affine.of(5, i=1, k=3).variables == ("i", "k")
+
+    def test_is_constant(self):
+        assert Affine.constant(4).is_constant()
+        assert not Affine.var("i").is_constant()
+
+    def test_addition_merges_terms(self):
+        total = Affine.of(1, i=2) + Affine.of(3, i=-2, j=1)
+        assert total == Affine.of(4, j=1)
+
+    def test_addition_with_int(self):
+        assert Affine.var("i") + 5 == Affine.of(5, i=1)
+
+    def test_negation(self):
+        assert -Affine.of(2, i=3) == Affine.of(-2, i=-3)
+
+    def test_subtraction(self):
+        assert Affine.var("i") - Affine.var("i") == Affine.constant(0)
+        assert Affine.var("i") - 1 == Affine.of(-1, i=1)
+
+    def test_scale(self):
+        assert Affine.of(1, i=2).scale(3) == Affine.of(3, i=6)
+        assert Affine.of(9, i=2).scale(0) == Affine.constant(0)
+
+    def test_substitute_replaces_variable(self):
+        expr = Affine.of(1, i=2)
+        replaced = expr.substitute("i", Affine.of(3, j=1))
+        assert replaced == Affine.of(7, j=2)
+
+    def test_substitute_missing_variable_is_noop(self):
+        expr = Affine.of(1, i=2)
+        assert expr.substitute("k", Affine.constant(9)) is expr
+
+    def test_str_forms(self):
+        assert str(Affine.var("i")) == "i"
+        assert str(Affine.of(1, i=1)) == "i + 1"
+        assert str(Affine.of(-2, i=1)) == "i - 2"
+        assert str(Affine.of(0, i=-1)) == "-i"
+        assert str(Affine.constant(0)) == "0"
+
+    def test_equality_and_hash(self):
+        assert Affine.of(1, i=2) == Affine.of(1, i=2)
+        assert hash(Affine.of(1, i=2)) == hash(Affine.of(1, i=2))
+
+
+class TestOperands:
+    def test_kind_classification(self):
+        assert operand_kind(Const(1)) == "const"
+        assert operand_kind(Var("x")) == "var"
+        assert operand_kind(ArrayRef("a", (Affine.var("i"),))) == "array"
+        assert operand_kind(None) == "none"
+
+    def test_kind_rejects_non_operand(self):
+        with pytest.raises(TypeError):
+            operand_kind("hello")
+
+    def test_predicates(self):
+        assert is_const(Const(2.5))
+        assert is_var(Var("y"))
+        assert is_array(ArrayRef("a", (Affine.constant(1),)))
+        assert not is_const(Var("x"))
+
+    def test_used_scalars_of_var_and_const(self):
+        assert used_scalars(Var("x")) == frozenset({"x"})
+        assert used_scalars(Const(3)) == frozenset()
+        assert used_scalars(None) == frozenset()
+
+    def test_used_scalars_of_array_includes_subscript_vars(self):
+        ref = ArrayRef("a", (Affine.of(1, i=1, j=2), Var("k")))
+        assert used_scalars(ref) == frozenset({"i", "j", "k"})
+
+    def test_array_str(self):
+        ref = ArrayRef("a", (Affine.var("i"), Affine.of(-1, j=1)))
+        assert str(ref) == "a(i, j - 1)"
+
+    def test_operands_hashable(self):
+        assert len({Var("x"), Var("x"), Const(1), Const(1)}) == 2

@@ -1,0 +1,111 @@
+"""Unit tests for the program validator."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.program import Program
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import ArrayRef, Const, Var
+from repro.ir.validate import ValidationError, validate_program
+
+
+def test_well_formed_program_passes():
+    b = IRBuilder()
+    b.assign("n", 4)
+    with b.loop("i", 1, "n"):
+        b.binary(b.arr("a", "i"), b.arr("a", "i"), "+", 1)
+    b.write(b.arr("a", 2))
+    report = validate_program(b.build())
+    assert report.ok
+    assert "well formed" in str(report)
+
+
+def test_workloads_validate(suite):
+    for item in suite:
+        validate_program(item.load())
+
+
+def test_broken_nesting_reported():
+    program = Program()
+    program.append(Quad(Opcode.ENDDO))
+    report = validate_program(program, strict=False)
+    assert not report.ok
+
+
+def test_strict_mode_raises():
+    program = Program()
+    program.append(Quad(Opcode.ENDDO))
+    with pytest.raises(ValidationError):
+        validate_program(program)
+
+
+def test_assign_with_second_operand_rejected():
+    program = Program()
+    program.append(
+        Quad(Opcode.ASSIGN, result=Var("x"), a=Const(1), b=Const(2))
+    )
+    report = validate_program(program, strict=False)
+    assert any("second operand" in p for p in report.problems)
+
+
+def test_binop_missing_operand_rejected():
+    program = Program()
+    program.append(Quad(Opcode.ADD, result=Var("x"), a=Const(1)))
+    report = validate_program(program, strict=False)
+    assert any("second operand" in p for p in report.problems)
+
+
+def test_compute_into_const_rejected():
+    program = Program()
+    program.append(Quad(Opcode.ADD, result=Const(5), a=Const(1), b=Const(2)))
+    report = validate_program(program, strict=False)
+    assert any("assignable result" in p for p in report.problems)
+
+
+def test_zero_step_rejected():
+    program = Program()
+    program.append(
+        Quad(Opcode.DO, result=Var("i"), a=Const(1), b=Const(3),
+             step=Const(0))
+    )
+    program.append(Quad(Opcode.ENDDO))
+    report = validate_program(program, strict=False)
+    assert any("nonzero" in p for p in report.problems)
+
+
+def test_lcv_assignment_in_body_rejected():
+    program = Program()
+    program.append(Quad(Opcode.DO, result=Var("i"), a=Const(1), b=Const(3)))
+    program.append(Quad(Opcode.ASSIGN, result=Var("i"), a=Const(9)))
+    program.append(Quad(Opcode.ENDDO))
+    report = validate_program(program, strict=False)
+    assert any("control variable" in p for p in report.problems)
+
+
+def test_read_into_lcv_rejected():
+    program = Program()
+    program.append(Quad(Opcode.DO, result=Var("i"), a=Const(1), b=Const(3)))
+    program.append(Quad(Opcode.READ, a=Var("i")))
+    program.append(Quad(Opcode.ENDDO))
+    report = validate_program(program, strict=False)
+    assert any("control variable" in p for p in report.problems)
+
+
+def test_empty_subscripts_rejected():
+    program = Program()
+    program.append(
+        Quad(Opcode.ASSIGN, result=ArrayRef("a", ()), a=Const(1))
+    )
+    report = validate_program(program, strict=False)
+    assert any("subscripts" in p for p in report.problems)
+
+
+def test_transformed_workloads_stay_valid(optimizers, suite_by_name):
+    from repro.genesis.driver import DriverOptions, run_optimizer
+
+    for workload_name in ("newton", "poly", "ordering"):
+        program = suite_by_name[workload_name].load()
+        for name in ("CTP", "CFO", "LUR", "FUS", "DCE"):
+            run_optimizer(optimizers[name], program,
+                          DriverOptions(apply_all=True))
+            validate_program(program)

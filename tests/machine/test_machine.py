@@ -1,0 +1,155 @@
+"""Unit tests for machine models and time estimation."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.quad import Opcode
+from repro.machine.estimate import (
+    estimate_benefit,
+    estimate_time,
+    restrict_parallel,
+)
+from repro.machine.models import (
+    ALL_MODELS,
+    MULTIPROCESSOR,
+    MachineModel,
+    SCALAR,
+    VECTOR,
+)
+
+
+def loop_program(parallel=False, trip=8):
+    b = IRBuilder()
+    with b.loop("i", 1, trip, parallel=parallel):
+        b.binary(b.arr("a", "i"), b.arr("a", "i"), "+", 1)
+    return b.build()
+
+
+class TestModels:
+    def test_three_models_exported(self):
+        assert [m.name for m in ALL_MODELS] == [
+            "scalar", "vector", "multiprocessor",
+        ]
+
+    def test_doall_factor_capped_by_trip(self):
+        assert MULTIPROCESSOR.doall_factor(3) == 3
+        assert MULTIPROCESSOR.doall_factor(100) == 8
+        assert VECTOR.doall_factor(100) == 64
+
+    def test_scalar_has_no_parallelism(self):
+        assert SCALAR.doall_factor(100) == 1
+
+    def test_cost_of_defaults_to_one(self):
+        model = MachineModel(name="m", cycles={})
+        assert model.cost_of(Opcode.ADD) == 1.0
+
+
+class TestEstimation:
+    def test_sequential_loop_scales_with_trip(self):
+        short = estimate_time(loop_program(trip=4), SCALAR).cycles
+        long = estimate_time(loop_program(trip=8), SCALAR).cycles
+        assert long > short
+
+    def test_symbolic_bounds_use_default_trip(self):
+        b = IRBuilder()
+        with b.loop("i", 1, "n"):
+            b.assign("x", 1)
+        estimate = estimate_time(b.build(), SCALAR)
+        assert estimate.cycles > 0
+
+    def test_doall_faster_than_do_on_parallel_machines(self):
+        # large enough that the fork/join startup amortizes
+        sequential = estimate_time(loop_program(False, trip=200),
+                                   MULTIPROCESSOR)
+        parallel = estimate_time(loop_program(True, trip=200),
+                                 MULTIPROCESSOR)
+        assert parallel.cycles < sequential.cycles
+
+    def test_doall_startup_can_dominate_small_loops(self):
+        # granularity matters: an 8-trip DOALL loses to sequential
+        sequential = estimate_time(loop_program(False, trip=8),
+                                   MULTIPROCESSOR)
+        parallel = estimate_time(loop_program(True, trip=8),
+                                 MULTIPROCESSOR)
+        assert parallel.cycles > sequential.cycles
+
+    def test_doall_ignored_on_scalar_machine(self):
+        sequential = estimate_time(loop_program(False), SCALAR).cycles
+        parallel = estimate_time(loop_program(True), SCALAR).cycles
+        assert parallel == sequential
+
+    def test_parallel_speedup_reported(self):
+        estimate = estimate_time(loop_program(True), VECTOR)
+        assert estimate.parallel_speedup > 1
+
+    def test_if_charges_worst_branch(self):
+        b = IRBuilder()
+        with b.if_else("x", ">", 0) as (_g, orelse):
+            b.binary("y", "y", "**", 2)  # expensive
+            orelse.begin()
+            b.assign("y", 1)  # cheap
+        with_else = estimate_time(b.build(), SCALAR).cycles
+
+        b2 = IRBuilder()
+        with b2.if_("x", ">", 0):
+            b2.binary("y", "y", "**", 2)
+        then_only = estimate_time(b2.build(), SCALAR).cycles
+        assert with_else == pytest.approx(then_only)
+
+    def test_benefit_of_deleting_code(self):
+        b1 = IRBuilder()
+        b1.binary("x", "y", "**", 2)
+        b1.write("x")
+        b2 = IRBuilder()
+        b2.write("x")
+        assert estimate_benefit(b1.build(), b2.build(), SCALAR) > 0
+
+
+class TestRestrictParallel:
+    def nested_doall(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 4, parallel=True):
+            with b.loop("j", 1, 4, parallel=True):
+                b.assign("x", 1)
+        return b.build()
+
+    def test_outermost_policy_demotes_inner(self):
+        restricted = restrict_parallel(self.nested_doall(), "outermost")
+        opcodes = [q.opcode for q in restricted
+                   if q.opcode in (Opcode.DO, Opcode.DOALL)]
+        assert opcodes == [Opcode.DOALL, Opcode.DO]
+
+    def test_innermost_policy_demotes_outer(self):
+        restricted = restrict_parallel(self.nested_doall(), "innermost")
+        opcodes = [q.opcode for q in restricted
+                   if q.opcode in (Opcode.DO, Opcode.DOALL)]
+        assert opcodes == [Opcode.DO, Opcode.DOALL]
+
+    def test_original_untouched(self):
+        program = self.nested_doall()
+        restrict_parallel(program, "outermost")
+        opcodes = [q.opcode for q in program
+                   if q.opcode in (Opcode.DO, Opcode.DOALL)]
+        assert opcodes == [Opcode.DOALL, Opcode.DOALL]
+
+    def test_sequential_loops_untouched(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 4):
+            b.assign("x", 1)
+        restricted = restrict_parallel(b.build(), "outermost")
+        assert restricted[0].opcode is Opcode.DO
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_parallel(self.nested_doall(), "sideways")
+
+    def test_disjoint_doalls_both_kept(self):
+        b = IRBuilder()
+        with b.loop("i", 1, 4, parallel=True):
+            b.assign("x", 1)
+        with b.loop("j", 1, 4, parallel=True):
+            b.assign("y", 1)
+        for policy in ("outermost", "innermost"):
+            restricted = restrict_parallel(b.build(), policy)
+            doalls = [q for q in restricted if q.opcode is Opcode.DOALL]
+            assert len(doalls) == 2

@@ -1,0 +1,397 @@
+"""Behavioral tests for the extension catalog: CSE, STR, ALG, RVS, PEL,
+FIS — the specifications that take the count to the paper's
+"approximately twenty"."""
+
+import pytest
+
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import (
+    DriverOptions,
+    apply_at_point,
+    find_application_points,
+    run_optimizer,
+)
+from repro.ir.interp import same_behaviour
+from repro.ir.printer import format_program
+from repro.ir.quad import Opcode
+from repro.opts.catalog import build_optimizer
+from repro.opts.extended import EXTENDED_SPECS
+
+
+@pytest.fixture(scope="module")
+def extended():
+    return {name: build_optimizer(name) for name in EXTENDED_SPECS}
+
+
+def optimize(extended, name, source, apply_all=True, point=None):
+    program = parse_program(source)
+    original = program.clone()
+    if point is not None:
+        apply_at_point(extended[name], program, point)
+    else:
+        run_optimizer(extended[name], program,
+                      DriverOptions(apply_all=apply_all))
+    assert same_behaviour(original, program), format_program(program)
+    return program
+
+
+def points(extended, name, source):
+    return find_application_points(extended[name], parse_program(source))
+
+
+def test_all_six_generate(extended):
+    assert sorted(extended) == ["ALG", "CSE", "FIS", "PEL", "RVS", "STR"]
+
+
+class TestCSE:
+    def test_reuses_common_expression(self, extended):
+        program = optimize(extended, "CSE", """
+            program t
+              real x, y, a, b
+              read x
+              read y
+              a = x * y
+              b = x * y
+              write a
+              write b
+            end
+        """)
+        assert "b := a" in format_program(program)
+
+    def test_refuses_when_operand_changes(self, extended):
+        assert points(extended, "CSE", """
+            program t
+              real x, y, a, b
+              read x
+              read y
+              a = x * y
+              x = 9.0
+              b = x * y
+              write a
+              write b
+            end
+        """) == []
+
+    def test_refuses_self_updating_source(self, extended):
+        # z := z - x changes its own operand; the value is not reusable
+        assert points(extended, "CSE", """
+            program t
+              real x, z, w
+              read x
+              read z
+              z = z - x
+              w = z - x
+              write w
+            end
+        """) == []
+
+    def test_refuses_conditional_first_occurrence(self, extended):
+        assert points(extended, "CSE", """
+            program t
+              real x, y, a, b
+              read x
+              read y
+              if (x > 0.0) then
+                a = x * y
+              end if
+              b = x * y
+              write b
+            end
+        """) == []
+
+    def test_refuses_result_overwritten_between(self, extended):
+        assert points(extended, "CSE", """
+            program t
+              real x, y, a, b
+              read x
+              read y
+              a = x * y
+              a = 0.0
+              b = x * y
+              write a
+              write b
+            end
+        """) == []
+
+    def test_same_loop_occurrences_allowed(self, extended):
+        program = optimize(extended, "CSE", """
+            program t
+              integer i
+              real x, y, a, b
+              read x
+              read y
+              do i = 1, 3
+                a = x + y
+                b = x + y
+                write b
+              end do
+              write a
+            end
+        """)
+        assert "b := a" in format_program(program)
+
+    def test_refuses_reuse_outside_the_loop(self, extended):
+        # the loop may run zero times under symbolic bounds... here the
+        # guard is the loop-containment condition itself
+        assert points(extended, "CSE", """
+            program t
+              integer i, n
+              real x, y, a, b
+              read x
+              read y
+              read n
+              do i = 1, n
+                a = x + y
+                write a
+              end do
+              b = x + y
+              write b
+            end
+        """) == []
+
+
+class TestSTRAndALG:
+    def test_square_becomes_multiply(self, extended):
+        program = optimize(extended, "STR", """
+            program t
+              real x, y
+              read y
+              x = y ** 2
+              write x
+            end
+        """)
+        assert "x := y * y" in format_program(program)
+
+    def test_other_powers_untouched(self, extended):
+        assert points(extended, "STR", """
+            program t
+              real x, y
+              read y
+              x = y ** 3
+              write x
+            end
+        """) == []
+
+    @pytest.mark.parametrize("expression", [
+        "y * 1", "y + 0", "y - 0", "y / 1", "y ** 1",
+    ])
+    def test_identities_simplify(self, extended, expression):
+        program = optimize(extended, "ALG", f"""
+            program t
+              real x, y
+              read y
+              x = {expression}
+              write x
+            end
+        """)
+        assert "x := y" in format_program(program)
+
+    def test_non_identities_untouched(self, extended):
+        assert points(extended, "ALG", """
+            program t
+              real x, y
+              read y
+              x = y * 2
+              write x
+            end
+        """) == []
+
+
+class TestRVS:
+    def test_reverses_independent_loop(self, extended):
+        program = optimize(extended, "RVS", """
+            program t
+              integer i
+              real a(10), b(10)
+              do i = 1, 5
+                a(i) = b(i) * 2.0
+              end do
+              write a(3)
+            end
+        """, apply_all=False)
+        assert "do i = 5, 1, -1" in format_program(program)
+
+    def test_refuses_recurrence(self, extended):
+        assert points(extended, "RVS", """
+            program t
+              integer i
+              real a(10)
+              do i = 2, 5
+                a(i) = a(i-1) * 2.0
+              end do
+              write a(3)
+            end
+        """) == []
+
+    def test_refuses_live_out_scalar(self, extended):
+        # the last iteration's value of w differs under reversal
+        assert points(extended, "RVS", """
+            program t
+              integer i
+              real w, a(10)
+              do i = 1, 5
+                w = a(i) + 2.0
+              end do
+              write w
+            end
+        """) == []
+
+    def test_refuses_io(self, extended):
+        assert points(extended, "RVS", """
+            program t
+              integer i
+              real a(10)
+              do i = 1, 5
+                write a(i)
+              end do
+              write a(1)
+            end
+        """) == []
+
+    def test_refuses_lcv_read_after(self, extended):
+        assert points(extended, "RVS", """
+            program t
+              integer i
+              real a(10)
+              do i = 1, 5
+                a(i) = 1.0
+              end do
+              write i
+            end
+        """) == []
+
+
+class TestPEL:
+    def test_peels_first_iteration(self, extended):
+        program = optimize(extended, "PEL", """
+            program t
+              integer i
+              real a(10)
+              a(1) = 0.0
+              do i = 1, 4
+                a(i) = i * 2.0
+              end do
+              write a(2)
+            end
+        """, apply_all=False)
+        text = format_program(program)
+        assert "a(1) := 1 * 2.0" in text
+        assert "do i = 2, 4" in text
+
+    def test_peeling_with_step(self, extended):
+        program = optimize(extended, "PEL", """
+            program t
+              integer i
+              real a(20)
+              a(1) = 0.0
+              do i = 2, 10, 3
+                a(i) = 1.0
+              end do
+              write a(5)
+            end
+        """, apply_all=False)
+        text = format_program(program)
+        assert "a(2) := 1.0" in text
+        assert "do i = 5, 10, 3" in text
+
+    def test_refuses_symbolic_bounds(self, extended):
+        assert points(extended, "PEL", """
+            program t
+              integer i, n
+              real a(10)
+              read n
+              do i = 1, n
+                a(i) = 1.0
+              end do
+              write a(2)
+            end
+        """) == []
+
+
+class TestFIS:
+    SOURCE = """
+        program t
+          integer i, n
+          real a(10), b(10), c(10)
+          n = 5
+          do i = 1, n
+            a(i) = b(i) + 1.0
+            c(i) = a(i) * 2.0
+          end do
+          write c(3)
+        end
+    """
+
+    def cut_points(self, extended, source=None):
+        return points(extended, "FIS", source or self.SOURCE)
+
+    def test_distributes_at_cut(self, extended):
+        # pick the cut whose split statement is the c(i) assignment
+        program = parse_program(self.SOURCE)
+        original = program.clone()
+        cut = next(
+            index
+            for index, point in enumerate(self.cut_points(extended))
+            if "c" in str(program.quad(point["Sp"]))
+        )
+        apply_at_point(extended["FIS"], program, cut)
+        assert same_behaviour(original, program)
+        heads = [q for q in program if q.opcode is Opcode.DO]
+        assert len(heads) == 2
+
+    def test_refuses_backward_cross_dependence(self, extended):
+        # the first part reads what the second wrote one iteration ago:
+        # distributing would starve it
+        source = """
+            program t
+              integer i, n
+              real a(12), c(12)
+              n = 5
+              do i = 2, n
+                c(i) = a(i-1) * 2.0
+                a(i) = i * 1.0
+              end do
+              write c(3)
+            end
+        """
+        program = parse_program(source)
+        cuts = {
+            str(program.quad(point["Sp"]))
+            for point in self.cut_points(extended, source)
+        }
+        assert not any(text.startswith("a(") for text in cuts), cuts
+
+    def test_refuses_scalar_across_cut(self, extended):
+        source = """
+            program t
+              integer i, n
+              real t, a(10), c(10)
+              n = 5
+              do i = 1, n
+                t = a(i) + 1.0
+                c(i) = t * 2.0
+              end do
+              write c(3)
+            end
+        """
+        program = parse_program(source)
+        for point in self.cut_points(extended, source):
+            # no legal cut separates the t-producer from its consumer
+            assert "c(" not in str(program.quad(point["Sp"]))
+
+
+class TestExtendedOnWorkloads:
+    """The extension catalog stays semantics-preserving on the suite."""
+
+    @pytest.mark.parametrize("name", sorted(EXTENDED_SPECS))
+    def test_preserves_workload_output(self, extended, name, suite):
+        from repro.ir.interp import run_program
+
+        for item in suite:
+            program = item.load()
+            reference = run_program(program, inputs=item.inputs).observable()
+            run_optimizer(extended[name], program,
+                          DriverOptions(apply_all=True,
+                                        max_applications=30))
+            result = run_program(program, inputs=item.inputs).observable()
+            assert result == reference, f"{name} broke {item.name}"

@@ -1,0 +1,67 @@
+"""Tests for the hand-coded baselines and their parity with generated
+optimizers (the per-program backbone of experiment E1)."""
+
+import pytest
+
+from repro.genesis.driver import find_application_points
+from repro.ir.interp import run_program
+from repro.opts.handcoded import HANDCODED, handcoded_optimizer
+from repro.workloads.suite import full_suite
+
+ALL_NAMES = tuple(sorted(HANDCODED))
+
+
+def keyed(points):
+    return {
+        tuple(sorted((k, str(v)) for k, v in point.items()))
+        for point in points
+    }
+
+
+def test_registry_covers_all_eleven():
+    assert len(HANDCODED) == 11
+
+
+def test_unknown_baseline_rejected():
+    with pytest.raises(KeyError):
+        handcoded_optimizer("ZZZ")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_points_match_generated_on_suite(name, optimizers, suite):
+    generated = optimizers[name]
+    baseline = handcoded_optimizer(name)
+    for item in suite:
+        program = item.load()
+        generated_points = keyed(
+            find_application_points(generated, program.clone())
+        )
+        handcoded_points = keyed(baseline.find_points(program.clone()))
+        assert generated_points == handcoded_points, (
+            f"{name} on {item.name}"
+        )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_apply_all_preserves_workload_semantics(name, suite):
+    baseline = handcoded_optimizer(name)
+    for item in suite:
+        program = item.load()
+        reference = run_program(program, inputs=item.inputs).observable()
+        transformed = program.clone()
+        baseline.apply_all(transformed)
+        result = run_program(transformed, inputs=item.inputs).observable()
+        assert result == reference, f"{name} broke {item.name}"
+
+
+def test_apply_once_returns_none_when_empty():
+    from repro.frontend.lower import parse_program
+
+    program = parse_program("program t\n  integer x\n  read x\n  write x\nend")
+    assert handcoded_optimizer("CTP").apply_once(program) is None
+
+
+def test_apply_all_respects_limit(suite_by_name):
+    baseline = handcoded_optimizer("CTP")
+    program = suite_by_name["fft"].load()
+    assert baseline.apply_all(program, limit=2) == 2

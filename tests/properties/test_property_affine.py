@@ -1,0 +1,91 @@
+"""Property-based tests for the affine expression algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.types import Affine
+
+VARS = ("i", "j", "k", "n")
+
+
+@st.composite
+def affines(draw):
+    coeffs = {
+        var: draw(st.integers(min_value=-5, max_value=5))
+        for var in draw(st.sets(st.sampled_from(VARS), max_size=3))
+    }
+    const = draw(st.integers(min_value=-20, max_value=20))
+    return Affine.of(const, **coeffs)
+
+
+def evaluate(expr: Affine, env: dict) -> int:
+    return expr.const + sum(
+        coeff * env[var] for var, coeff in expr.terms
+    )
+
+
+@st.composite
+def environments(draw):
+    return {var: draw(st.integers(min_value=-10, max_value=10))
+            for var in VARS}
+
+
+@given(affines(), affines(), environments())
+def test_addition_matches_evaluation(a, b, env):
+    assert evaluate(a + b, env) == evaluate(a, env) + evaluate(b, env)
+
+
+@given(affines(), affines(), environments())
+def test_subtraction_matches_evaluation(a, b, env):
+    assert evaluate(a - b, env) == evaluate(a, env) - evaluate(b, env)
+
+
+@given(affines(), environments())
+def test_negation_matches_evaluation(a, env):
+    assert evaluate(-a, env) == -evaluate(a, env)
+
+
+@given(affines(), st.integers(min_value=-6, max_value=6), environments())
+def test_scaling_matches_evaluation(a, factor, env):
+    assert evaluate(a.scale(factor), env) == factor * evaluate(a, env)
+
+
+@given(affines(), affines())
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(affines(), affines(), affines())
+def test_addition_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(affines())
+def test_self_subtraction_is_zero(a):
+    assert a - a == Affine.constant(0)
+
+
+@given(affines(), affines(), environments())
+def test_substitution_matches_evaluation(a, replacement, env):
+    substituted = a.substitute("i", replacement)
+    inner_env = dict(env)
+    inner_env["i"] = evaluate(replacement, env)
+    # substitution only valid when the replacement doesn't itself use i
+    if replacement.coefficient("i") == 0:
+        assert evaluate(substituted, env | {"i": inner_env["i"]}) == (
+            evaluate(a, inner_env)
+        )
+
+
+@given(affines())
+def test_terms_are_canonical(a):
+    # no zero coefficients, sorted variables
+    assert all(coeff != 0 for _var, coeff in a.terms)
+    names = [var for var, _ in a.terms]
+    assert names == sorted(names)
+
+
+@given(affines(), affines())
+def test_equal_expressions_hash_equal(a, b):
+    if a == b:
+        assert hash(a) == hash(b)

@@ -1,0 +1,87 @@
+"""Property-based tests for analysis invariants on random programs."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dependence import compute_dependences
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.reaching import compute_reaching
+from repro.ir.interp import run_program
+from repro.workloads.synthetic import random_program
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_dependence_endpoints_exist(seed):
+    program = random_program(seed, size=12)
+    graph = compute_dependences(program)
+    for edge in graph:
+        assert program.contains(edge.src)
+        assert program.contains(edge.dst)
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_loop_independent_edges_respect_program_order(seed):
+    program = random_program(seed, size=12)
+    graph = compute_dependences(program)
+    for edge in graph:
+        if edge.kind == "ctrl" or edge.carried:
+            continue
+        if edge.src == edge.dst:
+            continue
+        assert program.position(edge.src) < program.position(edge.dst), edge
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_direction_vector_length_is_common_depth(seed):
+    from repro.ir.loops import StructureTable
+
+    program = random_program(seed, size=12, max_depth=3)
+    graph = compute_dependences(program)
+    structure = StructureTable(program)
+    for edge in graph:
+        if edge.kind == "ctrl":
+            continue
+        common = structure.common_loops(edge.src, edge.dst)
+        assert len(edge.vector) == len(common), edge
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_entry_dominates_all_nodes(seed):
+    program = random_program(seed, size=10)
+    cfg = build_cfg(program)
+    dom = compute_dominators(cfg)
+    for node in range(cfg.node_count()):
+        assert dom.dominates(cfg.entry, node)
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_acyclic_reaching_subset_of_full(seed):
+    program = random_program(seed, size=12)
+    reaching = compute_reaching(program)
+    for position in range(len(program)):
+        full = {d.index for d in reaching.reaching_in(position)}
+        acyclic = {
+            d.index for d in reaching.reaching_in(position, acyclic=True)
+        }
+        assert acyclic <= full
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_interpreter_is_deterministic(seed):
+    program = random_program(seed, size=10)
+    first = run_program(program).observable()
+    second = run_program(program).observable()
+    assert first == second

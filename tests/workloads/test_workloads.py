@@ -1,0 +1,104 @@
+"""Tests for the workload suite: all programs parse, run, and exhibit
+the applicability shape the experiments rely on."""
+
+import pytest
+
+from repro.genesis.driver import find_application_points
+from repro.ir.interp import run_program
+from repro.workloads.programs import SOURCES
+from repro.workloads.suite import full_suite, run_workload, workload
+
+
+def test_suite_has_ten_programs():
+    assert len(SOURCES) == 10
+
+
+def test_workload_lookup():
+    item = workload("fft")
+    assert item.name == "fft"
+    with pytest.raises(KeyError):
+        workload("nope")
+
+
+def test_full_suite_subset():
+    subset = full_suite(["newton", "poly"])
+    assert [w.name for w in subset] == ["newton", "poly"]
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_program_parses_and_runs(name):
+    item = workload(name)
+    result = run_workload(item)
+    assert result.steps > 0
+    assert result.output  # every program writes something
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_programs_produce_finite_output(name):
+    import math
+
+    item = workload(name)
+    for value in run_workload(item).output:
+        assert math.isfinite(value)
+
+
+def test_load_returns_fresh_copies():
+    item = workload("newton")
+    first = item.load()
+    second = item.load()
+    first.remove(first.qids()[0])
+    assert len(second) == len(first) + 1
+
+
+class TestApplicabilityShape:
+    """The structural properties the experiments depend on."""
+
+    def test_icm_finds_nothing_anywhere(self, optimizers, suite):
+        for item in suite:
+            assert find_application_points(
+                optimizers["ICM"], item.load()
+            ) == [], item.name
+
+    def test_cpp_in_exactly_two_programs(self, optimizers, suite):
+        with_points = [
+            item.name
+            for item in suite
+            if find_application_points(optimizers["CPP"], item.load())
+        ]
+        assert sorted(with_points) == ["newton", "track"]
+
+    def test_fus_in_exactly_one_program(self, optimizers, suite):
+        with_points = [
+            item.name
+            for item in suite
+            if find_application_points(optimizers["FUS"], item.load())
+        ]
+        assert with_points == ["ordering"]
+
+    def test_ctp_most_frequent(self, optimizers, suite):
+        totals = {}
+        for name in ("CTP", "CPP", "DCE", "INX", "PAR", "LUR"):
+            totals[name] = sum(
+                len(find_application_points(optimizers[name], item.load()))
+                for item in suite
+            )
+        assert totals["CTP"] == max(totals.values())
+        assert totals["CTP"] > 50
+
+    def test_lur_needs_ctp_first(self, optimizers, suite):
+        total = sum(
+            len(find_application_points(optimizers["LUR"], item.load()))
+            for item in suite
+        )
+        assert total == 0  # all loop bounds symbolic before CTP
+
+    def test_ordering_program_has_the_trio(self, optimizers, suite_by_name):
+        from repro.genesis.driver import DriverOptions, run_optimizer
+
+        program = suite_by_name["ordering"].load()
+        run_optimizer(optimizers["CTP"], program,
+                      DriverOptions(apply_all=True))
+        for name in ("FUS", "INX", "LUR"):
+            assert find_application_points(
+                optimizers[name], program.clone()
+            ), name
