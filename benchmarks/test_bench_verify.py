@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the differential-testing oracle: what a single
+equivalence check costs, and the overhead the ``--verify`` gate adds
+to every applied transformation."""
+
+import pytest
+
+from repro.frontend.lower import parse_program
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.verify.envgen import environments_for
+from repro.verify.oracle import EquivalenceOracle
+from repro.workloads.programs import SOURCES
+
+
+def _transformed(optimizers, name, source):
+    before = parse_program(source)
+    after = before.clone()
+    run_optimizer(optimizers[name], after, DriverOptions(apply_all=True))
+    return before, after
+
+
+def test_oracle_check_gauss_ctp(benchmark, optimizers):
+    """One before/after equivalence verdict at the default budget."""
+    before, after = _transformed(optimizers, "CTP", SOURCES["gauss"])
+    oracle = EquivalenceOracle(trials=3, seed=0)
+    report = benchmark(oracle.check, before, after)
+    assert report.equivalent
+
+
+def test_oracle_check_precomputed_envs(benchmark, optimizers):
+    """The verdict alone, with environment generation hoisted out."""
+    before, after = _transformed(optimizers, "DCE", SOURCES["gauss"])
+    envs = environments_for(before, trials=3)
+    oracle = EquivalenceOracle()
+    report = benchmark(oracle.check, before, after, envs)
+    assert report.equivalent
+
+
+def test_environment_generation(benchmark):
+    """Randomized input-environment synthesis by itself."""
+    program = parse_program(SOURCES["fft"])
+    benchmark(environments_for, program, trials=3)
+
+
+@pytest.mark.parametrize("verify", [False, True], ids=["plain", "verified"])
+def test_driver_fixpoint_overhead(benchmark, optimizers, verify):
+    """The Figure 5 driver to fixpoint, with and without the oracle
+    gating every application — the per-transformation verify cost is
+    the difference between the two rows."""
+
+    def run():
+        program = parse_program(SOURCES["fft"])
+        result = run_optimizer(
+            optimizers["CTP"], program,
+            DriverOptions(apply_all=True, verify=verify, verify_trials=2),
+        )
+        return len(result.applications)
+
+    applications = benchmark(run)
+    assert applications > 0

@@ -84,6 +84,17 @@ from repro.opts import (
     standard_optimizers,
 )
 from repro.opts.handcoded import HANDCODED, handcoded_optimizer
+from repro.verify import (
+    EquivalenceOracle,
+    EquivalenceReport,
+    FuzzConfig,
+    FuzzReport,
+    VerificationError,
+    check_equivalence,
+    replay_repro,
+    run_fuzz,
+    shrink_program,
+)
 from repro.workloads import SOURCES, Workload, full_suite, workload
 
 __version__ = "1.0.0"
@@ -97,7 +108,11 @@ __all__ = [
     "DriverOptions",
     "DriverResult",
     "EXTENDED_SPECS",
+    "EquivalenceOracle",
+    "EquivalenceReport",
     "FrontendError",
+    "FuzzConfig",
+    "FuzzReport",
     "GeneratedOptimizer",
     "GenesisRuntimeError",
     "GospelError",
@@ -120,11 +135,13 @@ __all__ = [
     "StrategyPolicy",
     "VARIANT_SPECS",
     "VECTOR",
+    "VerificationError",
     "Workload",
     "__version__",
     "analyze_spec",
     "apply_at_point",
     "build_optimizer",
+    "check_equivalence",
     "compute_dependences",
     "estimate_benefit",
     "estimate_time",
@@ -139,9 +156,12 @@ __all__ = [
     "parse_program",
     "parse_source",
     "parse_spec",
+    "replay_repro",
+    "run_fuzz",
     "run_optimizer",
     "run_program",
     "same_behaviour",
+    "shrink_program",
     "standard_optimizers",
     "workload",
 ]

@@ -7,6 +7,14 @@ Subcommands::
 
     genesis optimize <program.f> --opts CTP,DCE [--all] [--show]
         Optimize a mini-Fortran program with catalog optimizations.
+        ``--verify`` differential-tests every single application
+        against the equivalence oracle.
+
+    genesis fuzz [--seed N] [--iterations N] [--opts ...]
+        Differential-fuzz the catalog: random programs through every
+        optimization and the multi-pass pipeline, checking semantic
+        equivalence, shrinking and saving counterexamples on failure.
+        ``genesis fuzz --replay FILE`` re-runs a saved counterexample.
 
     genesis interact <program.f> [--opts ...]
         Drive the interactive interface (paper Figure 4 step 3.b):
@@ -63,6 +71,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "construct": _cmd_construct,
         "suite": _cmd_suite,
+        "fuzz": _cmd_fuzz,
     }.get(args.command)
     if handler is None:
         parser.print_help()
@@ -109,6 +118,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save", default=None, metavar="FILE",
         help="write the optimized program as mini-Fortran source",
     )
+    optimize.add_argument(
+        "--verify", action="store_true",
+        help="oracle-check every application (differential testing)",
+    )
 
     interact = sub.add_parser("interact", help="interactive session")
     interact.add_argument("program")
@@ -130,6 +143,43 @@ def _build_parser() -> argparse.ArgumentParser:
     construct.add_argument("--opts", default="CTP,CFO,DCE")
 
     sub.add_parser("suite", help="list the workload programs")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential-fuzz the catalog optimizations"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--iterations", type=int, default=50,
+        help="number of random programs to generate",
+    )
+    fuzz.add_argument(
+        "--opts", default=None,
+        help="comma-separated optimization subset (default: the paper's "
+        "ten)",
+    )
+    fuzz.add_argument(
+        "--size", type=int, default=12, help="statement budget per program"
+    )
+    fuzz.add_argument(
+        "--trials", type=int, default=3,
+        help="random oracle environments per check",
+    )
+    fuzz.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write shrunk counterexample files here",
+    )
+    fuzz.add_argument(
+        "--no-pipeline", action="store_true",
+        help="skip the all-optimizations multi-pass check",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimizing them",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay a saved counterexample file instead of fuzzing",
+    )
     return parser
 
 
@@ -172,10 +222,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         )
         for name in names
     }
-    options = DriverOptions(apply_all=not args.once)
+    options = DriverOptions(apply_all=not args.once, verify=args.verify)
     for name in names:
         result = run_optimizer(optimizers[name], program, options)
         print(result)
+    if args.verify:
+        print("all applications verified semantics-preserving")
     if args.show:
         print(format_program(program))
     if args.save:
@@ -255,6 +307,53 @@ def _cmd_construct(args: argparse.Namespace) -> int:
     print(f"constructed optimizer package at {package}")
     print(f"run it with: python {package} <program.f> --show")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import FuzzConfig, replay_repro, run_fuzz
+
+    if args.replay is not None:
+        report, applied = replay_repro(args.replay)
+        print(f"replayed {args.replay}: {applied} application(s)")
+        print(report.summary())
+        return 0 if report.equivalent else 1
+
+    from repro.opts.specs import PAPER_TEN
+
+    if args.opts is None:
+        opt_names = PAPER_TEN
+    else:
+        opt_names = tuple(
+            name.strip().upper() for name in args.opts.split(",")
+        )
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        opt_names=opt_names,
+        size=args.size,
+        trials=args.trials,
+        pipeline=not args.no_pipeline,
+        shrink=not args.no_shrink,
+        out_dir=args.out,
+    )
+    report = run_fuzz(config, progress=print)
+    print(report.summary())
+    if report.ok:
+        if report.checks == 0:
+            print("OK (vacuously): no optimization applied to any "
+                  "checked program")
+            return 0
+        print(
+            f"OK: all {len(opt_names)} optimization(s) semantics-"
+            "preserving on every checked program"
+        )
+        return 0
+    for failure in report.failures:
+        if failure.shrunk_source and failure.repro_path is None:
+            print(f"--- shrunk counterexample "
+                  f"({'+'.join(failure.opt_names)}) ---")
+            print(failure.shrunk_source, end="")
+    return 1
 
 
 def _cmd_suite(_args: argparse.Namespace) -> int:

@@ -41,6 +41,14 @@ class DriverOptions:
     point_filter: Optional[Callable[[dict[str, object]], bool]] = None
     #: validate IR well-formedness after every application (debug aid)
     validate: bool = False
+    #: differential-test every application against the equivalence
+    #: oracle (raises :class:`repro.verify.VerificationError` on a
+    #: behaviour change)
+    verify: bool = False
+    #: random environments per oracle check when ``verify`` is on
+    verify_trials: int = 3
+    #: environment-generation seed for the in-line oracle
+    verify_seed: int = 0
 
 
 @dataclass
@@ -134,6 +142,39 @@ def find_application_points(
     return points
 
 
+def _verified_act(
+    optimizer: GeneratedOptimizer,
+    program: Program,
+    ctx: MatchContext,
+    bindings: dict[str, object],
+    verify: bool,
+    verify_trials: int,
+    verify_seed: int,
+) -> None:
+    """Fire the action, optionally differential-testing the result.
+
+    With ``verify`` the program is snapshotted before the action and
+    the equivalence oracle compares observable behaviour afterwards;
+    a divergence raises :class:`repro.verify.VerificationError` with
+    the offending application's bindings, leaving the (miscompiled)
+    program state in place for inspection.
+    """
+    snapshot = program.clone() if verify else None
+    optimizer.act(ctx)
+    if snapshot is None:
+        return
+    from repro.verify.oracle import EquivalenceOracle, VerificationError
+
+    oracle = EquivalenceOracle(trials=verify_trials, seed=verify_seed)
+    report = oracle.check(snapshot, program)
+    if not report.equivalent:
+        raise VerificationError(
+            f"{optimizer.name} changed behaviour at {bindings}:\n"
+            f"{report.summary()}",
+            report,
+        )
+
+
 def run_optimizer(
     optimizer: GeneratedOptimizer,
     program: Program,
@@ -178,7 +219,10 @@ def run_optimizer(
             break
 
         before = counters.snapshot()
-        optimizer.act(ctx)
+        _verified_act(
+            optimizer, program, ctx, chosen,
+            options.verify, options.verify_trials, options.verify_seed,
+        )
         if options.validate:
             from repro.ir.validate import validate_program
 
@@ -206,6 +250,9 @@ def apply_at_point(
     point_index: int,
     graph: Optional[DependenceGraph] = None,
     enforce_restrictions: bool = True,
+    verify: bool = False,
+    verify_trials: int = 3,
+    verify_seed: int = 0,
 ) -> DriverResult:
     """Apply an optimizer at the N-th application point only.
 
@@ -227,7 +274,10 @@ def apply_at_point(
             if seen == point_index:
                 bindings = _point_bindings(optimizer, ctx)
                 before = counters.snapshot()
-                optimizer.act(ctx)
+                _verified_act(
+                    optimizer, program, ctx, bindings,
+                    verify, verify_trials, verify_seed,
+                )
                 result.applications.append(
                     ApplicationRecord(
                         opt_name=optimizer.name,

@@ -8,7 +8,7 @@ drive it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.frontend.lower import parse_program
@@ -47,6 +47,7 @@ def optimize(
     optimizers: Sequence[GeneratedOptimizer],
     options: Optional[DriverOptions] = None,
     in_place: bool = False,
+    verify: bool = False,
 ) -> PipelineReport:
     """Run a sequence of optimizers over a program (Figure 3's OPT box).
 
@@ -54,8 +55,14 @@ def optimize(
     dependences are recomputed between applications.  Returns the
     transformed program (a copy unless ``in_place``) and the per-
     optimizer driver results.
+
+    With ``verify`` every single application is differential-tested
+    in-line against the equivalence oracle; a behaviour change raises
+    :class:`repro.verify.VerificationError` naming the application.
     """
     options = options or DriverOptions(apply_all=True)
+    if verify and not options.verify:
+        options = replace(options, verify=True)
     working = program if in_place else program.clone()
     report = PipelineReport(program=working)
     for optimizer in optimizers:
@@ -67,8 +74,10 @@ def optimize_source(
     source: str,
     optimizers: Sequence[GeneratedOptimizer],
     options: Optional[DriverOptions] = None,
+    verify: bool = False,
 ) -> PipelineReport:
     """Parse mini-Fortran source and optimize it (the full Figure 3)."""
     return optimize(
-        parse_program(source), optimizers, options, in_place=True
+        parse_program(source), optimizers, options, in_place=True,
+        verify=verify,
     )

@@ -66,6 +66,9 @@ class OptimizerSession:
     optimizers: dict[str, GeneratedOptimizer] = field(default_factory=dict)
     #: recompute dependences between optimizer executions (step 3.b.vi)
     recompute_dependences: bool = True
+    #: differential-test every application against the equivalence
+    #: oracle (``verify on`` in the command language)
+    verify: bool = False
     history: list[SessionEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -159,12 +162,14 @@ class OptimizerSession:
                 point,
                 graph=graph,
                 enforce_restrictions=not override_dependences,
+                verify=self.verify,
             )
         else:
             options = DriverOptions(
                 apply_all=all_points,
                 recompute_dependences=self.recompute_dependences,
                 enforce_restrictions=not override_dependences,
+                verify=self.verify,
             )
             result = run_optimizer(optimizer, self.program, options, graph)
         self.history.append(SessionEvent(command=f"apply {name}", result=result))
@@ -223,6 +228,7 @@ class OptimizerSession:
             apply <OPT> <N>           apply at point N
             override <OPT> <N>        apply at point N ignoring 'no' deps
             recompute on|off          toggle dependence recomputation
+            verify on|off             oracle-check every application
             deps                      dependence summary
             show                      print the intermediate code
             save <file>               write the program as source text
@@ -258,6 +264,9 @@ class OptimizerSession:
         if verb == "recompute" and len(words) == 2:
             self.recompute_dependences = words[1].lower() == "on"
             return f"recompute_dependences = {self.recompute_dependences}"
+        if verb == "verify" and len(words) == 2:
+            self.verify = words[1].lower() == "on"
+            return f"verify = {self.verify}"
         if verb == "deps":
             summary = self.dependences.summary()
             return ", ".join(f"{k}: {v}" for k, v in summary.items())

@@ -1,6 +1,14 @@
 """Quad intermediate representation with retained loop structure."""
 
 from repro.ir.builder import IRBuilder, as_operand, as_subscript
+from repro.ir.interp import (
+    BoundsError,
+    InterpError,
+    Interpreter,
+    UninitializedError,
+    run_program,
+    same_behaviour,
+)
 from repro.ir.loops import Loop, StructureTable, loop_attributes, trip_count
 from repro.ir.printer import format_program, format_side_by_side
 from repro.ir.program import IRError, Program
@@ -33,10 +41,13 @@ __all__ = [
     "Affine",
     "ArrayRef",
     "BINARY_OPS",
+    "BoundsError",
     "COMPUTE_OPS",
     "Const",
     "IRBuilder",
     "IRError",
+    "InterpError",
+    "Interpreter",
     "LOOP_HEADS",
     "Loop",
     "Opcode",
@@ -47,6 +58,7 @@ __all__ = [
     "STRUCTURAL_OPS",
     "StructureTable",
     "UNARY_OPS",
+    "UninitializedError",
     "Var",
     "as_operand",
     "as_subscript",
@@ -59,6 +71,8 @@ __all__ = [
     "is_var",
     "loop_attributes",
     "operand_kind",
+    "run_program",
+    "same_behaviour",
     "trip_count",
     "used_scalars",
 ]

@@ -27,7 +27,22 @@ from repro.ir.types import Affine, ArrayRef, Const, Number, Operand, Var
 
 
 class InterpError(Exception):
-    """Raised for runtime errors (unbound variable, step overrun...)."""
+    """Raised for runtime errors (unbound variable, step overrun...).
+
+    Every runtime failure surfaces as (a subclass of) this type — the
+    interpreter never leaks ``KeyError``/``IndexError``/
+    ``ZeroDivisionError``/``OverflowError``, so differential-testing
+    oracles can treat "raises :class:`InterpError`" as one well-defined
+    observable behaviour.
+    """
+
+
+class UninitializedError(InterpError):
+    """Strict mode: a scalar or array cell was read before any write."""
+
+
+class BoundsError(InterpError):
+    """An array subscript fell outside the declared index bounds."""
 
 
 @dataclass
@@ -60,11 +75,29 @@ def _normalize(value: Number) -> Number:
 
 
 class Interpreter:
-    """Executes a program over integer/float scalars and dense arrays."""
+    """Executes a program over integer/float scalars and dense arrays.
 
-    def __init__(self, program: Program, max_steps: int = 2_000_000):
+    ``strict`` switches the permissive FORTRAN defaults off: reading an
+    uninitialized scalar or array cell raises
+    :class:`UninitializedError` instead of yielding 0.  ``array_bounds``
+    optionally declares inclusive per-dimension index ranges; any
+    subscript outside them raises :class:`BoundsError` (on load *and*
+    store), whether or not strict mode is on.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_steps: int = 2_000_000,
+        strict: bool = False,
+        array_bounds: Optional[
+            dict[str, tuple[tuple[int, int], ...]]
+        ] = None,
+    ):
         self.program = program
         self.max_steps = max_steps
+        self.strict = strict
+        self.array_bounds = array_bounds
         self._quads = list(program.quads)
         self._enddo_of: dict[int, int] = {}
         self._else_endif_of: dict[int, tuple[Optional[int], int]] = {}
@@ -85,6 +118,8 @@ class Interpreter:
             scalars=dict(scalars or {}),
             arrays={name: dict(cells) for name, cells in (arrays or {}).items()},
             inputs=list(inputs),
+            strict=self.strict,
+            array_bounds=dict(self.array_bounds or {}),
         )
         self._run_range(state, 0, len(self.program))
         return ExecutionResult(
@@ -212,6 +247,10 @@ class _State:
     steps: int = 0
     input_cursor: int = 0
     opcode_counts: Counter = field(default_factory=Counter)
+    strict: bool = False
+    array_bounds: dict[str, tuple[tuple[int, int], ...]] = field(
+        default_factory=dict
+    )
 
     def tick(self, quad: Quad, max_steps: int) -> None:
         self.steps += 1
@@ -233,10 +272,22 @@ class _State:
         if isinstance(operand, Const):
             return operand.value
         if isinstance(operand, Var):
+            if self.strict and operand.name not in self.scalars:
+                raise UninitializedError(
+                    f"read of uninitialized scalar {operand.name!r}"
+                )
             return self.scalars.get(operand.name, 0)
         if isinstance(operand, ArrayRef):
             index = self._index_of(operand)
-            return self.arrays.setdefault(operand.name, {}).get(index, 0)
+            self._check_bounds(operand.name, index)
+            cells = self.arrays.setdefault(operand.name, {})
+            if self.strict and index not in cells:
+                subscript = ",".join(str(coord) for coord in index)
+                raise UninitializedError(
+                    f"read of uninitialized element "
+                    f"{operand.name}({subscript})"
+                )
+            return cells.get(index, 0)
         raise InterpError(f"cannot load {operand!r}")
 
     def store(self, operand: Optional[Operand], value: Number) -> None:
@@ -244,9 +295,27 @@ class _State:
             self.scalars[operand.name] = value
         elif isinstance(operand, ArrayRef):
             index = self._index_of(operand)
+            self._check_bounds(operand.name, index)
             self.arrays.setdefault(operand.name, {})[index] = value
         else:
             raise InterpError(f"cannot store to {operand!r}")
+
+    def _check_bounds(self, name: str, index: tuple[int, ...]) -> None:
+        bounds = self.array_bounds.get(name)
+        if bounds is None:
+            return
+        subscript = ",".join(str(coord) for coord in index)
+        if len(index) != len(bounds):
+            raise BoundsError(
+                f"{name}({subscript}): rank {len(index)} subscript for "
+                f"rank {len(bounds)} array"
+            )
+        for coord, (low, high) in zip(index, bounds):
+            if not low <= coord <= high:
+                raise BoundsError(
+                    f"{name}({subscript}): index {coord} outside "
+                    f"[{low}, {high}]"
+                )
 
     def _index_of(self, ref: ArrayRef) -> tuple[int, ...]:
         index = []
@@ -283,7 +352,23 @@ def _apply_binary(op: Opcode, left: Number, right: Number) -> Number:
             raise InterpError("mod by zero")
         return left % right
     if op is Opcode.POW:
-        return left ** right
+        if (
+            isinstance(left, int)
+            and isinstance(right, int)
+            and abs(left) > 1
+            and right > 4096
+        ):
+            raise InterpError(f"pow overflow: {left} ** {right}")
+        try:
+            value = left ** right
+        except (ZeroDivisionError, OverflowError) as error:
+            raise InterpError(f"pow domain error: {error}") from None
+        if isinstance(value, complex):
+            raise InterpError(
+                f"pow of negative base to fractional exponent: "
+                f"{left} ** {right}"
+            )
+        return value
     raise InterpError(f"not a binary opcode: {op}")
 
 
@@ -301,7 +386,10 @@ def _apply_unary(op: Opcode, value: Number) -> Number:
     if op is Opcode.COS:
         return math.cos(value)
     if op is Opcode.EXP:
-        return math.exp(value)
+        try:
+            return math.exp(value)
+        except OverflowError:
+            raise InterpError(f"exp overflow: exp({value})") from None
     if op is Opcode.LOG:
         if value <= 0:
             raise InterpError("log of non-positive value")
@@ -331,11 +419,14 @@ def run_program(
     scalars: Optional[dict[str, Number]] = None,
     arrays: Optional[dict[str, dict[tuple[int, ...], Number]]] = None,
     max_steps: int = 2_000_000,
+    strict: bool = False,
+    array_bounds: Optional[dict[str, tuple[tuple[int, int], ...]]] = None,
 ) -> ExecutionResult:
     """One-shot convenience wrapper around :class:`Interpreter`."""
-    return Interpreter(program, max_steps=max_steps).run(
-        inputs=inputs, scalars=scalars, arrays=arrays
-    )
+    return Interpreter(
+        program, max_steps=max_steps, strict=strict,
+        array_bounds=array_bounds,
+    ).run(inputs=inputs, scalars=scalars, arrays=arrays)
 
 
 def same_behaviour(

@@ -1,0 +1,69 @@
+"""Differential-testing oracle for generated optimizers.
+
+The paper argues that GENesis-generated optimizers are correct by
+construction: pattern preconditions plus dependence tests guarantee
+that every applied transformation preserves semantics.  This package
+is the machinery that *checks* that claim empirically:
+
+* :mod:`repro.verify.envgen` — seeded random input environments
+  (scalar values, dense array initial states, ``read`` streams) for a
+  given program;
+* :mod:`repro.verify.oracle` — the equivalence oracle: run the
+  reference interpreter on original vs. transformed program over many
+  environments and compare observable behaviour, producing structured
+  :class:`~repro.verify.oracle.EquivalenceReport` verdicts;
+* :mod:`repro.verify.shrink` — counterexample minimization by
+  statement/region deletion while the divergence persists;
+* :mod:`repro.verify.fuzz` — the fuzz harness: drive randomly
+  generated programs through every catalog optimization (and through
+  multi-pass pipelines), checking the oracle after each, shrinking and
+  saving a replayable repro file for every failure;
+* :mod:`repro.verify.fixtures` — deliberately unsound specifications
+  used to test that the oracle actually catches miscompiles.
+
+Wiring into the rest of the system: ``DriverOptions(verify=True)``
+checks every single application in-line (the pipeline and the
+interactive session expose the same gate), and the ``genesis fuzz``
+CLI subcommand runs a whole campaign from the shell.
+"""
+
+from repro.verify.envgen import EnvironmentGenerator, InputEnvironment
+from repro.verify.fixtures import BROKEN_SPECS, broken_optimizer
+from repro.verify.fuzz import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    load_repro,
+    replay_repro,
+    run_fuzz,
+    write_repro,
+)
+from repro.verify.oracle import (
+    Divergence,
+    EquivalenceOracle,
+    EquivalenceReport,
+    VerificationError,
+    check_equivalence,
+)
+from repro.verify.shrink import ShrinkResult, shrink_program
+
+__all__ = [
+    "BROKEN_SPECS",
+    "Divergence",
+    "EnvironmentGenerator",
+    "EquivalenceOracle",
+    "EquivalenceReport",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "InputEnvironment",
+    "ShrinkResult",
+    "VerificationError",
+    "broken_optimizer",
+    "check_equivalence",
+    "load_repro",
+    "replay_repro",
+    "run_fuzz",
+    "shrink_program",
+    "write_repro",
+]

@@ -1,0 +1,193 @@
+"""Seeded random input environments for differential testing.
+
+An :class:`InputEnvironment` is everything the interpreter needs to run
+a program deterministically: initial scalar values, dense initial array
+contents, and a stream of values for ``read`` quads.  The
+:class:`EnvironmentGenerator` derives environments from the *union* of
+names appearing in two programs (original and transformed), so a
+transformation that renames or introduces variables still sees fully
+initialized state on both sides.
+
+Environments deliberately mix three flavours:
+
+* the **zero** environment (everything 0, the interpreter's own
+  default) — catches divergences in initialization handling;
+* the **ones** environment (every scalar/cell 1) — catches divergences
+  masked by multiplication with zero;
+* **random** environments — small integers with the occasional exact
+  dyadic float, so arithmetic stays representable and re-association
+  noise cannot produce false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import random
+from typing import Iterable, Optional
+
+from repro.ir.program import Program
+from repro.ir.quad import Opcode
+from repro.ir.types import ArrayRef, Number
+
+#: dense fill range per array dimension (covers the synthetic
+#: workload's 1..12 indexing with its ±1 subscript offsets)
+DEFAULT_EXTENT = (0, 13)
+#: extent used for dimensions beyond the first (keeps rank-3 arrays
+#: from exploding to thousands of cells per environment)
+INNER_EXTENT = (0, 8)
+#: how many values to pre-generate for the ``read`` stream
+READ_STREAM_LENGTH = 64
+
+
+@dataclass
+class InputEnvironment:
+    """One concrete initial state for an interpreter run."""
+
+    label: str
+    scalars: dict[str, Number] = field(default_factory=dict)
+    arrays: dict[str, dict[tuple[int, ...], Number]] = field(
+        default_factory=dict
+    )
+    inputs: list[Number] = field(default_factory=list)
+
+    def bounds(self) -> dict[str, tuple[tuple[int, int], ...]]:
+        """Per-array index bounds implied by the dense initial fill."""
+        result: dict[str, tuple[tuple[int, int], ...]] = {}
+        for name, cells in self.arrays.items():
+            if not cells:
+                continue
+            rank = len(next(iter(cells)))
+            dims = []
+            for axis in range(rank):
+                coords = [index[axis] for index in cells]
+                dims.append((min(coords), max(coords)))
+            result[name] = tuple(dims)
+        return result
+
+    def __str__(self) -> str:
+        return (
+            f"env {self.label}: {len(self.scalars)} scalar(s), "
+            f"{len(self.arrays)} array(s), {len(self.inputs)} input(s)"
+        )
+
+
+def array_ranks(program: Program) -> dict[str, int]:
+    """Maximum subscript rank per array referenced by the program."""
+    ranks: dict[str, int] = {}
+    for quad in program:
+        for operand in (quad.result, quad.a, quad.b, quad.step):
+            if isinstance(operand, ArrayRef):
+                ranks[operand.name] = max(
+                    ranks.get(operand.name, 0), len(operand.subscripts)
+                )
+    return ranks
+
+
+def count_reads(program: Program) -> int:
+    """Static count of ``read`` quads (loop bodies multiply at runtime)."""
+    return sum(1 for quad in program if quad.opcode is Opcode.READ)
+
+
+class EnvironmentGenerator:
+    """Deterministic environment factory for a pair of programs."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def environments(
+        self,
+        programs: Iterable[Program],
+        trials: int = 3,
+    ) -> list[InputEnvironment]:
+        """Edge-case environments plus ``trials`` random ones.
+
+        The name universe is the union over ``programs`` so original
+        and transformed versions are both fully covered.
+        """
+        scalars: set[str] = set()
+        ranks: dict[str, int] = {}
+        reads = 0
+        for program in programs:
+            scalars |= set(program.scalar_names())
+            for name, rank in array_ranks(program).items():
+                ranks[name] = max(ranks.get(name, 0), rank)
+            reads = max(reads, count_reads(program))
+        environments = [
+            self._constant_env("zeros", 0, scalars, ranks, reads),
+            self._constant_env("ones", 1, scalars, ranks, reads),
+        ]
+        for trial in range(trials):
+            environments.append(
+                self._random_env(f"random-{trial}", trial, scalars, ranks)
+            )
+        return environments
+
+    # ------------------------------------------------------------------
+    def _cells(self, rank: int) -> list[tuple[int, ...]]:
+        extents = [DEFAULT_EXTENT] + [INNER_EXTENT] * (rank - 1)
+        indices: list[tuple[int, ...]] = [()]
+        for low, high in extents:
+            indices = [
+                index + (coord,)
+                for index in indices
+                for coord in range(low, high + 1)
+            ]
+        return indices
+
+    def _constant_env(
+        self,
+        label: str,
+        value: Number,
+        scalars: set[str],
+        ranks: dict[str, int],
+        reads: int,
+    ) -> InputEnvironment:
+        return InputEnvironment(
+            label=label,
+            scalars={name: value for name in sorted(scalars)},
+            arrays={
+                name: {index: value for index in self._cells(rank)}
+                for name, rank in sorted(ranks.items())
+            },
+            inputs=[value] * max(reads, READ_STREAM_LENGTH),
+        )
+
+    def _random_env(
+        self,
+        label: str,
+        trial: int,
+        scalars: set[str],
+        ranks: dict[str, int],
+    ) -> InputEnvironment:
+        rng = random.Random(f"{self.seed}:{trial}")
+        return InputEnvironment(
+            label=label,
+            scalars={name: self._value(rng) for name in sorted(scalars)},
+            arrays={
+                name: {
+                    index: self._value(rng) for index in self._cells(rank)
+                }
+                for name, rank in sorted(ranks.items())
+            },
+            inputs=[self._value(rng) for _ in range(READ_STREAM_LENGTH)],
+        )
+
+    @staticmethod
+    def _value(rng: random.Random) -> Number:
+        # mostly small integers; sometimes an exact dyadic float, so
+        # float arithmetic stays bit-exact across equivalent orderings
+        if rng.random() < 0.8:
+            return rng.randint(-9, 9)
+        return rng.randint(-19, 19) / 2
+
+
+def environments_for(
+    before: Program,
+    after: Optional[Program] = None,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[InputEnvironment]:
+    """Convenience wrapper: environments covering one or two programs."""
+    programs = [before] if after is None else [before, after]
+    return EnvironmentGenerator(seed).environments(programs, trials=trials)

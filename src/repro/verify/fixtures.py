@@ -1,0 +1,64 @@
+"""Deliberately unsound specifications for testing the oracle.
+
+A differential-testing oracle is only trustworthy if it demonstrably
+*catches* miscompiles, so this module keeps a small catalog of broken
+GOSpeL specifications — real specifications with one load-bearing
+safety clause removed.  They generate and run like any catalog
+optimizer, and they miscompile real programs; the verify test-suite
+asserts the oracle flags them and that the shrinker reduces their
+counterexamples to a few statements.
+
+These are **test fixtures**: never register them in a real session.
+"""
+
+from __future__ import annotations
+
+from repro.genesis.generator import GeneratedOptimizer, generate_optimizer
+
+#: Constant propagation with the "no other reaching definition" clause
+#: deleted: it propagates a constant into uses that other definitions
+#: also reach (e.g. a conditional redefinition), which miscompiles any
+#: program where the other path is taken.
+BROKEN_CTP = """
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const AND
+            type(Si.opr_1) == var;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+"""
+
+#: Dead-code "elimination" that only requires the result to be unused
+#: *loop-independently*: statements whose value is consumed by a later
+#: iteration (direction ``<``) are deleted anyway.
+BROKEN_DCE = """
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: class(Si) == compute;
+  Depend
+    no Sj: flow_dep(Si, Sj, (=));
+ACTION
+  delete(Si);
+"""
+
+BROKEN_SPECS: dict[str, str] = {
+    "BROKEN_CTP": BROKEN_CTP,
+    "BROKEN_DCE": BROKEN_DCE,
+}
+
+
+def broken_optimizer(name: str = "BROKEN_CTP") -> GeneratedOptimizer:
+    """Generate one of the deliberately unsound optimizers."""
+    try:
+        source = BROKEN_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown broken fixture {name!r}; have {sorted(BROKEN_SPECS)}"
+        ) from None
+    return generate_optimizer(source, name=name)

@@ -1,0 +1,319 @@
+"""The differential fuzz harness.
+
+Drives :func:`repro.workloads.synthetic.random_program` through every
+catalog optimization — each alone, and all of them as one multi-pass
+pipeline — and checks the equivalence oracle after every transformed
+program.  Failures are shrunk to minimal counterexamples and saved as
+replayable mini-Fortran files whose ``!`` comment header records the
+optimization sequence and oracle settings.
+
+Entry points:
+
+* :func:`run_fuzz` — one whole campaign, returning a
+  :class:`FuzzReport`;
+* :func:`write_repro` / :func:`load_repro` / :func:`replay_repro` —
+  the counterexample file format and its replay.
+
+The ``genesis fuzz`` CLI subcommand is a thin wrapper over
+:func:`run_fuzz`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.frontend.lower import parse_program
+from repro.frontend.unparse import unparse_program
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.genesis.generator import GeneratedOptimizer
+from repro.ir.program import Program
+from repro.opts.specs import PAPER_TEN
+from repro.verify.oracle import EquivalenceOracle, EquivalenceReport
+from repro.verify.shrink import shrink_program
+from repro.workloads.synthetic import random_program
+
+#: spread multiplier turning (campaign seed, iteration) into a
+#: program-generator seed
+_SEED_STRIDE = 1_000_003
+
+ProgressHook = Callable[[str], None]
+
+
+@dataclass
+class FuzzConfig:
+    """Campaign parameters (all deterministic given ``seed``)."""
+
+    seed: int = 0
+    iterations: int = 50
+    opt_names: tuple[str, ...] = PAPER_TEN
+    size: int = 12
+    max_depth: int = 2
+    #: oracle environments per check (plus the two edge-case envs)
+    trials: int = 3
+    #: also run the whole catalog as one multi-pass pipeline
+    pipeline: bool = True
+    shrink: bool = True
+    max_applications: int = 25
+    max_shrink_attempts: int = 400
+    #: where to write counterexample files (None: keep in memory only)
+    out_dir: Optional[str] = None
+
+    def program_seed(self, iteration: int) -> int:
+        return self.seed * _SEED_STRIDE + iteration
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle divergence, with its shrunk counterexample."""
+
+    iteration: int
+    program_seed: int
+    opt_names: tuple[str, ...]
+    report: EquivalenceReport
+    source: str
+    shrunk_source: Optional[str] = None
+    shrunk_statements: Optional[int] = None
+    repro_path: Optional[Path] = None
+
+    def __str__(self) -> str:
+        opts = "+".join(self.opt_names)
+        where = f" -> {self.repro_path}" if self.repro_path else ""
+        shrunk = (
+            f", shrunk to {self.shrunk_statements} quad(s)"
+            if self.shrunk_statements is not None
+            else ""
+        )
+        return (
+            f"iteration {self.iteration} (seed {self.program_seed}) "
+            f"{opts}: {self.report.divergences[0]}{shrunk}{where}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """What one campaign did."""
+
+    config: FuzzConfig
+    programs: int = 0
+    checks: int = 0
+    applications: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.programs} program(s), {self.checks} oracle "
+            f"check(s), {self.applications} application(s), "
+            f"{len(self.failures)} failure(s), "
+            f"{self.elapsed_seconds:.1f}s"
+        ]
+        lines.extend(f"  {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+def _apply_sequence(
+    optimizers: Sequence[GeneratedOptimizer],
+    program: Program,
+    config: FuzzConfig,
+) -> int:
+    """Apply optimizers in order to ``program`` (in place); total count."""
+    options = DriverOptions(
+        apply_all=True, max_applications=config.max_applications
+    )
+    applied = 0
+    for optimizer in optimizers:
+        applied += run_optimizer(optimizer, program, options).applied
+    return applied
+
+
+def run_fuzz(
+    config: Optional[FuzzConfig] = None,
+    optimizers: Optional[dict[str, GeneratedOptimizer]] = None,
+    progress: Optional[ProgressHook] = None,
+) -> FuzzReport:
+    """Run one fuzz campaign.
+
+    ``optimizers`` may inject pre-built (possibly deliberately broken)
+    optimizers keyed by name; missing names are generated from the
+    catalog.
+    """
+    config = config or FuzzConfig()
+    optimizers = dict(optimizers or {})
+    for name in config.opt_names:
+        if name not in optimizers:
+            optimizers[name] = _resolve_optimizer(name)
+    oracle = EquivalenceOracle(trials=config.trials, seed=config.seed)
+    report = FuzzReport(config=config)
+    start = time.perf_counter()
+    for iteration in range(config.iterations):
+        seed = config.program_seed(iteration)
+        program = random_program(
+            seed, size=config.size, max_depth=config.max_depth
+        )
+        report.programs += 1
+        for name in config.opt_names:
+            _check_one(
+                report, oracle, config, iteration, seed, program,
+                (name,), [optimizers[name]],
+            )
+        if config.pipeline and len(config.opt_names) > 1:
+            _check_one(
+                report, oracle, config, iteration, seed, program,
+                tuple(config.opt_names),
+                [optimizers[name] for name in config.opt_names],
+            )
+        if progress is not None and (iteration + 1) % 10 == 0:
+            progress(
+                f"{iteration + 1}/{config.iterations} iterations, "
+                f"{report.checks} checks, "
+                f"{len(report.failures)} failure(s)"
+            )
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _check_one(
+    report: FuzzReport,
+    oracle: EquivalenceOracle,
+    config: FuzzConfig,
+    iteration: int,
+    seed: int,
+    program: Program,
+    opt_names: tuple[str, ...],
+    optimizers: list[GeneratedOptimizer],
+) -> None:
+    transformed = program.clone()
+    applied = _apply_sequence(optimizers, transformed, config)
+    report.applications += applied
+    if applied == 0:
+        return
+    report.checks += 1
+    verdict = oracle.check(program, transformed)
+    if verdict.equivalent:
+        return
+    failure = FuzzFailure(
+        iteration=iteration,
+        program_seed=seed,
+        opt_names=opt_names,
+        report=verdict,
+        source=unparse_program(program, name=program.name),
+    )
+    if config.shrink:
+        def still_fails(candidate: Program) -> bool:
+            candidate_transformed = candidate.clone()
+            if _apply_sequence(optimizers, candidate_transformed, config) == 0:
+                return False
+            return not oracle.check(candidate, candidate_transformed).equivalent
+
+        shrunk = shrink_program(
+            program, still_fails, max_attempts=config.max_shrink_attempts
+        )
+        failure.shrunk_source = unparse_program(
+            shrunk.program, name=f"repro_{seed}"
+        )
+        failure.shrunk_statements = shrunk.statements
+    if config.out_dir is not None:
+        out_dir = Path(config.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        failure.repro_path = out_dir / (
+            f"repro_{'_'.join(opt_names).lower()}_{seed}.f"
+        )
+        write_repro(failure.repro_path, failure, config)
+    report.failures.append(failure)
+
+
+# ----------------------------------------------------------------------
+# counterexample files
+# ----------------------------------------------------------------------
+def write_repro(
+    path: Path | str, failure: FuzzFailure, config: FuzzConfig
+) -> Path:
+    """Save a failure as a replayable mini-Fortran file.
+
+    The ``!`` header comments carry everything replay needs; the body
+    is the (shrunk, when available) program source, directly parsable
+    by the frontend since the lexer skips comments.
+    """
+    path = Path(path)
+    divergence = failure.report.divergences[0]
+    header = [
+        "! genesis-fuzz counterexample",
+        f"! opts: {','.join(failure.opt_names)}",
+        f"! program-seed: {failure.program_seed}",
+        f"! oracle-trials: {config.trials}",
+        f"! oracle-seed: {config.seed}",
+        f"! divergence: {divergence}",
+    ]
+    body = failure.shrunk_source or failure.source
+    path.write_text("\n".join(header) + "\n" + body)
+    return path
+
+
+def load_repro(path: Path | str) -> tuple[dict[str, str], Program]:
+    """Parse a counterexample file into (metadata, program)."""
+    text = Path(path).read_text()
+    metadata: dict[str, str] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("!"):
+            continue
+        comment = stripped.lstrip("!").strip()
+        if ":" in comment:
+            key, _, value = comment.partition(":")
+            metadata.setdefault(key.strip(), value.strip())
+    return metadata, parse_program(text)
+
+
+def replay_repro(
+    path: Path | str,
+    optimizers: Optional[dict[str, GeneratedOptimizer]] = None,
+) -> tuple[EquivalenceReport, int]:
+    """Re-run a saved counterexample: (oracle verdict, applications).
+
+    A still-broken optimizer replays as divergent; once the bug is
+    fixed the same file replays as equivalent (or applies nowhere).
+    Unknown optimizer names fall back to the broken-fixture catalog so
+    the oracle's own regression files replay too.
+    """
+    metadata, program = load_repro(path)
+    opt_names = tuple(
+        name.strip()
+        for name in metadata.get("opts", "").split(",")
+        if name.strip()
+    )
+    if not opt_names:
+        raise ValueError(f"{path}: no '! opts:' header to replay")
+    optimizers = dict(optimizers or {})
+    for name in opt_names:
+        if name in optimizers:
+            continue
+        optimizers[name] = _resolve_optimizer(name)
+    trials = int(metadata.get("oracle-trials", 3))
+    seed = int(metadata.get("oracle-seed", 0))
+    config = FuzzConfig(seed=seed, trials=trials, opt_names=opt_names)
+    transformed = program.clone()
+    applied = _apply_sequence(
+        [optimizers[name] for name in opt_names], transformed, config
+    )
+    oracle = EquivalenceOracle(trials=trials, seed=seed)
+    return oracle.check(program, transformed), applied
+
+
+def _resolve_optimizer(name: str) -> GeneratedOptimizer:
+    from repro.verify.fixtures import BROKEN_SPECS, broken_optimizer
+
+    if name in BROKEN_SPECS:
+        return broken_optimizer(name)
+    from repro.opts.catalog import build_optimizer
+
+    return build_optimizer(name)

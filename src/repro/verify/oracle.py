@@ -1,0 +1,263 @@
+"""The semantic-equivalence oracle.
+
+Runs the reference interpreter (:mod:`repro.ir.interp`) on an original
+and a transformed program over a set of input environments and compares
+what FORTRAN programs can observe: the ``write`` trace, and (optionally)
+the final scalar/array stores.  The verdict is a structured
+:class:`EquivalenceReport`; a divergence on *any* environment means the
+transformation miscompiled the program.
+
+Two comparison levels:
+
+* **output trace** (always) — the behaviour the paper's dependence
+  arguments promise to preserve;
+* **final stores** (``compare_stores=True``) — stricter, and therefore
+  opt-in: legitimate optimizations such as dead-code elimination and
+  full loop unrolling change which dead values linger in the store, so
+  store comparison is only meaningful for transformations that promise
+  store preservation.  Stores are compared over the names common to
+  both programs.
+
+Runtime errors are part of behaviour: if one side raises
+:class:`~repro.ir.interp.InterpError` and the other completes (or they
+raise for different reasons at different points in the trace), that is
+a divergence.  Both sides raising is treated as agreement — the
+environment drove the *original* program into a runtime error, so no
+conclusion about the transformation can be drawn from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.ir.interp import ExecutionResult, InterpError, _normalize, run_program
+from repro.ir.program import Program
+from repro.verify.envgen import EnvironmentGenerator, InputEnvironment
+
+
+class VerificationError(Exception):
+    """An applied transformation changed observable behaviour.
+
+    Raised by the driver's in-line ``verify`` gate; carries the full
+    :class:`EquivalenceReport` for diagnosis.
+    """
+
+    def __init__(self, message: str, report: "EquivalenceReport"):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class Divergence:
+    """One observed behaviour difference on one environment."""
+
+    env_label: str
+    kind: str  # "output" | "error" | "scalars" | "arrays"
+    detail: str
+    environment: Optional[InputEnvironment] = None
+
+    def __str__(self) -> str:
+        return f"[{self.env_label}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class EquivalenceReport:
+    """The oracle's verdict over a whole environment set."""
+
+    trials: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    #: environments on which both sides raised the same way (no signal)
+    inconclusive: list[str] = field(default_factory=list)
+    before_steps: int = 0
+    after_steps: int = 0
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.divergences
+
+    @property
+    def conclusive_trials(self) -> int:
+        return self.trials - len(self.inconclusive)
+
+    def summary(self) -> str:
+        if self.equivalent:
+            note = (
+                f" ({len(self.inconclusive)} inconclusive)"
+                if self.inconclusive
+                else ""
+            )
+            return f"equivalent on {self.conclusive_trials} environment(s){note}"
+        lines = [
+            f"DIVERGENT on {len(self.divergences)} of "
+            f"{self.trials} environment(s):"
+        ]
+        lines.extend(f"  {divergence}" for divergence in self.divergences)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+@dataclass
+class _Outcome:
+    """One interpreter run: a result or a runtime error."""
+
+    result: Optional[ExecutionResult] = None
+    error: Optional[InterpError] = None
+
+
+class EquivalenceOracle:
+    """Differential executor for original/transformed program pairs."""
+
+    def __init__(
+        self,
+        trials: int = 3,
+        seed: int = 0,
+        compare_stores: bool = False,
+        max_steps: int = 2_000_000,
+    ):
+        self.trials = trials
+        self.seed = seed
+        self.compare_stores = compare_stores
+        self.max_steps = max_steps
+        self._envgen = EnvironmentGenerator(seed)
+
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        before: Program,
+        after: Program,
+        environments: Optional[Sequence[InputEnvironment]] = None,
+    ) -> EquivalenceReport:
+        """Compare two programs over the environment set."""
+        if environments is None:
+            environments = self._envgen.environments(
+                [before, after], trials=self.trials
+            )
+        report = EquivalenceReport(trials=len(environments))
+        for env in environments:
+            outcome_before = self._run(before, env)
+            outcome_after = self._run(after, env)
+            if outcome_before.result is not None:
+                report.before_steps += outcome_before.result.steps
+            if outcome_after.result is not None:
+                report.after_steps += outcome_after.result.steps
+            divergence = self._compare(env, outcome_before, outcome_after)
+            if divergence is not None:
+                report.divergences.append(divergence)
+            elif outcome_before.error is not None:
+                report.inconclusive.append(env.label)
+        return report
+
+    # ------------------------------------------------------------------
+    def _run(self, program: Program, env: InputEnvironment) -> _Outcome:
+        try:
+            return _Outcome(
+                result=run_program(
+                    program,
+                    inputs=env.inputs,
+                    scalars=env.scalars,
+                    arrays=env.arrays,
+                    max_steps=self.max_steps,
+                )
+            )
+        except InterpError as error:
+            return _Outcome(error=error)
+
+    def _compare(
+        self,
+        env: InputEnvironment,
+        outcome_before: _Outcome,
+        outcome_after: _Outcome,
+    ) -> Optional[Divergence]:
+        if outcome_before.error is not None or outcome_after.error is not None:
+            if outcome_before.error is not None and (
+                outcome_after.error is not None
+            ):
+                return None  # both errored: inconclusive, not divergent
+            side = "original" if outcome_after.error else "transformed"
+            error = outcome_before.error or outcome_after.error
+            return Divergence(
+                env_label=env.label,
+                kind="error",
+                detail=f"only the {side} program completed "
+                f"(other side: {error})",
+                environment=env,
+            )
+        result_before = outcome_before.result
+        result_after = outcome_after.result
+        assert result_before is not None and result_after is not None
+        trace_before = result_before.observable()
+        trace_after = result_after.observable()
+        if trace_before != trace_after:
+            return Divergence(
+                env_label=env.label,
+                kind="output",
+                detail=_trace_diff(trace_before, trace_after),
+                environment=env,
+            )
+        if self.compare_stores:
+            store_diff = _store_diff(result_before, result_after)
+            if store_diff is not None:
+                kind, detail = store_diff
+                return Divergence(
+                    env_label=env.label,
+                    kind=kind,
+                    detail=detail,
+                    environment=env,
+                )
+        return None
+
+
+def _trace_diff(trace_before: tuple, trace_after: tuple) -> str:
+    if len(trace_before) != len(trace_after):
+        return (
+            f"write-trace length {len(trace_before)} != {len(trace_after)}"
+        )
+    for position, (left, right) in enumerate(zip(trace_before, trace_after)):
+        if left != right:
+            return f"write[{position}]: {left!r} != {right!r}"
+    return "traces differ"  # unreachable given the caller's check
+
+
+def _store_diff(
+    result_before: ExecutionResult, result_after: ExecutionResult
+) -> Optional[tuple[str, str]]:
+    """Compare final stores over names present on both sides."""
+    for name in sorted(
+        set(result_before.scalars) & set(result_after.scalars)
+    ):
+        left = _normalize(result_before.scalars[name])
+        right = _normalize(result_after.scalars[name])
+        if left != right:
+            return "scalars", f"final {name} = {left!r} != {right!r}"
+    for name in sorted(
+        set(result_before.arrays) & set(result_after.arrays)
+    ):
+        cells_before = result_before.arrays[name]
+        cells_after = result_after.arrays[name]
+        for index in sorted(set(cells_before) & set(cells_after)):
+            left = _normalize(cells_before[index])
+            right = _normalize(cells_after[index])
+            if left != right:
+                subscript = ",".join(str(coord) for coord in index)
+                return (
+                    "arrays",
+                    f"final {name}({subscript}) = {left!r} != {right!r}",
+                )
+    return None
+
+
+def check_equivalence(
+    before: Program,
+    after: Program,
+    trials: int = 3,
+    seed: int = 0,
+    compare_stores: bool = False,
+) -> EquivalenceReport:
+    """One-shot convenience wrapper around :class:`EquivalenceOracle`."""
+    oracle = EquivalenceOracle(
+        trials=trials, seed=seed, compare_stores=compare_stores
+    )
+    return oracle.check(before, after)

@@ -1,0 +1,145 @@
+"""Counterexample minimization for oracle failures.
+
+Given a program on which some transformation diverges, the shrinker
+greedily deletes code while a caller-supplied predicate ("does the
+divergence persist?") stays true.  Three reduction operators, tried
+from coarsest to finest each round:
+
+* delete a whole ``DO``/``ENDDO`` or ``IF``/``ELSE``/``ENDIF`` region;
+* *unwrap* a region (drop the markers, keep the body) — turns loop
+  bodies into straight-line code so the finer operator can bite;
+* delete one non-structural statement.
+
+Every candidate is a structurally valid program by construction
+(regions are removed or unwrapped atomically), so the predicate never
+sees torn IR.  The result is typically a handful of statements — small
+enough to eyeball the miscompile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.ir.program import Program
+from repro.ir.quad import LOOP_HEADS, Opcode, Quad
+
+#: predicate: True while the candidate still exhibits the failure
+Predicate = Callable[[Program], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    program: Program
+    original_statements: int
+    statements: int
+    rounds: int
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"shrunk {self.original_statements} -> {self.statements} "
+            f"quad(s) in {self.rounds} round(s), {self.attempts} attempt(s)"
+        )
+
+
+def _rebuild(quads: list[Quad], name: str) -> Program:
+    return Program(
+        quads=(quad.copy() for quad in quads), name=name
+    )
+
+
+def _regions(quads: list[Quad]) -> list[tuple[int, int]]:
+    """All (start, stop) index spans of DO/IF regions, outermost first."""
+    spans: list[tuple[int, int]] = []
+    stack: list[int] = []
+    for position, quad in enumerate(quads):
+        op = quad.opcode
+        if op in LOOP_HEADS or op is Opcode.IF:
+            stack.append(position)
+        elif op in (Opcode.ENDDO, Opcode.ENDIF) and stack:
+            spans.append((stack.pop(), position))
+    spans.sort(key=lambda span: (span[0], -(span[1] - span[0])))
+    return spans
+
+
+def _candidates(quads: list[Quad], name: str) -> Iterator[Program]:
+    """Candidate reductions, coarsest first."""
+    spans = _regions(quads)
+    spans_by_size = sorted(
+        spans, key=lambda span: span[1] - span[0], reverse=True
+    )
+    # 1. whole-region deletion, biggest regions first
+    for start, stop in spans_by_size:
+        yield _rebuild(quads[:start] + quads[stop + 1:], name)
+    # 2. region unwrapping (drop markers, keep the body)
+    for start, stop in spans_by_size:
+        markers = {start, stop}
+        if quads[start].opcode is Opcode.IF:
+            depth = 0
+            for position in range(start, stop + 1):
+                op = quads[position].opcode
+                if op is Opcode.IF:
+                    depth += 1
+                elif op is Opcode.ENDIF:
+                    depth -= 1
+                elif op is Opcode.ELSE and depth == 1:
+                    markers.add(position)
+        kept = [
+            quad
+            for position, quad in enumerate(quads)
+            if position not in markers
+        ]
+        yield _rebuild(kept, name)
+    # 3. single-statement deletion
+    for position, quad in enumerate(quads):
+        if quad.is_structural():
+            continue
+        yield _rebuild(quads[:position] + quads[position + 1:], name)
+
+
+def shrink_program(
+    program: Program,
+    still_fails: Predicate,
+    max_attempts: int = 1000,
+    name: Optional[str] = None,
+) -> ShrinkResult:
+    """Minimize ``program`` while ``still_fails`` holds.
+
+    The input program itself must satisfy the predicate; the returned
+    program always does.  Greedy first-improvement search with restart
+    after every accepted reduction, bounded by ``max_attempts``
+    predicate evaluations.
+    """
+    name = name or f"{program.name}_shrunk"
+    current = list(program.quads)
+    original_statements = len(current)
+    rounds = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        rounds += 1
+        for candidate in _candidates(current, name):
+            if len(candidate) >= len(current):
+                continue
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                failed = still_fails(candidate)
+            except Exception:
+                failed = False  # a crashing candidate is not a repro
+            if failed:
+                current = list(candidate.quads)
+                improved = True
+                break
+    return ShrinkResult(
+        program=_rebuild(current, name),
+        original_statements=original_statements,
+        statements=len(current),
+        rounds=rounds,
+        attempts=attempts,
+    )

@@ -265,3 +265,91 @@ class TestStateAndLimits:
         program.append(Quad(Opcode.NOP))
         program.append(Quad(Opcode.WRITE, a=Const(1)))
         assert run_program(program).output == [1]
+
+
+class TestTypedRuntimeErrors:
+    """The oracle satellite: no raw KeyError/IndexError/ZeroDivisionError
+    /OverflowError ever escapes the interpreter."""
+
+    def test_strict_uninitialized_scalar(self):
+        from repro.ir.interp import UninitializedError
+
+        b = IRBuilder()
+        b.binary("y", "x", "+", 1)
+        b.write("y")
+        program = b.build()
+        assert run_program(program).output == [1]  # permissive default
+        with pytest.raises(UninitializedError):
+            run_program(program, strict=True)
+        assert run_program(program, strict=True, scalars={"x": 2}).output == [3]
+
+    def test_strict_uninitialized_array_cell(self):
+        from repro.ir.interp import UninitializedError
+
+        b = IRBuilder()
+        b.assign("y", b.arr("a", 5))
+        b.write("y")
+        program = b.build()
+        assert run_program(program).output == [0]
+        with pytest.raises(UninitializedError):
+            run_program(program, strict=True)
+        result = run_program(program, strict=True, arrays={"a": {(5,): 9}})
+        assert result.output == [9]
+
+    def test_array_bounds_checked_on_load_and_store(self):
+        from repro.ir.interp import BoundsError
+
+        load = IRBuilder()
+        load.assign("y", load.arr("a", 20))
+        with pytest.raises(BoundsError):
+            run_program(load.build(), array_bounds={"a": ((1, 12),)})
+
+        store = IRBuilder()
+        store.assign(store.arr("a", 0), 1)
+        with pytest.raises(BoundsError):
+            run_program(store.build(), array_bounds={"a": ((1, 12),)})
+
+    def test_array_bounds_rank_mismatch(self):
+        from repro.ir.interp import BoundsError
+
+        b = IRBuilder()
+        b.assign("y", b.arr("a", 2))
+        with pytest.raises(BoundsError):
+            run_program(b.build(), array_bounds={"a": ((1, 8), (1, 8))})
+
+    def test_in_bounds_access_passes(self):
+        b = IRBuilder()
+        b.assign(b.arr("a", 3), 7)
+        b.write(b.arr("a", 3))
+        result = run_program(b.build(), array_bounds={"a": ((1, 12),)})
+        assert result.output == [7]
+
+    def test_pow_zero_to_negative_is_interp_error(self):
+        b = IRBuilder()
+        b.binary("x", 0, "**", -1)
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+    def test_pow_negative_base_fractional_exponent(self):
+        b = IRBuilder()
+        b.binary("x", -2, "**", 0.5)
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+    def test_pow_huge_integer_exponent_guarded(self):
+        b = IRBuilder()
+        b.binary("x", 2, "**", 1_000_000)
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+    def test_float_pow_overflow_is_interp_error(self):
+        b = IRBuilder()
+        b.binary("x", 1e308, "**", 2)
+        with pytest.raises(InterpError):
+            run_program(b.build())
+
+    def test_exp_overflow_is_interp_error(self):
+        b = IRBuilder()
+        b.unary("x", "exp", 1e9)
+        with pytest.raises(InterpError):
+            run_program(b.build())

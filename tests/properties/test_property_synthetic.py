@@ -1,0 +1,74 @@
+"""Property tests for the random-program generator itself.
+
+The differential-fuzzing oracle leans entirely on
+``workloads/synthetic.random_program``: if the generator emitted
+structurally invalid or non-deterministic programs, every fuzz verdict
+built on it would be suspect.  These properties pin down the contract
+the oracle assumes — validity, determinism, and bounded execution.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.lower import parse_program
+from repro.frontend.unparse import unparse_program
+from repro.ir.interp import run_program
+from repro.ir.validate import validate_program
+from repro.verify.envgen import environments_for
+from repro.workloads.synthetic import random_program
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SEEDS = st.integers(min_value=0, max_value=100_000)
+SIZES = st.integers(min_value=1, max_value=24)
+DEPTHS = st.integers(min_value=0, max_value=3)
+
+
+@settings(**COMMON)
+@given(seed=SEEDS, size=SIZES, max_depth=DEPTHS)
+def test_generated_programs_validate(seed, size, max_depth):
+    program = random_program(seed, size=size, max_depth=max_depth)
+    assert len(program) > 0
+    program.check_structure()
+    validate_program(program)
+
+
+@settings(**COMMON)
+@given(seed=SEEDS, size=SIZES, max_depth=DEPTHS)
+def test_deterministic_for_fixed_seed(seed, size, max_depth):
+    first = random_program(seed, size=size, max_depth=max_depth)
+    second = random_program(seed, size=size, max_depth=max_depth)
+    assert list(map(str, first)) == list(map(str, second))
+
+
+@settings(**COMMON)
+@given(seed=SEEDS)
+def test_terminates_within_step_budget(seed):
+    program = random_program(seed)
+    env = environments_for(program, trials=1, seed=seed)[-1]
+    try:
+        result = run_program(
+            program,
+            inputs=env.inputs,
+            scalars=dict(env.scalars),
+            arrays={k: dict(v) for k, v in env.arrays.items()},
+            max_steps=200_000,
+        )
+    except Exception as error:  # domain errors allowed, timeouts not
+        assert "step budget" not in str(error)
+    else:
+        assert 0 < result.steps <= 200_000
+
+
+@settings(**COMMON)
+@given(seed=SEEDS)
+def test_unparse_reparse_is_stable(seed):
+    """The fuzzer's repro files depend on generated programs surviving
+    an unparse/reparse roundtrip with identical behaviour."""
+    program = random_program(seed)
+    reparsed = parse_program(unparse_program(program))
+    assert list(map(str, reparsed)) == list(map(str, program))

@@ -1,0 +1,82 @@
+"""Unit tests for random input-environment generation."""
+
+from repro.frontend.lower import parse_program
+from repro.verify.envgen import (
+    EnvironmentGenerator,
+    environments_for,
+)
+
+SOURCE = """
+program t
+  integer i, n
+  real a(12), b(12, 12), x, y
+  read n
+  do i = 1, 10
+    a(i) = x + y
+  end do
+  b(2, 3) = a(1)
+  write a(2)
+end
+"""
+
+
+def test_environments_cover_all_names():
+    program = parse_program(SOURCE)
+    for env in environments_for(program, trials=2):
+        assert set(program.scalar_names()) <= set(env.scalars)
+        assert {"a", "b"} <= set(env.arrays)
+        assert env.inputs  # read stream populated
+
+
+def test_edge_environments_present():
+    program = parse_program(SOURCE)
+    labels = [env.label for env in environments_for(program, trials=3)]
+    assert labels[:2] == ["zeros", "ones"]
+    assert labels[2:] == ["random-0", "random-1", "random-2"]
+
+
+def test_deterministic_for_seed():
+    program = parse_program(SOURCE)
+    first = environments_for(program, trials=3, seed=7)
+    second = environments_for(program, trials=3, seed=7)
+    for env_a, env_b in zip(first, second):
+        assert env_a.scalars == env_b.scalars
+        assert env_a.arrays == env_b.arrays
+        assert env_a.inputs == env_b.inputs
+
+
+def test_different_seeds_differ():
+    program = parse_program(SOURCE)
+    first = environments_for(program, trials=1, seed=1)[-1]
+    second = environments_for(program, trials=1, seed=2)[-1]
+    assert (
+        first.scalars != second.scalars
+        or first.arrays != second.arrays
+        or first.inputs != second.inputs
+    )
+
+
+def test_rank_respected_and_bounds_derivable():
+    program = parse_program(SOURCE)
+    env = environments_for(program, trials=1)[0]
+    assert all(len(index) == 1 for index in env.arrays["a"])
+    assert all(len(index) == 2 for index in env.arrays["b"])
+    bounds = env.bounds()
+    assert len(bounds["a"]) == 1 and len(bounds["b"]) == 2
+    low, high = bounds["a"][0]
+    assert low <= 1 and high >= 12  # covers 1..12 indexing with offsets
+
+
+def test_union_of_two_programs():
+    before = parse_program(SOURCE)
+    after = parse_program("""
+    program t
+      real z, q(12)
+      z = 1.0
+      q(1) = z
+      write q(1)
+    end
+    """)
+    env = EnvironmentGenerator(0).environments([before, after], trials=1)[0]
+    assert "z" in env.scalars and "q" in env.arrays
+    assert "x" in env.scalars and "a" in env.arrays

@@ -1,0 +1,162 @@
+"""The fuzz harness: campaigns, counterexample files, replay.
+
+The ``fuzz``-marked campaigns run a deliberately small budget so the
+tier-1 suite stays fast; ``genesis fuzz --iterations N`` scales the
+same harness up from the shell.
+"""
+
+import pytest
+
+from repro.verify.fixtures import BROKEN_SPECS, broken_optimizer
+from repro.verify.fuzz import (
+    FuzzConfig,
+    load_repro,
+    replay_repro,
+    run_fuzz,
+    write_repro,
+)
+
+
+@pytest.mark.fuzz
+def test_catalog_survives_bounded_campaign():
+    """Every catalog optimization, alone and as a pipeline, preserves
+    semantics on a small random-program budget."""
+    config = FuzzConfig(seed=0, iterations=6, trials=2)
+    report = run_fuzz(config)
+    assert report.ok, report.summary()
+    assert report.programs == 6
+    assert report.checks > 0
+    assert report.applications > 0
+
+
+@pytest.mark.fuzz
+def test_broken_optimizer_caught_and_shrunk():
+    """The acceptance fixture: an unsound transformation is detected,
+    and its counterexample shrinks to at most 10 statements."""
+    config = FuzzConfig(
+        seed=0, iterations=10, opt_names=("BROKEN_CTP",),
+        trials=2, pipeline=False,
+    )
+    report = run_fuzz(
+        config, optimizers={"BROKEN_CTP": broken_optimizer("BROKEN_CTP")}
+    )
+    assert not report.ok
+    for failure in report.failures:
+        assert failure.opt_names == ("BROKEN_CTP",)
+        assert failure.report.divergences
+        assert failure.shrunk_statements is not None
+        assert failure.shrunk_statements <= 10
+        assert failure.shrunk_source
+
+
+@pytest.mark.fuzz
+def test_broken_dce_fixture_also_caught():
+    # the unsound deletion needs a value defined for the *next* loop
+    # iteration, which slightly larger random programs exhibit
+    config = FuzzConfig(
+        seed=0, iterations=19, opt_names=("BROKEN_DCE",),
+        trials=2, pipeline=False, shrink=False, size=16,
+    )
+    report = run_fuzz(
+        config, optimizers={"BROKEN_DCE": broken_optimizer("BROKEN_DCE")}
+    )
+    assert not report.ok
+
+
+def test_campaign_deterministic_for_seed():
+    config = FuzzConfig(seed=1, iterations=2, opt_names=("CTP", "DCE"),
+                        trials=1)
+    first = run_fuzz(config)
+    second = run_fuzz(config)
+    assert first.checks == second.checks
+    assert first.applications == second.applications
+    assert len(first.failures) == len(second.failures) == 0
+
+
+def test_program_seeds_spread():
+    config = FuzzConfig(seed=2, iterations=5)
+    seeds = [config.program_seed(i) for i in range(5)]
+    assert len(set(seeds)) == 5
+    other = FuzzConfig(seed=3, iterations=5)
+    assert set(seeds).isdisjoint(other.program_seed(i) for i in range(5))
+
+
+def test_unknown_broken_fixture_rejected():
+    with pytest.raises(KeyError):
+        broken_optimizer("NOT_A_FIXTURE")
+    assert set(BROKEN_SPECS) == {"BROKEN_CTP", "BROKEN_DCE"}
+
+
+class TestCounterexampleFiles:
+    @pytest.fixture(scope="class")
+    def failure_report(self):
+        config = FuzzConfig(
+            seed=0, iterations=4, opt_names=("BROKEN_CTP",),
+            trials=2, pipeline=False,
+        )
+        report = run_fuzz(
+            config,
+            optimizers={"BROKEN_CTP": broken_optimizer("BROKEN_CTP")},
+        )
+        assert not report.ok
+        return report
+
+    def test_write_and_load_roundtrip(self, failure_report, tmp_path):
+        failure = failure_report.failures[0]
+        path = write_repro(
+            tmp_path / "case.f", failure, failure_report.config
+        )
+        metadata, program = load_repro(path)
+        assert metadata["opts"] == "BROKEN_CTP"
+        assert metadata["program-seed"] == str(failure.program_seed)
+        assert "divergence" in metadata
+        # reparsing may normalize structure (e.g. drop an empty else
+        # branch), so the roundtrip never *grows* the program
+        assert 0 < len(program) <= failure.shrunk_statements
+
+    def test_replay_reproduces_divergence(self, failure_report, tmp_path):
+        failure = failure_report.failures[0]
+        path = write_repro(
+            tmp_path / "case.f", failure, failure_report.config
+        )
+        report, applied = replay_repro(path)
+        assert applied > 0
+        assert not report.equivalent
+
+    def test_replay_with_fixed_optimizer_is_clean(
+        self, failure_report, tmp_path
+    ):
+        """Replaying the counterexample with the *sound* CTP shows the
+        fix: either nothing applies or behaviour is preserved."""
+        from repro.opts.catalog import build_optimizer
+
+        failure = failure_report.failures[0]
+        path = write_repro(
+            tmp_path / "case.f", failure, failure_report.config
+        )
+        report, _applied = replay_repro(
+            path, optimizers={"BROKEN_CTP": build_optimizer("CTP")}
+        )
+        assert report.equivalent
+
+    def test_out_dir_writes_files(self, tmp_path):
+        config = FuzzConfig(
+            seed=0, iterations=2, opt_names=("BROKEN_CTP",),
+            trials=2, pipeline=False, out_dir=str(tmp_path / "repros"),
+        )
+        report = run_fuzz(
+            config,
+            optimizers={"BROKEN_CTP": broken_optimizer("BROKEN_CTP")},
+        )
+        assert not report.ok
+        for failure in report.failures:
+            assert failure.repro_path is not None
+            assert failure.repro_path.exists()
+            replayed, _ = replay_repro(failure.repro_path)
+            assert not replayed.equivalent
+
+    def test_replay_requires_opts_header(self, tmp_path):
+        path = tmp_path / "bare.f"
+        path.write_text("program t\n real x\n write x\nend\n")
+        with pytest.raises(ValueError):
+            replay_repro(path)

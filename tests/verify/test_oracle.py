@@ -1,0 +1,232 @@
+"""Unit tests for the equivalence oracle."""
+
+import pytest
+
+from repro.frontend.lower import parse_program
+from repro.ir.builder import IRBuilder
+from repro.verify.oracle import (
+    EquivalenceOracle,
+    check_equivalence,
+)
+
+
+def program_pair(source_before, source_after):
+    return parse_program(source_before), parse_program(source_after)
+
+
+class TestVerdicts:
+    def test_identical_programs_equivalent(self):
+        source = """
+        program t
+          integer i
+          real a(12)
+          do i = 1, 5
+            a(i) = i * 2.0
+          end do
+          write a(3)
+        end
+        """
+        before, after = program_pair(source, source)
+        report = check_equivalence(before, after)
+        assert report.equivalent
+        assert report.conclusive_trials == report.trials
+        assert "equivalent" in report.summary()
+
+    def test_equivalent_rewrites_pass(self):
+        # x*2 vs x+x: identical on every environment
+        before, after = program_pair(
+            """
+            program t
+              real x
+              read x
+              x = x * 2.0
+              write x
+            end
+            """,
+            """
+            program t
+              real x
+              read x
+              x = x + x
+              write x
+            end
+            """,
+        )
+        assert check_equivalence(before, after).equivalent
+
+    def test_output_divergence_detected(self):
+        before, after = program_pair(
+            """
+            program t
+              real x
+              read x
+              write x
+            end
+            """,
+            """
+            program t
+              real x
+              read x
+              x = x + 1.0
+              write x
+            end
+            """,
+        )
+        report = check_equivalence(before, after)
+        assert not report.equivalent
+        divergence = report.divergences[0]
+        assert divergence.kind == "output"
+        assert divergence.environment is not None
+        assert "DIVERGENT" in report.summary()
+
+    def test_trace_length_divergence(self):
+        before, after = program_pair(
+            "program t\n real x\n write x\nend",
+            "program t\n real x\n write x\n write x\nend",
+        )
+        report = check_equivalence(before, after)
+        assert not report.equivalent
+        assert "length" in report.divergences[0].detail
+
+    def test_dead_store_not_flagged_by_default(self):
+        # DCE-style change: dead final assignment removed; the write
+        # trace is identical even though final stores differ
+        before, after = program_pair(
+            """
+            program t
+              integer x
+              x = 1
+              write x
+              x = 2
+            end
+            """,
+            """
+            program t
+              integer x
+              x = 1
+              write x
+            end
+            """,
+        )
+        assert check_equivalence(before, after).equivalent
+
+    def test_compare_stores_flags_dead_store_change(self):
+        before, after = program_pair(
+            """
+            program t
+              integer x
+              x = 1
+              write x
+              x = 2
+            end
+            """,
+            """
+            program t
+              integer x
+              x = 1
+              write x
+            end
+            """,
+        )
+        report = check_equivalence(before, after, compare_stores=True)
+        assert not report.equivalent
+        assert report.divergences[0].kind == "scalars"
+
+    def test_compare_stores_checks_arrays(self):
+        before, after = program_pair(
+            """
+            program t
+              real a(12)
+              a(1) = 1.0
+              write a(1)
+              a(2) = 5.0
+            end
+            """,
+            """
+            program t
+              real a(12)
+              a(1) = 1.0
+              write a(1)
+              a(2) = 6.0
+            end
+            """,
+        )
+        report = check_equivalence(before, after, compare_stores=True)
+        assert not report.equivalent
+        assert report.divergences[0].kind == "arrays"
+
+
+class TestRuntimeErrorBehaviour:
+    DIVIDES = """
+    program t
+      real x, y
+      read x
+      y = 1.0 / x
+      write y
+    end
+    """
+
+    def test_both_error_is_inconclusive_not_divergent(self):
+        before, after = program_pair(self.DIVIDES, self.DIVIDES)
+        report = check_equivalence(before, after)
+        # the zeros environment drives x = 0 -> both sides divide by 0
+        assert report.equivalent
+        assert "zeros" in report.inconclusive
+
+    def test_one_side_error_is_divergence(self):
+        before, after = program_pair(
+            self.DIVIDES,
+            """
+            program t
+              real x, y
+              read x
+              y = 0.0
+              write y
+            end
+            """,
+        )
+        report = check_equivalence(before, after)
+        assert not report.equivalent
+        assert any(d.kind == "error" for d in report.divergences)
+
+
+class TestOracleMechanics:
+    def test_deterministic_across_runs(self):
+        b = IRBuilder()
+        b.read("x")
+        b.binary("y", "x", "*", 3)
+        b.write("y")
+        program = b.build()
+        oracle = EquivalenceOracle(trials=4, seed=11)
+        first = oracle.check(program, program.clone())
+        second = oracle.check(program, program.clone())
+        assert first.equivalent and second.equivalent
+        assert first.trials == second.trials == 6  # 2 edge + 4 random
+
+    def test_explicit_environments_respected(self):
+        from repro.verify.envgen import InputEnvironment
+
+        before, after = program_pair(
+            "program t\n real x\n write x\nend",
+            "program t\n real x\n x = x * 1.0\n write x\nend",
+        )
+        env = InputEnvironment(label="custom", scalars={"x": 4})
+        report = EquivalenceOracle().check(before, after, [env])
+        assert report.trials == 1
+        assert report.equivalent
+
+    def test_step_counts_recorded(self):
+        source = """
+        program t
+          integer i
+          real s
+          do i = 1, 10
+            s = s + 1.0
+          end do
+          write s
+        end
+        """
+        before, after = program_pair(source, source)
+        report = check_equivalence(before, after, trials=1)
+        assert report.before_steps > 0
+        assert report.before_steps == report.after_steps

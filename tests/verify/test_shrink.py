@@ -1,0 +1,150 @@
+"""Unit tests for the counterexample shrinker."""
+
+from repro.frontend.lower import parse_program
+from repro.ir.quad import Opcode
+from repro.ir.validate import validate_program
+from repro.verify.shrink import shrink_program
+
+
+def test_shrinks_to_the_failing_statement():
+    # "failure" = the program writes the variable w somewhere
+    program = parse_program("""
+    program t
+      integer i, n
+      real a(12), w, x, y
+      n = 5
+      x = 1.0
+      do i = 1, n
+        a(i) = x * 2.0
+      end do
+      y = x + 3.0
+      write w
+      write y
+    end
+    """)
+
+    def still_fails(candidate):
+        return any(
+            quad.opcode is Opcode.WRITE and str(quad.a) == "w"
+            for quad in candidate
+        )
+
+    result = shrink_program(program, still_fails)
+    assert still_fails(result.program)
+    assert result.statements == 1
+    assert result.statements < result.original_statements
+    assert "shrunk" in str(result)
+
+
+def test_deletes_whole_regions():
+    program = parse_program("""
+    program t
+      integer i, j
+      real a(12), s
+      do i = 1, 5
+        do j = 1, 5
+          a(j) = a(j) + 1.0
+        end do
+      end do
+      if (s > 0.0) then
+        s = s - 1.0
+      else
+        s = s + 1.0
+      end if
+      s = 9.0
+      write s
+    end
+    """)
+
+    def still_fails(candidate):
+        return any(
+            quad.opcode is Opcode.ASSIGN and str(quad.result) == "s"
+            and str(quad.a) == "9.0"
+            for quad in candidate
+        )
+
+    result = shrink_program(program, still_fails)
+    # both the loop nest and the conditional disappear wholesale
+    assert all(not quad.is_structural() for quad in result.program)
+    assert result.statements <= 2
+
+
+def test_unwraps_loops_when_body_is_needed():
+    program = parse_program("""
+    program t
+      integer i
+      real a(12)
+      do i = 1, 5
+        a(2) = 7.0
+      end do
+      write a(2)
+    end
+    """)
+
+    def still_fails(candidate):
+        return any(
+            quad.opcode is Opcode.ASSIGN and str(quad.result) == "a(2)"
+            for quad in candidate
+        )
+
+    result = shrink_program(program, still_fails)
+    assert result.statements == 1
+    assert result.program[0].opcode is Opcode.ASSIGN
+
+
+def test_candidates_always_structurally_valid():
+    program = parse_program("""
+    program t
+      integer i
+      real a(12), s
+      do i = 1, 4
+        if (s > 0.0) then
+          a(i) = 1.0
+        end if
+      end do
+      write s
+    end
+    """)
+    seen = []
+
+    def still_fails(candidate):
+        candidate.check_structure()  # raises on torn IR
+        seen.append(len(candidate))
+        return any(quad.opcode is Opcode.WRITE for quad in candidate)
+
+    result = shrink_program(program, still_fails)
+    assert seen  # predicate exercised
+    validate_program(result.program)
+
+
+def test_respects_attempt_budget():
+    program = parse_program("""
+    program t
+      real x
+      x = 1.0
+      x = 2.0
+      x = 3.0
+      write x
+    end
+    """)
+    result = shrink_program(program, lambda p: len(p) > 0, max_attempts=2)
+    assert result.attempts <= 2
+
+
+def test_crashing_candidate_counts_as_not_failing():
+    program = parse_program("""
+    program t
+      real x, y
+      x = 1.0
+      y = 2.0
+      write x
+    end
+    """)
+
+    def still_fails(candidate):
+        if len(candidate) < 3:
+            raise RuntimeError("boom")
+        return True
+
+    result = shrink_program(program, still_fails)
+    assert result.statements == 3  # nothing below 3 was accepted
