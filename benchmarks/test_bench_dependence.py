@@ -1,0 +1,122 @@
+"""Full-rebuild vs incremental dependence maintenance (ISSUE 2).
+
+Runs a ten-pass scalar pipeline over synthetic workloads of growing
+size, once with an :class:`AnalysisManager` forced to rebuild the
+dependence graph from scratch on every program mutation (the paper's
+Figure 5 driver behaviour) and once with incremental splicing enabled.
+Timings for every size are recorded in ``BENCH_dependence.json`` at
+the repository root; the largest size must show at least a
+:data:`TARGET_SPEEDUP` wall-clock improvement.
+
+``test_smoke_incremental_matches_full`` is the cheap CI entry point
+(select with ``-k smoke``): one small size, asserting the two arms
+produce the identical optimized program rather than any timing ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.manager import AnalysisManager, AnalysisStats
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.ir.program import Program
+from repro.opts.catalog import standard_optimizers
+from repro.workloads.synthetic import random_program
+
+#: The 10-pass pipeline: two cleanup rounds plus a final sweep.
+PASSES = ["CTP", "CFO", "CPP", "DCE"] * 2 + ["CTP", "DCE"]
+
+#: Synthetic workload sizes (requested statement counts).
+SIZES = (80, 160, 320, 480)
+
+SEED = 7
+
+#: Required wall-clock improvement at the largest size.
+TARGET_SPEEDUP = 3.0
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_dependence.json"
+
+
+@pytest.fixture(scope="module")
+def pipeline_optimizers():
+    return standard_optimizers(("CTP", "CFO", "CPP", "DCE"))
+
+
+def _run_pipeline(
+    program: Program, optimizers, incremental: bool
+) -> AnalysisStats:
+    manager = AnalysisManager(program, incremental=incremental)
+    options = DriverOptions(apply_all=True)
+    for name in PASSES:
+        run_optimizer(optimizers[name], program, options, manager=manager)
+    return manager.stats
+
+
+def _measure(
+    base: Program, optimizers, incremental: bool
+) -> tuple[float, Program, AnalysisStats]:
+    program = base.clone()
+    start = time.perf_counter()
+    stats = _run_pipeline(program, optimizers, incremental)
+    return time.perf_counter() - start, program, stats
+
+
+def test_incremental_speedup(pipeline_optimizers):
+    """Sizes x rebuild-vs-incremental sweep, recorded as JSON."""
+    results: dict[str, object] = {
+        "pipeline": PASSES,
+        "seed": SEED,
+        "target_speedup_at_largest": TARGET_SPEEDUP,
+        "sizes": [],
+    }
+    speedup_at_largest = 0.0
+    for size in SIZES:
+        base = random_program(SEED, size=size, max_depth=2)
+        full_s, full_prog, full_stats = _measure(
+            base, pipeline_optimizers, incremental=False
+        )
+        incr_s, incr_prog, incr_stats = _measure(
+            base, pipeline_optimizers, incremental=True
+        )
+        # both arms must optimize identically, or the timing is moot
+        assert [str(q) for q in incr_prog] == [str(q) for q in full_prog]
+        speedup = full_s / incr_s
+        results["sizes"].append(
+            {
+                "size": size,
+                "quads": len(base),
+                "full_rebuild_s": round(full_s, 4),
+                "incremental_s": round(incr_s, 4),
+                "speedup": round(speedup, 2),
+                "full_arm_rebuilds": full_stats.full_rebuilds,
+                "incremental_arm": {
+                    "full_rebuilds": incr_stats.full_rebuilds,
+                    "incremental_updates": incr_stats.incremental_updates,
+                    "edges_retained": incr_stats.edges_retained,
+                    "edges_recomputed": incr_stats.edges_recomputed,
+                },
+            }
+        )
+        if size == SIZES[-1]:
+            speedup_at_largest = speedup
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    assert speedup_at_largest >= TARGET_SPEEDUP, (
+        f"incremental maintenance gave only {speedup_at_largest:.2f}x at "
+        f"size {SIZES[-1]} (need {TARGET_SPEEDUP}x); see {RESULTS_PATH}"
+    )
+
+
+def test_smoke_incremental_matches_full(pipeline_optimizers):
+    """CI smoke: one small size, equivalence only (no timing assert)."""
+    base = random_program(SEED, size=40, max_depth=2)
+    _, full_prog, _ = _measure(base, pipeline_optimizers, incremental=False)
+    _, incr_prog, incr_stats = _measure(
+        base, pipeline_optimizers, incremental=True
+    )
+    assert [str(q) for q in incr_prog] == [str(q) for q in full_prog]
+    assert incr_stats.incremental_updates > 0
+    assert incr_stats.edges_retained > 0

@@ -30,6 +30,8 @@ Quick start::
 """
 
 from repro.analysis import (
+    AnalysisManager,
+    AnalysisStats,
     DepEdge,
     DependenceGraph,
     compute_dependences,
@@ -101,6 +103,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_MODELS",
+    "AnalysisManager",
+    "AnalysisStats",
     "ApplicationRecord",
     "CostCounters",
     "DepEdge",

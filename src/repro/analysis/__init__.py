@@ -12,6 +12,12 @@ from repro.analysis.dominators import (
 )
 from repro.analysis.graph import KINDS, DepEdge, DependenceGraph
 from repro.analysis.liveness import Liveness, compute_liveness
+from repro.analysis.manager import (
+    AnalysisManager,
+    AnalysisStats,
+    IncrementalMismatchError,
+    manager_for,
+)
 from repro.analysis.reaching import DefSite, ReachingDefinitions, compute_reaching
 from repro.analysis.subscript import (
     ALL_DIRECTIONS,
@@ -25,8 +31,12 @@ from repro.analysis.subscript import (
 
 __all__ = [
     "ALL_DIRECTIONS",
+    "AnalysisManager",
+    "AnalysisStats",
     "CFG",
     "ControlDependence",
+    "IncrementalMismatchError",
+    "manager_for",
     "DefSite",
     "DepEdge",
     "DependenceAnalyzer",

@@ -8,6 +8,7 @@ are supported, in may (union) or must (intersection) flavours.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -65,10 +66,13 @@ def solve_forward(
     for node in range(nodes):
         out_sets[node] = transfer(node, in_sets[node])
 
-    worklist = list(range(nodes))
+    # FIFO in program order: a structured forward problem converges in
+    # one sweep plus one revisit per back edge (LIFO from the last node
+    # would recompute most nodes against unfinished predecessors)
+    worklist = deque(range(nodes))
     in_worklist = [True] * nodes
     while worklist:
-        node = worklist.pop()
+        node = worklist.popleft()
         in_worklist[node] = False
         predecessors = preds(node)
         if predecessors:

@@ -14,8 +14,9 @@ paper's Figure 3 — the input every generated optimizer consumes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.control_dep import compute_control_deps
@@ -63,13 +64,37 @@ class _ArrayAccess:
 
 
 class DependenceAnalyzer:
-    """Builds the :class:`DependenceGraph` for one program version."""
+    """Builds the :class:`DependenceGraph` for one program version.
 
-    def __init__(self, program: Program):
+    With ``restrict_names`` the analysis is *partial*: only scalar and
+    array dependences whose variable/array is in the set are computed,
+    and only control dependences sinking into ``restrict_ctrl_qids``
+    are emitted.  Because the dataflow bits of distinct variables never
+    interact (gen/kill masks are per variable) and structured control
+    flow fixes every path relation independently of straight-line
+    statements, the partial result is *exactly* the subset of the full
+    graph touching those names — the property the incremental
+    :class:`repro.analysis.manager.AnalysisManager` splices on.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        restrict_names: Optional[frozenset[str]] = None,
+        restrict_ctrl_qids: Optional[frozenset[int]] = None,
+        cfg: Optional[CFG] = None,
+        structure: Optional[StructureTable] = None,
+    ):
         self.program = program
-        self.cfg: CFG = build_cfg(program)
-        self.structure = StructureTable(program)
+        # callers holding current-version CFG/structure (the analysis
+        # manager) pass them in; they MUST describe this exact version
+        self.cfg: CFG = cfg if cfg is not None else build_cfg(program)
+        self.structure = (
+            structure if structure is not None else StructureTable(program)
+        )
         self.graph = DependenceGraph()
+        self._restrict_names = restrict_names
+        self._restrict_ctrl_qids = restrict_ctrl_qids
         self._def_sites: list[_Site] = []
         self._use_sites: list[_Site] = []
         self._defs_of_var: dict[str, list[_Site]] = {}
@@ -77,6 +102,9 @@ class DependenceAnalyzer:
         self._def_mask: dict[str, int] = {}
         self._use_mask: dict[str, int] = {}
         self._collect_scalar_sites()
+
+    def _wanted(self, name: str) -> bool:
+        return self._restrict_names is None or name in self._restrict_names
 
     # ------------------------------------------------------------------
     def analyze(self) -> DependenceGraph:
@@ -90,7 +118,10 @@ class DependenceAnalyzer:
     # site collection
     # ------------------------------------------------------------------
     def _collect_scalar_sites(self) -> None:
-        variables = sorted(self.program.scalar_names())
+        variables = sorted(
+            name for name in self.program.scalar_names() if self._wanted(name)
+        )
+        wanted = None if self._restrict_names is None else set(variables)
         # synthetic boundary definitions model "defined before entry",
         # which makes upward exposure at loop heads visible in the
         # acyclic reaching sets
@@ -103,7 +134,7 @@ class DependenceAnalyzer:
             self._defs_of_var.setdefault(var, []).append(site)
         for position, quad in enumerate(self.program):
             var = quad.defined_scalar()
-            if var is not None:
+            if var is not None and (wanted is None or var in wanted):
                 def_pos = "a" if quad.opcode is Opcode.READ else "result"
                 site = _Site(
                     index=len(self._def_sites), position=position,
@@ -113,6 +144,8 @@ class DependenceAnalyzer:
                 self._defs_of_var.setdefault(var, []).append(site)
             for pos, operand in quad.use_positions():
                 for name in sorted(_scalar_uses_at(operand)):
+                    if wanted is not None and name not in wanted:
+                        continue
                     site = _Site(
                         index=len(self._use_sites), position=position,
                         qid=quad.qid, var=name, pos=pos,
@@ -369,11 +402,13 @@ class DependenceAnalyzer:
         accesses: dict[str, list[_ArrayAccess]] = {}
         for position, quad in enumerate(self.program):
             written = quad.defined_array()
-            if written is not None:
+            if written is not None and self._wanted(written.name):
                 accesses.setdefault(written.name, []).append(
                     _ArrayAccess(position, quad.qid, "result", written, True)
                 )
             for pos, ref in quad.used_array_refs():
+                if not self._wanted(ref.name):
+                    continue
                 accesses.setdefault(ref.name, []).append(
                     _ArrayAccess(position, quad.qid, pos, ref, False)
                 )
@@ -405,6 +440,16 @@ class DependenceAnalyzer:
             return
         vectors = expand_direction_vectors(per_level)
         if len(vectors) > MAX_VECTORS_PER_PAIR:
+            clipped = len(vectors) - MAX_VECTORS_PER_PAIR
+            note = (
+                f"direction-vector expansion clipped for {name} "
+                f"(S{src.qid} -> S{dst.qid}): dropped {clipped} of "
+                f"{len(vectors)} vectors (MAX_VECTORS_PER_PAIR="
+                f"{MAX_VECTORS_PER_PAIR}); dependence info may be "
+                "incomplete"
+            )
+            self.graph.add_note(note)
+            warnings.warn(note, RuntimeWarning, stacklevel=2)
             vectors = vectors[:MAX_VECTORS_PER_PAIR]
         if src.is_write and dst.is_write:
             kind = "out"
@@ -500,6 +545,15 @@ class DependenceAnalyzer:
     # control dependences
     # ------------------------------------------------------------------
     def _control_dependences(self) -> None:
+        if self._restrict_ctrl_qids is not None:
+            # partial mode: only the touched sinks need edges, and the
+            # structure table answers them directly
+            for qid in self._restrict_ctrl_qids:
+                for guard in self.structure.controllers.get(qid, ()):
+                    self.graph.add(
+                        DepEdge(kind="ctrl", src=guard, dst=qid, var="")
+                    )
+            return
         control = compute_control_deps(self.program, self.structure)
         for qid, guards in control.controlled_by.items():
             for guard in guards:

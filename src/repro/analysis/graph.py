@@ -13,7 +13,7 @@ loop).  Generated optimizer code queries the graph through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.analysis.subscript import matches_direction_pattern
 
@@ -33,6 +33,19 @@ class DepEdge:
     src_pos: Optional[str] = None  # operand position at the source
     dst_pos: Optional[str] = None  # operand position at the sink
 
+    def __hash__(self) -> int:
+        # edges survive across incremental graph splices and are
+        # re-inserted into each new graph's dedup set; caching the
+        # field-tuple hash makes re-insertion O(1) per edge
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.kind, self.src, self.dst, self.var, self.vector,
+                self.src_pos, self.dst_pos,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def carried(self) -> bool:
         """True for loop-carried dependences (any non-'=' entry)."""
@@ -49,6 +62,9 @@ class DependenceGraph:
 
     def __init__(self, edges: Sequence[DepEdge] = ()):
         self.edges: list[DepEdge] = []
+        #: structured analysis diagnostics (e.g. direction-vector
+        #: expansion hitting the MAX_VECTORS_PER_PAIR safety valve)
+        self.notes: list[str] = []
         self._by_src: dict[tuple[str, int], list[DepEdge]] = {}
         self._by_dst: dict[tuple[str, int], list[DepEdge]] = {}
         self._seen: set[DepEdge] = set()
@@ -63,6 +79,86 @@ class DependenceGraph:
         self.edges.append(edge)
         self._by_src.setdefault((edge.kind, edge.src), []).append(edge)
         self._by_dst.setdefault((edge.kind, edge.dst), []).append(edge)
+
+    @classmethod
+    def spliced(
+        cls,
+        old: "DependenceGraph",
+        keep: Callable[[DepEdge], bool],
+        fresh: Sequence[DepEdge],
+    ) -> "DependenceGraph":
+        """A new graph holding ``old``'s edges passing ``keep`` plus
+        the ``fresh`` edges — the analysis manager's incremental splice.
+
+        Bulk path: retained edges were already unique inside ``old``,
+        so they skip :meth:`add`'s per-edge dedup, and the src/dst
+        indexes are copied at the *key* level — only buckets that lost
+        an edge are filtered, every other bucket list is shared with
+        ``old`` (graphs are immutable once published; the only writer
+        is this constructor, which copies a shared bucket before
+        appending to it).  ``fresh`` edges still go through the dedup
+        set, so a ``keep`` predicate that fails to drop a recomputed
+        edge degrades to a duplicate-ignore, not a corrupt graph.
+        """
+        graph = cls()
+        graph.notes = list(old.notes)
+        removed: list[DepEdge] = []
+        edges = graph.edges
+        for edge in old.edges:
+            if keep(edge):
+                edges.append(edge)
+            else:
+                removed.append(edge)
+        graph._seen = old._seen.difference(removed)
+        by_src = dict(old._by_src)
+        by_dst = dict(old._by_dst)
+        graph._by_src = by_src
+        graph._by_dst = by_dst
+        # buckets this graph owns (safe to mutate in place)
+        owned_src: set[tuple[str, int]] = set()
+        owned_dst: set[tuple[str, int]] = set()
+        if removed:
+            gone = set(removed)
+            for index, owned, end in (
+                (by_src, owned_src, "src"),
+                (by_dst, owned_dst, "dst"),
+            ):
+                dirty = {(e.kind, getattr(e, end)) for e in removed}
+                for key in dirty:
+                    bucket = [e for e in index[key] if e not in gone]
+                    if bucket:
+                        index[key] = bucket
+                        owned.add(key)
+                    else:
+                        del index[key]
+        for edge in fresh:
+            if edge in graph._seen:
+                continue
+            graph._seen.add(edge)
+            edges.append(edge)
+            for index, owned, key in (
+                (by_src, owned_src, (edge.kind, edge.src)),
+                (by_dst, owned_dst, (edge.kind, edge.dst)),
+            ):
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [edge]
+                    owned.add(key)
+                elif key in owned:
+                    bucket.append(edge)
+                else:  # shared with ``old``: copy before writing
+                    index[key] = bucket + [edge]
+                    owned.add(key)
+        return graph
+
+    def add_note(self, note: str) -> None:
+        """Attach a diagnostic note (duplicates are ignored)."""
+        if note not in self.notes:
+            self.notes.append(note)
+
+    def edge_set(self) -> frozenset[DepEdge]:
+        """The edges as a set — the graph's comparable identity."""
+        return frozenset(self._seen)
 
     def __len__(self) -> int:
         return len(self.edges)

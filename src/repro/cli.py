@@ -122,6 +122,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="oracle-check every application (differential testing)",
     )
+    optimize.add_argument(
+        "--analysis-stats", action="store_true",
+        help="print the analysis manager's cache/incremental counters",
+    )
 
     interact = sub.add_parser("interact", help="interactive session")
     interact.add_argument("program")
@@ -223,11 +227,18 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         for name in names
     }
     options = DriverOptions(apply_all=not args.once, verify=args.verify)
+    from repro.analysis.manager import AnalysisManager
+
+    manager = AnalysisManager(program)
     for name in names:
-        result = run_optimizer(optimizers[name], program, options)
+        result = run_optimizer(
+            optimizers[name], program, options, manager=manager
+        )
         print(result)
     if args.verify:
         print("all applications verified semantics-preserving")
+    if args.analysis_stats:
+        print(manager.stats.summary())
     if args.show:
         print(format_program(program))
     if args.save:

@@ -16,8 +16,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.analysis.dependence import compute_dependences
 from repro.analysis.graph import DependenceGraph
+from repro.analysis.manager import AnalysisManager, manager_for
 from repro.genesis.cost import ApplicationRecord, CostCounters
 from repro.genesis.generator import GeneratedOptimizer
 from repro.genesis.library import LoopBinding, MatchContext, PosBinding
@@ -103,10 +103,17 @@ def make_context(
     program: Program,
     graph: Optional[DependenceGraph] = None,
     counters: Optional[CostCounters] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> MatchContext:
-    """Build a match context, computing dependences when not supplied."""
+    """Build a match context, computing dependences when not supplied.
+
+    Dependences come from the ``manager`` (created on demand), which
+    updates its graph incrementally from the program's change log
+    instead of rebuilding from scratch.  An explicit ``graph`` wins —
+    callers use that to hand in a deliberately stale graph.
+    """
     if graph is None:
-        graph = compute_dependences(program)
+        graph = manager_for(program, manager).graph()
     return MatchContext(program=program, graph=graph, counters=counters)
 
 
@@ -117,6 +124,7 @@ def find_application_points(
     counters: Optional[CostCounters] = None,
     enforce_restrictions: bool = True,
     limit: Optional[int] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> list[dict[str, object]]:
     """All application points of an optimizer, *without* applying it.
 
@@ -124,7 +132,7 @@ def find_application_points(
     (Code_Pattern × Depend) match.  Points are deduplicated by binding
     signature.
     """
-    ctx = make_context(program, graph, counters)
+    ctx = make_context(program, graph, counters, manager)
     ctx.enforce_restrictions = enforce_restrictions
     optimizer.set_up(ctx)
     points: list[dict[str, object]] = []
@@ -180,12 +188,16 @@ def run_optimizer(
     program: Program,
     options: Optional[DriverOptions] = None,
     graph: Optional[DependenceGraph] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> DriverResult:
     """The Figure 5 driver: transform ``program`` in place.
 
     Returns the applications performed with their individual costs.
     The caller owns the program object (clone first to preserve the
-    original).
+    original).  When no ``graph`` is supplied, dependences come from
+    the analysis ``manager`` (created here if absent), which refreshes
+    the graph incrementally between applications instead of rebuilding
+    it from scratch.
     """
     options = options or DriverOptions()
     counters = CostCounters()
@@ -193,9 +205,10 @@ def run_optimizer(
     applied_signatures: set[tuple] = set()
     start = time.perf_counter()
 
+    manager = manager_for(program, manager)
     current_graph = graph
     while len(result.applications) < options.max_applications:
-        ctx = make_context(program, current_graph, counters)
+        ctx = make_context(program, current_graph, counters, manager)
         ctx.enforce_restrictions = options.enforce_restrictions
         optimizer.set_up(ctx)
 
@@ -253,6 +266,7 @@ def apply_at_point(
     verify: bool = False,
     verify_trials: int = 3,
     verify_seed: int = 0,
+    manager: Optional[AnalysisManager] = None,
 ) -> DriverResult:
     """Apply an optimizer at the N-th application point only.
 
@@ -265,7 +279,7 @@ def apply_at_point(
     result = DriverResult(optimizer=optimizer.name, counters=counters)
     start = time.perf_counter()
 
-    ctx = make_context(program, graph, counters)
+    ctx = make_context(program, graph, counters, manager)
     ctx.enforce_restrictions = enforce_restrictions
     optimizer.set_up(ctx)
     seen = 0

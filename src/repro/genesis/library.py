@@ -1070,7 +1070,7 @@ def act_modify_operand(
         )
     else:
         quad.set_operand(position, operand)
-    ctx.program.touch()  # operand mutation invalidates caches
+    ctx.program.touch(quad.qid)  # operand mutation invalidates caches
 
 
 def _substitute_subscripts(
@@ -1129,4 +1129,4 @@ def act_modify_attr(
         quad.set_operand("result", _as_operand_value(new_value))
     else:
         raise GenesisRuntimeError(f"cannot modify attribute .{attr}")
-    ctx.program.touch()
+    ctx.program.touch(quad.qid)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.analysis.manager import AnalysisManager, AnalysisStats
 from repro.frontend.lower import parse_program
 from repro.genesis.driver import DriverOptions, DriverResult, run_optimizer
 from repro.genesis.generator import GeneratedOptimizer
@@ -23,6 +24,8 @@ class PipelineReport:
 
     program: Program
     results: list[DriverResult] = field(default_factory=list)
+    #: analysis cache/incremental-update counters for the whole run
+    analysis_stats: Optional[AnalysisStats] = None
 
     @property
     def total_applications(self) -> int:
@@ -48,13 +51,15 @@ def optimize(
     options: Optional[DriverOptions] = None,
     in_place: bool = False,
     verify: bool = False,
+    manager: Optional[AnalysisManager] = None,
 ) -> PipelineReport:
     """Run a sequence of optimizers over a program (Figure 3's OPT box).
 
     Optimizers run in the given order, each to exhaustion by default;
-    dependences are recomputed between applications.  Returns the
-    transformed program (a copy unless ``in_place``) and the per-
-    optimizer driver results.
+    dependences are refreshed between applications through one shared
+    :class:`AnalysisManager`, which updates the graph incrementally
+    from the program's change log.  Returns the transformed program (a
+    copy unless ``in_place``) and the per-optimizer driver results.
 
     With ``verify`` every single application is differential-tested
     in-line against the equivalence oracle; a behaviour change raises
@@ -64,9 +69,13 @@ def optimize(
     if verify and not options.verify:
         options = replace(options, verify=True)
     working = program if in_place else program.clone()
-    report = PipelineReport(program=working)
+    if manager is None or manager.program is not working:
+        manager = AnalysisManager(working)
+    report = PipelineReport(program=working, analysis_stats=manager.stats)
     for optimizer in optimizers:
-        report.results.append(run_optimizer(optimizer, working, options))
+        report.results.append(
+            run_optimizer(optimizer, working, options, manager=manager)
+        )
     return report
 
 

@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.analysis.dependence import compute_dependences
 from repro.analysis.graph import DependenceGraph
+from repro.analysis.manager import AnalysisManager, AnalysisStats
 from repro.frontend.lower import parse_program
 from repro.genesis.cost import ApplicationRecord
 from repro.genesis.driver import (
@@ -73,8 +73,10 @@ class OptimizerSession:
 
     def __post_init__(self) -> None:
         self.original = self.program.clone()
-        self._graph: Optional[DependenceGraph] = None
-        self._graph_version = -1
+        self._manager = AnalysisManager(self.program)
+        #: the graph most recently handed out — kept so "recompute off"
+        #: can deliberately serve a stale graph
+        self._last_graph: Optional[DependenceGraph] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -101,20 +103,28 @@ class OptimizerSession:
     # ------------------------------------------------------------------
     @property
     def dependences(self) -> DependenceGraph:
-        """The dependence graph of the current program version (cached)."""
-        if self._graph is None or self._graph_version != self.program.version:
-            self._graph = compute_dependences(self.program)
-            self._graph_version = self.program.version
-        return self._graph
+        """The dependence graph of the current program version.
+
+        Served by the session's :class:`AnalysisManager`: cached per
+        program version and refreshed incrementally from the change
+        log rather than rebuilt from scratch.
+        """
+        self._last_graph = self._manager.graph()
+        return self._last_graph
+
+    @property
+    def analysis_stats(self) -> AnalysisStats:
+        """Cache/incremental-update counters of the session's manager."""
+        return self._manager.stats
 
     def _maybe_graph(self) -> Optional[DependenceGraph]:
         """Graph to hand to the driver: stale is allowed when the user
         disabled recomputation."""
         if self.recompute_dependences:
             return self.dependences
-        if self._graph is None:
+        if self._last_graph is None:
             return self.dependences
-        return self._graph
+        return self._last_graph
 
     def list_optimizations(self) -> list[str]:
         """Names of the registered optimizations."""
@@ -163,6 +173,7 @@ class OptimizerSession:
                 graph=graph,
                 enforce_restrictions=not override_dependences,
                 verify=self.verify,
+                manager=self._manager,
             )
         else:
             options = DriverOptions(
@@ -171,7 +182,10 @@ class OptimizerSession:
                 enforce_restrictions=not override_dependences,
                 verify=self.verify,
             )
-            result = run_optimizer(optimizer, self.program, options, graph)
+            result = run_optimizer(
+                optimizer, self.program, options, graph,
+                manager=self._manager,
+            )
         self.history.append(SessionEvent(command=f"apply {name}", result=result))
         return result
 
@@ -188,8 +202,8 @@ class OptimizerSession:
     def reset(self) -> None:
         """Restore the original program (fresh experiment)."""
         self.program = self.original.clone()
-        self._graph = None
-        self._graph_version = -1
+        self._manager = AnalysisManager(self.program)
+        self._last_graph = None
         self.history.append(SessionEvent(command="reset"))
 
     # ------------------------------------------------------------------
@@ -230,6 +244,7 @@ class OptimizerSession:
             recompute on|off          toggle dependence recomputation
             verify on|off             oracle-check every application
             deps                      dependence summary
+            stats                     analysis cache/incremental counters
             show                      print the intermediate code
             save <file>               write the program as source text
             history                   session history
@@ -270,6 +285,8 @@ class OptimizerSession:
         if verb == "deps":
             summary = self.dependences.summary()
             return ", ".join(f"{k}: {v}" for k, v in summary.items())
+        if verb == "stats":
+            return self.analysis_stats.summary()
         if verb == "show":
             return self.show()
         if verb == "save" and len(words) == 2:

@@ -10,6 +10,7 @@ version counter whenever the quad list changes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 from repro.ir.quad import Opcode, Quad
@@ -17,6 +18,26 @@ from repro.ir.quad import Opcode, Quad
 
 class IRError(Exception):
     """Raised for malformed IR manipulations (unknown qid, bad nesting)."""
+
+
+@dataclass(frozen=True)
+class ProgramChange:
+    """One logged mutation, for incremental analysis invalidation.
+
+    ``kind`` is one of ``"add"``, ``"remove"``, ``"move"``, ``"modify"``
+    or ``"opaque"`` (an untagged :meth:`Program.touch` — the mutated
+    quad is unknown, so consumers must invalidate everything).  The
+    ``version`` is the program version *after* the mutation completed.
+    """
+
+    version: int
+    kind: str
+    qid: int
+
+
+#: Retained change-log length; older entries are trimmed and consumers
+#: whose snapshot predates the trim fall back to full recomputation.
+_CHANGELOG_LIMIT = 4096
 
 
 class Program:
@@ -33,6 +54,9 @@ class Program:
         self._next_qid = 0
         self._version = 0
         self._index: dict[int, int] = {}
+        self._changelog: list[ProgramChange] = []
+        #: versions at or below this are no longer covered by the log
+        self._log_floor = 0
         for quad in quads:
             self.append(quad)
 
@@ -98,6 +122,29 @@ class Program:
         return self._quads[position].qid
 
     # ------------------------------------------------------------------
+    # change log
+    # ------------------------------------------------------------------
+    def _log(self, kind: str, qid: int) -> None:
+        self._changelog.append(ProgramChange(self._version, kind, qid))
+        if len(self._changelog) > _CHANGELOG_LIMIT:
+            trimmed = self._changelog[: _CHANGELOG_LIMIT // 2]
+            self._log_floor = trimmed[-1].version
+            del self._changelog[: _CHANGELOG_LIMIT // 2]
+
+    def changes_since(self, version: int) -> Optional[list[ProgramChange]]:
+        """Every mutation after ``version``, oldest first.
+
+        Returns ``None`` when the log no longer reaches back that far
+        (trimmed history) — the caller must recompute from scratch.
+        An empty list means the program is unchanged since ``version``.
+        """
+        if version >= self._version:
+            return []
+        if version < self._log_floor:
+            return None
+        return [c for c in self._changelog if c.version > version]
+
+    # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def _assign_qid(self, quad: Quad) -> Quad:
@@ -119,6 +166,7 @@ class Program:
         self._quads.append(quad)
         self._index[quad.qid] = len(self._quads) - 1
         self._version += 1
+        self._log("add", quad.qid)
         return quad
 
     def insert_at(self, position: int, quad: Quad) -> Quad:
@@ -128,6 +176,7 @@ class Program:
         self._assign_qid(quad)
         self._quads.insert(position, quad)
         self._reindex(position)
+        self._log("add", quad.qid)
         return quad
 
     def insert_after(self, qid: int, quad: Quad) -> Quad:
@@ -142,29 +191,37 @@ class Program:
         """Insert ``quad`` immediately before the quad named ``qid``."""
         return self.insert_at(self.position(qid), quad)
 
-    def remove(self, qid: int) -> Quad:
-        """Remove and return the quad named ``qid`` (``Delete``)."""
+    def _detach(self, qid: int) -> Quad:
+        """Unlink a quad without logging (shared by remove and move)."""
         position = self.position(qid)
         quad = self._quads.pop(position)
         del self._index[qid]
         self._reindex(position)
         return quad
 
+    def remove(self, qid: int) -> Quad:
+        """Remove and return the quad named ``qid`` (``Delete``)."""
+        quad = self._detach(qid)
+        self._log("remove", qid)
+        return quad
+
     def move_after(self, qid: int, after_qid: int) -> None:
         """Move the quad ``qid`` to just after ``after_qid`` (``Move``)."""
         if qid == after_qid:
             raise IRError("cannot move a quad after itself")
-        quad = self.remove(qid)
+        quad = self._detach(qid)
         quad.qid = qid  # keep its identity across the move
         self._quads.insert(self.position(after_qid) + 1, quad)
         self._reindex()
+        self._log("move", qid)
 
     def move_to_front(self, qid: int) -> None:
         """Move the quad ``qid`` to the start of the program."""
-        quad = self.remove(qid)
+        quad = self._detach(qid)
         quad.qid = qid
         self._quads.insert(0, quad)
         self._reindex()
+        self._log("move", qid)
 
     def replace(self, qid: int, quad: Quad) -> Quad:
         """Replace the quad named ``qid`` in place, keeping the qid."""
@@ -172,11 +229,22 @@ class Program:
         quad.qid = qid
         self._quads[position] = quad
         self._version += 1
+        self._log("modify", qid)
         return quad
 
-    def touch(self) -> None:
-        """Bump the version counter after an in-place quad mutation."""
+    def touch(self, qid: Optional[int] = None) -> None:
+        """Bump the version counter after an in-place quad mutation.
+
+        Passing the mutated quad's ``qid`` lets incremental analysis
+        consumers (:class:`repro.analysis.manager.AnalysisManager`)
+        invalidate only the touched region; an untagged touch forces
+        them to recompute everything.
+        """
         self._version += 1
+        if qid is not None and qid in self._index:
+            self._log("modify", qid)
+        else:
+            self._log("opaque", -1)
 
     # ------------------------------------------------------------------
     # whole-program operations
@@ -191,6 +259,10 @@ class Program:
             fresh._quads.append(duplicate)
             fresh._index[duplicate.qid] = len(fresh._quads) - 1
         fresh._version += 1
+        # the bulk copy above bypassed the change log; mark earlier
+        # versions as unreachable so no consumer trusts an empty log
+        fresh._changelog.clear()
+        fresh._log_floor = fresh._version
         return fresh
 
     def scalar_names(self) -> frozenset[str]:

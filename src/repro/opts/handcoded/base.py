@@ -19,14 +19,59 @@ from __future__ import annotations
 import abc
 from typing import Optional
 
+from repro.analysis.cfg import CFG
+from repro.analysis.graph import DependenceGraph
+from repro.analysis.liveness import Liveness
+from repro.analysis.manager import AnalysisManager, manager_for
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir.loops import StructureTable
 from repro.ir.program import Program
 
 
 class HandCodedOptimizer(abc.ABC):
-    """One classical optimization pass."""
+    """One classical optimization pass.
+
+    All passes pull their analyses through one shared
+    :class:`AnalysisManager` (the "compiler's analysis phase"), so
+    repeated ``find_points``/``apply_once`` rounds over an unchanged
+    program version hit the cache, and dependence graphs refresh
+    incrementally from the program's change log.  Constructing a pass
+    with an explicit ``manager`` shares that cache across passes.
+    """
 
     #: the short name matching the generated optimizer (CTP, DCE, ...)
     name: str = "?"
+
+    def __init__(self, manager: Optional[AnalysisManager] = None):
+        self._manager = manager
+
+    # ------------------------------------------------------------------
+    # shared analysis access
+    # ------------------------------------------------------------------
+    def analyses(self, program: Program) -> AnalysisManager:
+        """The manager serving ``program`` (made/replaced on demand)."""
+        self._manager = manager_for(program, self._manager)
+        return self._manager
+
+    def dependences(self, program: Program) -> DependenceGraph:
+        """The program's dependence graph, incrementally maintained."""
+        return self.analyses(program).graph()
+
+    def structure(self, program: Program) -> StructureTable:
+        """The loop/conditional structure table (cached per version)."""
+        return self.analyses(program).structure()
+
+    def cfg(self, program: Program) -> CFG:
+        """The statement CFG (cached per version)."""
+        return self.analyses(program).cfg()
+
+    def reaching(self, program: Program) -> ReachingDefinitions:
+        """Reaching definitions (cached per version)."""
+        return self.analyses(program).reaching()
+
+    def liveness(self, program: Program) -> Liveness:
+        """Scalar liveness (cached per version)."""
+        return self.analyses(program).liveness()
 
     @abc.abstractmethod
     def find_points(self, program: Program) -> list[dict[str, object]]:

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.analysis.dependence import compute_dependences
 from repro.analysis.graph import DepEdge, DependenceGraph
 from repro.analysis.subscript import matches_anchored_pattern
 from repro.genesis.library import LoopBinding
@@ -62,8 +61,8 @@ class HandCodedPAR(HandCodedOptimizer):
     name = "PAR"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        graph = compute_dependences(program)
-        structure = StructureTable(program)
+        graph = self.dependences(program)
+        structure = self.structure(program)
         points = []
         for loop in structure.loops_in_order():
             head = program.quad(loop.head_qid)
@@ -90,7 +89,7 @@ class HandCodedPAR(HandCodedOptimizer):
         point = points[0]
         binding: LoopBinding = point["L1"]  # type: ignore[assignment]
         program.quad(binding.head).opcode = Opcode.DOALL
-        program.touch()
+        program.touch(binding.head)
         return point
 
 
@@ -101,8 +100,8 @@ class HandCodedINX(HandCodedOptimizer):
     name = "INX"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        graph = compute_dependences(program)
-        structure = StructureTable(program)
+        graph = self.dependences(program)
+        structure = self.structure(program)
         points = []
         for outer_qid, inner_qid in structure.tight_pairs():
             outer = structure.loop_of(outer_qid)
@@ -145,8 +144,8 @@ class HandCodedCRC(HandCodedOptimizer):
     name = "CRC"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        graph = compute_dependences(program)
-        structure = StructureTable(program)
+        graph = self.dependences(program)
+        structure = self.structure(program)
         tight = dict(structure.tight_pairs())
         points = []
         for l1_qid, l2_qid in tight.items():
@@ -199,8 +198,8 @@ class HandCodedBMP(HandCodedOptimizer):
     name = "BMP"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        structure = StructureTable(program)
-        graph = compute_dependences(program)
+        structure = self.structure(program)
+        graph = self.dependences(program)
         points = []
         for loop in structure.loops_in_order():
             head = program.quad(loop.head_qid)
@@ -230,14 +229,15 @@ class HandCodedBMP(HandCodedOptimizer):
             Opcode.ADD, result=temp, a=lcv, b=Const(offset)
         )
         placed = program.insert_after(binding.head, shift)
-        structure = StructureTable(program)
+        structure = self.structure(program)
         for qid in structure.loop_of(binding.head).body_qids:
             if qid == placed.qid:
                 continue
             _rename_uses(program.quad(qid), lcv.name, temp)
+            program.touch(qid)
         head.b = Const(int(head.b.value) - offset)
         head.a = Const(1)
-        program.touch()
+        program.touch(binding.head)
         return point
 
     @staticmethod
@@ -272,8 +272,8 @@ class HandCodedLUR(HandCodedOptimizer):
     max_trip = 16
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        structure = StructureTable(program)
-        graph = compute_dependences(program)
+        structure = self.structure(program)
+        graph = self.dependences(program)
         points = []
         for loop in structure.loops_in_order():
             head = program.quad(loop.head_qid)
@@ -345,7 +345,7 @@ class HandCodedFUS(HandCodedOptimizer):
     name = "FUS"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        structure = StructureTable(program)
+        structure = self.structure(program)
         points = []
         for first_qid, second_qid in structure.adjacent_pairs():
             first_head = program.quad(first_qid)
@@ -475,8 +475,8 @@ class HandCodedICM(HandCodedOptimizer):
     name = "ICM"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        graph = compute_dependences(program)
-        structure = StructureTable(program)
+        graph = self.dependences(program)
+        structure = self.structure(program)
         points = []
         for loop in structure.loops_in_order():
             body = set(loop.body_qids)

@@ -8,9 +8,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.analysis.cfg import build_cfg
-from repro.analysis.liveness import compute_liveness
-from repro.analysis.reaching import ReachingDefinitions, compute_reaching
+from repro.analysis.reaching import ReachingDefinitions
 from repro.genesis.library import PosBinding
 from repro.ir import interp
 from repro.ir.program import Program
@@ -64,7 +62,7 @@ class HandCodedCTP(HandCodedOptimizer):
     name = "CTP"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        reaching = compute_reaching(program)
+        reaching = self.reaching(program)
         points = []
         for position, quad, pos, var in _scalar_use_sites(program):
             point = self._point_at(program, reaching, position, quad, pos, var)
@@ -114,7 +112,7 @@ class HandCodedCTP(HandCodedOptimizer):
         definition = program.quad(point["Si"])  # type: ignore[arg-type]
         binding: PosBinding = point["pos"]  # type: ignore[assignment]
         _replace_use(quad, binding.pos, binding.var, definition.a)
-        program.touch()
+        program.touch(quad.qid)
         return point
 
 
@@ -129,7 +127,7 @@ class HandCodedCPP(HandCodedOptimizer):
     name = "CPP"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        reaching = compute_reaching(program)
+        reaching = self.reaching(program)
         points = []
         for position, quad, pos, var in _scalar_use_sites(program):
             defs = reaching.reaching_defs_of(position, var)
@@ -177,7 +175,7 @@ class HandCodedCPP(HandCodedOptimizer):
         definition = program.quad(point["Si"])  # type: ignore[arg-type]
         binding: PosBinding = point["pos"]  # type: ignore[assignment]
         _replace_use(quad, binding.pos, binding.var, definition.a)
-        program.touch()
+        program.touch(quad.qid)
         return point
 
 
@@ -188,8 +186,7 @@ class HandCodedDCE(HandCodedOptimizer):
     name = "DCE"
 
     def find_points(self, program: Program) -> list[dict[str, object]]:
-        cfg = build_cfg(program)
-        liveness = compute_liveness(program, cfg)
+        liveness = self.liveness(program)
         graph = None
         points = []
         for position, quad in enumerate(program):
@@ -205,9 +202,7 @@ class HandCodedDCE(HandCodedOptimizer):
                 # to no read (dependence-based, like a hand optimizer
                 # consulting the compiler's dependence phase)
                 if graph is None:
-                    from repro.analysis.dependence import compute_dependences
-
-                    graph = compute_dependences(program)
+                    graph = self.dependences(program)
                 if not graph.query("flow", src=quad.qid, var=None):
                     points.append({"Si": quad.qid})
         return points
@@ -248,5 +243,5 @@ class HandCodedCFO(HandCodedOptimizer):
         quad.opcode = Opcode.ASSIGN
         quad.a = Const(folded)
         quad.b = None
-        program.touch()
+        program.touch(quad.qid)
         return point

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
+from repro.analysis.manager import AnalysisManager
 from repro.frontend.lower import parse_program
 from repro.frontend.unparse import unparse_program
 from repro.genesis.driver import DriverOptions, run_optimizer
@@ -126,13 +127,21 @@ def _apply_sequence(
     program: Program,
     config: FuzzConfig,
 ) -> int:
-    """Apply optimizers in order to ``program`` (in place); total count."""
+    """Apply optimizers in order to ``program`` (in place); total count.
+
+    One :class:`AnalysisManager` serves the whole sequence, so the
+    dependence graph carries incrementally across passes instead of
+    being rebuilt per optimizer.
+    """
     options = DriverOptions(
         apply_all=True, max_applications=config.max_applications
     )
+    manager = AnalysisManager(program)
     applied = 0
     for optimizer in optimizers:
-        applied += run_optimizer(optimizer, program, options).applied
+        applied += run_optimizer(
+            optimizer, program, options, manager=manager
+        ).applied
     return applied
 
 

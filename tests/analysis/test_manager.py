@@ -1,0 +1,274 @@
+"""Unit tests for the version-keyed analysis manager.
+
+Covers the generic product cache, the change-log plumbing on
+``Program``, the incremental dependence splice (against full rebuilds),
+the full-rebuild fallbacks, the shadow-check debug mode and the stats
+counters.
+"""
+
+import pytest
+
+from repro.analysis.dependence import compute_dependences
+from repro.analysis.manager import (
+    AnalysisManager,
+    IncrementalMismatchError,
+    manager_for,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.program import Program
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Const, Var
+
+
+def straight_line() -> Program:
+    b = IRBuilder()
+    b.assign("x", 1)
+    b.binary("y", "x", "+", 2)
+    b.assign("z", "y")
+    b.write("z")
+    return b.build()
+
+
+def loopy() -> Program:
+    b = IRBuilder()
+    b.assign("n", 8)
+    with b.loop("i", 1, 8):
+        b.assign(b.arr("a", "i"), "i")
+        b.binary("s", "s", "+", 1)
+    b.write("s")
+    return b.build()
+
+
+def assert_matches_full(manager: AnalysisManager) -> None:
+    got = manager.graph().edge_set()
+    want = compute_dependences(manager.program).edge_set()
+    assert got == want
+
+
+class TestProductCache:
+    def test_same_version_hits(self):
+        manager = AnalysisManager(straight_line())
+        first = manager.cfg()
+        assert manager.cfg() is first
+        assert manager.stats.hits["cfg"] == 1
+        assert manager.stats.misses["cfg"] == 1
+
+    def test_version_bump_invalidates(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        first = manager.reaching()
+        program.touch(program[0].qid)
+        assert manager.reaching() is not first
+        assert manager.stats.misses["reaching"] == 2
+
+    def test_all_products_available(self):
+        manager = AnalysisManager(loopy())
+        manager.cfg()
+        manager.structure()
+        manager.dominators()
+        manager.reaching()
+        manager.liveness()
+        manager.control_deps()
+        manager.graph()
+
+    def test_graph_cached_per_version(self):
+        manager = AnalysisManager(straight_line())
+        assert manager.graph() is manager.graph()
+        assert manager.stats.hits["dependences"] == 1
+
+
+class TestChangeLog:
+    def test_mutations_are_logged(self):
+        program = straight_line()
+        v0 = program.version
+        added = program.append(Quad(Opcode.ASSIGN, result=Var("w"),
+                                    a=Const(3)))
+        program.touch(added.qid)
+        program.remove(added.qid)
+        kinds = [c.kind for c in program.changes_since(v0)]
+        assert kinds == ["add", "modify", "remove"]
+
+    def test_untagged_touch_is_opaque(self):
+        program = straight_line()
+        v0 = program.version
+        program.touch()
+        (change,) = program.changes_since(v0)
+        assert change.kind == "opaque"
+
+    def test_clone_resets_log(self):
+        program = straight_line()
+        program.touch(program[0].qid)
+        fresh = program.clone()
+        assert fresh.changes_since(fresh.version) == []
+        # history strictly before the clone's floor is unavailable
+        assert fresh.changes_since(-1) is None
+
+    def test_move_logs_single_move(self):
+        program = straight_line()
+        v0 = program.version
+        program.move_to_front(program[1].qid)
+        kinds = [c.kind for c in program.changes_since(v0)]
+        assert kinds == ["move"]
+
+
+class TestIncrementalUpdate:
+    def test_modify_splices_exactly(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        manager.graph()
+        target = program[1]
+        target.a = Const(5)
+        target.opcode = Opcode.ASSIGN
+        target.b = None
+        program.touch(target.qid)
+        assert_matches_full(manager)
+        assert manager.stats.incremental_updates == 1
+
+    def test_remove_drops_dead_endpoints(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        before = manager.graph()
+        victim = program[2].qid
+        program.remove(victim)
+        after = manager.graph()
+        assert all(victim not in (e.src, e.dst) for e in after)
+        assert after is not before
+        assert_matches_full(manager)
+
+    def test_insert_adds_new_edges(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        manager.graph()
+        program.insert_at(1, Quad(Opcode.ASSIGN, result=Var("x"),
+                                  a=Const(9)))
+        assert_matches_full(manager)
+        assert manager.stats.incremental_updates == 1
+
+    def test_move_non_marker_inside_loop(self):
+        program = loopy()
+        manager = AnalysisManager(program)
+        manager.graph()
+        store = next(q for q in program if q.defined_array() is not None)
+        body_peer = next(q for q in program if q.opcode is Opcode.ADD)
+        program.move_after(store.qid, body_peer.qid)
+        assert_matches_full(manager)
+        assert manager.stats.incremental_updates == 1
+
+    def test_untouched_variable_edges_are_retained(self):
+        program = loopy()
+        manager = AnalysisManager(program)
+        manager.graph()
+        target = next(q for q in program if q.defined_array() is not None)
+        program.touch(target.qid)
+        manager.graph()
+        assert manager.stats.edges_retained > 0
+
+    def test_batched_changes_one_update(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        manager.graph()
+        program.touch(program[0].qid)
+        program.touch(program[2].qid)
+        program.insert_at(0, Quad(Opcode.ASSIGN, result=Var("q"),
+                                  a=Const(1)))
+        assert_matches_full(manager)
+        assert manager.stats.incremental_updates == 1
+
+
+class TestFullRebuildFallbacks:
+    def test_opaque_touch_forces_rebuild(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        manager.graph()
+        program.touch()
+        manager.graph()
+        assert manager.stats.full_rebuilds == 2
+        assert manager.stats.incremental_updates == 0
+
+    def test_marker_touch_forces_rebuild(self):
+        program = loopy()
+        manager = AnalysisManager(program)
+        manager.graph()
+        head = next(q for q in program if q.opcode is Opcode.DO)
+        head.opcode = Opcode.DOALL
+        program.touch(head.qid)
+        assert_matches_full(manager)
+        assert manager.stats.full_rebuilds == 2
+
+    def test_trimmed_history_forces_rebuild(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        manager.graph()
+        qid = program[0].qid
+        for _ in range(5000):  # overflow the change log
+            program.touch(qid)
+        assert_matches_full(manager)
+        assert manager.stats.full_rebuilds == 2
+
+    def test_incremental_false_always_rebuilds(self):
+        program = straight_line()
+        manager = AnalysisManager(program, incremental=False)
+        manager.graph()
+        program.touch(program[0].qid)
+        manager.graph()
+        assert manager.stats.full_rebuilds == 2
+        assert manager.stats.incremental_updates == 0
+
+
+class TestShadowCheck:
+    def test_full_check_counts(self):
+        program = straight_line()
+        manager = AnalysisManager(program, full_check=True)
+        manager.graph()
+        program.touch(program[0].qid)
+        manager.graph()
+        assert manager.stats.shadow_checks == 1
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYSIS_CHECK", "1")
+        assert AnalysisManager(straight_line()).full_check
+        monkeypatch.setenv("REPRO_ANALYSIS_CHECK", "0")
+        assert not AnalysisManager(straight_line()).full_check
+
+    def test_divergence_raises(self):
+        program = straight_line()
+        manager = AnalysisManager(program, full_check=True)
+        stale = manager.graph()
+        # sabotage: mutate a quad without logging it, then log a
+        # *different* quad so the splice retains stale edges
+        program[1].a = Var("z")
+        program.touch(program[3].qid)
+        with pytest.raises(IncrementalMismatchError):
+            manager.graph()
+        assert stale is not None
+
+
+class TestManagerFor:
+    def test_reuses_matching_manager(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        assert manager_for(program, manager) is manager
+
+    def test_replaces_foreign_manager(self):
+        manager = AnalysisManager(straight_line())
+        other = straight_line()
+        resolved = manager_for(other, manager)
+        assert resolved is not manager
+        assert resolved.program is other
+
+    def test_invalidate_clears_products(self):
+        program = straight_line()
+        manager = AnalysisManager(program)
+        manager.graph()
+        manager.cfg()
+        manager.invalidate()
+        manager.graph()
+        assert manager.stats.misses["dependences"] == 2
+
+    def test_stats_as_dict_roundtrip(self):
+        manager = AnalysisManager(straight_line())
+        manager.graph()
+        snapshot = manager.stats.as_dict()
+        assert snapshot["full_rebuilds"] == 1
+        assert "dependences" in snapshot["misses"]
+        assert "rebuild" in manager.stats.summary()
