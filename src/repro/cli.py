@@ -16,6 +16,15 @@ Subcommands::
         equivalence, shrinking and saving counterexamples on failure.
         ``genesis fuzz --replay FILE`` re-runs a saved counterexample.
 
+    genesis chaos [--seed N] [--fault-rate R] [--programs ...]
+        Fault-injection campaign: run pipelines whose optimizers
+        raise mid-act, corrupt the IR, or stall at seeded rates, and
+        check that the transactional driver contains every fault.
+
+Exit status: 0 success; 1 a campaign/verification found failures;
+2 usage error; 3 operational error (bad input, unknown optimization,
+rejected session command) — reported as a one-line diagnostic.
+
     genesis interact <program.f> [--opts ...]
         Drive the interactive interface (paper Figure 4 step 3.b):
         list / points OPT / apply OPT [all|N] / override OPT N /
@@ -48,16 +57,44 @@ from repro.experiments import (
     run_ordering,
     run_quality,
 )
+from repro.frontend.errors import FrontendError
 from repro.frontend.lower import parse_program
+from repro.genesis.codegen import CodegenError
+from repro.genesis.constructor import ConstructorError
 from repro.genesis.driver import DriverOptions, run_optimizer
 from repro.genesis.generator import generate_optimizer
+from repro.genesis.library import GenesisRuntimeError
 from repro.genesis.session import OptimizerSession, SessionError
 from repro.genesis.strategy import StrategyPolicy
+from repro.gospel.errors import GospelError
 from repro.ir.printer import format_program
+from repro.ir.program import IRError
+from repro.ir.validate import ValidationError
 from repro.opts.catalog import standard_optimizers
 from repro.opts.extended import EXTENDED_SPECS
 from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
 from repro.workloads.programs import SOURCES
+
+#: exit code for operational failures caught at the CLI boundary
+#: (0 = success, 1 = campaign failures, 2 = usage error)
+EXIT_ERROR = 3
+
+#: what the boundary turns into one-line diagnostics — everything a
+#: bad input file, bad specification, or rejected session command can
+#: legitimately raise; real bugs still traceback
+_BOUNDARY_ERRORS = (
+    OSError,
+    FrontendError,
+    GospelError,
+    CodegenError,
+    ConstructorError,
+    GenesisRuntimeError,
+    SessionError,
+    IRError,
+    ValidationError,
+    ValueError,
+    KeyError,
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -72,11 +109,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "construct": _cmd_construct,
         "suite": _cmd_suite,
         "fuzz": _cmd_fuzz,
+        "chaos": _cmd_chaos,
     }.get(args.command)
     if handler is None:
         parser.print_help()
         return 2
-    return handler(args)
+    try:
+        return handler(args)
+    except _BOUNDARY_ERRORS as error:
+        message = str(error) or error.__class__.__name__
+        print(
+            f"genesis {args.command}: error: {message}", file=sys.stderr
+        )
+        return EXIT_ERROR
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,6 +129,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="genesis",
         description="GENesis: generate global optimizers from GOSpeL "
         "specifications (Whitfield & Soffa, PLDI 1991)",
+        epilog="exit status: 0 success; 1 campaign/verification "
+        "failures; 2 usage error; 3 operational error (bad input, "
+        "unknown optimization, rejected command), reported as a "
+        "one-line diagnostic",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -125,6 +174,21 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--analysis-stats", action="store_true",
         help="print the analysis manager's cache/incremental counters",
+    )
+    optimize.add_argument(
+        "--max-rollbacks", type=int, default=8, metavar="N",
+        help="rolled-back failures per optimization before its run "
+        "stops (default: 8)",
+    )
+    optimize.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per optimization run",
+    )
+    optimize.add_argument(
+        "--on-failure", choices=["rollback", "raise", "abort"],
+        default="rollback",
+        help="contain a failing application by rolling it back "
+        "(default), or re-raise after rollback, or abort unrepaired",
     )
 
     interact = sub.add_parser("interact", help="interactive session")
@@ -184,6 +248,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", default=None, metavar="FILE",
         help="replay a saved counterexample file instead of fuzzing",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign against the transactional driver",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
+    chaos.add_argument(
+        "--opts", default=None,
+        help="comma-separated optimization subset (default: the paper's "
+        "ten)",
+    )
+    chaos.add_argument(
+        "--programs", default=None,
+        help="comma-separated workload subset (default: all)",
+    )
+    chaos.add_argument(
+        "--fault-rate", type=float, default=0.25, metavar="R",
+        help="probability an act raises after a partial mutation "
+        "(default: 0.25)",
+    )
+    chaos.add_argument(
+        "--corrupt-rate", type=float, default=0.05, metavar="R",
+        help="probability an act corrupts the IR after acting "
+        "(default: 0.05)",
+    )
+    chaos.add_argument(
+        "--stall-rate", type=float, default=0.0, metavar="R",
+        help="probability an act stalls before acting (default: 0)",
+    )
+    chaos.add_argument(
+        "--quarantine-after", type=int, default=10, metavar="N",
+        help="consecutive rollbacks before quarantine (default: 10)",
+    )
+    chaos.add_argument(
+        "--max-rollbacks", type=int, default=40, metavar="N",
+        help="rollback budget per optimization run (default: 40)",
+    )
+    chaos.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="wall-clock budget per optimization run (default: 30)",
+    )
     return parser
 
 
@@ -226,17 +331,37 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         )
         for name in names
     }
-    options = DriverOptions(apply_all=not args.once, verify=args.verify)
+    options = DriverOptions(
+        apply_all=not args.once,
+        verify=args.verify,
+        on_failure=args.on_failure,
+        max_rollbacks=args.max_rollbacks,
+        deadline_seconds=args.deadline,
+    )
     from repro.analysis.manager import AnalysisManager
+    from repro.genesis.transaction import HealthLedger
 
     manager = AnalysisManager(program)
+    health = HealthLedger()
+    rollbacks = 0
     for name in names:
         result = run_optimizer(
-            optimizers[name], program, options, manager=manager
+            optimizers[name], program, options, manager=manager,
+            health=health,
         )
+        rollbacks += result.rollbacks
         print(result)
+    if health.quarantined():
+        print(f"quarantined: {', '.join(health.quarantined())}")
     if args.verify:
-        print("all applications verified semantics-preserving")
+        if rollbacks:
+            print(
+                f"{rollbacks} application(s) failed and were rolled "
+                "back; the surviving program is verified "
+                "semantics-preserving"
+            )
+        else:
+            print("all applications verified semantics-preserving")
     if args.analysis_stats:
         print(manager.stats.summary())
     if args.show:
@@ -365,6 +490,52 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   f"({'+'.join(failure.opt_names)}) ---")
             print(failure.shrunk_source, end="")
     return 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.genesis.driver import DriverOptions as _DriverOptions
+    from repro.opts.specs import PAPER_TEN
+    from repro.verify import ChaosConfig, run_chaos
+
+    if args.opts is None:
+        opt_names = PAPER_TEN
+    else:
+        opt_names = tuple(
+            name.strip().upper() for name in args.opts.split(",")
+        )
+    program_names = None
+    if args.programs is not None:
+        program_names = [
+            name.strip() for name in args.programs.split(",")
+        ]
+        unknown = [name for name in program_names if name not in SOURCES]
+        if unknown:
+            raise SessionError(
+                f"unknown workload(s): {', '.join(unknown)}; "
+                f"known: {', '.join(SOURCES)}"
+            )
+    config = ChaosConfig(
+        seed=args.seed,
+        act_fault_rate=args.fault_rate,
+        corrupt_rate=args.corrupt_rate,
+        stall_rate=args.stall_rate,
+    )
+    options = _DriverOptions(
+        apply_all=True,
+        validate=True,
+        max_rollbacks=args.max_rollbacks,
+        deadline_seconds=args.deadline,
+        max_match_attempts=200_000,
+    )
+    report = run_chaos(
+        config,
+        opt_names=opt_names,
+        program_names=program_names,
+        options=options,
+        quarantine_after=args.quarantine_after,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_suite(_args: argparse.Namespace) -> int:

@@ -13,7 +13,7 @@ dependences between applications.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro.analysis.graph import DependenceGraph
@@ -21,6 +21,11 @@ from repro.analysis.manager import AnalysisManager, manager_for
 from repro.genesis.cost import ApplicationRecord, CostCounters
 from repro.genesis.generator import GeneratedOptimizer
 from repro.genesis.library import LoopBinding, MatchContext, PosBinding
+from repro.genesis.transaction import (
+    ApplicationFailure,
+    HealthLedger,
+    ProgramTransaction,
+)
 from repro.ir.program import Program
 
 
@@ -39,16 +44,37 @@ class DriverOptions:
     enforce_restrictions: bool = True
     #: accept only points whose bindings satisfy this predicate
     point_filter: Optional[Callable[[dict[str, object]], bool]] = None
-    #: validate IR well-formedness after every application (debug aid)
+    #: validate IR well-formedness after every application; under
+    #: containment a validation failure rolls the application back
     validate: bool = False
     #: differential-test every application against the equivalence
-    #: oracle (raises :class:`repro.verify.VerificationError` on a
-    #: behaviour change)
+    #: oracle; under containment a divergence rolls the application
+    #: back, otherwise it raises
+    #: :class:`repro.verify.VerificationError`
     verify: bool = False
     #: random environments per oracle check when ``verify`` is on
     verify_trials: int = 3
     #: environment-generation seed for the in-line oracle
     verify_seed: int = 0
+    #: what a failed application does — ``"rollback"`` restores the
+    #: pre-apply state and records an :class:`ApplicationFailure`;
+    #: ``"raise"`` restores the state, then re-raises; ``"abort"``
+    #: re-raises with the half-transformed program left in place for
+    #: inspection (the pre-containment behaviour)
+    on_failure: str = "rollback"
+    #: take a deep snapshot at every transaction begin, guaranteeing
+    #: rollback even past untagged in-place mutations; with ``False``
+    #: only the change-log undo path is available and an uncoverable
+    #: failure raises :class:`repro.genesis.transaction.ContainmentError`
+    transaction_snapshots: bool = True
+    #: budget: stop this driver run after this many rolled-back
+    #: applications (a pathological spec cannot spin forever)
+    max_rollbacks: int = 8
+    #: budget: wall-clock deadline for one driver run, in seconds
+    deadline_seconds: Optional[float] = None
+    #: budget: fuel — total pattern-match candidates considered across
+    #: the run before the driver gives up
+    max_match_attempts: Optional[int] = None
 
 
 @dataclass
@@ -57,18 +83,32 @@ class DriverResult:
 
     optimizer: str
     applications: list[ApplicationRecord] = field(default_factory=list)
+    #: contained (rolled-back) application failures, in order
+    failures: list[ApplicationFailure] = field(default_factory=list)
     counters: CostCounters = field(default_factory=CostCounters)
     elapsed_seconds: float = 0.0
+    #: why the run ended early, if it did: ``"deadline"``, ``"fuel"``,
+    #: ``"rollback-budget"`` or ``"quarantined"``
+    stopped: Optional[str] = None
 
     @property
     def applied(self) -> int:
         return len(self.applications)
 
+    @property
+    def rollbacks(self) -> int:
+        return len(self.failures)
+
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.optimizer}: {self.applied} application(s), "
             f"{self.counters}, {self.elapsed_seconds * 1e3:.2f} ms"
         )
+        if self.failures:
+            text += f", {len(self.failures)} rolled-back failure(s)"
+        if self.stopped:
+            text += f" [stopped: {self.stopped}]"
+        return text
 
 
 def _point_bindings(
@@ -150,37 +190,76 @@ def find_application_points(
     return points
 
 
-def _verified_act(
+def _transactional_act(
     optimizer: GeneratedOptimizer,
     program: Program,
     ctx: MatchContext,
     bindings: dict[str, object],
-    verify: bool,
-    verify_trials: int,
-    verify_seed: int,
-) -> None:
-    """Fire the action, optionally differential-testing the result.
+    options: DriverOptions,
+) -> Optional[ApplicationFailure]:
+    """Fire the action inside a transaction; None means it committed.
 
-    With ``verify`` the program is snapshotted before the action and
-    the equivalence oracle compares observable behaviour afterwards;
-    a divergence raises :class:`repro.verify.VerificationError` with
-    the offending application's bindings, leaving the (miscompiled)
-    program state in place for inspection.
+    The transaction covers the generated ``act`` *and* its post-apply
+    checks (IR validation with ``options.validate``, differential
+    testing with ``options.verify``): any exception, validation
+    failure or oracle divergence restores the pre-apply program state
+    — via change-log undo when possible, the begin-time deep snapshot
+    otherwise — and is returned as a structured
+    :class:`ApplicationFailure`.  ``options.on_failure`` selects the
+    legacy propagating behaviours instead (``"raise"`` rolls back then
+    re-raises; ``"abort"`` re-raises over the half-transformed state).
     """
-    snapshot = program.clone() if verify else None
-    optimizer.act(ctx)
-    if snapshot is None:
-        return
-    from repro.verify.oracle import EquivalenceOracle, VerificationError
+    need_snapshot = options.transaction_snapshots or options.verify
+    txn = ProgramTransaction(program, snapshot=need_snapshot)
+    txn.begin()
+    baseline = txn.snapshot
+    phase = "act"
+    try:
+        optimizer.act(ctx)
+        if options.validate:
+            phase = "validate"
+            from repro.ir.validate import validate_program
 
-    oracle = EquivalenceOracle(trials=verify_trials, seed=verify_seed)
-    report = oracle.check(snapshot, program)
-    if not report.equivalent:
-        raise VerificationError(
-            f"{optimizer.name} changed behaviour at {bindings}:\n"
-            f"{report.summary()}",
-            report,
+            validate_program(program)
+        if options.verify:
+            phase = "verify"
+            from repro.verify.oracle import (
+                EquivalenceOracle,
+                VerificationError,
+            )
+
+            assert baseline is not None
+            oracle = EquivalenceOracle(
+                trials=options.verify_trials, seed=options.verify_seed
+            )
+            report = oracle.check(baseline, program)
+            if not report.equivalent:
+                raise VerificationError(
+                    f"{optimizer.name} changed behaviour at {bindings}:\n"
+                    f"{report.summary()}",
+                    report,
+                )
+    except Exception as error:
+        if options.on_failure == "abort":
+            txn.commit()  # leave the damaged state in place
+            raise
+        restored = txn.rollback()
+        if options.on_failure == "raise":
+            raise
+        return ApplicationFailure(
+            optimizer=optimizer.name,
+            phase=phase,
+            error_type=type(error).__name__,
+            error=str(error),
+            bindings=dict(bindings),
+            restored=restored,
         )
+    except BaseException:
+        # KeyboardInterrupt/SystemExit: restore state, then propagate
+        txn.rollback()
+        raise
+    txn.commit()
+    return None
 
 
 def run_optimizer(
@@ -189,6 +268,7 @@ def run_optimizer(
     options: Optional[DriverOptions] = None,
     graph: Optional[DependenceGraph] = None,
     manager: Optional[AnalysisManager] = None,
+    health: Optional[HealthLedger] = None,
 ) -> DriverResult:
     """The Figure 5 driver: transform ``program`` in place.
 
@@ -198,22 +278,57 @@ def run_optimizer(
     the analysis ``manager`` (created here if absent), which refreshes
     the graph incrementally between applications instead of rebuilding
     it from scratch.
+
+    Every application runs inside a transaction (see
+    :func:`_transactional_act`): under the default
+    ``on_failure="rollback"`` policy a failing application restores
+    the pre-apply state, is recorded in ``result.failures``, and the
+    point is retried on the next sweep (transient faults recover;
+    deterministic ones burn the ``max_rollbacks`` budget and stop the
+    run).  A ``health`` ledger, when supplied, feeds the per-optimizer
+    circuit breaker shared across a pipeline or session.
     """
     options = options or DriverOptions()
     counters = CostCounters()
     result = DriverResult(optimizer=optimizer.name, counters=counters)
+    if health is not None and health.is_quarantined(optimizer.name):
+        result.stopped = "quarantined"
+        return result
     applied_signatures: set[tuple] = set()
     start = time.perf_counter()
+    fuel_used = 0
+
+    def out_of_time() -> bool:
+        return (
+            options.deadline_seconds is not None
+            and time.perf_counter() - start > options.deadline_seconds
+        )
 
     manager = manager_for(program, manager)
     current_graph = graph
     while len(result.applications) < options.max_applications:
+        if len(result.failures) >= options.max_rollbacks:
+            result.stopped = "rollback-budget"
+            break
+        if out_of_time():
+            result.stopped = "deadline"
+            break
         ctx = make_context(program, current_graph, counters, manager)
         ctx.enforce_restrictions = options.enforce_restrictions
         optimizer.set_up(ctx)
 
         chosen: Optional[dict[str, object]] = None
         for _match in optimizer.match(ctx):
+            fuel_used += 1
+            if (
+                options.max_match_attempts is not None
+                and fuel_used > options.max_match_attempts
+            ):
+                result.stopped = "fuel"
+                break
+            if out_of_time():
+                result.stopped = "deadline"
+                break
             for _pre in optimizer.pre(ctx):
                 bindings = _point_bindings(optimizer, ctx)
                 signature = _signature(bindings)
@@ -232,14 +347,23 @@ def run_optimizer(
             break
 
         before = counters.snapshot()
-        _verified_act(
-            optimizer, program, ctx, chosen,
-            options.verify, options.verify_trials, options.verify_seed,
+        failure = _transactional_act(
+            optimizer, program, ctx, chosen, options
         )
-        if options.validate:
-            from repro.ir.validate import validate_program
-
-            validate_program(program)
+        if failure is not None:
+            result.failures.append(failure)
+            # the point may succeed on retry (transient fault), so its
+            # signature is released; deterministic failures terminate
+            # through the rollback budget or the circuit breaker
+            applied_signatures.discard(_signature(chosen))
+            if health is not None and health.record_rollback(
+                optimizer.name, failure
+            ):
+                result.stopped = "quarantined"
+                break
+            continue
+        if health is not None:
+            health.record_success(optimizer.name)
         result.applications.append(
             ApplicationRecord(
                 opt_name=optimizer.name,
@@ -267,14 +391,21 @@ def apply_at_point(
     verify_trials: int = 3,
     verify_seed: int = 0,
     manager: Optional[AnalysisManager] = None,
+    options: Optional[DriverOptions] = None,
 ) -> DriverResult:
     """Apply an optimizer at the N-th application point only.
 
     This is the interface's "select application points" option; with
     ``enforce_restrictions=False`` it also implements "override
     dependence restrictions" (the Depend section's ``no`` clauses are
-    ignored — the user takes responsibility).
+    ignored — the user takes responsibility).  The application runs
+    inside the same transaction as the full driver: under
+    ``on_failure="rollback"`` a failure restores the pre-apply state
+    and is recorded in ``result.failures``.  A stale ``point_index``
+    (the program changed since the points were listed) simply finds no
+    point and returns an empty result.
     """
+    options = options or DriverOptions()
     counters = CostCounters()
     result = DriverResult(optimizer=optimizer.name, counters=counters)
     start = time.perf_counter()
@@ -288,17 +419,26 @@ def apply_at_point(
             if seen == point_index:
                 bindings = _point_bindings(optimizer, ctx)
                 before = counters.snapshot()
-                _verified_act(
-                    optimizer, program, ctx, bindings,
-                    verify, verify_trials, verify_seed,
+                point_options = replace(
+                    options,
+                    verify=verify or options.verify,
+                    verify_trials=verify_trials,
+                    verify_seed=verify_seed,
+                    enforce_restrictions=enforce_restrictions,
                 )
-                result.applications.append(
-                    ApplicationRecord(
-                        opt_name=optimizer.name,
-                        bindings=bindings,
-                        cost=counters.minus(before),
+                failure = _transactional_act(
+                    optimizer, program, ctx, bindings, point_options
+                )
+                if failure is not None:
+                    result.failures.append(failure)
+                else:
+                    result.applications.append(
+                        ApplicationRecord(
+                            opt_name=optimizer.name,
+                            bindings=bindings,
+                            cost=counters.minus(before),
+                        )
                     )
-                )
                 result.elapsed_seconds = time.perf_counter() - start
                 return result
             seen += 1

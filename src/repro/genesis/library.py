@@ -1049,6 +1049,8 @@ def act_modify_operand(
     """
     ctx.counters.action_ops += 1
     quad = ctx.program.quad(_as_qid(stmt))
+    before = quad.copy()
+    before.qid = quad.qid  # pre-image: makes the touch undoable
     operand = _as_operand_value(new_value)
     position = pos.pos if isinstance(pos, PosBinding) else pos
     existing = quad.operand_at(position)
@@ -1070,7 +1072,7 @@ def act_modify_operand(
         )
     else:
         quad.set_operand(position, operand)
-    ctx.program.touch(quad.qid)  # operand mutation invalidates caches
+    ctx.program.touch(quad.qid, before=before)  # invalidates caches
 
 
 def _substitute_subscripts(
@@ -1115,6 +1117,8 @@ def act_modify_attr(
     """``Modify`` overloaded on statement/loop attributes (.opc, .init...)."""
     ctx.counters.action_ops += 1
     quad = ctx.program.quad(_as_qid(stmt))
+    before = quad.copy()
+    before.qid = quad.qid  # pre-image: makes the touch undoable
     if attr == "opc":
         if not isinstance(new_value, str):
             raise GenesisRuntimeError("new opcode must be a symbol")
@@ -1129,4 +1133,4 @@ def act_modify_attr(
         quad.set_operand("result", _as_operand_value(new_value))
     else:
         raise GenesisRuntimeError(f"cannot modify attribute .{attr}")
-    ctx.program.touch(quad.qid)
+    ctx.program.touch(quad.qid, before=before)

@@ -15,6 +15,7 @@ from repro.analysis.manager import AnalysisManager, AnalysisStats
 from repro.frontend.lower import parse_program
 from repro.genesis.driver import DriverOptions, DriverResult, run_optimizer
 from repro.genesis.generator import GeneratedOptimizer
+from repro.genesis.transaction import ApplicationFailure, HealthLedger
 from repro.ir.program import Program
 
 
@@ -26,10 +27,28 @@ class PipelineReport:
     results: list[DriverResult] = field(default_factory=list)
     #: analysis cache/incremental-update counters for the whole run
     analysis_stats: Optional[AnalysisStats] = None
+    #: per-optimizer health ledger (rollbacks, quarantine state)
+    health: Optional[HealthLedger] = None
 
     @property
     def total_applications(self) -> int:
         return sum(result.applied for result in self.results)
+
+    @property
+    def total_rollbacks(self) -> int:
+        return sum(result.rollbacks for result in self.results)
+
+    @property
+    def quarantined(self) -> list[str]:
+        """Optimizers the circuit breaker took out of the run."""
+        return self.health.quarantined() if self.health else []
+
+    def failures(self) -> list[ApplicationFailure]:
+        """Every contained failure across the run, in order."""
+        collected: list[ApplicationFailure] = []
+        for result in self.results:
+            collected.extend(result.failures)
+        return collected
 
     def applications_by_optimizer(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -41,6 +60,10 @@ class PipelineReport:
 
     def __str__(self) -> str:
         lines = [f"pipeline: {self.total_applications} application(s)"]
+        if self.total_rollbacks:
+            lines[0] += f", {self.total_rollbacks} rolled-back failure(s)"
+        if self.quarantined:
+            lines[0] += f", quarantined: {', '.join(self.quarantined)}"
         lines.extend(f"  {result}" for result in self.results)
         return "\n".join(lines)
 
@@ -52,6 +75,8 @@ def optimize(
     in_place: bool = False,
     verify: bool = False,
     manager: Optional[AnalysisManager] = None,
+    health: Optional[HealthLedger] = None,
+    quarantine_after: int = 5,
 ) -> PipelineReport:
     """Run a sequence of optimizers over a program (Figure 3's OPT box).
 
@@ -62,8 +87,17 @@ def optimize(
     copy unless ``in_place``) and the per-optimizer driver results.
 
     With ``verify`` every single application is differential-tested
-    in-line against the equivalence oracle; a behaviour change raises
-    :class:`repro.verify.VerificationError` naming the application.
+    in-line against the equivalence oracle; under the default
+    containment policy a behaviour change rolls the application back
+    and records an
+    :class:`~repro.genesis.transaction.ApplicationFailure` (with
+    ``options.on_failure="raise"`` it raises
+    :class:`repro.verify.VerificationError` instead).
+
+    Failures feed one :class:`HealthLedger` shared across the whole
+    run: an optimizer that keeps rolling back (``quarantine_after``
+    consecutive failures) is quarantined and skipped for the rest of
+    the pipeline, and the report lists it.
     """
     options = options or DriverOptions(apply_all=True)
     if verify and not options.verify:
@@ -71,10 +105,16 @@ def optimize(
     working = program if in_place else program.clone()
     if manager is None or manager.program is not working:
         manager = AnalysisManager(working)
-    report = PipelineReport(program=working, analysis_stats=manager.stats)
+    if health is None:
+        health = HealthLedger(quarantine_after=quarantine_after)
+    report = PipelineReport(
+        program=working, analysis_stats=manager.stats, health=health
+    )
     for optimizer in optimizers:
         report.results.append(
-            run_optimizer(optimizer, working, options, manager=manager)
+            run_optimizer(
+                optimizer, working, options, manager=manager, health=health
+            )
         )
     return report
 

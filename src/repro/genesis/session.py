@@ -33,6 +33,7 @@ from repro.genesis.driver import (
     run_optimizer,
 )
 from repro.genesis.generator import GeneratedOptimizer
+from repro.genesis.transaction import HealthLedger
 from repro.ir.printer import format_program
 from repro.ir.program import Program
 
@@ -43,15 +44,27 @@ class SessionError(Exception):
 
 @dataclass
 class SessionEvent:
-    """One entry of the session history."""
+    """One entry of the session history.
+
+    Failed requests are history too: ``error`` carries the diagnostic
+    of a rejected or malformed command, so an interactive transcript
+    shows what was *attempted*, not only what succeeded.
+    """
 
     command: str
     result: Optional[DriverResult] = None
+    error: Optional[str] = None
+    note: Optional[str] = None
 
     def __str__(self) -> str:
-        if self.result is None:
-            return self.command
-        return f"{self.command} -> {self.result}"
+        if self.error is not None:
+            return f"{self.command} -> error: {self.error}"
+        text = self.command
+        if self.result is not None:
+            text += f" -> {self.result}"
+        if self.note is not None:
+            text += f" ({self.note})"
+        return text
 
 
 @dataclass
@@ -69,11 +82,16 @@ class OptimizerSession:
     #: differential-test every application against the equivalence
     #: oracle (``verify on`` in the command language)
     verify: bool = False
+    #: consecutive rolled-back failures before an optimizer is
+    #: quarantined for the rest of the session
+    quarantine_after: int = 5
     history: list[SessionEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.original = self.program.clone()
         self._manager = AnalysisManager(self.program)
+        #: per-optimizer circuit breaker shared across the session
+        self.health = HealthLedger(quarantine_after=self.quarantine_after)
         #: the graph most recently handed out — kept so "recompute off"
         #: can deliberately serve a stale graph
         self._last_graph: Optional[DependenceGraph] = None
@@ -86,10 +104,14 @@ class OptimizerSession:
         cls,
         source: str,
         optimizers: Sequence[GeneratedOptimizer] = (),
+        quarantine_after: int = 5,
     ) -> "OptimizerSession":
         """Read source code and convert it to intermediate code
         (interface steps i and ii)."""
-        session = cls(program=parse_program(source))
+        session = cls(
+            program=parse_program(source),
+            quarantine_after=quarantine_after,
+        )
         for optimizer in optimizers:
             session.register(optimizer)
         return session
@@ -162,9 +184,28 @@ class OptimizerSession:
         ``override_dependences`` ignores the Depend section's ``no``
         restrictions (step 3.b.iii.3 — the user takes responsibility
         for safety).
+
+        Every application is transactional: a failing ``act`` (or a
+        validation/verification failure) rolls the program back and is
+        recorded on the returned result, never corrupting the session.
+        An optimizer the circuit breaker has quarantined is refused
+        with :class:`SessionError` until ``revive`` clears it.
         """
-        optimizer = self._optimizer(name)
-        graph = self._maybe_graph()
+        command = f"apply {name}"
+        try:
+            optimizer = self._optimizer(name)
+            if self.health.is_quarantined(name):
+                entry = self.health.entry(name)
+                raise SessionError(
+                    f"{name} is quarantined ({entry.reason}); "
+                    f"'revive {name}' to re-enable it"
+                )
+            graph = self._maybe_graph()
+        except SessionError as error:
+            self.history.append(
+                SessionEvent(command=command, error=str(error))
+            )
+            raise
         if point is not None:
             result = apply_at_point(
                 optimizer,
@@ -184,9 +225,22 @@ class OptimizerSession:
             )
             result = run_optimizer(
                 optimizer, self.program, options, graph,
-                manager=self._manager,
+                manager=self._manager, health=self.health,
             )
-        self.history.append(SessionEvent(command=f"apply {name}", result=result))
+        note = None
+        if point is not None:
+            for failure in result.failures:
+                self.health.record_rollback(name, failure)
+            if result.applied:
+                self.health.record_success(name)
+            elif not result.failures:
+                note = (
+                    f"no application point {point} (the program may "
+                    f"have changed since 'points')"
+                )
+        self.history.append(
+            SessionEvent(command=command, result=result, note=note)
+        )
         return result
 
     def apply_sequence(
@@ -244,12 +298,37 @@ class OptimizerSession:
             recompute on|off          toggle dependence recomputation
             verify on|off             oracle-check every application
             deps                      dependence summary
-            stats                     analysis cache/incremental counters
+            stats                     analysis + health counters
+            health                    per-optimizer rollback/quarantine
+            revive <OPT>              clear <OPT>'s quarantine
             show                      print the intermediate code
             save <file>               write the program as source text
             history                   session history
             reset                     restore the original program
+
+        A malformed or rejected command never aborts the session: it
+        is recorded in the history as a failed :class:`SessionEvent`
+        and reported as :class:`SessionError`.
         """
+        try:
+            return self._dispatch_command(command)
+        except SessionError as error:
+            # guarantee the failed attempt is in the history exactly
+            # once (apply/revive record their own richer events)
+            last = self.history[-1] if self.history else None
+            if last is None or last.error != str(error):
+                self.history.append(
+                    SessionEvent(command=command, error=str(error))
+                )
+            raise
+        except ValueError as error:
+            failure = SessionError(f"malformed command {command!r}: {error}")
+            self.history.append(
+                SessionEvent(command=command, error=str(failure))
+            )
+            raise failure from error
+
+    def _dispatch_command(self, command: str) -> str:
         words = command.split()
         if not words:
             return ""
@@ -286,7 +365,20 @@ class OptimizerSession:
             summary = self.dependences.summary()
             return ", ".join(f"{k}: {v}" for k, v in summary.items())
         if verb == "stats":
-            return self.analysis_stats.summary()
+            return (
+                self.analysis_stats.summary() + "\n" + self.health.summary()
+            )
+        if verb == "health":
+            return self.health.summary()
+        if verb == "revive" and len(words) == 2:
+            name = words[1]
+            if name not in self.optimizers:
+                raise self._record_error(
+                    command, f"no optimization named {name!r}"
+                )
+            self.health.revive(name)
+            self.history.append(SessionEvent(command=command))
+            return f"{name} revived"
         if verb == "show":
             return self.show()
         if verb == "save" and len(words) == 2:
@@ -299,4 +391,9 @@ class OptimizerSession:
         if verb == "reset":
             self.reset()
             return "program restored"
-        raise SessionError(f"unknown command {command!r}")
+        raise self._record_error(command, f"unknown command {command!r}")
+
+    def _record_error(self, command: str, message: str) -> SessionError:
+        """Log a failed command to the history; returns the error."""
+        self.history.append(SessionEvent(command=command, error=message))
+        return SessionError(message)

@@ -10,6 +10,7 @@ version counter whenever the quad list changes.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
@@ -20,6 +21,17 @@ class IRError(Exception):
     """Raised for malformed IR manipulations (unknown qid, bad nesting)."""
 
 
+class RollbackUnavailable(IRError):
+    """The change log cannot restore the requested program version.
+
+    Raised by :meth:`Program.rollback_to` when the log was trimmed past
+    the target version or contains entries without undo information
+    (``opaque`` touches, in-place :meth:`Program.touch` modifications).
+    Callers holding a deep-clone snapshot fall back to
+    :meth:`Program.restore_from`.
+    """
+
+
 @dataclass(frozen=True)
 class ProgramChange:
     """One logged mutation, for incremental analysis invalidation.
@@ -28,11 +40,31 @@ class ProgramChange:
     or ``"opaque"`` (an untagged :meth:`Program.touch` — the mutated
     quad is unknown, so consumers must invalidate everything).  The
     ``version`` is the program version *after* the mutation completed.
+
+    ``position`` and ``before`` are the undo payload consumed by
+    :meth:`Program.rollback_to`: the quad's list position before the
+    mutation (for ``remove``/``move``), and a pre-image copy of the
+    quad (for ``remove``/``modify``).  In-place mutations reported
+    through :meth:`Program.touch` have no pre-image (``before`` is
+    None), which makes them non-undoable.
     """
 
     version: int
     kind: str
     qid: int
+    position: int = -1
+    before: Optional[Quad] = None
+
+    @property
+    def undoable(self) -> bool:
+        """Whether :meth:`Program.rollback_to` can invert this entry."""
+        if self.kind == "add":
+            return True
+        if self.kind in ("remove", "modify"):
+            return self.before is not None
+        if self.kind == "move":
+            return self.position >= 0
+        return False  # "opaque"
 
 
 #: Retained change-log length; older entries are trimmed and consumers
@@ -57,6 +89,9 @@ class Program:
         self._changelog: list[ProgramChange] = []
         #: versions at or below this are no longer covered by the log
         self._log_floor = 0
+        #: open-transaction marks; while non-empty the log never trims,
+        #: so every pinned version stays reachable for rollback
+        self._pins: list[int] = []
         for quad in quads:
             self.append(quad)
 
@@ -124,9 +159,17 @@ class Program:
     # ------------------------------------------------------------------
     # change log
     # ------------------------------------------------------------------
-    def _log(self, kind: str, qid: int) -> None:
-        self._changelog.append(ProgramChange(self._version, kind, qid))
-        if len(self._changelog) > _CHANGELOG_LIMIT:
+    def _log(
+        self,
+        kind: str,
+        qid: int,
+        position: int = -1,
+        before: Optional[Quad] = None,
+    ) -> None:
+        self._changelog.append(
+            ProgramChange(self._version, kind, qid, position, before)
+        )
+        if len(self._changelog) > _CHANGELOG_LIMIT and not self._pins:
             trimmed = self._changelog[: _CHANGELOG_LIMIT // 2]
             self._log_floor = trimmed[-1].version
             del self._changelog[: _CHANGELOG_LIMIT // 2]
@@ -199,52 +242,210 @@ class Program:
         self._reindex(position)
         return quad
 
+    def preimage(self, qid: int) -> Quad:
+        """A qid-preserving copy of a quad's current state.
+
+        Callers that mutate a quad in place capture this *before* the
+        mutation and hand it to :meth:`touch` so the change stays
+        undoable by :meth:`rollback_to`.
+        """
+        position = self._index.get(qid)
+        if position is None:
+            raise IRError(f"no quad with qid {qid}")
+        copy = self._quads[position].copy()
+        copy.qid = qid
+        return copy
+
+    _preimage = preimage
+
     def remove(self, qid: int) -> Quad:
         """Remove and return the quad named ``qid`` (``Delete``)."""
+        position = self.position(qid)
+        before = self._preimage(qid)
         quad = self._detach(qid)
-        self._log("remove", qid)
+        self._log("remove", qid, position, before)
         return quad
 
     def move_after(self, qid: int, after_qid: int) -> None:
         """Move the quad ``qid`` to just after ``after_qid`` (``Move``)."""
         if qid == after_qid:
             raise IRError("cannot move a quad after itself")
+        old_position = self.position(qid)
         quad = self._detach(qid)
         quad.qid = qid  # keep its identity across the move
         self._quads.insert(self.position(after_qid) + 1, quad)
         self._reindex()
-        self._log("move", qid)
+        self._log("move", qid, old_position)
 
     def move_to_front(self, qid: int) -> None:
         """Move the quad ``qid`` to the start of the program."""
+        old_position = self.position(qid)
         quad = self._detach(qid)
         quad.qid = qid
         self._quads.insert(0, quad)
         self._reindex()
-        self._log("move", qid)
+        self._log("move", qid, old_position)
 
     def replace(self, qid: int, quad: Quad) -> Quad:
         """Replace the quad named ``qid`` in place, keeping the qid."""
         position = self.position(qid)
+        before = self._preimage(qid)
         quad.qid = qid
         self._quads[position] = quad
         self._version += 1
-        self._log("modify", qid)
+        self._log("modify", qid, position, before)
         return quad
 
-    def touch(self, qid: Optional[int] = None) -> None:
+    def touch(
+        self, qid: Optional[int] = None, before: Optional[Quad] = None
+    ) -> None:
         """Bump the version counter after an in-place quad mutation.
 
         Passing the mutated quad's ``qid`` lets incremental analysis
         consumers (:class:`repro.analysis.manager.AnalysisManager`)
         invalidate only the touched region; an untagged touch forces
         them to recompute everything.
+
+        ``before`` — a qid-preserving copy of the quad taken *before*
+        the mutation — makes the touch undoable by
+        :meth:`rollback_to`; without it the entry has no pre-image and
+        any covering transaction must restore from a deep snapshot.
         """
         self._version += 1
         if qid is not None and qid in self._index:
-            self._log("modify", qid)
+            if before is not None and before.qid != qid:
+                raise IRError(
+                    f"pre-image qid {before.qid} does not match touched "
+                    f"qid {qid}"
+                )
+            self._log("modify", qid, self._index[qid], before)
         else:
             self._log("opaque", -1)
+
+    # ------------------------------------------------------------------
+    # transactions and rollback
+    # ------------------------------------------------------------------
+    def pin(self) -> int:
+        """Mark the current version as a rollback target.
+
+        While any pin is outstanding the change log never trims, so
+        :meth:`rollback_to` can always reach the pinned version (bare
+        in-place :meth:`touch` calls without pre-images remain the one
+        unrecoverable case).  Returns the pinned version; release it
+        with :meth:`unpin`.
+        """
+        self._pins.append(self._version)
+        return self._version
+
+    def unpin(self, version: int) -> None:
+        """Release a pin taken by :meth:`pin` (commit or after rollback)."""
+        try:
+            self._pins.remove(version)
+        except ValueError:
+            raise IRError(f"version {version} is not pinned") from None
+
+    def rollback_to(self, version: int) -> int:
+        """Undo every mutation after ``version``, newest first.
+
+        The undos run through the ordinary mutation API, so they are
+        themselves logged and version-bumping: analysis consumers see
+        the restore as regular (incrementally spliceable) changes, and
+        version numbers are never reused for different program states.
+        Returns the number of entries undone.
+
+        Raises :class:`RollbackUnavailable` when the log was trimmed
+        past ``version`` or contains a non-undoable entry (an untagged
+        touch, or an in-place modification without a pre-image); the
+        program is left *unchanged* in that case so the caller can
+        restore from a deep snapshot instead.
+        """
+        if version > self._version:
+            raise IRError(
+                f"cannot roll back to future version {version} "
+                f"(current {self._version})"
+            )
+        pending = self.changes_since(version)
+        if pending is None:
+            raise RollbackUnavailable(
+                f"change log trimmed past version {version} "
+                f"(floor {self._log_floor})"
+            )
+        blocked = [c for c in pending if not c.undoable]
+        if blocked:
+            raise RollbackUnavailable(
+                f"{len(blocked)} non-undoable change(s) since version "
+                f"{version} (first: {blocked[0].kind} at qid "
+                f"{blocked[0].qid})"
+            )
+        for change in reversed(pending):
+            self._undo(change)
+        return len(pending)
+
+    def _undo(self, change: ProgramChange) -> None:
+        """Invert one logged mutation (state must be post-``change``)."""
+        if change.kind == "add":
+            self.remove(change.qid)
+        elif change.kind == "remove":
+            assert change.before is not None
+            quad = change.before.copy()
+            quad.qid = change.qid
+            self.insert_at(change.position, quad)
+        elif change.kind == "move":
+            old_position = self.position(change.qid)
+            quad = self._detach(change.qid)
+            quad.qid = change.qid
+            self._quads.insert(change.position, quad)
+            self._reindex()
+            self._log("move", change.qid, old_position)
+        elif change.kind == "modify":
+            assert change.before is not None
+            restored = change.before.copy()
+            self.replace(change.qid, restored)
+        else:  # pragma: no cover - "opaque" is filtered by rollback_to
+            raise RollbackUnavailable(f"cannot undo {change.kind!r} entry")
+
+    def restore_from(self, snapshot: "Program") -> None:
+        """Overwrite this program's quads with a snapshot's, in place.
+
+        The deep-clone fallback for :meth:`rollback_to`: object
+        identity is preserved (sessions, managers and contexts keep
+        their references) but the change log cannot describe the bulk
+        restore, so it is cleared and floored — incremental consumers
+        recompute from scratch on their next access.
+        """
+        self._quads = []
+        self._index = {}
+        for quad in snapshot._quads:
+            duplicate = quad.copy()
+            duplicate.qid = quad.qid
+            self._quads.append(duplicate)
+            self._index[duplicate.qid] = len(self._quads) - 1
+        self._next_qid = max(self._next_qid, snapshot._next_qid)
+        self._version += 1
+        self._changelog.clear()
+        self._log_floor = self._version
+        self._pins.clear()
+
+    @contextmanager
+    def transaction(self) -> Iterator[int]:
+        """Scope a mutation sequence: roll back on exception.
+
+        Yields the pinned pre-transaction version.  On normal exit the
+        pin is released and the mutations stand; on exception the
+        program is rolled back to the pinned version (when the log
+        allows) before the exception propagates.
+        """
+        mark = self.pin()
+        try:
+            yield mark
+        except BaseException:
+            try:
+                self.rollback_to(mark)
+            finally:
+                self.unpin(mark)
+            raise
+        else:
+            self.unpin(mark)
 
     # ------------------------------------------------------------------
     # whole-program operations

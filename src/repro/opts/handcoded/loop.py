@@ -88,8 +88,9 @@ class HandCodedPAR(HandCodedOptimizer):
             return None
         point = points[0]
         binding: LoopBinding = point["L1"]  # type: ignore[assignment]
+        before = program.preimage(binding.head)
         program.quad(binding.head).opcode = Opcode.DOALL
-        program.touch(binding.head)
+        program.touch(binding.head, before=before)
         return point
 
 
@@ -233,11 +234,13 @@ class HandCodedBMP(HandCodedOptimizer):
         for qid in structure.loop_of(binding.head).body_qids:
             if qid == placed.qid:
                 continue
+            before = program.preimage(qid)
             _rename_uses(program.quad(qid), lcv.name, temp)
-            program.touch(qid)
+            program.touch(qid, before=before)
+        head_before = program.preimage(binding.head)
         head.b = Const(int(head.b.value) - offset)
         head.a = Const(1)
-        program.touch(binding.head)
+        program.touch(binding.head, before=head_before)
         return point
 
     @staticmethod

@@ -111,8 +111,9 @@ class HandCodedCTP(HandCodedOptimizer):
         quad = program.quad(point["Sj"])  # type: ignore[arg-type]
         definition = program.quad(point["Si"])  # type: ignore[arg-type]
         binding: PosBinding = point["pos"]  # type: ignore[assignment]
+        before = program.preimage(quad.qid)
         _replace_use(quad, binding.pos, binding.var, definition.a)
-        program.touch(quad.qid)
+        program.touch(quad.qid, before=before)
         return point
 
 
@@ -174,8 +175,9 @@ class HandCodedCPP(HandCodedOptimizer):
         quad = program.quad(point["Sj"])  # type: ignore[arg-type]
         definition = program.quad(point["Si"])  # type: ignore[arg-type]
         binding: PosBinding = point["pos"]  # type: ignore[assignment]
+        before = program.preimage(quad.qid)
         _replace_use(quad, binding.pos, binding.var, definition.a)
-        program.touch(quad.qid)
+        program.touch(quad.qid, before=before)
         return point
 
 
@@ -240,8 +242,9 @@ class HandCodedCFO(HandCodedOptimizer):
         point = points[0]
         quad = program.quad(point["Si"])  # type: ignore[arg-type]
         folded = interp._apply_binary(quad.opcode, quad.a.value, quad.b.value)
+        before = program.preimage(quad.qid)
         quad.opcode = Opcode.ASSIGN
         quad.a = Const(folded)
         quad.b = None
-        program.touch(quad.qid)
+        program.touch(quad.qid, before=before)
         return point

@@ -21,12 +21,27 @@ is the machinery that *checks* that claim empirically:
 * :mod:`repro.verify.fixtures` — deliberately unsound specifications
   used to test that the oracle actually catches miscompiles.
 
+* :mod:`repro.verify.chaos` — the fault-injection harness: wrap any
+  optimizer so its ``act`` raises mid-mutation, corrupts the IR, or
+  stalls at seeded rates, and run whole pipelines under injected
+  faults to prove the transactional driver contains every failure.
+
 Wiring into the rest of the system: ``DriverOptions(verify=True)``
 checks every single application in-line (the pipeline and the
-interactive session expose the same gate), and the ``genesis fuzz``
-CLI subcommand runs a whole campaign from the shell.
+interactive session expose the same gate), and the ``genesis fuzz`` /
+``genesis chaos`` CLI subcommands run whole campaigns from the shell.
 """
 
+from repro.verify.chaos import (
+    ChaosConfig,
+    ChaosError,
+    ChaosReport,
+    ChaosRun,
+    ChaosStats,
+    chaotic,
+    chaotic_catalog,
+    run_chaos,
+)
 from repro.verify.envgen import EnvironmentGenerator, InputEnvironment
 from repro.verify.fixtures import BROKEN_SPECS, broken_optimizer
 from repro.verify.fuzz import (
@@ -49,6 +64,11 @@ from repro.verify.shrink import ShrinkResult, shrink_program
 
 __all__ = [
     "BROKEN_SPECS",
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosReport",
+    "ChaosRun",
+    "ChaosStats",
     "Divergence",
     "EnvironmentGenerator",
     "EquivalenceOracle",
@@ -60,7 +80,10 @@ __all__ = [
     "ShrinkResult",
     "VerificationError",
     "broken_optimizer",
+    "chaotic",
+    "chaotic_catalog",
     "check_equivalence",
+    "run_chaos",
     "load_repro",
     "replay_repro",
     "run_fuzz",

@@ -59,6 +59,12 @@ class FuzzConfig:
     shrink: bool = True
     max_applications: int = 25
     max_shrink_attempts: int = 400
+    #: containment budgets so one pathological program/optimizer pair
+    #: cannot wedge a whole campaign: rolled-back failures per
+    #: optimizer, wall-clock per driver run, and match-attempt fuel
+    max_rollbacks: int = 10
+    deadline_seconds: Optional[float] = 20.0
+    max_match_attempts: Optional[int] = 100_000
     #: where to write counterexample files (None: keep in memory only)
     out_dir: Optional[str] = None
 
@@ -131,10 +137,17 @@ def _apply_sequence(
 
     One :class:`AnalysisManager` serves the whole sequence, so the
     dependence graph carries incrementally across passes instead of
-    being rebuilt per optimizer.
+    being rebuilt per optimizer.  Driver budgets from the config bound
+    each pass: a crashing ``act`` rolls back and is retried up to
+    ``max_rollbacks`` times instead of killing the campaign, and the
+    deadline/fuel caps stop runaway match loops.
     """
     options = DriverOptions(
-        apply_all=True, max_applications=config.max_applications
+        apply_all=True,
+        max_applications=config.max_applications,
+        max_rollbacks=config.max_rollbacks,
+        deadline_seconds=config.deadline_seconds,
+        max_match_attempts=config.max_match_attempts,
     )
     manager = AnalysisManager(program)
     applied = 0

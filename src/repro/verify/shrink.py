@@ -21,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
-from repro.ir.program import Program
+from repro.ir.interp import InterpError
+from repro.ir.program import IRError, Program
 from repro.ir.quad import LOOP_HEADS, Opcode, Quad
+from repro.ir.validate import ValidationError
 
 #: predicate: True while the candidate still exhibits the failure
 Predicate = Callable[[Program], bool]
@@ -130,8 +132,10 @@ def shrink_program(
             attempts += 1
             try:
                 failed = still_fails(candidate)
-            except Exception:
-                failed = False  # a crashing candidate is not a repro
+            except (InterpError, IRError, ValidationError):
+                # a candidate the interpreter/IR machinery rejects is
+                # not a repro; anything else is a real bug — propagate
+                failed = False
             if failed:
                 current = list(candidate.quads)
                 improved = True

@@ -86,7 +86,13 @@ def test_value_requires_constants():
     program = parse_program(
         "program t\n  integer x, y\n  read y\n  x = y * 2\n  write x\nend"
     )
-    from repro.genesis.driver import run_optimizer
+    from repro.genesis.driver import DriverOptions, run_optimizer
 
     with pytest.raises(GenesisRuntimeError):
-        run_optimizer(optimizer, program)
+        run_optimizer(
+            optimizer, program, DriverOptions(on_failure="raise")
+        )
+    # the default policy contains the same fault instead
+    result = run_optimizer(optimizer, program)
+    assert result.failures
+    assert result.failures[0].error_type == "GenesisRuntimeError"

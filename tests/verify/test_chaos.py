@@ -1,0 +1,182 @@
+"""The fault-injection harness and its acceptance criteria."""
+
+import pytest
+
+from repro.cli import main
+from repro.frontend.lower import parse_program
+from repro.frontend.unparse import unparse_program
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.opts.catalog import build_optimizer
+from repro.opts.specs import PAPER_TEN
+from repro.verify.chaos import (
+    ChaosConfig,
+    ChaosError,
+    ChaosStats,
+    chaotic,
+    run_chaos,
+)
+from repro.workloads.programs import SOURCES
+
+SIMPLE = """
+program t
+  integer x, y, z
+  x = 1
+  y = x + 2
+  z = x + y
+  write z
+end
+"""
+
+
+class TestChaoticWrapper:
+    def test_zero_rates_are_transparent(self):
+        program = parse_program(SOURCES["newton"])
+        reference = parse_program(SOURCES["newton"])
+        stats = ChaosStats()
+        wrapped = chaotic(
+            build_optimizer("CTP"),
+            ChaosConfig(seed=0, act_fault_rate=0.0),
+            stats,
+        )
+        chaos_result = run_optimizer(
+            wrapped, program, DriverOptions(apply_all=True)
+        )
+        plain_result = run_optimizer(
+            build_optimizer("CTP"), reference, DriverOptions(apply_all=True)
+        )
+        assert chaos_result.applied == plain_result.applied
+        assert unparse_program(program) == unparse_program(reference)
+        assert stats.act_calls > 0 and stats.injected == 0
+
+    def test_rate_one_always_faults_and_rolls_back_exactly(self):
+        program = parse_program(SIMPLE)
+        baseline = unparse_program(program, name=program.name)
+        wrapped = chaotic(
+            build_optimizer("CTP"), ChaosConfig(seed=0, act_fault_rate=1.0)
+        )
+        result = run_optimizer(
+            wrapped, program, DriverOptions(apply_all=True, max_rollbacks=5)
+        )
+        assert not result.applications
+        assert len(result.failures) == 5
+        assert all(
+            failure.error_type == "ChaosError"
+            for failure in result.failures
+        )
+        # acceptance: rollback restores byte-identical unparse output
+        assert unparse_program(program, name=program.name) == baseline
+
+    def test_faults_are_deterministic_per_seed(self):
+        def faults(seed):
+            stats = ChaosStats()
+            wrapped = chaotic(
+                build_optimizer("CTP"),
+                ChaosConfig(seed=seed, act_fault_rate=0.5),
+                stats,
+            )
+            run_optimizer(
+                wrapped,
+                parse_program(SOURCES["newton"]),
+                DriverOptions(apply_all=True, max_rollbacks=20),
+            )
+            return stats.act_calls, stats.raises
+
+        assert faults(3) == faults(3)
+
+    def test_corruption_is_caught_by_validation(self):
+        program = parse_program(SOURCES["newton"])
+        baseline = unparse_program(program, name=program.name)
+        wrapped = chaotic(
+            build_optimizer("CTP"),
+            ChaosConfig(seed=0, act_fault_rate=0.0, corrupt_rate=1.0),
+        )
+        result = run_optimizer(
+            wrapped, program,
+            DriverOptions(apply_all=True, validate=True, max_rollbacks=3),
+        )
+        assert not result.applications
+        assert result.failures
+        assert all(f.phase == "validate" for f in result.failures)
+        assert unparse_program(program, name=program.name) == baseline
+
+    def test_stall_is_cut_by_the_deadline(self):
+        program = parse_program(SOURCES["newton"])
+        wrapped = chaotic(
+            build_optimizer("CTP"),
+            ChaosConfig(seed=0, act_fault_rate=0.0, stall_rate=1.0,
+                        stall_seconds=0.05),
+        )
+        result = run_optimizer(
+            wrapped, program,
+            DriverOptions(apply_all=True, deadline_seconds=0.08),
+        )
+        assert result.stopped == "deadline"
+
+
+class TestChaosCampaign:
+    def test_paper_ten_with_heavy_faults_is_contained(self):
+        # acceptance: a 10-optimization pipeline with >=20% injected
+        # act faults terminates within budget, every application was
+        # validated, and the result matches the fault-free pipeline
+        report = run_chaos(
+            ChaosConfig(seed=1, act_fault_rate=0.25),
+            opt_names=PAPER_TEN,
+            program_names=["newton", "fft"],
+        )
+        assert report.ok, report.summary()
+        assert report.total_injected > 0
+        for run in report.runs:
+            assert run.valid
+            assert run.rollbacks == run.stats.injected
+            if not run.quarantined and not run.stopped:
+                assert run.matches_baseline
+
+    def test_deterministic_failure_is_quarantined_and_reported(self):
+        always_broken = chaotic(
+            build_optimizer("CTP"), ChaosConfig(seed=0, act_fault_rate=1.0)
+        )
+        report = run_chaos(
+            ChaosConfig(seed=0, act_fault_rate=0.0),
+            opt_names=("CTP", "DCE"),
+            program_names=["newton"],
+            optimizers={"CTP": always_broken},
+            quarantine_after=3,
+        )
+        # the campaign completes and the quarantine is visible
+        run = report.runs[0]
+        assert run.quarantined == ["CTP"]
+        assert "CTP" in report.summary()
+        assert run.valid
+        # quarantine excuses the baseline comparison
+        assert run.matches_baseline is None
+
+    def test_report_flags_divergence(self):
+        # sanity for the checker itself: a run comparing different
+        # outputs with no quarantine must fail
+        report = run_chaos(
+            ChaosConfig(seed=2, act_fault_rate=0.3),
+            opt_names=PAPER_TEN,
+            program_names=["gauss"],
+        )
+        for run in report.runs:
+            assert run.ok == (not run.problems)
+
+
+class TestChaosCli:
+    def test_chaos_subcommand_contained(self, capsys):
+        code = main([
+            "chaos", "--seed", "3", "--programs", "newton,fft",
+            "--corrupt-rate", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "ALL CONTAINED" in out
+
+    def test_chaos_subcommand_rejects_unknown_workload(self, capsys):
+        code = main(["chaos", "--programs", "bogus"])
+        assert code == 3
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_chaos_error_is_distinct(self):
+        with pytest.raises(ChaosError):
+            raise ChaosError("injected")

@@ -132,6 +132,8 @@ def test_respects_attempt_budget():
 
 
 def test_crashing_candidate_counts_as_not_failing():
+    from repro.ir.interp import InterpError
+
     program = parse_program("""
     program t
       real x, y
@@ -143,8 +145,31 @@ def test_crashing_candidate_counts_as_not_failing():
 
     def still_fails(candidate):
         if len(candidate) < 3:
-            raise RuntimeError("boom")
+            raise InterpError("boom")
         return True
 
     result = shrink_program(program, still_fails)
     assert result.statements == 3  # nothing below 3 was accepted
+
+
+def test_unexpected_predicate_error_propagates():
+    import pytest
+
+    program = parse_program("""
+    program t
+      real x, y
+      x = 1.0
+      y = 2.0
+      write x
+    end
+    """)
+
+    def still_fails(candidate):
+        if len(candidate) < 3:
+            raise RuntimeError("a real bug, not a bad candidate")
+        return True
+
+    # only interpreter/IR rejections are swallowed; genuine bugs
+    # surface instead of silently steering the search
+    with pytest.raises(RuntimeError):
+        shrink_program(program, still_fails)

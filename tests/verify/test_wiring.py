@@ -37,15 +37,32 @@ class TestDriverGate:
         # whatever CTP did (including nothing), verification held
         assert result.optimizer == "CTP"
 
-    def test_broken_optimizer_raises(self):
+    def test_broken_optimizer_contained(self):
         program = parse_program(REDEFINED)
+        pristine = list(map(str, parse_program(REDEFINED)))
+        result = run_optimizer(
+            broken_optimizer("BROKEN_CTP"), program,
+            DriverOptions(apply_all=True, verify=True),
+        )
+        # every miscompiling application was rolled back and recorded
+        assert result.failures and not result.applications
+        assert all(f.phase == "verify" for f in result.failures)
+        assert list(map(str, program)) == pristine
+
+    def test_broken_optimizer_raises_on_request(self):
+        program = parse_program(REDEFINED)
+        pristine = list(map(str, parse_program(REDEFINED)))
         with pytest.raises(VerificationError) as excinfo:
             run_optimizer(
                 broken_optimizer("BROKEN_CTP"), program,
-                DriverOptions(apply_all=True, verify=True),
+                DriverOptions(
+                    apply_all=True, verify=True, on_failure="raise"
+                ),
             )
         assert "BROKEN_CTP" in str(excinfo.value)
         assert not excinfo.value.report.equivalent
+        # "raise" still rolls back before propagating
+        assert list(map(str, program)) == pristine
 
     def test_gate_off_lets_miscompile_through(self):
         program = parse_program(REDEFINED)
@@ -57,9 +74,16 @@ class TestDriverGate:
 
     def test_apply_at_point_verifies(self):
         program = parse_program(REDEFINED)
+        pristine = list(map(str, parse_program(REDEFINED)))
+        result = apply_at_point(
+            broken_optimizer("BROKEN_CTP"), program, 0, verify=True
+        )
+        assert result.failures and not result.applications
+        assert list(map(str, program)) == pristine
         with pytest.raises(VerificationError):
             apply_at_point(
-                broken_optimizer("BROKEN_CTP"), program, 0, verify=True
+                broken_optimizer("BROKEN_CTP"), program, 0, verify=True,
+                options=DriverOptions(on_failure="raise"),
             )
 
 
@@ -75,8 +99,23 @@ class TestPipelineGate:
 
     def test_verified_pipeline_rejects_broken(self):
         program = parse_program(REDEFINED)
+        report = optimize(
+            program, [broken_optimizer("BROKEN_CTP")], verify=True
+        )
+        # contained: the miscompile never survives into the output
+        assert report.failures()
+        assert report.total_applications == 0
+        assert list(map(str, report.program)) == list(
+            map(str, parse_program(REDEFINED))
+        )
         with pytest.raises(VerificationError):
-            optimize(program, [broken_optimizer("BROKEN_CTP")], verify=True)
+            optimize(
+                program,
+                [broken_optimizer("BROKEN_CTP")],
+                options=DriverOptions(
+                    apply_all=True, verify=True, on_failure="raise"
+                ),
+            )
         # the caller's program is untouched by the default copy
         assert list(map(str, program)) == list(
             map(str, parse_program(REDEFINED))
@@ -97,8 +136,11 @@ class TestSessionGate:
             REDEFINED, [broken_optimizer("BROKEN_CTP")]
         )
         session.verify = True
-        with pytest.raises(VerificationError):
-            session.apply("BROKEN_CTP")
+        before = session.show()
+        result = session.apply("BROKEN_CTP")
+        # contained: rolled back, recorded, session program intact
+        assert result.failures and not result.applications
+        assert session.show() == before
 
     def test_session_verified_sound_apply(self):
         session = OptimizerSession.from_source(
