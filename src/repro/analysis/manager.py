@@ -68,6 +68,11 @@ _INCREMENTAL_NAME_CAP = 48
 #: a full rebuild is performed instead.
 _INCREMENTAL_CHANGE_CAP = 128
 
+#: How many per-refresh dependence deltas are retained for consumers
+#: (the matching engine); older deltas are discarded, which downstream
+#: reads as "full resync required".
+_DELTA_CAP = 1024
+
 T = TypeVar("T")
 
 
@@ -177,6 +182,13 @@ class AnalysisManager:
         self._graph: Optional[DependenceGraph] = None
         self._graph_version = -1
         self._quad_infos: dict[int, _QuadInfo] = {}
+        #: per-refresh dependence deltas: (from_version, to_version,
+        #: the changed edges as (kind, src, dst) triples, or None when
+        #: the refresh could not produce an exact diff).  Consumed by
+        #: the matching engine to bound its dirty region.
+        self._deltas: list[
+            tuple[int, int, Optional[frozenset[tuple[str, int, int]]]]
+        ] = []
 
     # ------------------------------------------------------------------
     # generic version-keyed products
@@ -245,16 +257,29 @@ class AnalysisManager:
             else None
         )
         plan = self._plan_update(changes) if changes is not None else None
+        old_version = self._graph_version
         if plan is None:
+            old_graph = self._graph
             graph = self._full_rebuild()
             self._snapshot_quads()
+            # a rebuild still yields an exact delta — the symmetric
+            # difference of the two edge sets — so graph consumers (the
+            # match engine's worklist) need not treat a rebuild as
+            # "anything may have changed"
+            delta: Optional[frozenset[tuple[str, int, int]]] = None
+            if old_graph is not None:
+                diff = old_graph.edge_set() ^ graph.edge_set()
+                delta = frozenset(
+                    (edge.kind, edge.src, edge.dst) for edge in diff
+                )
         else:
-            graph = self._incremental_update(*plan)
+            graph, delta = self._incremental_update(*plan)
             if self.full_check:
                 self._shadow_check(graph)
             self._snapshot_quads(touched=plan[1])
         self._graph = graph
         self._graph_version = self.program.version
+        self._record_delta(old_version, self._graph_version, delta)
         return graph
 
     #: alias matching the session's vocabulary
@@ -295,14 +320,22 @@ class AnalysisManager:
 
     def _incremental_update(
         self, affected: frozenset[str], touched: frozenset[int]
-    ) -> DependenceGraph:
+    ) -> tuple[DependenceGraph, frozenset[tuple[str, int, int]]]:
         """Drop edges incident to the touched region, recompute them
         with a name-restricted analyzer, splice into the retained rest.
+
+        Also returns the delta: every edge — as a ``(kind, src, dst)``
+        triple — that genuinely differs between the old and new graphs.
+        Most recomputed edges come back identical, so diffing the
+        dropped set against the recomputed set keeps the delta
+        proportional to the real dependence churn, not to the
+        recomputation scope.
         """
         self.stats.incremental_updates += 1
         assert self._graph is not None
         program = self.program
         contains = program.contains
+        removed: set[DepEdge] = set()
 
         def keep(edge: DepEdge) -> bool:
             if edge.kind == "ctrl":
@@ -310,11 +343,16 @@ class AnalysisManager:
                 # guards themselves are markers, so an incremental
                 # update never changes an untouched sink's guard set
                 if edge.dst in touched:
+                    removed.add(edge)
                     return False
             elif edge.var in affected:
+                removed.add(edge)
                 return False
             # drop edges with a deleted endpoint
-            return contains(edge.src) and contains(edge.dst)
+            if contains(edge.src) and contains(edge.dst):
+                return True
+            removed.add(edge)
+            return False
 
         partial = DependenceAnalyzer(
             program,
@@ -333,7 +371,10 @@ class AnalysisManager:
             fresh.add_note(note)
         self.stats.edges_retained += len(fresh.edges) - len(partial.edges)
         self.stats.edges_recomputed += len(partial.edges)
-        return fresh
+        return fresh, frozenset(
+            (edge.kind, edge.src, edge.dst)
+            for edge in removed.symmetric_difference(partial.edges)
+        )
 
     def _shadow_check(self, incremental: DependenceGraph) -> None:
         """Assert the spliced graph equals a from-scratch rebuild."""
@@ -370,6 +411,50 @@ class AnalysisManager:
                 self._quad_infos.pop(qid, None)
 
     # ------------------------------------------------------------------
+    # dependence deltas (consumed by the matching engine)
+    # ------------------------------------------------------------------
+    def _record_delta(
+        self,
+        frm: int,
+        to: int,
+        edges: Optional[frozenset[tuple[str, int, int]]],
+    ) -> None:
+        if frm == to:
+            return
+        self._deltas.append((frm, to, edges))
+        if len(self._deltas) > _DELTA_CAP:
+            del self._deltas[: len(self._deltas) - _DELTA_CAP]
+
+    def dependence_deltas_since(
+        self, version: int
+    ) -> Optional[frozenset[tuple[str, int, int]]]:
+        """Union of changed ``(kind, src, dst)`` edges across every
+        graph refresh since ``version``, or ``None`` when no bounded
+        answer exists.
+
+        ``version`` must be a program version at which the caller
+        observed a *current* graph.  ``None`` means a refresh in the
+        interval produced no exact diff, the delta history was trimmed,
+        or the interval does not line up with the recorded refreshes —
+        in all cases the caller must do a full resync.  The graph must
+        be current (``graph()`` called) before asking.
+        """
+        if version == self._graph_version:
+            return frozenset()
+        changed: set[tuple[str, int, int]] = set()
+        cursor = version
+        for frm, to, edges in self._deltas:
+            if to <= version:
+                continue
+            if frm != cursor or edges is None:
+                return None
+            changed.update(edges)
+            cursor = to
+        if cursor != self._graph_version:
+            return None
+        return frozenset(changed)
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
@@ -378,6 +463,7 @@ class AnalysisManager:
         self._graph = None
         self._graph_version = -1
         self._quad_infos.clear()
+        self._deltas.clear()
 
 
 def manager_for(

@@ -173,7 +173,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     optimize.add_argument(
         "--analysis-stats", action="store_true",
-        help="print the analysis manager's cache/incremental counters",
+        help="print the analysis manager's cache/incremental counters "
+        "and the match engine's candidate/index/sweep counters",
+    )
+    optimize.add_argument(
+        "--match-mode", choices=["worklist", "rescan"], default="worklist",
+        help="application-point discovery: incremental worklist "
+        "matching (default) or the paper's restart-from-top re-scan",
     )
     optimize.add_argument(
         "--max-rollbacks", type=int, default=8, metavar="N",
@@ -337,6 +343,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         on_failure=args.on_failure,
         max_rollbacks=args.max_rollbacks,
         deadline_seconds=args.deadline,
+        match_mode=args.match_mode,
     )
     from repro.analysis.manager import AnalysisManager
     from repro.genesis.transaction import HealthLedger
@@ -364,6 +371,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             print("all applications verified semantics-preserving")
     if args.analysis_stats:
         print(manager.stats.summary())
+        from repro.genesis.matching import engine_for
+
+        print(engine_for(manager).stats.summary())
     if args.show:
         print(format_program(program))
     if args.save:

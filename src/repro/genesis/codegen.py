@@ -82,6 +82,45 @@ _PAIR_FINDERS = {
     ElemType.ADJACENT_LOOPS: "adjacent_loop_pairs",
 }
 
+#: ``.opc == <symbol>`` conjuncts narrow a seed scan to one shape bucket
+_SHAPE_BY_OPC = {
+    "assign": "assign",
+    "add": "binop", "sub": "binop", "mul": "binop", "div": "binop",
+    "mod": "binop", "pow": "binop",
+    "neg": "unop", "abs": "unop", "sqrt": "unop", "sin": "unop",
+    "cos": "unop", "exp": "unop", "log": "unop",
+    "do": "loop_head", "doall": "loop_head",
+    "read": "io", "write": "io",
+}
+
+#: ``class(S) == <symbol>`` conjuncts map to shape-bucket sets
+_SHAPE_BY_CLASS = {
+    "assign": ("assign",),
+    "binop": ("binop",),
+    "unop": ("unop",),
+    "compute": ("assign", "binop", "unop"),
+    "loop_head": ("loop_head",),
+    "if_stmt": ("if_stmt",),
+    "io": ("io",),
+    "marker": ("marker",),
+}
+
+
+def _conjuncts(cond: Cond) -> list[Cond]:
+    """Flatten nested top-level ANDs into their conjunct list."""
+    if isinstance(cond, BoolOp) and cond.op == "and":
+        terms: list[Cond] = []
+        for term in cond.terms:
+            terms.extend(_conjuncts(term))
+        return terms
+    return [cond]
+
+
+def _intersect(
+    current: Optional[set[str]], new: set[str]
+) -> set[str]:
+    return set(new) if current is None else current & new
+
 
 class Emitter:
     """Accumulates indented source lines."""
@@ -222,7 +261,9 @@ class CodeGenerator:
                     f"pattern clause {index + 1} uses 'no': matches nothing"
                 )
                 return scan_name
-            depth = self._emit_pattern_enumeration(plan.search_vars)
+            depth = self._emit_pattern_enumeration(
+                plan.search_vars, clause.format
+            )
             if clause.format is not None:
                 check = self._compile_cond(clause.format)
                 e.emit(f"if not ({check}):")
@@ -233,7 +274,11 @@ class CodeGenerator:
                 e.indent -= 1
         return scan_name
 
-    def _emit_pattern_enumeration(self, search_vars: Sequence[str]) -> int:
+    def _emit_pattern_enumeration(
+        self,
+        search_vars: Sequence[str],
+        format_cond: Optional[Cond] = None,
+    ) -> int:
         """Emit nested candidate loops; returns the loop depth opened.
 
         The emitter indent is left *inside* the innermost loop; the
@@ -243,6 +288,13 @@ class CodeGenerator:
         element is already bound filters the table on the bound side
         (this is how ``Tight Loops: (L1, L2), (L2, L3)`` chains a
         perfect nest).
+
+        Statement enumerations carry a *shape hint* derived from the
+        clause format's top-level conjuncts (``Si.opc == assign``,
+        ``class(Si) == compute``, ``type(Si.opr_2) == const``): a
+        superset of the buckets the candidate index must scan.  The
+        format check still runs on every candidate, so the hint never
+        affects what matches — only how many candidates are visited.
         """
         e = self.emitter
         depth = 0
@@ -291,13 +343,88 @@ class CodeGenerator:
                     depth += 1
                     continue
             elem_type = self.types[var]
-            finder = "statements" if elem_type is ElemType.STMT else "loops"
-            e.emit(f"for _cand{depth} in lib.{finder}(ctx):")
+            if elem_type is ElemType.STMT:
+                shape = self._shape_hint(format_cond, var)
+                call = (
+                    f"lib.statements(ctx, shape={shape!r})"
+                    if shape is not None else "lib.statements(ctx)"
+                )
+            else:
+                call = "lib.loops(ctx)"
+            e.emit(f"for _cand{depth} in {call}:")
             e.indent += 1
             e.emit(f"ctx.bind({var!r}, _cand{depth})")
             bound.add(var)
             depth += 1
         return depth
+
+    def _shape_hint(
+        self, format_cond: Optional[Cond], var: str
+    ) -> Optional[tuple[str, ...]]:
+        """Shape buckets covering every candidate for ``var``, or None.
+
+        Only top-level AND conjuncts of the clause format are
+        consulted, and only equality comparisons against symbolic
+        constants — anything else widens the hint (drops it) rather
+        than narrowing it, so the hint is always a superset filter.
+        """
+        if format_cond is None:
+            return None
+        classes: Optional[set[str]] = None
+        rhs_kind: Optional[str] = None
+        for term in _conjuncts(format_cond):
+            if not isinstance(term, Compare) or term.relop != "==":
+                continue
+            for target, other in (
+                (term.left, term.right), (term.right, term.left)
+            ):
+                symbol = self._bare_symbol(other)
+                if symbol is None:
+                    continue
+                if (
+                    isinstance(target, Ref)
+                    and target.base == var
+                    and target.attrs == ("opc",)
+                ):
+                    token = _SHAPE_BY_OPC.get(symbol)
+                    if token is not None:
+                        classes = _intersect(classes, {token})
+                elif (
+                    isinstance(target, FuncVal)
+                    and target.func == "class"
+                    and len(target.args) == 1
+                    and isinstance(target.args[0], Ref)
+                    and target.args[0].base == var
+                    and not target.args[0].attrs
+                ):
+                    tokens = _SHAPE_BY_CLASS.get(symbol)
+                    if tokens is not None:
+                        classes = _intersect(classes, set(tokens))
+                elif (
+                    isinstance(target, FuncVal)
+                    and target.func == "type"
+                    and len(target.args) == 1
+                    and isinstance(target.args[0], Ref)
+                    and target.args[0].base == var
+                    and target.args[0].attrs == ("opr_2",)
+                    and symbol in ("const", "var", "array")
+                ):
+                    rhs_kind = symbol
+        if classes is None:
+            return None
+        if rhs_kind is not None and classes == {"assign"}:
+            return (f"assign:{rhs_kind}",)
+        return tuple(sorted(classes))
+
+    def _bare_symbol(self, value: Value) -> Optional[str]:
+        """The symbolic-constant name of a value, when it is one."""
+        if isinstance(value, SymbolLit):
+            return value.name
+        if isinstance(value, Ref) and not value.attrs and (
+            value.base not in self.types
+        ):
+            return value.base
+        return None
 
     # ------------------------------------------------------------------
     # pre (Depend)

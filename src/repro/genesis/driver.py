@@ -20,7 +20,8 @@ from repro.analysis.graph import DependenceGraph
 from repro.analysis.manager import AnalysisManager, manager_for
 from repro.genesis.cost import ApplicationRecord, CostCounters
 from repro.genesis.generator import GeneratedOptimizer
-from repro.genesis.library import LoopBinding, MatchContext, PosBinding
+from repro.genesis.library import MatchContext
+from repro.genesis.matching import engine_for, point_signature
 from repro.genesis.transaction import (
     ApplicationFailure,
     HealthLedger,
@@ -75,6 +76,13 @@ class DriverOptions:
     #: budget: fuel — total pattern-match candidates considered across
     #: the run before the driver gives up
     max_match_attempts: Optional[int] = None
+    #: how application points are discovered between applications:
+    #: ``"worklist"`` sweeps through the matching engine (candidate
+    #: indexes + dirty-region worklist, see
+    #: :mod:`repro.genesis.matching`); ``"rescan"`` restarts the naive
+    #: full scan from the top of the program after every application —
+    #: the paper's Figure 5 behaviour, kept as the benchmark baseline
+    match_mode: str = "worklist"
 
 
 @dataclass
@@ -87,6 +95,9 @@ class DriverResult:
     failures: list[ApplicationFailure] = field(default_factory=list)
     counters: CostCounters = field(default_factory=CostCounters)
     elapsed_seconds: float = 0.0
+    #: wall-clock spent discovering application points (the matching
+    #: phase), under either ``match_mode``
+    match_seconds: float = 0.0
     #: why the run ended early, if it did: ``"deadline"``, ``"fuel"``,
     #: ``"rollback-budget"`` or ``"quarantined"``
     stopped: Optional[str] = None
@@ -128,15 +139,12 @@ def _point_bindings(
     }
 
 
-def _signature(bindings: dict[str, object]) -> tuple:
-    """A hashable identity for an application point."""
-    items = []
-    for name, value in sorted(bindings.items()):
-        if isinstance(value, (int, float, str, PosBinding, LoopBinding)):
-            items.append((name, value))
-        elif isinstance(value, tuple):
-            items.append((name, value))
-    return tuple(items)
+#: A hashable identity for an application point.  Every binding value
+#: participates: hashable values key by value, unhashable ones fall
+#: back to identity-based keys instead of being silently dropped (or
+#: raising).  Shared with the matching engine so cached sweeps and the
+#: driver agree on point identity.
+_signature = point_signature
 
 
 def make_context(
@@ -152,9 +160,19 @@ def make_context(
     instead of rebuilding from scratch.  An explicit ``graph`` wins —
     callers use that to hand in a deliberately stale graph.
     """
+    structure_provider = None
     if graph is None:
-        graph = manager_for(program, manager).graph()
-    return MatchContext(program=program, graph=graph, counters=counters)
+        owner = manager_for(program, manager)
+        graph = owner.graph()
+        structure_provider = owner.structure
+    elif manager is not None and manager.program is program:
+        structure_provider = manager.structure
+    return MatchContext(
+        program=program,
+        graph=graph,
+        counters=counters,
+        structure_provider=structure_provider,
+    )
 
 
 def find_application_points(
@@ -170,23 +188,34 @@ def find_application_points(
 
     Each point is the binding environment of one complete
     (Code_Pattern × Depend) match.  Points are deduplicated by binding
-    signature.
+    signature.  On an early return (``limit`` reached) the suspended
+    ``match``/``pre`` generators are closed explicitly, so no
+    half-finished scan keeps counting candidates against ``counters``
+    (or pins program state) after this call returns.
     """
     ctx = make_context(program, graph, counters, manager)
     ctx.enforce_restrictions = enforce_restrictions
     optimizer.set_up(ctx)
     points: list[dict[str, object]] = []
     seen: set[tuple] = set()
-    for _match in optimizer.match(ctx):
-        for _pre in optimizer.pre(ctx):
-            bindings = _point_bindings(optimizer, ctx)
-            signature = _signature(bindings)
-            if signature in seen:
-                continue
-            seen.add(signature)
-            points.append(bindings)
-            if limit is not None and len(points) >= limit:
-                return points
+    match_gen = optimizer.match(ctx)
+    try:
+        for _match in match_gen:
+            pre_gen = optimizer.pre(ctx)
+            try:
+                for _pre in pre_gen:
+                    bindings = _point_bindings(optimizer, ctx)
+                    signature = _signature(bindings)
+                    if signature in seen:
+                        continue
+                    seen.add(signature)
+                    points.append(bindings)
+                    if limit is not None and len(points) >= limit:
+                        return points
+            finally:
+                pre_gen.close()
+    finally:
+        match_gen.close()
     return points
 
 
@@ -287,6 +316,15 @@ def run_optimizer(
     deterministic ones burn the ``max_rollbacks`` budget and stop the
     run).  A ``health`` ledger, when supplied, feeds the per-optimizer
     circuit breaker shared across a pipeline or session.
+
+    Point discovery between applications is governed by
+    ``options.match_mode``: the default ``"worklist"`` sweeps through
+    the :mod:`repro.genesis.matching` engine, which serves candidates
+    from shape-bucket indexes and — after a committed application —
+    re-enumerates only the dirty region its transaction touched.
+    ``"rescan"`` restarts the naive full scan from the top of the
+    program each time (the paper's Figure 5 loop, kept as the
+    benchmark baseline).
     """
     options = options or DriverOptions()
     counters = CostCounters()
@@ -305,6 +343,7 @@ def run_optimizer(
         )
 
     manager = manager_for(program, manager)
+    engine = engine_for(manager) if options.match_mode != "rescan" else None
     current_graph = graph
     while len(result.applications) < options.max_applications:
         if len(result.failures) >= options.max_rollbacks:
@@ -315,11 +354,22 @@ def run_optimizer(
             break
         ctx = make_context(program, current_graph, counters, manager)
         ctx.enforce_restrictions = options.enforce_restrictions
-        optimizer.set_up(ctx)
 
         chosen: Optional[dict[str, object]] = None
-        for _match in optimizer.match(ctx):
-            fuel_used += 1
+        chosen_signature: Optional[tuple] = None
+        discovery_started = time.perf_counter()
+        if engine is not None:
+            # the worklist may only serve sweeps whose graph is the
+            # manager's own, current one: disabled recomputation pins
+            # full sweeps (the engine itself rejects foreign graphs)
+            allow_worklist = (
+                options.recompute_dependences
+                and options.enforce_restrictions
+            )
+            sweep = engine.sweep(
+                optimizer, ctx, allow_worklist=allow_worklist
+            )
+            fuel_used += sweep.attempts
             if (
                 options.max_match_attempts is not None
                 and fuel_used > options.max_match_attempts
@@ -329,20 +379,51 @@ def run_optimizer(
             if out_of_time():
                 result.stopped = "deadline"
                 break
-            for _pre in optimizer.pre(ctx):
-                bindings = _point_bindings(optimizer, ctx)
-                signature = _signature(bindings)
+            for signature, bindings in sweep.points:
                 if signature in applied_signatures:
                     continue
                 if options.point_filter is not None and not (
                     options.point_filter(bindings)
                 ):
                     continue
-                applied_signatures.add(signature)
-                chosen = bindings
+                chosen_signature = signature
+                chosen = dict(bindings)
                 break
             if chosen is not None:
-                break
+                applied_signatures.add(chosen_signature)
+                optimizer.set_up(ctx)
+                ctx.bindings.update(chosen)
+        else:
+            optimizer.set_up(ctx)
+            for _match in optimizer.match(ctx):
+                fuel_used += 1
+                if (
+                    options.max_match_attempts is not None
+                    and fuel_used > options.max_match_attempts
+                ):
+                    result.stopped = "fuel"
+                    break
+                if out_of_time():
+                    result.stopped = "deadline"
+                    break
+                for _pre in optimizer.pre(ctx):
+                    bindings = _point_bindings(optimizer, ctx)
+                    signature = _signature(bindings)
+                    if signature in applied_signatures:
+                        continue
+                    if options.point_filter is not None and not (
+                        options.point_filter(bindings)
+                    ):
+                        continue
+                    applied_signatures.add(signature)
+                    chosen = bindings
+                    chosen_signature = signature
+                    break
+                if chosen is not None:
+                    break
+        result.match_seconds += time.perf_counter() - discovery_started
+        if result.stopped is not None:
+            break
         if chosen is None:
             break
 
@@ -355,7 +436,7 @@ def run_optimizer(
             # the point may succeed on retry (transient fault), so its
             # signature is released; deterministic failures terminate
             # through the rollback budget or the circuit breaker
-            applied_signatures.discard(_signature(chosen))
+            applied_signatures.discard(chosen_signature)
             if health is not None and health.record_rollback(
                 optimizer.name, failure
             ):
@@ -414,33 +495,41 @@ def apply_at_point(
     ctx.enforce_restrictions = enforce_restrictions
     optimizer.set_up(ctx)
     seen = 0
-    for _match in optimizer.match(ctx):
-        for _pre in optimizer.pre(ctx):
-            if seen == point_index:
-                bindings = _point_bindings(optimizer, ctx)
-                before = counters.snapshot()
-                point_options = replace(
-                    options,
-                    verify=verify or options.verify,
-                    verify_trials=verify_trials,
-                    verify_seed=verify_seed,
-                    enforce_restrictions=enforce_restrictions,
-                )
-                failure = _transactional_act(
-                    optimizer, program, ctx, bindings, point_options
-                )
-                if failure is not None:
-                    result.failures.append(failure)
-                else:
-                    result.applications.append(
-                        ApplicationRecord(
-                            opt_name=optimizer.name,
-                            bindings=bindings,
-                            cost=counters.minus(before),
+    match_gen = optimizer.match(ctx)
+    try:
+        for _match in match_gen:
+            pre_gen = optimizer.pre(ctx)
+            try:
+                for _pre in pre_gen:
+                    if seen == point_index:
+                        bindings = _point_bindings(optimizer, ctx)
+                        before = counters.snapshot()
+                        point_options = replace(
+                            options,
+                            verify=verify or options.verify,
+                            verify_trials=verify_trials,
+                            verify_seed=verify_seed,
+                            enforce_restrictions=enforce_restrictions,
                         )
-                    )
-                result.elapsed_seconds = time.perf_counter() - start
-                return result
-            seen += 1
+                        failure = _transactional_act(
+                            optimizer, program, ctx, bindings, point_options
+                        )
+                        if failure is not None:
+                            result.failures.append(failure)
+                        else:
+                            result.applications.append(
+                                ApplicationRecord(
+                                    opt_name=optimizer.name,
+                                    bindings=bindings,
+                                    cost=counters.minus(before),
+                                )
+                            )
+                        result.elapsed_seconds = time.perf_counter() - start
+                        return result
+                    seen += 1
+            finally:
+                pre_gen.close()
+    finally:
+        match_gen.close()
     result.elapsed_seconds = time.perf_counter() - start
     return result

@@ -23,7 +23,7 @@ nesting would now call ``L1.end``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence, Union
+from typing import Callable, Iterator, Optional, Sequence, Union
 
 from repro.analysis.graph import DepEdge, DependenceGraph
 from repro.analysis.subscript import (
@@ -87,6 +87,7 @@ class MatchContext:
         graph: DependenceGraph,
         structure: Optional[StructureTable] = None,
         counters: Optional[CostCounters] = None,
+        structure_provider: Optional[Callable[[], StructureTable]] = None,
     ):
         self.program = program
         self.graph = graph
@@ -94,6 +95,10 @@ class MatchContext:
         self._structure_version = (
             program.version if structure is not None else -1
         )
+        #: version-keyed table source shared across contexts (usually
+        #: ``AnalysisManager.structure``) — consulted when no local
+        #: table matches the current program version
+        self.structure_provider = structure_provider
         self.counters = counters or CostCounters()
         self.bindings: dict[str, object] = {}
         self.declared: dict[str, str] = {}
@@ -101,6 +106,25 @@ class MatchContext:
         #: (paper Figure 4, step 3.b.iii.3) — 'no' clauses stop failing
         self.enforce_restrictions = True
         self._temp_counter = 0
+        #: candidate index attached by the matching engine
+        #: (:class:`repro.genesis.matching.MatchIndex`); ``None`` keeps
+        #: every enumerator on its naive full scan
+        self.match_index: Optional[object] = None
+        #: one-shot worklist restriction armed by the matching engine:
+        #: the *first* seed enumeration after arming iterates only
+        #: these statements, then the restriction is consumed so
+        #: pre-phase enumerations see the whole program again
+        self._seed_restriction: Optional[tuple[int, ...]] = None
+
+    def arm_seed_restriction(self, qids: Sequence[int]) -> None:
+        """Restrict the next seed enumeration to ``qids`` (one-shot)."""
+        self._seed_restriction = tuple(qids)
+
+    def take_seed_restriction(self) -> Optional[tuple[int, ...]]:
+        """Consume the one-shot seed restriction, if armed."""
+        restriction = self._seed_restriction
+        self._seed_restriction = None
+        return restriction
 
     # ------------------------------------------------------------------
     # stlp management (used by generated set_up_XXX)
@@ -158,11 +182,14 @@ class MatchContext:
         something actually consults it.
         """
         if (
-            self._structure is None
-            or self._structure_version != self.program.version
+            self._structure is not None
+            and self._structure_version == self.program.version
         ):
-            self._structure = StructureTable(self.program)
-            self._structure_version = self.program.version
+            return self._structure
+        if self.structure_provider is not None:
+            return self.structure_provider()
+        self._structure = StructureTable(self.program)
+        self._structure_version = self.program.version
         return self._structure
 
     def refresh_structure(self) -> None:
@@ -182,8 +209,41 @@ def _as_qid(value: object) -> int:
 # ----------------------------------------------------------------------
 # pattern-matching routines (find_statement, find_nested_loops, ...)
 # ----------------------------------------------------------------------
-def statements(ctx: MatchContext) -> Iterator[int]:
-    """All statements in program order (candidate enumeration)."""
+def statements(
+    ctx: MatchContext, shape: Optional[Sequence[str]] = None
+) -> Iterator[int]:
+    """All statements in program order (candidate enumeration).
+
+    ``shape`` is an optional superset hint derived from the clause's
+    format at generation time (see :func:`statement_shapes`): when a
+    candidate index is attached to the context, only the statements in
+    the named shape buckets are enumerated.  The full format check
+    still runs downstream, so the hint is purely a candidate filter.
+
+    A one-shot seed restriction (armed by the worklist engine) takes
+    precedence and enumerates only the dirty region.
+    """
+    restriction = ctx.take_seed_restriction()
+    if restriction is not None:
+        index = ctx.match_index
+        if index is not None and shape is not None:
+            if index.stats is not None:  # type: ignore[attr-defined]
+                index.stats.index_hits += 1  # type: ignore[attr-defined]
+            for qid in restriction:
+                if index.matches_shape(qid, shape):  # type: ignore[attr-defined]
+                    ctx.counters.candidates += 1
+                    yield qid
+            return
+        for qid in restriction:
+            ctx.counters.candidates += 1
+            yield qid
+        return
+    index = ctx.match_index
+    if index is not None and shape is not None:
+        for qid in index.statements_of(shape):  # type: ignore[attr-defined]
+            ctx.counters.candidates += 1
+            yield qid
+        return
     for quad in ctx.program:
         ctx.counters.candidates += 1
         yield quad.qid
@@ -191,6 +251,12 @@ def statements(ctx: MatchContext) -> Iterator[int]:
 
 def loops(ctx: MatchContext) -> Iterator[LoopBinding]:
     """All loops, head and end captured."""
+    index = ctx.match_index
+    if index is not None:
+        for head, end in index.loops_in_order():  # type: ignore[attr-defined]
+            ctx.counters.candidates += 1
+            yield LoopBinding(head=head, end=end)
+        return
     for loop in ctx.structure.loops_in_order():
         ctx.counters.candidates += 1
         yield LoopBinding(head=loop.head_qid, end=loop.end_qid)
@@ -201,8 +267,32 @@ def _pair_binding(ctx: MatchContext, head_qid: int) -> LoopBinding:
     return LoopBinding(head=loop.head_qid, end=loop.end_qid)
 
 
+def _index_pairs(
+    ctx: MatchContext, table: str
+) -> Optional[Iterator[tuple[LoopBinding, LoopBinding]]]:
+    """Serve a loop-pair enumeration from the candidate index, if any."""
+    index = ctx.match_index
+    if index is None:
+        return None
+    pairs = getattr(index, table)()
+
+    def emit() -> Iterator[tuple[LoopBinding, LoopBinding]]:
+        for (head_a, end_a), (head_b, end_b) in pairs:
+            ctx.counters.candidates += 1
+            yield (
+                LoopBinding(head=head_a, end=end_a),
+                LoopBinding(head=head_b, end=end_b),
+            )
+
+    return emit()
+
+
 def nested_loop_pairs(ctx: MatchContext) -> Iterator[tuple[LoopBinding, LoopBinding]]:
     """All (outer, inner) nested loop pairs."""
+    indexed = _index_pairs(ctx, "nested_pairs")
+    if indexed is not None:
+        yield from indexed
+        return
     for outer, inner in ctx.structure.nested_pairs():
         ctx.counters.candidates += 1
         yield _pair_binding(ctx, outer), _pair_binding(ctx, inner)
@@ -210,6 +300,10 @@ def nested_loop_pairs(ctx: MatchContext) -> Iterator[tuple[LoopBinding, LoopBind
 
 def tight_loop_pairs(ctx: MatchContext) -> Iterator[tuple[LoopBinding, LoopBinding]]:
     """All tightly nested (outer, inner) pairs."""
+    indexed = _index_pairs(ctx, "tight_pairs")
+    if indexed is not None:
+        yield from indexed
+        return
     for outer, inner in ctx.structure.tight_pairs():
         ctx.counters.candidates += 1
         yield _pair_binding(ctx, outer), _pair_binding(ctx, inner)
@@ -217,6 +311,10 @@ def tight_loop_pairs(ctx: MatchContext) -> Iterator[tuple[LoopBinding, LoopBindi
 
 def adjacent_loop_pairs(ctx: MatchContext) -> Iterator[tuple[LoopBinding, LoopBinding]]:
     """All adjacent (first, second) loop pairs."""
+    indexed = _index_pairs(ctx, "adjacent_pairs")
+    if indexed is not None:
+        yield from indexed
+        return
     for first, second in ctx.structure.adjacent_pairs():
         ctx.counters.candidates += 1
         yield _pair_binding(ctx, first), _pair_binding(ctx, second)
@@ -321,15 +419,34 @@ _CLASS_BY_OPCODE = {
 }
 
 
-def class_of(ctx: MatchContext, stmt: object) -> str:
-    """GOSpeL ``class()``: assign / binop / unop / loop_head / if_stmt /
-    io / marker."""
-    opcode = ctx.program.quad(_as_qid(stmt)).opcode
+def statement_class(quad: Quad) -> str:
+    """The ``class()`` token of one quad (shared with the candidate
+    index, which must bucket by *exactly* this classification)."""
+    opcode = quad.opcode
     if opcode in BINARY_OPS:
         return "binop"
     if opcode in UNARY_OPS:
         return "unop"
     return _CLASS_BY_OPCODE.get(opcode, "marker")
+
+
+def statement_shapes(quad: Quad) -> tuple[str, ...]:
+    """Shape-bucket tokens for the candidate index.
+
+    Every quad carries its class token; assignments additionally carry
+    an ``assign:<rhs-kind>`` token (const / var / array) so constant-
+    and copy-propagation seeds enumerate only matching candidates.
+    """
+    token = statement_class(quad)
+    if token == "assign" and quad.a is not None:
+        return (token, f"assign:{operand_kind(quad.a)}")
+    return (token,)
+
+
+def class_of(ctx: MatchContext, stmt: object) -> str:
+    """GOSpeL ``class()``: assign / binop / unop / loop_head / if_stmt /
+    io / marker."""
+    return statement_class(ctx.program.quad(_as_qid(stmt)))
 
 
 def trip_of(ctx: MatchContext, loop: object) -> Optional[int]:
@@ -773,12 +890,15 @@ def path_set(ctx: MatchContext, src: object, dst: object) -> tuple[int, ...]:
     dst_position = ctx.program.position(_as_qid(dst))
     low, high = sorted((src_position, dst_position))
 
+    position = ctx.program.position
+    intervals = [
+        (position(loop.head_qid), position(loop.end_qid))
+        for loop in ctx.structure.loops_in_order()
+    ]
     changed = True
     while changed:
         changed = False
-        for loop in ctx.structure.loops_in_order():
-            head_position = ctx.program.position(loop.head_qid)
-            end_position = ctx.program.position(loop.end_qid)
+        for head_position, end_position in intervals:
             overlaps = head_position < high and end_position > low
             if not overlaps:
                 continue

@@ -1,0 +1,1018 @@
+"""Incremental pattern matching: candidate indexes + dirty-region worklist.
+
+The paper's driver (Figure 5) restarts candidate enumeration from the
+top of the program after every committed application; with PR 2's
+incremental dependence analysis in place, that re-scan became the
+dominant cost of multi-pass pipelines.  This module removes it with two
+cooperating pieces:
+
+* :class:`MatchIndex` — **candidate indexes** over the program,
+  maintained from the :class:`~repro.ir.program.Program` change log
+  under the :class:`~repro.analysis.manager.AnalysisManager` version
+  key: statements bucketed by shape (``assign``, ``assign:const``,
+  ``assign:var``, ``assign:array``, ``binop``, ...), the loop list, and
+  the nested/tight/adjacent loop-pair tables.  Generated matchers pass
+  a shape *hint* derived from the clause format
+  (:func:`repro.genesis.codegen` emits it), so a constant-propagation
+  seed scan enumerates only constant-RHS assignments instead of every
+  quad.
+
+* :class:`MatchEngine` — a **dirty-region worklist** over application
+  points.  After a committed application only the quads its
+  transaction touched (from the change log), the statements whose
+  dependence neighborhood changed (from the manager's per-refresh
+  deltas), and their dependence neighbors up to the specification's
+  depend-clause depth can gain or lose application points.  The engine
+  keeps the previous sweep's point set per optimizer, drops the points
+  whose bound elements intersect that dirty region, re-enumerates
+  candidates only from it (by arming a one-shot seed restriction on
+  the :class:`~repro.genesis.library.MatchContext`), and serves the
+  merged set.  Rollbacks need no special casing: the undo mutations
+  are ordinary change-log entries, so the next sweep's dirty region
+  covers exactly the rolled-back quads and the index is restored to
+  the same state a fresh build would produce.
+
+Falling back to a full sweep — mirroring the splice-vs-rebuild policy
+of the analysis manager — happens whenever the incremental path cannot
+be proven exact:
+
+* the change log was trimmed (``changes_since`` returned ``None``) or
+  contains an ``opaque`` touch;
+* a structural marker (``DO``/``ENDDO``/``IF``/...) was touched;
+* the specification is not *worklist-eligible* (see
+  :func:`profile_spec`): its seed is not a single ``any``-quantified
+  statement variable, it uses an ``all`` quantifier, or a depend
+  clause's search variable is not anchored to a dependence atom;
+* the specification is *position-sensitive* (``path``/``region``/
+  ``uses``/``mem``/``pos()``/``.next``/``.prev``) and the interval
+  contains structural (add/remove/move) changes;
+* the analysis manager performed a full graph rebuild in the interval
+  (no bounded dependence delta exists), or the graph in use is not the
+  manager's current one (stale-graph mode, explicit graphs);
+* dependence restrictions are overridden (``enforce_restrictions``
+  off) — cached point sets only describe enforcing sweeps.
+
+Set ``REPRO_MATCH_CHECK=1`` (or construct the engine with
+``full_check=True``) to shadow every worklist sweep with a naive full
+re-scan and assert point-set equality — the debug mode the property
+tests and CI use to prove the two paths agree.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.analysis.manager import AnalysisManager
+from repro.genesis.cost import CostCounters
+from repro.genesis.library import (
+    LoopBinding,
+    MatchContext,
+    PosBinding,
+    statement_shapes,
+)
+from repro.gospel.ast import (
+    Arith,
+    BoolOp,
+    Compare,
+    Cond,
+    DepCond,
+    ElemType,
+    FuncVal,
+    MemCond,
+    NotOp,
+    Quant,
+    Ref,
+    Value,
+)
+from repro.gospel.sema import AnalyzedSpec
+from repro.ir.loops import StructureTable
+from repro.ir.program import Program
+from repro.ir.quad import STRUCTURAL_OPS
+
+#: Environment variable enabling the shadow full-rescan check.
+ENV_MATCH_CHECK = "REPRO_MATCH_CHECK"
+
+#: Shape tokens whose quads delimit control structure; touching one
+#: invalidates the loop tables (and the worklist policy falls back).
+_STRUCTURAL_SHAPES = frozenset({"loop_head", "if_stmt", "marker"})
+
+
+class MatchMismatchError(AssertionError):
+    """The shadow check found a worklist/full point-set divergence."""
+
+
+# ----------------------------------------------------------------------
+# robust point signatures (shared with the driver)
+# ----------------------------------------------------------------------
+def point_signature(bindings: dict[str, object]) -> tuple:
+    """A hashable identity for one application point.
+
+    Tolerates arbitrary binding values: hashable values key by value,
+    anything else falls back to an identity-based key instead of
+    raising — two points are then "the same" only when they carry the
+    very same object.
+    """
+    items = []
+    for name, value in sorted(bindings.items()):
+        items.append((name, _signature_value(value)))
+    return tuple(items)
+
+
+def _signature_value(value: object) -> object:
+    if isinstance(value, tuple):
+        return tuple(_signature_value(item) for item in value)
+    try:
+        hash(value)
+    except TypeError:
+        return ("unhashable", type(value).__name__, id(value))
+    return value
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+@dataclass
+class MatchStats:
+    """Counters of the matching engine, exposed via ``stats``."""
+
+    full_sweeps: int = 0
+    worklist_sweeps: int = 0
+    cached_sweeps: int = 0
+    shadow_checks: int = 0
+    points_survived: int = 0
+    points_dropped: int = 0
+    points_rediscovered: int = 0
+    #: seed enumerations served from a shape bucket or worklist
+    #: restriction instead of a full program scan
+    index_hits: int = 0
+    #: candidates enumerated across every engine sweep
+    candidates_scanned: int = 0
+    sweep_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "full_sweeps": self.full_sweeps,
+            "worklist_sweeps": self.worklist_sweeps,
+            "cached_sweeps": self.cached_sweeps,
+            "shadow_checks": self.shadow_checks,
+            "points_survived": self.points_survived,
+            "points_dropped": self.points_dropped,
+            "points_rediscovered": self.points_rediscovered,
+            "index_hits": self.index_hits,
+            "candidates_scanned": self.candidates_scanned,
+            "sweep_seconds": self.sweep_seconds,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"matching: {self.candidates_scanned} candidate(s) scanned, "
+            f"{self.index_hits} index hit(s), "
+            f"{self.worklist_sweeps} worklist sweep(s), "
+            f"{self.full_sweeps} full sweep(s), "
+            f"{self.cached_sweeps} cached sweep(s) "
+            f"({self.points_survived} point(s) survived, "
+            f"{self.points_dropped} dropped, "
+            f"{self.points_rediscovered} rediscovered)"
+        )
+
+
+# ----------------------------------------------------------------------
+# the candidate index
+# ----------------------------------------------------------------------
+class MatchIndex:
+    """Shape buckets and loop tables, maintained from the change log.
+
+    One index serves one program object.  :meth:`refresh` brings it up
+    to the program's current version: per-statement shape buckets are
+    maintained entry-by-entry from the change log; the loop tables are
+    re-derived from the (version-cached) structure table only when a
+    structural change occurred, and retained across pure operand
+    modifications.  Marker or opaque touches, and a trimmed log, cause
+    a full rebuild — the same policy the analysis manager applies to
+    the dependence graph.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.stats: Optional[MatchStats] = None
+        self._version = -1
+        #: qid -> its shape tokens at the indexed version
+        self._shapes: dict[int, tuple[str, ...]] = {}
+        #: shape token -> set of qids
+        self._buckets: dict[str, set[int]] = {}
+        self._loops: list[tuple[int, int]] = []
+        self._nested: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        self._tight: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        self._adjacent: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        #: loop tables are re-derived lazily, on the first loop query
+        #: after a structural change — scalar optimizers never pay
+        self._loops_stale = True
+        self._structure: Optional[Callable[[], StructureTable]] = None
+        self.full_rebuilds = 0
+        self.incremental_updates = 0
+
+    # -- maintenance ---------------------------------------------------
+    def refresh(
+        self, structure: Optional[Callable[[], StructureTable]] = None
+    ) -> None:
+        """Bring the index up to the program's current version."""
+        program = self.program
+        version = program.version
+        self._structure = structure
+        if version == self._version:
+            return
+        changes = (
+            program.changes_since(self._version)
+            if self._version >= 0
+            else None
+        )
+        if changes is None or not self._apply_changes(changes, structure):
+            self._rebuild(structure)
+        self._version = version
+
+    def _apply_changes(
+        self,
+        changes: Sequence[object],
+        structure: Optional[Callable[[], StructureTable]],
+    ) -> bool:
+        """Maintain the buckets from the log; False forces a rebuild."""
+        program = self.program
+        structural = False
+        pending: list[tuple[str, int]] = []
+        for change in changes:
+            kind = change.kind  # type: ignore[attr-defined]
+            qid = change.qid  # type: ignore[attr-defined]
+            if kind == "opaque":
+                return False
+            if kind in ("add", "remove", "move"):
+                structural = True
+            else:
+                # a modified marker (e.g. rewritten loop bounds) leaves
+                # bucket membership alone but may alter the loop tables
+                old = self._shapes.get(qid)
+                if old is not None and old[0] in _STRUCTURAL_SHAPES:
+                    structural = True
+                elif program.contains(qid) and (
+                    statement_shapes(program.quad(qid))[0]
+                    in _STRUCTURAL_SHAPES
+                ):
+                    structural = True
+            pending.append((kind, qid))
+        self.incremental_updates += 1
+        for kind, qid in pending:
+            if kind == "move":
+                continue  # bucket membership is position-independent
+            self._unindex(qid)
+            if kind != "remove" and program.contains(qid):
+                self._index_quad(qid)
+        if structural:
+            self._loops_stale = True
+        return True
+
+    def _rebuild(
+        self, structure: Optional[Callable[[], StructureTable]]
+    ) -> None:
+        self.full_rebuilds += 1
+        self._shapes.clear()
+        self._buckets.clear()
+        for quad in self.program:
+            self._index_quad(quad.qid)
+        self._loops_stale = True
+
+    def _index_quad(self, qid: int) -> None:
+        shapes = statement_shapes(self.program.quad(qid))
+        self._shapes[qid] = shapes
+        for token in shapes:
+            self._buckets.setdefault(token, set()).add(qid)
+
+    def _unindex(self, qid: int) -> None:
+        shapes = self._shapes.pop(qid, ())
+        for token in shapes:
+            bucket = self._buckets.get(token)
+            if bucket is not None:
+                bucket.discard(qid)
+
+    def _ensure_loop_tables(self) -> None:
+        if not self._loops_stale:
+            return
+        self._rebuild_loop_tables(self._structure)
+        self._loops_stale = False
+
+    def _rebuild_loop_tables(
+        self, structure: Optional[Callable[[], StructureTable]]
+    ) -> None:
+        table = (
+            structure() if structure is not None
+            else StructureTable(self.program)
+        )
+        by_head = {
+            loop.head_qid: (loop.head_qid, loop.end_qid)
+            for loop in table.loops_in_order()
+        }
+        self._loops = [
+            (loop.head_qid, loop.end_qid) for loop in table.loops_in_order()
+        ]
+        self._nested = [
+            (by_head[outer], by_head[inner])
+            for outer, inner in table.nested_pairs()
+        ]
+        self._tight = [
+            (by_head[outer], by_head[inner])
+            for outer, inner in table.tight_pairs()
+        ]
+        self._adjacent = [
+            (by_head[first], by_head[second])
+            for first, second in table.adjacent_pairs()
+        ]
+
+    # -- queries (consumed by the library's enumerators) ---------------
+    def statements_of(self, shapes: Sequence[str]) -> list[int]:
+        """Statements in the named shape buckets, in program order."""
+        return sorted(self.members_of(shapes), key=self.program.position)
+
+    def members_of(self, shapes: Sequence[str]) -> set[int]:
+        """The named shape buckets' members, unordered."""
+        if self.stats is not None:
+            self.stats.index_hits += 1
+        qids: set[int] = set()
+        for token in shapes:
+            qids.update(self._buckets.get(token, ()))
+        return qids
+
+    def matches_shape(self, qid: int, shapes: Sequence[str]) -> bool:
+        """Is ``qid`` in any of the named shape buckets?  O(1) — for
+        filtering a small candidate set without building the union."""
+        tokens = self._shapes.get(qid)
+        if tokens is None:
+            return False
+        return any(token in shapes for token in tokens)
+
+    def loops_in_order(self) -> list[tuple[int, int]]:
+        self._ensure_loop_tables()
+        return list(self._loops)
+
+    def nested_pairs(self) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        self._ensure_loop_tables()
+        return list(self._nested)
+
+    def tight_pairs(self) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        self._ensure_loop_tables()
+        return list(self._tight)
+
+    def adjacent_pairs(self) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        self._ensure_loop_tables()
+        return list(self._adjacent)
+
+    def fingerprint(self) -> str:
+        """A deterministic, version-independent rendering of the whole
+        index state (the chaos tests compare it across rollbacks)."""
+        self._ensure_loop_tables()
+        shapes = sorted(self._shapes.items())
+        buckets = sorted(
+            (token, sorted(qids)) for token, qids in self._buckets.items()
+            if qids
+        )
+        return repr((shapes, buckets, self._loops, self._nested,
+                     self._tight, self._adjacent))
+
+
+# ----------------------------------------------------------------------
+# specification profiling (worklist eligibility)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpecProfile:
+    """Static facts about a specification the worklist policy needs."""
+
+    #: the single ``any``-quantified statement seed, when eligible
+    seed: Optional[str]
+    #: the dirty-region worklist may serve this optimizer's sweeps
+    eligible: bool
+    #: conditions inspect program positions (``path``/``pos``/``.next``
+    #: ...) — structural changes then force a full sweep
+    position_sensitive: bool
+    #: dependence-closure expansion depth for the dirty region
+    dep_depth: int
+    #: the dependence kinds the conditions traverse — the dirty-region
+    #: ball only grows along these; ``None`` disables the filter
+    dep_kinds: Optional[frozenset[str]] = None
+    #: one entry per search variable: the exact ``(kind, var_is_dst)``
+    #: dependence steps from that variable's binding back to the seed.
+    #: When present, the dirty ball walks these directed chains instead
+    #: of the undirected radius-``dep_depth`` expansion.
+    var_paths: Optional[tuple[tuple[tuple[str, bool], ...], ...]] = None
+
+
+def profile_spec(analyzed: AnalyzedSpec) -> SpecProfile:
+    """Classify one specification for the worklist policy.
+
+    Eligibility demands that every application point be *reachable*
+    from its seed statement through dependence atoms: a single
+    ``any``-quantified statement-typed seed, no ``all`` quantifier, and
+    every depend clause introducing at most one search variable that is
+    anchored to a dependence atom of its clause.  Everything else —
+    loop-seeded specifications in particular — always takes the full
+    sweep (their actions touch structural markers anyway).
+    """
+    spec = analyzed.spec
+    seed: Optional[str] = None
+    if len(spec.patterns) == 1 and spec.patterns[0].quant is Quant.ANY:
+        plan = analyzed.pattern_plans[0]
+        if len(plan.search_vars) == 1 and (
+            analyzed.types.get(plan.search_vars[0]) is ElemType.STMT
+        ):
+            seed = plan.search_vars[0]
+    eligible = seed is not None and seed in analyzed.action_names
+    for clause in tuple(spec.patterns) + tuple(spec.depends):
+        if clause.quant is Quant.ALL:
+            eligible = False
+    for clause, plan in zip(spec.depends, analyzed.depend_plans):
+        if not plan.search_vars:
+            continue
+        if len(plan.search_vars) > 1:
+            eligible = False
+            continue
+        if not _dep_anchored(clause.condition, plan.search_vars[0]):
+            eligible = False
+    sensitive = False
+    for pattern in spec.patterns:
+        if pattern.format is not None and _cond_sensitive(pattern.format):
+            sensitive = True
+    for depend in spec.depends:
+        if depend.memberships:
+            sensitive = True  # membership sets are position queries
+        if depend.condition is not None and _cond_sensitive(depend.condition):
+            sensitive = True
+    kinds: set[str] = set()
+    for pattern in spec.patterns:
+        if pattern.format is not None:
+            kinds |= _cond_dep_kinds(pattern.format)
+    for depend in spec.depends:
+        if depend.condition is not None:
+            kinds |= _cond_dep_kinds(depend.condition)
+    # an empty set is meaningful: no dependence atoms at all, so the
+    # dirty ball never needs to expand past the changed quads
+    dep_kinds: Optional[frozenset[str]] = None
+    if kinds <= {"flow", "anti", "out", "ctrl"}:
+        dep_kinds = frozenset(kinds)
+    var_paths = _anchor_paths(analyzed, seed) if eligible else None
+    return SpecProfile(
+        seed=seed if eligible else None,
+        eligible=eligible,
+        position_sensitive=sensitive,
+        dep_depth=max(1, len(spec.depends)),
+        dep_kinds=dep_kinds,
+        var_paths=var_paths,
+    )
+
+
+def _anchor_paths(
+    analyzed: AnalyzedSpec, seed: Optional[str]
+) -> Optional[tuple[tuple[tuple[str, bool], ...], ...]]:
+    """The exact dependence chain from each search variable to the seed.
+
+    Each depend clause binds its variable by walking one dependence
+    atom from an already-bound anchor; concatenating those steps gives
+    the only routes along which a changed quad can be bound during a
+    seed's search.  When a variable's anchor cannot be pinned down (no
+    dependence atom ties it to a known variable, an exotic edge kind,
+    several candidate generator atoms of conflicting shape), ``None``
+    tells the dirty-region policy to fall back to the undirected ball.
+    """
+    if seed is None:
+        return None
+    spec = analyzed.spec
+    known: dict[str, tuple[tuple[str, bool], ...]] = {seed: ()}
+    for clause, plan in zip(spec.depends, analyzed.depend_plans):
+        if not plan.search_vars:
+            continue
+        var = plan.search_vars[0]
+        links: list[tuple[str, bool, str]] = []
+        for term in _conjuncts(clause.condition) if clause.condition else []:
+            if not isinstance(term, DepCond):
+                continue
+            if term.kind not in ("flow", "anti", "out", "ctrl"):
+                return None
+            src, dst = term.src, term.dst
+            if (
+                isinstance(dst, Ref) and dst.base == var and not dst.attrs
+                and isinstance(src, Ref) and not src.attrs
+                and src.base in known
+            ):
+                links.append((term.kind, True, src.base))
+            elif (
+                isinstance(src, Ref) and src.base == var and not src.attrs
+                and isinstance(dst, Ref) and not dst.attrs
+                and dst.base in known
+            ):
+                links.append((term.kind, False, dst.base))
+        if not links:
+            return None
+        # with several candidate generator atoms the binding may travel
+        # any of their chains — only a single unambiguous route is safe
+        paths = {
+            ((kind, var_is_dst),) + known[anchor]
+            for kind, var_is_dst, anchor in links
+        }
+        if len(paths) > 1:
+            return None
+        known[var] = next(iter(paths))
+    return tuple(path for name, path in known.items() if name != seed)
+
+
+def _dep_anchored(cond: Optional[Cond], name: str) -> bool:
+    """Does some top-level conjunct tie ``name`` to a dependence atom?"""
+    if cond is None:
+        return False
+    for term in _conjuncts(cond):
+        if isinstance(term, DepCond):
+            for value in (term.src, term.dst):
+                if isinstance(value, Ref) and value.base == name and (
+                    not value.attrs
+                ):
+                    return True
+    return False
+
+
+def _conjuncts(cond: Cond) -> list[Cond]:
+    if isinstance(cond, BoolOp) and cond.op == "and":
+        terms: list[Cond] = []
+        for term in cond.terms:
+            terms.extend(_conjuncts(term))
+        return terms
+    return [cond]
+
+
+def _cond_dep_kinds(cond: Cond) -> set[str]:
+    """Every dependence kind the condition's atoms may traverse."""
+    if isinstance(cond, BoolOp):
+        kinds: set[str] = set()
+        for term in cond.terms:
+            kinds |= _cond_dep_kinds(term)
+        return kinds
+    if isinstance(cond, NotOp):
+        return _cond_dep_kinds(cond.term)
+    if isinstance(cond, DepCond):
+        return {cond.kind}
+    return set()
+
+
+def _cond_sensitive(cond: Cond) -> bool:
+    if isinstance(cond, BoolOp):
+        return any(_cond_sensitive(term) for term in cond.terms)
+    if isinstance(cond, NotOp):
+        return _cond_sensitive(cond.term)
+    if isinstance(cond, Compare):
+        return _value_sensitive(cond.left) or _value_sensitive(cond.right)
+    if isinstance(cond, DepCond):
+        return _value_sensitive(cond.src) or _value_sensitive(cond.dst)
+    if isinstance(cond, MemCond):
+        return True
+    return True  # unknown condition node: assume the worst
+
+
+def _value_sensitive(value: Value) -> bool:
+    if isinstance(value, Ref):
+        return any(attr in ("next", "prev", "body") for attr in value.attrs)
+    if isinstance(value, FuncVal):
+        if value.func == "pos":
+            return True
+        return any(_value_sensitive(arg) for arg in value.args)
+    if isinstance(value, Arith):
+        return _value_sensitive(value.left) or _value_sensitive(value.right)
+    return False
+
+
+# ----------------------------------------------------------------------
+# the matching engine
+# ----------------------------------------------------------------------
+Point = tuple[tuple, dict[str, object]]
+
+#: a cached point also pins down every statement its *search* (not just
+#: its action) bound, so staleness can be decided against the exact
+#: changed set instead of a dependence ball
+_CachedPoint = tuple[tuple, dict[str, object], Optional[frozenset[int]]]
+
+
+@dataclass
+class SweepResult:
+    """One sweep's outcome: the canonical point list and its cost."""
+
+    points: list[Point]
+    #: match-phase yields consumed (feeds the driver's fuel budget)
+    attempts: int
+    mode: str  # "full" | "worklist" | "cached"
+
+
+@dataclass
+class _SweepCache:
+    """The previous sweep's point set for one optimizer."""
+
+    version: int
+    points: list[_CachedPoint]
+    owner: object  # the optimizer the points belong to
+
+
+class MatchEngine:
+    """Worklist-driven sweeps over one manager's program.
+
+    One engine serves one :class:`AnalysisManager` (use
+    :func:`engine_for`); per-optimizer sweep caches and the candidate
+    index live here, shared across ``run_optimizer`` calls.
+    """
+
+    def __init__(
+        self,
+        manager: AnalysisManager,
+        full_check: Optional[bool] = None,
+    ):
+        self.manager = manager
+        if full_check is None:
+            full_check = os.environ.get(ENV_MATCH_CHECK, "") not in ("", "0")
+        self.full_check = full_check
+        self.stats = MatchStats()
+        self.index = MatchIndex(manager.program)
+        self.index.stats = self.stats
+        self._caches: dict[str, _SweepCache] = {}
+        self._profiles: dict[int, SpecProfile] = {}
+
+    # -- public API ----------------------------------------------------
+    def sweep(
+        self,
+        optimizer,
+        ctx: MatchContext,
+        allow_worklist: bool = True,
+    ) -> SweepResult:
+        """Enumerate every application point of ``optimizer``.
+
+        Serves from the per-optimizer cache when the program is
+        unchanged, from the dirty-region worklist when the interval
+        since the cached sweep is provably local, and from a full
+        (index-accelerated) sweep otherwise.  Points are returned in
+        canonical order: by seed position, then the positions of the
+        other bound elements.
+        """
+        program = self.manager.program
+        started = time.perf_counter()
+        candidates_before = ctx.counters.candidates
+        self.index.refresh(self.manager.structure)
+        ctx.match_index = self.index
+        version = program.version
+        profile = self._profile(optimizer)
+        cache = self._caches.get(optimizer.name)
+        if cache is not None and cache.owner is not optimizer:
+            cache = None
+        points: Optional[list[_CachedPoint]] = None
+        attempts = 0
+        mode = "full"
+        shadow = False
+        if cache is not None and ctx.enforce_restrictions and allow_worklist:
+            if cache.version == version:
+                points = list(cache.points)
+                mode = "cached"
+                self.stats.cached_sweeps += 1
+            else:
+                dirty = self._dirty_region(profile, cache, ctx)
+                if dirty is not None:
+                    points, attempts = self._worklist_sweep(
+                        optimizer, profile, ctx, cache, *dirty
+                    )
+                    mode = "worklist"
+                    shadow = True
+                    self.stats.worklist_sweeps += 1
+        if points is None:
+            points, attempts = self._enumerate(optimizer, ctx)
+            points = self._dedup(points)
+            mode = "full"
+            self.stats.full_sweeps += 1
+        points = _sort_points(points, program)
+        result_points = [(sig, dict(bindings)) for sig, bindings, _ in points]
+        if shadow and self.full_check:
+            self._shadow_check(optimizer, ctx, result_points)
+        if ctx.enforce_restrictions:
+            self._caches[optimizer.name] = _SweepCache(
+                version=version, points=points, owner=optimizer
+            )
+        self.stats.candidates_scanned += (
+            ctx.counters.candidates - candidates_before
+        )
+        self.stats.sweep_seconds += time.perf_counter() - started
+        return SweepResult(
+            points=result_points, attempts=attempts, mode=mode
+        )
+
+    def invalidate(self) -> None:
+        """Drop every sweep cache (next sweeps are full)."""
+        self._caches.clear()
+
+    # -- internals -----------------------------------------------------
+    def _profile(self, optimizer) -> SpecProfile:
+        key = id(optimizer)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = profile_spec(optimizer.analyzed)
+            self._profiles[key] = profile
+        return profile
+
+    def _dirty_region(
+        self,
+        profile: SpecProfile,
+        cache: _SweepCache,
+        ctx: MatchContext,
+    ) -> Optional[tuple[set[int], set[int]]]:
+        """``(drop, seeds)`` for a worklist sweep, or ``None`` when
+        only a full sweep is sound.
+
+        ``drop`` is the exact changed set — statements whose fields or
+        incident dependence edges differ since the cached sweep; a
+        cached point is stale iff it binds one of them.  ``seeds`` is
+        the dependence ball around the change (its radius the profile's
+        depth) — every statement whose *search tree* can see the change
+        and must therefore be re-enumerated as a candidate seed.
+        """
+        if not profile.eligible:
+            return None
+        program = self.manager.program
+        if ctx.graph is not self.manager._graph:
+            return None  # stale or foreign graph: deltas do not apply
+        changes = program.changes_since(cache.version)
+        if changes is None:
+            return None
+        touched: set[int] = set()
+        structural = False
+        for change in changes:
+            if change.kind == "opaque":
+                return None
+            touched.add(change.qid)
+            if change.kind in ("add", "remove", "move"):
+                structural = True
+            if not profile.position_sensitive:
+                # field and edge diffs fully determine this profile's
+                # points; marker touches need no special treatment
+                continue
+            before = change.before
+            if before is not None and before.opcode in STRUCTURAL_OPS:
+                return None
+            if program.contains(change.qid):
+                quad = program.quad(change.qid)
+                if statement_shapes(quad)[0] in _STRUCTURAL_SHAPES:
+                    return None
+            elif before is None and change.kind != "remove":
+                return None  # cannot classify the (now gone) quad
+        if structural and profile.position_sensitive:
+            return None
+        deltas = self.manager.dependence_deltas_since(cache.version)
+        if deltas is None:
+            return None
+        kinds = profile.dep_kinds
+        if kinds is not None:
+            # an edge of a kind no condition ever traverses can affect
+            # neither a cached point nor a candidate seed
+            deltas = frozenset(edge for edge in deltas if edge[0] in kinds)
+        endpoints = {qid for edge in deltas for qid in edge[1:]}
+        drop = touched | endpoints
+        graph = ctx.graph
+
+        def walk(start: set[int], steps) -> set[int]:
+            cur = start
+            for kind, var_is_dst in steps:
+                grown: set[int] = set()
+                for qid in cur:
+                    if var_is_dst:
+                        for edge in graph.deps_to(qid):
+                            if edge.kind == kind:
+                                grown.add(edge.src)
+                    else:
+                        for edge in graph.deps_from(qid):
+                            if edge.kind == kind:
+                                grown.add(edge.dst)
+                cur = grown
+                if not cur:
+                    break
+            return cur
+
+        seeds = set(drop)
+        if profile.var_paths is not None:
+            # a changed quad flips a seed's search outcome only if it
+            # can be *bound* during that search — i.e. the seed lies at
+            # the end of some variable's exact anchor chain walked
+            # backward from it.  A changed edge is traversed right at
+            # the generator step of a variable of its kind, with the
+            # seed at the end of the *anchor's* (suffix) chain from the
+            # edge's anchor-side endpoint.  Interior stops of a chain
+            # are covered by the anchoring variable's own, shorter
+            # chain, so only the far ends are candidate seeds.
+            for steps in profile.var_paths:
+                seeds |= walk(set(touched), steps)
+                kind0, var_is_dst0 = steps[0]
+                anchor_side = {
+                    edge[1] if var_is_dst0 else edge[2]
+                    for edge in deltas
+                    if edge[0] == kind0
+                }
+                if anchor_side:
+                    seeds |= walk(anchor_side, steps[1:])
+            return drop, seeds
+        # fallback — no usable anchor chains: a changed field at
+        # distance K flips a seed's search outcome; a changed edge is
+        # traversed by seeds within K-1 hops of its endpoints — so
+        # touched quads grow K hops, delta endpoints K-1, along the
+        # edge kinds the spec's conditions actually traverse.
+        visited = set(touched)
+        frontier = set(touched)
+        for hop in range(profile.dep_depth):
+            grown = set()
+            for qid in frontier:
+                for edge in graph.deps_from(qid):
+                    if kinds is None or edge.kind in kinds:
+                        grown.add(edge.dst)
+                for edge in graph.deps_to(qid):
+                    if kinds is None or edge.kind in kinds:
+                        grown.add(edge.src)
+            if hop == 0:
+                grown |= endpoints
+            frontier = grown - visited
+            if not frontier:
+                break
+            visited |= frontier
+            seeds |= frontier
+        return drop, seeds
+
+    def _worklist_sweep(
+        self,
+        optimizer,
+        profile: SpecProfile,
+        ctx: MatchContext,
+        cache: _SweepCache,
+        drop: set[int],
+        dirty_seeds: set[int],
+    ) -> tuple[list[_CachedPoint], int]:
+        """Drop stale cached points, re-enumerate from the dirty seeds,
+        merge with the survivors."""
+        program = self.manager.program
+        survivors: list[_CachedPoint] = []
+        dropped_seeds: set[int] = set()
+        for sig, bindings, qids in cache.points:
+            stale = qids is None or any(
+                qid in drop or not program.contains(qid) for qid in qids
+            )
+            if stale:
+                self.stats.points_dropped += 1
+                seed_qid = bindings.get(profile.seed or "")
+                if isinstance(seed_qid, int) and program.contains(seed_qid):
+                    dropped_seeds.add(seed_qid)
+            else:
+                survivors.append((sig, bindings, qids))
+        self.stats.points_survived += len(survivors)
+        seeds = {
+            qid for qid in dirty_seeds if program.contains(qid)
+        } | dropped_seeds
+        ordered = sorted(seeds, key=program.position)
+        ctx.arm_seed_restriction(ordered)
+        try:
+            rediscovered, attempts = self._enumerate(optimizer, ctx)
+        finally:
+            ctx.take_seed_restriction()  # disarm if never consumed
+        merged: dict[tuple, _CachedPoint] = {
+            point[0]: point for point in survivors
+        }
+        fresh = 0
+        for point in rediscovered:
+            if point[0] not in merged:
+                merged[point[0]] = point
+                fresh += 1
+        self.stats.points_rediscovered += fresh
+        return list(merged.values()), attempts
+
+    def _enumerate(
+        self, optimizer, ctx: MatchContext
+    ) -> tuple[list[_CachedPoint], int]:
+        """Run the generated match/pre phases to exhaustion."""
+        ctx.bindings.clear()
+        optimizer.set_up(ctx)
+        points: list[_CachedPoint] = []
+        attempts = 0
+        action_names = optimizer.action_names
+        for _found in optimizer.match(ctx):
+            attempts += 1
+            for _ok in optimizer.pre(ctx):
+                snapshot = ctx.snapshot_bindings()
+                bindings = {
+                    name: value
+                    for name, value in snapshot.items()
+                    if name in action_names
+                }
+                points.append(
+                    (point_signature(bindings), bindings,
+                     _bound_qids(snapshot))
+                )
+        return points, attempts
+
+    @staticmethod
+    def _dedup(points: list[_CachedPoint]) -> list[_CachedPoint]:
+        unique: dict[tuple, _CachedPoint] = {}
+        for point in points:
+            unique.setdefault(point[0], point)
+        return list(unique.values())
+
+    def _shadow_check(
+        self, optimizer, ctx: MatchContext, points: list[Point]
+    ) -> None:
+        """Assert a worklist sweep equals a naive full re-scan."""
+        self.stats.shadow_checks += 1
+        reference = MatchContext(
+            self.manager.program, ctx.graph, counters=CostCounters()
+        )
+        reference.enforce_restrictions = ctx.enforce_restrictions
+        naive, _ = self._enumerate(optimizer, reference)
+        want = {point[0] for point in naive}
+        got = {point[0] for point in points}
+        if want == got:
+            return
+        missing = sorted(repr(sig) for sig in want - got)
+        extra = sorted(repr(sig) for sig in got - want)
+        raise MatchMismatchError(
+            f"incremental sweep of {optimizer.name} diverged from the "
+            f"full re-scan at program version "
+            f"{self.manager.program.version}:\n"
+            f"  missing ({len(missing)}): {missing[:5]}\n"
+            f"  extra ({len(extra)}): {extra[:5]}"
+        )
+
+
+def _bound_qids(bindings: dict[str, object]) -> Optional[frozenset[int]]:
+    """Every statement identity a point's bindings pin down, or None
+    when a binding's shape is unknown (the point is then always
+    considered dirty)."""
+    qids: set[int] = set()
+    for value in bindings.values():
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, int):
+            qids.add(value)
+        elif isinstance(value, LoopBinding):
+            qids.update((value.head, value.end))
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, int) and not isinstance(item, bool):
+                    qids.add(item)
+                else:
+                    return None
+        elif isinstance(value, PosBinding):
+            continue
+        elif isinstance(value, (str, float)):
+            continue
+        else:
+            return None
+    return frozenset(qids)
+
+
+def _sort_points(points: Iterable[Point], program: Program) -> list[Point]:
+    """Canonical point order: positions of the bound elements in
+    binding insertion order (the seed binds first)."""
+
+    def value_key(value: object) -> tuple:
+        if isinstance(value, bool):
+            return (4, str(value))
+        if isinstance(value, int):
+            position = (
+                program.position(value) if program.contains(value)
+                else 1 << 30
+            )
+            return (0, position, value)
+        if isinstance(value, LoopBinding):
+            position = (
+                program.position(value.head) if program.contains(value.head)
+                else 1 << 30
+            )
+            return (1, position, value.head, value.end)
+        if isinstance(value, PosBinding):
+            return (2, value.pos, value.var)
+        if isinstance(value, tuple):
+            return (3, tuple(value_key(item) for item in value))
+        try:
+            return (4, str(value))
+        except Exception:
+            return (5, type(value).__name__)
+
+    def key(point) -> tuple:
+        bindings = point[1]
+        return tuple(value_key(value) for value in bindings.values())
+
+    return sorted(points, key=key)
+
+
+def engine_for(
+    manager: AnalysisManager, full_check: Optional[bool] = None
+) -> MatchEngine:
+    """The matching engine attached to ``manager`` (created on first
+    use).  Keeping it on the manager shares the candidate index and
+    sweep caches across every ``run_optimizer`` call that shares the
+    manager — the pipeline and session do."""
+    engine = getattr(manager, "_match_engine", None)
+    if engine is None or engine.manager is not manager:
+        engine = MatchEngine(manager, full_check=full_check)
+        manager._match_engine = engine
+    return engine

@@ -15,6 +15,7 @@ from repro.analysis.manager import AnalysisManager, AnalysisStats
 from repro.frontend.lower import parse_program
 from repro.genesis.driver import DriverOptions, DriverResult, run_optimizer
 from repro.genesis.generator import GeneratedOptimizer
+from repro.genesis.matching import MatchStats, engine_for
 from repro.genesis.transaction import ApplicationFailure, HealthLedger
 from repro.ir.program import Program
 
@@ -27,6 +28,9 @@ class PipelineReport:
     results: list[DriverResult] = field(default_factory=list)
     #: analysis cache/incremental-update counters for the whole run
     analysis_stats: Optional[AnalysisStats] = None
+    #: match-engine counters (candidates scanned, index hits,
+    #: worklist vs full sweeps) for the whole run
+    match_stats: Optional[MatchStats] = None
     #: per-optimizer health ledger (rollbacks, quarantine state)
     health: Optional[HealthLedger] = None
 
@@ -108,7 +112,10 @@ def optimize(
     if health is None:
         health = HealthLedger(quarantine_after=quarantine_after)
     report = PipelineReport(
-        program=working, analysis_stats=manager.stats, health=health
+        program=working,
+        analysis_stats=manager.stats,
+        match_stats=engine_for(manager).stats,
+        health=health,
     )
     for optimizer in optimizers:
         report.results.append(

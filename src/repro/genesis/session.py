@@ -33,6 +33,7 @@ from repro.genesis.driver import (
     run_optimizer,
 )
 from repro.genesis.generator import GeneratedOptimizer
+from repro.genesis.matching import MatchStats, engine_for
 from repro.genesis.transaction import HealthLedger
 from repro.ir.printer import format_program
 from repro.ir.program import Program
@@ -138,6 +139,12 @@ class OptimizerSession:
     def analysis_stats(self) -> AnalysisStats:
         """Cache/incremental-update counters of the session's manager."""
         return self._manager.stats
+
+    @property
+    def match_stats(self) -> MatchStats:
+        """Match-engine counters: candidates scanned, index hits,
+        worklist-served vs full sweeps."""
+        return engine_for(self._manager).stats
 
     def _maybe_graph(self) -> Optional[DependenceGraph]:
         """Graph to hand to the driver: stale is allowed when the user
@@ -298,7 +305,7 @@ class OptimizerSession:
             recompute on|off          toggle dependence recomputation
             verify on|off             oracle-check every application
             deps                      dependence summary
-            stats                     analysis + health counters
+            stats                     analysis + matching + health counters
             health                    per-optimizer rollback/quarantine
             revive <OPT>              clear <OPT>'s quarantine
             show                      print the intermediate code
@@ -366,7 +373,9 @@ class OptimizerSession:
             return ", ".join(f"{k}: {v}" for k, v in summary.items())
         if verb == "stats":
             return (
-                self.analysis_stats.summary() + "\n" + self.health.summary()
+                self.analysis_stats.summary()
+                + "\n" + self.match_stats.summary()
+                + "\n" + self.health.summary()
             )
         if verb == "health":
             return self.health.summary()

@@ -28,7 +28,11 @@ class TestStructure:
 
     def test_match_enumerates_statements(self):
         generated = emit(CTP, name="CTP")
-        assert "lib.statements(ctx)" in generated.source
+        # the seed scan carries a shape hint derived from the clause
+        # format (constant-RHS assignment buckets of the match index)
+        assert "lib.statements(ctx, shape=('assign:const',))" in (
+            generated.source
+        )
         assert "ctx.bind('Si'" in generated.source
 
     def test_pattern_checks_use_compare(self):

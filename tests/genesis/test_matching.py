@@ -1,0 +1,224 @@
+"""The incremental matching engine: indexes, worklist, shadow parity.
+
+The load-bearing guarantee is *observational equivalence*: a pipeline
+driven by worklist sweeps must transform every program exactly as the
+paper's restart-from-top re-scan does.  The property tests here drive
+that across every catalog optimizer on random structured programs; the
+chaos test asserts the candidate index is byte-equal to a from-scratch
+rebuild after transaction rollbacks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.manager import AnalysisManager
+from repro.genesis.driver import DriverOptions, run_optimizer
+from repro.genesis.matching import (
+    MatchEngine,
+    MatchIndex,
+    engine_for,
+    point_signature,
+    profile_spec,
+)
+from repro.genesis.transaction import ProgramTransaction
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Const, Var
+from repro.workloads.synthetic import random_program
+
+#: every catalog optimizer — the paper's ten plus the CRC variant
+ALL_OPTIMIZERS = (
+    "BMP", "CFO", "CPP", "CRC", "CTP", "DCE", "FUS", "ICM", "INX",
+    "LUR", "PAR",
+)
+
+COMMON = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: scalar pipeline used by the mixed-pass property test
+SCALAR_PASSES = ("CTP", "CFO", "CPP", "DCE", "CTP", "DCE")
+
+
+def _text(program) -> list[str]:
+    return [str(quad) for quad in program]
+
+
+def _run(optimizer, program, mode, manager=None, max_applications=30):
+    return run_optimizer(
+        optimizer,
+        program,
+        DriverOptions(
+            apply_all=True,
+            max_applications=max_applications,
+            match_mode=mode,
+        ),
+        manager=manager,
+    )
+
+
+# ----------------------------------------------------------------------
+# property: worklist == rescan, per optimizer and in pipelines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("opt_name", ALL_OPTIMIZERS)
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_worklist_matches_rescan_per_optimizer(optimizers, opt_name, seed):
+    base = random_program(seed, size=14, max_depth=3)
+    worklist = base.clone()
+    rescan = base.clone()
+    work_result = _run(optimizers[opt_name], worklist, "worklist")
+    scan_result = _run(optimizers[opt_name], rescan, "rescan")
+    assert _text(worklist) == _text(rescan)
+    assert len(work_result.applications) == len(scan_result.applications)
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_worklist_matches_rescan_in_pipeline(optimizers, seed):
+    """Interleaved passes over one shared manager — the sweep caches
+    survive across pass boundaries and must still agree with rescan."""
+    base = random_program(seed, size=16, max_depth=2)
+    worklist = base.clone()
+    rescan = base.clone()
+    manager = AnalysisManager(worklist)
+    for name in SCALAR_PASSES:
+        _run(optimizers[name], worklist, "worklist", manager=manager)
+    for name in SCALAR_PASSES:
+        _run(optimizers[name], rescan, "rescan")
+    assert _text(worklist) == _text(rescan)
+
+
+# ----------------------------------------------------------------------
+# chaos: rollbacks must leave the index byte-equal to a fresh rebuild
+# ----------------------------------------------------------------------
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_index_survives_rollback_byte_equal(optimizers, seed):
+    program = random_program(seed, size=16, max_depth=2)
+    manager = AnalysisManager(program)
+    engine = engine_for(manager)
+    # prime the index and sweep caches with a real run
+    _run(optimizers["CTP"], program, "worklist", manager=manager)
+
+    txn = ProgramTransaction(program)
+    txn.begin()
+    victim = next(iter(program)).qid
+    program.insert_after(
+        victim, Quad(Opcode.ASSIGN, result=Var("z"), a=Const(1))
+    )
+    program.remove(victim)
+    # mid-transaction state is visible to the index like any other
+    engine.index.refresh(manager.structure)
+    txn.rollback()
+
+    engine.index.refresh(manager.structure)
+    fresh = MatchIndex(program)
+    fresh.refresh(manager.structure)
+    assert engine.index.fingerprint() == fresh.fingerprint()
+    # and the engine still sweeps correctly after the rollback
+    worklist = program.clone()
+    _run(optimizers["DCE"], program, "worklist", manager=manager)
+    _run(optimizers["DCE"], worklist, "rescan")
+    assert _text(program) == _text(worklist)
+
+
+# ----------------------------------------------------------------------
+# unit: eligibility profiling
+# ----------------------------------------------------------------------
+def test_profile_eligibility_table(optimizers):
+    profiles = {
+        name: profile_spec(optimizers[name].analyzed)
+        for name in ("CTP", "CPP", "DCE", "CFO", "FUS", "LUR")
+    }
+    for name in ("CTP", "CPP", "DCE", "CFO"):
+        assert profiles[name].eligible, name
+        assert profiles[name].seed is not None, name
+    # loop-seeded specifications always take the full sweep
+    for name in ("FUS", "LUR"):
+        assert not profiles[name].eligible, name
+        assert profiles[name].seed is None, name
+    # CPP consults path(...) membership: position-sensitive
+    assert profiles["CPP"].position_sensitive
+    assert not profiles["CTP"].position_sensitive
+    # anchor chains: every variable reaches the seed over typed steps
+    assert profiles["DCE"].var_paths == ((("flow", True),),)
+    assert profiles["CFO"].var_paths == ()  # no dependence atoms at all
+    assert profiles["CTP"].dep_kinds == frozenset({"flow"})
+    assert profiles["CPP"].dep_kinds == frozenset({"flow", "anti"})
+
+
+# ----------------------------------------------------------------------
+# unit: index maintenance from the change log
+# ----------------------------------------------------------------------
+def test_index_tracks_insert_modify_remove():
+    program = random_program(11, size=10, max_depth=1)
+    index = MatchIndex(program)
+    index.refresh()
+
+    def check():
+        fresh = MatchIndex(program)
+        fresh.refresh()
+        assert index.fingerprint() == fresh.fingerprint()
+
+    first = next(iter(program)).qid
+    added = program.insert_after(
+        first, Quad(Opcode.ASSIGN, result=Var("u"), a=Const(7))
+    )
+    index.refresh()
+    check()
+    assert index.matches_shape(added.qid, ("assign:const",))
+    assert added.qid in index.statements_of(("assign:const",))
+
+    program.replace(
+        added.qid, Quad(Opcode.ASSIGN, result=Var("u"), a=Var("v"))
+    )
+    index.refresh()
+    check()
+    assert not index.matches_shape(added.qid, ("assign:const",))
+    assert index.matches_shape(added.qid, ("assign:var",))
+
+    program.remove(added.qid)
+    index.refresh()
+    check()
+    assert not index.matches_shape(added.qid, ("assign:var",))
+    assert added.qid not in index.statements_of(("assign", "assign:var"))
+
+
+def test_index_statements_of_in_program_order():
+    program = random_program(5, size=12, max_depth=1)
+    index = MatchIndex(program)
+    index.refresh()
+    qids = index.statements_of(("assign", "binop", "unop"))
+    assert qids == sorted(qids, key=program.position)
+    assert set(qids) == index.members_of(("assign", "binop", "unop"))
+
+
+# ----------------------------------------------------------------------
+# unit: point signatures tolerate unhashable binding values
+# ----------------------------------------------------------------------
+def test_point_signature_handles_unhashable_values():
+    bound = [1, 2, 3]  # lists are unhashable
+    sig_a = point_signature({"Si": 4, "set": bound})
+    sig_b = point_signature({"Si": 4, "set": bound})
+    assert hash(sig_a) == hash(sig_b)
+    assert sig_a == sig_b
+    other = point_signature({"Si": 4, "set": [1, 2, 3]})
+    assert other != sig_a  # identity-keyed, not silently dropped
+
+
+# ----------------------------------------------------------------------
+# unit: shadow mode runs and counts its cross-checks
+# ----------------------------------------------------------------------
+def test_shadow_mode_checks_worklist_sweeps(optimizers):
+    program = random_program(9, size=20, max_depth=2)
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=True)
+    manager._match_engine = engine  # what engine_for would attach
+    _run(optimizers["CTP"], program, "worklist", manager=manager)
+    assert engine.stats.shadow_checks > 0
+    assert engine.stats.shadow_checks == engine.stats.worklist_sweeps
