@@ -1,0 +1,88 @@
+"""The shared schema for the repository's BENCH_*.json files.
+
+Every benchmark (``BENCH_match.json``, ``BENCH_dependence.json``,
+``BENCH_service.json``) records its numbers in one normalized shape so
+dashboards and regression checks can read any of them identically:
+
+* ``host`` — where the numbers were measured: ``python`` version,
+  ``platform`` string, and ``cpus`` (usable cores — parallel speedups
+  are meaningless without it);
+* ``sizes`` — a non-empty list of measurements, each with an integer
+  ``size`` (the workload scale knob) and at least one ``*speedup*``
+  field (the ratio the benchmark exists to track).
+
+Benchmark-specific fields (pipelines, counters, targets) ride along
+unconstrained.  :func:`write_bench` stamps the host block, validates,
+and writes; ``tests/test_bench_schema.py`` re-validates the committed
+files so a benchmark edit cannot silently drift from the shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import sys
+from pathlib import Path
+
+
+def host_info() -> dict[str, object]:
+    """Where these numbers were measured."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return {
+        "python": sys.version.split()[0],
+        "platform": _platform.platform(),
+        "cpus": cpus,
+    }
+
+
+def validate_bench(payload: dict) -> list[str]:
+    """Schema problems in a BENCH payload (empty list: conforming)."""
+    problems: list[str] = []
+    host = payload.get("host")
+    if not isinstance(host, dict):
+        problems.append("missing 'host' object")
+    else:
+        for key in ("python", "platform"):
+            if not isinstance(host.get(key), str) or not host.get(key):
+                problems.append(f"host.{key} must be a non-empty string")
+        cpus = host.get("cpus")
+        if not isinstance(cpus, int) or cpus < 1:
+            problems.append("host.cpus must be an integer >= 1")
+    sizes = payload.get("sizes")
+    if not isinstance(sizes, list) or not sizes:
+        problems.append("'sizes' must be a non-empty list")
+        return problems
+    for index, entry in enumerate(sizes):
+        if not isinstance(entry, dict):
+            problems.append(f"sizes[{index}] must be an object")
+            continue
+        size = entry.get("size")
+        if not isinstance(size, int) or size < 1:
+            problems.append(f"sizes[{index}].size must be an integer >= 1")
+        speedups = [
+            key for key, value in entry.items()
+            if "speedup" in key and isinstance(value, (int, float))
+        ]
+        if not speedups:
+            problems.append(
+                f"sizes[{index}] needs at least one numeric *speedup* field"
+            )
+    return problems
+
+
+def write_bench(path: Path | str, payload: dict) -> dict:
+    """Stamp the host block, validate, and write the BENCH file."""
+    payload = dict(payload)
+    payload.setdefault("host", host_info())
+    problems = validate_bench(payload)
+    if problems:
+        raise ValueError(
+            f"{path}: BENCH payload violates the shared schema: "
+            + "; ".join(problems)
+        )
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -15,12 +15,12 @@ produce the identical optimized program rather than any timing ratio.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from bench_schema import write_bench
 from repro.analysis.manager import AnalysisManager, AnalysisStats
 from repro.genesis.driver import DriverOptions, run_optimizer
 from repro.ir.program import Program
@@ -103,7 +103,7 @@ def test_incremental_speedup(pipeline_optimizers):
         )
         if size == SIZES[-1]:
             speedup_at_largest = speedup
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench(RESULTS_PATH, results)
     assert speedup_at_largest >= TARGET_SPEEDUP, (
         f"incremental maintenance gave only {speedup_at_largest:.2f}x at "
         f"size {SIZES[-1]} (need {TARGET_SPEEDUP}x); see {RESULTS_PATH}"

@@ -18,12 +18,12 @@ produce the identical optimized program rather than any timing ratio.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from bench_schema import write_bench
 from repro.analysis.manager import AnalysisManager
 from repro.genesis.driver import DriverOptions, run_optimizer
 from repro.genesis.matching import MatchStats, engine_for
@@ -117,7 +117,7 @@ def test_worklist_speedup(pipeline_optimizers):
         )
         if size == SIZES[-1]:
             speedup_at_largest = speedup
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench(RESULTS_PATH, results)
     assert speedup_at_largest >= TARGET_SPEEDUP, (
         f"worklist matching gave only {speedup_at_largest:.2f}x at "
         f"size {SIZES[-1]} (need {TARGET_SPEEDUP}x); see {RESULTS_PATH}"

@@ -86,6 +86,13 @@ from repro.opts import (
     standard_optimizers,
 )
 from repro.opts.handcoded import HANDCODED, handcoded_optimizer
+from repro.service import (
+    Job,
+    JobResult,
+    OptimizationService,
+    ServiceClient,
+    ServiceConfig,
+)
 from repro.verify import (
     EquivalenceOracle,
     EquivalenceReport,
@@ -99,7 +106,7 @@ from repro.verify import (
 )
 from repro.workloads import SOURCES, Workload, full_suite, workload
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "ALL_MODELS",
@@ -122,10 +129,13 @@ __all__ = [
     "GospelError",
     "HANDCODED",
     "IRBuilder",
+    "Job",
+    "JobResult",
     "MULTIPROCESSOR",
     "MachineModel",
     "MatchContext",
     "Opcode",
+    "OptimizationService",
     "OptimizerSession",
     "PAPER_TEN",
     "PipelineReport",
@@ -134,6 +144,8 @@ __all__ = [
     "SCALAR",
     "SOURCES",
     "STANDARD_SPECS",
+    "ServiceClient",
+    "ServiceConfig",
     "SessionError",
     "Specification",
     "StrategyPolicy",

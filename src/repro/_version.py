@@ -1,0 +1,61 @@
+"""The package version, single-sourced from ``pyproject.toml``.
+
+The checkout's ``pyproject.toml`` is authoritative so that a source
+tree run via ``PYTHONPATH=src`` (tests, CI, the service workers) and an
+installed distribution report the same version.  When the project file
+is not reachable (an installed wheel without the source tree), the
+installed distribution metadata is used instead.
+
+The version participates in service cache keys
+(:meth:`repro.service.job.Job.cache_key`), so bumping it invalidates
+every previously cached optimization result — stale caches
+self-invalidate across releases.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_FALLBACK = "0+unknown"
+
+
+def _from_pyproject() -> str | None:
+    """Read ``[project].version`` from the checkout's pyproject.toml.
+
+    A deliberately tiny line parser (not a TOML library): Python 3.10
+    has no ``tomllib``, and the one assignment we need is written on a
+    single line by every formatter.
+    """
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return None
+    section = ""
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("[") and stripped.endswith("]"):
+            section = stripped[1:-1].strip()
+            continue
+        if section == "project" and stripped.startswith("version"):
+            _, _, value = stripped.partition("=")
+            return value.strip().strip("\"'") or None
+    return None
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+def _detect() -> str:
+    return _from_pyproject() or _from_metadata() or _FALLBACK
+
+
+__version__ = _detect()

@@ -30,14 +30,31 @@ rejected session command) — reported as a one-line diagnostic.
         list / points OPT / apply OPT [all|N] / override OPT N /
         recompute on|off / deps / show / history / reset / quit.
 
-    genesis experiments [--only E1,E2,...] [--out FILE]
+    genesis experiments [--only E1,E2,...] [--out FILE] [--parallel]
         Run the Section 4 reproduction and print the report.
+        ``--parallel`` fans the experiment components out across
+        service workers.
 
     genesis construct <dir> --opts CTP,DCE
         Write a self-contained optimizer package (the constructor).
 
     genesis suite
         List the workload programs.
+
+    genesis submit <program.f> --opts CTP,DCE [--backend process]
+        One-shot optimization through the optimization service.
+
+    genesis batch <p1.f> <p2.f> ... --opts CTP,DCE [--workers N]
+        Optimize many programs concurrently through the service;
+        identical submissions are cache-served/coalesced.
+
+    genesis serve [--backend process] [--workers N]
+        JSON-lines service loop: one request object per stdin line,
+        one result object per stdout line (see docs/service.md).
+
+``genesis fuzz --workers N`` and ``genesis chaos --workers N`` run
+their campaigns' transformation/baseline jobs through a process-pool
+service instead of serially in-process.
 """
 
 from __future__ import annotations
@@ -110,6 +127,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": _cmd_suite,
         "fuzz": _cmd_fuzz,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "batch": _cmd_batch,
     }.get(args.command)
     if handler is None:
         parser.print_help()
@@ -125,6 +145,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="genesis",
         description="GENesis: generate global optimizers from GOSpeL "
@@ -133,6 +155,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "failures; 2 usage error; 3 operational error (bad input, "
         "unknown optimization, rejected command), reported as a "
         "one-line diagnostic",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"genesis {__version__}"
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -201,6 +226,27 @@ def _build_parser() -> argparse.ArgumentParser:
     interact.add_argument("program")
     interact.add_argument("--opts", default=",".join(sorted(STANDARD_SPECS)))
 
+    service_flags = argparse.ArgumentParser(add_help=False)
+    service_flags.add_argument(
+        "--backend", choices=["inprocess", "process"], default="process",
+        help="worker backend: forked worker processes (default) or "
+        "synchronous in-process execution (deterministic; for tests "
+        "and debugging)",
+    )
+    service_flags.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="concurrent workers (default: 4)",
+    )
+    service_flags.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="admission-control queue bound (default: 256)",
+    )
+    service_flags.add_argument(
+        "--job-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock deadline; overrunning workers are "
+        "reaped and the job fails structurally",
+    )
+
     experiments = sub.add_parser(
         "experiments", help="reproduce the paper's Section 4"
     )
@@ -209,6 +255,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of E1,E2,E3,E4,E5,E6",
     )
     experiments.add_argument("--out", default=None, help="write report here")
+    experiments.add_argument(
+        "--parallel", action="store_true",
+        help="fan the experiment components out across service "
+        "workers (full report only; ignored with --only)",
+    )
+    experiments.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="service workers for --parallel (default: 4)",
+    )
 
     construct = sub.add_parser(
         "construct", help="package generated optimizers on disk"
@@ -254,6 +309,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", default=None, metavar="FILE",
         help="replay a saved counterexample file instead of fuzzing",
     )
+    fuzz.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run transformations through a process-pool optimization "
+        "service with N workers (default: 0, serial in-process)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -294,6 +354,52 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--deadline", type=float, default=30.0, metavar="SECONDS",
         help="wall-clock budget per optimization run (default: 30)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="compute fault-free baselines through a process-pool "
+        "optimization service with N workers (default: 0, serial)",
+    )
+
+    submit = sub.add_parser(
+        "submit", parents=[service_flags],
+        help="optimize one program through the optimization service",
+    )
+    submit.add_argument("program", help="mini-Fortran source file, or a "
+                        "workload name like 'fft'")
+    submit.add_argument(
+        "--opts", default="CTP,CFO,DCE",
+        help="comma-separated optimization sequence",
+    )
+    submit.add_argument(
+        "--show", action="store_true", help="print the optimized source"
+    )
+
+    batch = sub.add_parser(
+        "batch", parents=[service_flags],
+        help="optimize many programs concurrently through the service",
+    )
+    batch.add_argument(
+        "programs", nargs="+",
+        help="mini-Fortran source files and/or workload names",
+    )
+    batch.add_argument(
+        "--opts", default="CTP,CFO,DCE",
+        help="comma-separated optimization sequence",
+    )
+    batch.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write every JobResult (and service stats) as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve", parents=[service_flags],
+        help="run the optimization service over stdin/stdout "
+        "(JSON-lines)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=256, metavar="N",
+        help="result-cache entries before LRU eviction (default: 256)",
     )
     return parser
 
@@ -412,7 +518,13 @@ def _cmd_interact(args: argparse.Namespace) -> int:
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.only is None:
-        report = run_all_experiments()
+        if args.parallel:
+            with _service_client(
+                args, backend="process", max_workers=args.workers
+            ) as client:
+                report = run_all_experiments(client=client)
+        else:
+            report = run_all_experiments()
         text = report.render()
         status = "ALL CLAIMS REPRODUCED" if report.all_claims_hold() else (
             "SOME CLAIMS FAILED"
@@ -482,7 +594,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         out_dir=args.out,
     )
-    report = run_fuzz(config, progress=print)
+    if args.workers > 0:
+        with _service_client(
+            args, backend="process", max_workers=args.workers
+        ) as client:
+            report = run_fuzz(config, progress=print, client=client)
+    else:
+        report = run_fuzz(config, progress=print)
     print(report.summary())
     if report.ok:
         if report.checks == 0:
@@ -537,13 +655,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         deadline_seconds=args.deadline,
         max_match_attempts=200_000,
     )
-    report = run_chaos(
-        config,
-        opt_names=opt_names,
-        program_names=program_names,
-        options=options,
-        quarantine_after=args.quarantine_after,
-    )
+    if args.workers > 0:
+        with _service_client(
+            args, backend="process", max_workers=args.workers
+        ) as client:
+            report = run_chaos(
+                config,
+                opt_names=opt_names,
+                program_names=program_names,
+                options=options,
+                quarantine_after=args.quarantine_after,
+                client=client,
+            )
+    else:
+        report = run_chaos(
+            config,
+            opt_names=opt_names,
+            program_names=program_names,
+            options=options,
+            quarantine_after=args.quarantine_after,
+        )
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -552,6 +683,177 @@ def _cmd_suite(_args: argparse.Namespace) -> int:
     for name, source in SOURCES.items():
         lines = source.strip().count("\n") + 1
         print(f"{name:<12} {lines:>4} lines")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# the optimization service verbs
+# ----------------------------------------------------------------------
+def _service_client(args: argparse.Namespace, **overrides):
+    from repro.service import ServiceClient
+
+    settings = {
+        "backend": getattr(args, "backend", "process"),
+        "max_workers": getattr(args, "workers", 4),
+        "queue_limit": getattr(args, "queue_limit", 256),
+        "default_deadline": getattr(args, "job_deadline", None),
+    }
+    settings.update(overrides)
+    return ServiceClient(**settings)
+
+
+def _load_source_arg(text: str) -> tuple[str, str]:
+    """Resolve a CLI program argument to (label, mini-Fortran text)."""
+    if text in SOURCES:
+        return text, SOURCES[text]
+    return Path(text).stem, Path(text).read_text()
+
+
+def _parse_opt_names(opts: str) -> tuple[str, ...]:
+    from repro.opts.extended import EXTENDED_SPECS
+    from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+
+    names = tuple(name.strip().upper() for name in opts.split(","))
+    for name in names:
+        if not (
+            name in STANDARD_SPECS
+            or name in EXTENDED_SPECS
+            or name in VARIANT_SPECS
+        ):
+            raise KeyError(
+                f"unknown optimization {name!r}; catalog has "
+                f"{sorted(STANDARD_SPECS) + sorted(EXTENDED_SPECS) + sorted(VARIANT_SPECS)}"
+            )
+    return names
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    _, source = _load_source_arg(args.program)
+    with _service_client(args) as client:
+        result = client.optimize_source(
+            source, _parse_opt_names(args.opts),
+            DriverOptions(apply_all=True),
+        )
+    print(result)
+    for optimizer, reason in result.stopped.items():
+        print(f"  stopped {optimizer}: {reason}")
+    if result.quarantined:
+        print(f"  quarantined: {', '.join(result.quarantined)}")
+    if args.show and result.source is not None:
+        print(result.source, end="")
+    return 0 if result.ok else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.job import Job
+
+    labelled = [_load_source_arg(item) for item in args.programs]
+    opt_names = _parse_opt_names(args.opts)
+    options = DriverOptions(apply_all=True)
+    with _service_client(args) as client:
+        results = client.run_batch(
+            [
+                Job.from_source(source, opt_names, options)
+                for _, source in labelled
+            ]
+        )
+        stats = client.stats
+    failed = 0
+    for (label, _), result in zip(labelled, results):
+        print(f"{label:<12} {result}")
+        if not result.ok:
+            failed += 1
+    print(stats)
+    if args.json:
+        Path(args.json).write_text(
+            _json.dumps(
+                {
+                    "results": [result.to_dict() for result in results],
+                    "stats": str(stats),
+                },
+                indent=2,
+            )
+        )
+        print(f"results written to {args.json}")
+    return 0 if failed == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The JSON-lines service loop (see docs/service.md for the
+    request/response protocol)."""
+    import json as _json
+
+    from repro.service.job import Job, JobError, options_from_dict
+
+    def emit(payload: dict) -> None:
+        print(_json.dumps(payload), flush=True)
+
+    def job_from_request(request: dict) -> Job:
+        if "workload" in request:
+            name = str(request["workload"])
+            if name not in SOURCES:
+                raise JobError(
+                    f"unknown workload {name!r}; known: "
+                    f"{', '.join(SOURCES)}"
+                )
+            source = SOURCES[name]
+        elif "source" in request:
+            source = str(request["source"])
+        else:
+            raise JobError("request needs a 'source' or 'workload' key")
+        opts = request.get("opts", "CTP,CFO,DCE")
+        if isinstance(opts, str):
+            opt_names = _parse_opt_names(opts)
+        else:
+            opt_names = tuple(str(name).upper() for name in opts)
+        options = DriverOptions(apply_all=True)
+        if "options" in request:
+            options = options_from_dict(dict(request["options"]))
+        return Job.from_source(
+            source, opt_names, options,
+            deadline_seconds=request.get("deadline"),
+        )
+
+    client = _service_client(
+        args,
+        cache_capacity=args.cache_capacity,
+        log=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    with client:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = _json.loads(line)
+            except _json.JSONDecodeError as error:
+                emit({"error": f"bad JSON: {error}"})
+                continue
+            if not isinstance(request, dict):
+                emit({"error": "request must be a JSON object"})
+                continue
+            command = request.get("cmd")
+            try:
+                if command == "quit":
+                    break
+                if command == "stats":
+                    emit({"stats": str(client.stats)})
+                elif command == "wait":
+                    result = client.wait(
+                        int(request["job_id"]),
+                        timeout=request.get("timeout"),
+                    )
+                    emit(result.to_dict())
+                else:
+                    job_id = client.submit(job_from_request(request))
+                    if request.get("wait", True):
+                        emit(client.wait(job_id).to_dict())
+                    else:
+                        emit({"job_id": job_id, "status": "queued"})
+            except _BOUNDARY_ERRORS as error:
+                emit({"error": str(error) or type(error).__name__})
     return 0
 
 

@@ -37,8 +37,9 @@ from repro.workloads.suite import Workload, workload
 TRIO = ("FUS", "INX", "LUR")
 
 
-def _fingerprint(program: Program) -> tuple[str, ...]:
-    return tuple(str(quad) for quad in program)
+def _fingerprint(program: Program) -> str:
+    """Canonical content hash (shared definition: ``Program.fingerprint``)."""
+    return program.fingerprint()
 
 
 @dataclass
@@ -50,7 +51,7 @@ class OrderingRun:
     final_size: int = 0
     loop_count: int = 0
     estimated_cycles: float = 0.0
-    fingerprint: tuple[str, ...] = ()
+    fingerprint: str = ""
 
 
 @dataclass

@@ -60,6 +60,7 @@ tests and CI use to prove the two paths agree.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass
@@ -367,16 +368,29 @@ class MatchIndex:
         return list(self._adjacent)
 
     def fingerprint(self) -> str:
-        """A deterministic, version-independent rendering of the whole
-        index state (the chaos tests compare it across rollbacks)."""
+        """A deterministic, version-independent hash of the whole index
+        state (the chaos tests compare it across rollbacks).
+
+        The program-content component is the canonical
+        :meth:`repro.ir.program.Program.fingerprint` — the same
+        definition the ordering experiment and the service result
+        cache use — extended with the index's own derived state
+        (shape buckets and loop tables), so a stale index can never
+        hash equal to a fresh one.
+        """
         self._ensure_loop_tables()
         shapes = sorted(self._shapes.items())
         buckets = sorted(
             (token, sorted(qids)) for token, qids in self._buckets.items()
             if qids
         )
-        return repr((shapes, buckets, self._loops, self._nested,
-                     self._tight, self._adjacent))
+        payload = repr((shapes, buckets, self._loops, self._nested,
+                        self._tight, self._adjacent))
+        return (
+            self.program.fingerprint()
+            + ":"
+            + hashlib.sha256(payload.encode()).hexdigest()
+        )
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ version counter whenever the quad list changes.
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
@@ -92,6 +93,8 @@ class Program:
         #: open-transaction marks; while non-empty the log never trims,
         #: so every pinned version stays reachable for rollback
         self._pins: list[int] = []
+        #: (version, digest) memo for :meth:`fingerprint`
+        self._fingerprint_cache: Optional[tuple[int, str]] = None
         for quad in quads:
             self.append(quad)
 
@@ -465,6 +468,31 @@ class Program:
         fresh._changelog.clear()
         fresh._log_floor = fresh._version
         return fresh
+
+    def fingerprint(self) -> str:
+        """The canonical content hash of the program (hex digest).
+
+        Two programs have equal fingerprints exactly when they render
+        to the same quad sequence: qids, program name, version history
+        and change-log state do not participate, so the hash survives
+        unparse/parse round trips and identifies *content*, not object
+        lineage.  This is the one program-hash definition shared by
+        the ordering experiment, the match-index state hash, and the
+        service result cache (:mod:`repro.service`).
+
+        Cached against :attr:`version`, so repeated reads between
+        mutations are O(1).
+        """
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        hasher = hashlib.sha256()
+        for quad in self._quads:
+            hasher.update(str(quad).encode())
+            hasher.update(b"\n")
+        digest = hasher.hexdigest()
+        self._fingerprint_cache = (self._version, digest)
+        return digest
 
     def scalar_names(self) -> frozenset[str]:
         """Every scalar variable name defined or used in the program."""

@@ -1,0 +1,100 @@
+"""The fingerprint-keyed optimization result cache.
+
+Identical requests — same canonical program content hash
+(:meth:`repro.ir.program.Program.fingerprint`), same optimization
+sequence, same driver options, same package version — are served from
+memory instead of being re-optimized.  Optimizers are deterministic
+functions of (program, options), so a cached result is exact, not
+approximate; the version component of the key
+(:meth:`repro.service.job.Job.cache_key`) makes caches self-invalidate
+across releases.
+
+Plain LRU with hit/miss/eviction counters; capacity is in entries, not
+bytes, since results are small (the optimized source plus counters).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.service.job import JobResult
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed through ``ServiceStats``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.evictions} eviction(s) "
+            f"({self.hit_rate * 100:.1f}% hit rate)"
+        )
+
+
+class ResultCache:
+    """LRU cache of completed :class:`JobResult` keyed by cache key."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, JobResult] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """The cached result, marked ``cached=True``, or None.
+
+        A hit refreshes the entry's recency.  The returned object is a
+        shallow copy, so callers may stamp their own job id and timing
+        on it without corrupting the cache.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return replace(entry, cached=True)
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Store a completed result (non-completed results are not
+        cacheable: crashes and deadline kills must be retried)."""
+        if self.capacity == 0 or not result.ok:
+            return
+        self._entries[key] = replace(result, cached=False, coalesced=False)
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

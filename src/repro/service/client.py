@@ -1,0 +1,125 @@
+"""`ServiceClient`: the Python API in front of the service.
+
+A thin convenience layer that owns (or borrows) an
+:class:`~repro.service.scheduler.OptimizationService` and exposes the
+three calling conventions consumers need: one-shot optimization
+(``optimize_program``/``optimize_source``), explicit
+``submit``/``wait``, and order-preserving batches (``run_batch``) —
+the shape the experiment/fuzz/chaos harnesses use to parallelize their
+studies across cores.
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(backend="process", max_workers=4) as client:
+        results = client.run_batch(jobs)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.genesis.driver import DriverOptions
+from repro.ir.program import Program
+from repro.service.job import Job, JobResult
+from repro.service.scheduler import (
+    OptimizationService,
+    ServiceConfig,
+    ServiceStats,
+)
+
+
+class ServiceClient:
+    """Submit programs to an optimization service and await results."""
+
+    def __init__(
+        self,
+        service: Optional[OptimizationService] = None,
+        *,
+        backend: str = "inprocess",
+        max_workers: int = 2,
+        queue_limit: int = 256,
+        cache_capacity: int = 256,
+        default_deadline: Optional[float] = None,
+        log=None,
+    ):
+        if service is not None:
+            self.service = service
+            self._owned = False
+        else:
+            self.service = OptimizationService(
+                ServiceConfig(
+                    backend=backend,
+                    max_workers=max_workers,
+                    queue_limit=queue_limit,
+                    cache_capacity=cache_capacity,
+                    default_deadline=default_deadline,
+                ),
+                log=log,
+            )
+            self._owned = True
+
+    # ------------------------------------------------------------------
+    # one-shot convenience
+    # ------------------------------------------------------------------
+    def optimize_source(
+        self,
+        source: str,
+        opt_names: Sequence[str],
+        options: Optional[DriverOptions] = None,
+        timeout: Optional[float] = None,
+    ) -> JobResult:
+        """Optimize mini-Fortran text; blocks until the job resolves."""
+        job = Job.from_source(source, opt_names, options)
+        return self.service.wait(self.service.submit(job), timeout=timeout)
+
+    def optimize_program(
+        self,
+        program: Program,
+        opt_names: Sequence[str],
+        options: Optional[DriverOptions] = None,
+        timeout: Optional[float] = None,
+    ) -> JobResult:
+        """Optimize an in-memory program (unparse round-trip transport)."""
+        job = Job.from_program(program, opt_names, options)
+        return self.service.wait(self.service.submit(job), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # explicit scheduling
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> int:
+        return self.service.submit(job)
+
+    def wait(self, job_id: int, timeout: Optional[float] = None) -> JobResult:
+        return self.service.wait(job_id, timeout=timeout)
+
+    def run_batch(
+        self,
+        jobs: Sequence[Job],
+        timeout: Optional[float] = None,
+    ) -> list[JobResult]:
+        """Submit a batch and block until every job resolves.
+
+        Results come back in submission order regardless of completion
+        order, so batch consumers can zip them against their inputs.
+        """
+        job_ids = [self.service.submit(job) for job in jobs]
+        self.service.drain(timeout=timeout)
+        return [self.service.result(job_id) for job_id in job_ids]
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ServiceStats:
+        return self.service.stats
+
+    def close(self) -> None:
+        """Close the underlying service if this client created it."""
+        if self._owned:
+            self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

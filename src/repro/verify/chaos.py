@@ -251,6 +251,7 @@ def run_chaos(
     quarantine_after: int = 10,
     optimizers: Optional[dict[str, GeneratedOptimizer]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    client=None,
 ) -> ChaosReport:
     """Run the fault-injection campaign over workload programs.
 
@@ -270,6 +271,13 @@ def run_chaos(
 
     ``optimizers`` may inject pre-built (possibly deliberately broken)
     optimizers keyed by name; missing names come from the catalog.
+
+    ``client`` (a :class:`repro.service.client.ServiceClient`)
+    parallelizes the fault-free *baseline* pipelines across the
+    service's workers; the chaos arms themselves always run locally —
+    their fault-injecting closures cannot cross a process boundary.
+    Injected ``optimizers`` force fully serial baselines, since the
+    service can only rebuild catalog optimizations by name.
     """
     from repro.opts.catalog import build_optimizer
 
@@ -288,21 +296,30 @@ def run_chaos(
         if name not in catalog:
             catalog[name] = build_optimizer(name)
     names = list(program_names or SOURCES)
+    baselines = None
+    if client is not None and not optimizers:
+        baselines = _baselines_via_service(
+            client, names, tuple(opt_names), base_options
+        )
     report = ChaosReport(config=config)
     start = time.perf_counter()
     for program_name in names:
         run_start = time.perf_counter()
         program = parse_program(SOURCES[program_name])
-        baseline = optimize(
-            program.clone(),
-            [catalog[name] for name in opt_names],
-            options=replace(base_options),
-            in_place=True,
-            quarantine_after=quarantine_after,
-        )
-        baseline_out = unparse_program(
-            baseline.program, name=baseline.program.name
-        )
+        if baselines is not None:
+            baseline_applications, baseline_out = baselines[program_name]
+        else:
+            baseline = optimize(
+                program.clone(),
+                [catalog[name] for name in opt_names],
+                options=replace(base_options),
+                in_place=True,
+                quarantine_after=quarantine_after,
+            )
+            baseline_applications = baseline.total_applications
+            baseline_out = unparse_program(
+                baseline.program, name=baseline.program.name
+            )
 
         wrapped, stats = chaotic_catalog(
             {name: catalog[name] for name in opt_names}, config
@@ -317,7 +334,7 @@ def run_chaos(
         )
         run = ChaosRun(
             program_name=program_name,
-            baseline_applications=baseline.total_applications,
+            baseline_applications=baseline_applications,
             chaos_applications=chaos_report.total_applications,
             rollbacks=chaos_report.total_rollbacks,
             stats=stats,
@@ -356,3 +373,45 @@ def run_chaos(
             progress(str(run))
     report.elapsed_seconds = time.perf_counter() - start
     return report
+
+
+def _baselines_via_service(
+    client,
+    names: Sequence[str],
+    opt_names: tuple[str, ...],
+    base_options: DriverOptions,
+) -> Optional[dict[str, tuple[int, str]]]:
+    """Fault-free baselines as service jobs: name -> (applications,
+    optimized source).
+
+    Each job carries the *same* workload text the serial path parses
+    (``Job.from_source(SOURCES[name], ...)``), so the service baseline
+    is byte-identical to a local one.  Returns None (serial fallback)
+    when the driver options cannot cross a process boundary.
+    """
+    from repro.service.job import Job, JobError
+
+    try:
+        jobs = {
+            program_name: Job.from_source(
+                SOURCES[program_name], opt_names, replace(base_options)
+            )
+            for program_name in names
+        }
+    except JobError:
+        return None
+    job_ids = {
+        program_name: client.submit(job)
+        for program_name, job in jobs.items()
+    }
+    baselines: dict[str, tuple[int, str]] = {}
+    for program_name, job_id in job_ids.items():
+        result = client.wait(job_id)
+        if not result.ok:
+            detail = str(result.failure) if result.failure else result.status
+            raise RuntimeError(
+                f"chaos baseline for {program_name!r} failed in the "
+                f"service: {detail}"
+            )
+        baselines[program_name] = (result.applications, result.source)
+    return baselines

@@ -142,13 +142,7 @@ def _apply_sequence(
     ``max_rollbacks`` times instead of killing the campaign, and the
     deadline/fuel caps stop runaway match loops.
     """
-    options = DriverOptions(
-        apply_all=True,
-        max_applications=config.max_applications,
-        max_rollbacks=config.max_rollbacks,
-        deadline_seconds=config.deadline_seconds,
-        max_match_attempts=config.max_match_attempts,
-    )
+    options = _fuzz_driver_options(config)
     manager = AnalysisManager(program)
     applied = 0
     for optimizer in optimizers:
@@ -162,37 +156,49 @@ def run_fuzz(
     config: Optional[FuzzConfig] = None,
     optimizers: Optional[dict[str, GeneratedOptimizer]] = None,
     progress: Optional[ProgressHook] = None,
+    client=None,
 ) -> FuzzReport:
     """Run one fuzz campaign.
 
     ``optimizers`` may inject pre-built (possibly deliberately broken)
     optimizers keyed by name; missing names are generated from the
     catalog.
+
+    ``client`` (a :class:`repro.service.client.ServiceClient`) batches
+    every per-iteration transformation through the optimization
+    service, parallelizing the campaign across the service's workers;
+    oracle checking and counterexample shrinking stay local.  Injected
+    ``optimizers`` force the serial path — ad-hoc callables cannot
+    cross a process boundary.
     """
     config = config or FuzzConfig()
     optimizers = dict(optimizers or {})
+    use_service = client is not None and not optimizers
     for name in config.opt_names:
         if name not in optimizers:
             optimizers[name] = _resolve_optimizer(name)
     oracle = EquivalenceOracle(trials=config.trials, seed=config.seed)
     report = FuzzReport(config=config)
     start = time.perf_counter()
+    check_plan = [(name,) for name in config.opt_names]
+    if config.pipeline and len(config.opt_names) > 1:
+        check_plan.append(tuple(config.opt_names))
+    if use_service:
+        _run_fuzz_service(
+            report, oracle, config, check_plan, optimizers, client, progress
+        )
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
     for iteration in range(config.iterations):
         seed = config.program_seed(iteration)
         program = random_program(
             seed, size=config.size, max_depth=config.max_depth
         )
         report.programs += 1
-        for name in config.opt_names:
+        for opt_names in check_plan:
             _check_one(
                 report, oracle, config, iteration, seed, program,
-                (name,), [optimizers[name]],
-            )
-        if config.pipeline and len(config.opt_names) > 1:
-            _check_one(
-                report, oracle, config, iteration, seed, program,
-                tuple(config.opt_names),
-                [optimizers[name] for name in config.opt_names],
+                opt_names, [optimizers[name] for name in opt_names],
             )
         if progress is not None and (iteration + 1) % 10 == 0:
             progress(
@@ -202,6 +208,82 @@ def run_fuzz(
             )
     report.elapsed_seconds = time.perf_counter() - start
     return report
+
+
+def _fuzz_driver_options(config: FuzzConfig) -> DriverOptions:
+    """The per-optimizer budgets both fuzz paths run under."""
+    return DriverOptions(
+        apply_all=True,
+        max_applications=config.max_applications,
+        max_rollbacks=config.max_rollbacks,
+        deadline_seconds=config.deadline_seconds,
+        max_match_attempts=config.max_match_attempts,
+    )
+
+
+def _run_fuzz_service(
+    report: FuzzReport,
+    oracle: EquivalenceOracle,
+    config: FuzzConfig,
+    check_plan: list[tuple[str, ...]],
+    optimizers: dict[str, GeneratedOptimizer],
+    client,
+    progress: Optional[ProgressHook],
+) -> None:
+    """The service-backed campaign: batch-submit, then verdict locally.
+
+    Only catalog optimizations can execute in a worker; a plan that
+    names broken-fixture optimizers falls back to serial per-check
+    transformation (they exist precisely to fail, and shrinking reruns
+    them locally anyway).
+    """
+    from repro.service.job import Job
+    from repro.verify.fixtures import BROKEN_SPECS
+
+    options = _fuzz_driver_options(config)
+    pending: list[tuple[int, int, Program, tuple[str, ...], int]] = []
+    for iteration in range(config.iterations):
+        seed = config.program_seed(iteration)
+        program = random_program(
+            seed, size=config.size, max_depth=config.max_depth
+        )
+        report.programs += 1
+        for opt_names in check_plan:
+            if any(name in BROKEN_SPECS for name in opt_names):
+                _check_one(
+                    report, oracle, config, iteration, seed, program,
+                    opt_names, [optimizers[name] for name in opt_names],
+                )
+                continue
+            job = Job.from_program(program, opt_names, options)
+            pending.append(
+                (iteration, seed, program, opt_names, client.submit(job))
+            )
+    done = 0
+    for iteration, seed, program, opt_names, job_id in pending:
+        result = client.wait(job_id)
+        if not result.ok:
+            raise RuntimeError(
+                f"fuzz job {job_id} ({'+'.join(opt_names)}, seed {seed}) "
+                f"did not complete: {result.failure or result.status}"
+            )
+        report.applications += result.applications
+        done += 1
+        if progress is not None and done % 25 == 0:
+            progress(
+                f"{done}/{len(pending)} service checks, "
+                f"{len(report.failures)} failure(s)"
+            )
+        if result.applications == 0:
+            continue
+        report.checks += 1
+        verdict = oracle.check(program, result.program())
+        if verdict.equivalent:
+            continue
+        _record_failure(
+            report, oracle, config, iteration, seed, program, opt_names,
+            [optimizers[name] for name in opt_names], verdict,
+        )
 
 
 def _check_one(
@@ -223,6 +305,24 @@ def _check_one(
     verdict = oracle.check(program, transformed)
     if verdict.equivalent:
         return
+    _record_failure(
+        report, oracle, config, iteration, seed, program, opt_names,
+        optimizers, verdict,
+    )
+
+
+def _record_failure(
+    report: FuzzReport,
+    oracle: EquivalenceOracle,
+    config: FuzzConfig,
+    iteration: int,
+    seed: int,
+    program: Program,
+    opt_names: tuple[str, ...],
+    optimizers: list[GeneratedOptimizer],
+    verdict: EquivalenceReport,
+) -> None:
+    """Shrink and save one oracle divergence (always runs locally)."""
     failure = FuzzFailure(
         iteration=iteration,
         program_seed=seed,

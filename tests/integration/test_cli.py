@@ -112,3 +112,88 @@ class TestOthers:
         )
         assert code == 0
         assert "CTP" in out
+
+
+class TestServiceVerbs:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"genesis {__version__}"
+        assert __version__ != "0+unknown"
+
+    def test_submit_workload(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "submit", "fft", "--opts", "CTP,DCE",
+            "--backend", "inprocess", "--show",
+        )
+        assert code == 0
+        assert "completed" in out
+        assert "program fft" in out
+
+    def test_submit_bad_program_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.f"
+        bad.write_text("this is not fortran")
+        code, _out, err = run_cli(
+            capsys, "submit", str(bad), "--backend", "inprocess"
+        )
+        assert code == 3
+        assert "error" in err
+
+    def test_submit_unknown_optimization(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "submit", "fft", "--opts", "NOSUCH",
+            "--backend", "inprocess",
+        )
+        assert code == 3
+        assert "unknown optimization" in err
+
+    def test_batch_caches_duplicates(self, capsys, tmp_path):
+        out_json = tmp_path / "results.json"
+        code, out, _err = run_cli(
+            capsys, "batch", "fft", "newton", "fft",
+            "--opts", "CTP,DCE", "--backend", "inprocess",
+            "--json", str(out_json),
+        )
+        assert code == 0
+        assert "[cached]" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert len(payload["results"]) == 3
+        assert payload["results"][2]["cached"]
+
+    def test_serve_json_lines(self, capsys, monkeypatch):
+        import io
+        import json
+
+        requests = "\n".join([
+            json.dumps({"workload": "fft", "opts": "CTP,DCE"}),
+            json.dumps({"workload": "missing"}),
+            json.dumps({"cmd": "stats"}),
+            json.dumps({"cmd": "quit"}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        code, out, err = run_cli(
+            capsys, "serve", "--backend", "inprocess"
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert lines[0]["status"] == "completed"
+        assert lines[0]["source"].startswith("program fft")
+        assert "unknown workload" in lines[1]["error"]
+        assert "submitted" in lines[2]["stats"]
+        from repro import __version__
+
+        assert f"v{__version__}" in err
+
+    def test_fuzz_workers_flag(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "fuzz", "--iterations", "2", "--opts", "CTP,DCE",
+            "--workers", "1",
+        )
+        assert code == 0
+        assert "OK" in out

@@ -1,0 +1,67 @@
+"""The LRU result cache: recency, counters, cacheability."""
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.job import COMPLETED, FAILED, JobResult, job_failure
+
+
+def _ok(job_id=1, source="program p\nend\n"):
+    return JobResult(job_id=job_id, status=COMPLETED, source=source)
+
+
+def test_hit_returns_marked_copy():
+    cache = ResultCache(capacity=4)
+    cache.put("k", _ok())
+    hit = cache.get("k")
+    assert hit is not None and hit.cached
+    # the stored entry itself stays unmarked
+    assert not cache.get("k").coalesced
+    again = cache.get("k")
+    assert again is not hit
+    assert cache.stats.hits == 3 and cache.stats.misses == 0
+
+
+def test_miss_counts():
+    cache = ResultCache(capacity=4)
+    assert cache.get("absent") is None
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.0
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put("a", _ok(1))
+    cache.put("b", _ok(2))
+    assert cache.get("a") is not None  # refresh a: b is now oldest
+    cache.put("c", _ok(3))
+    assert cache.stats.evictions == 1
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert len(cache) == 2
+
+
+def test_failures_are_not_cached():
+    cache = ResultCache(capacity=4)
+    cache.put(
+        "k",
+        JobResult(
+            job_id=1,
+            status=FAILED,
+            failure=job_failure("worker", "WorkerCrashed", "died"),
+        ),
+    )
+    assert len(cache) == 0 and cache.stats.stores == 0
+    assert cache.get("k") is None
+
+
+def test_zero_capacity_disables_caching():
+    cache = ResultCache(capacity=0)
+    cache.put("k", _ok())
+    assert cache.get("k") is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=-1)

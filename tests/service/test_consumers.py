@@ -1,0 +1,100 @@
+"""The batch consumers through the service == their serial selves."""
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.verify.chaos import ChaosConfig, run_chaos
+from repro.verify.fuzz import FuzzConfig, run_fuzz
+
+
+@pytest.fixture()
+def client():
+    with ServiceClient(backend="inprocess") as service_client:
+        yield service_client
+
+
+def test_fuzz_service_path_matches_serial(client):
+    config = FuzzConfig(iterations=3, size=10, opt_names=("CTP", "DCE"))
+    serial = run_fuzz(config)
+    via_service = run_fuzz(config, client=client)
+    assert (serial.programs, serial.checks, serial.applications) == (
+        via_service.programs,
+        via_service.checks,
+        via_service.applications,
+    )
+    assert len(serial.failures) == len(via_service.failures)
+    assert client.stats.submitted > 0
+
+
+def test_fuzz_broken_fixture_falls_back_to_serial(client):
+    # a deliberately broken optimizer cannot cross a process boundary:
+    # its checks run serially and still surface the divergence
+    config = FuzzConfig(
+        iterations=2, size=10, opt_names=("CTP", "BROKEN_DCE"),
+        pipeline=False, shrink=False,
+    )
+    report = run_fuzz(config, client=client)
+    serial = run_fuzz(config)
+    assert len(report.failures) == len(serial.failures)
+    assert report.checks == serial.checks
+
+
+def test_fuzz_injected_optimizers_force_serial(client):
+    from repro.opts.catalog import build_optimizer
+
+    config = FuzzConfig(iterations=1, size=8, opt_names=("CTP",),
+                        pipeline=False)
+    submitted_before = client.stats.submitted
+    report = run_fuzz(
+        config, optimizers={"CTP": build_optimizer("CTP")}, client=client
+    )
+    assert report.programs == 1
+    assert client.stats.submitted == submitted_before
+
+
+def test_chaos_service_baselines_match_serial(client):
+    config = ChaosConfig(seed=3, act_fault_rate=0.2)
+    names = ["newton", "poly"]
+    via_service = run_chaos(config, program_names=names, client=client)
+    serial = run_chaos(config, program_names=names)
+    assert via_service.ok and serial.ok
+    for service_run, serial_run in zip(via_service.runs, serial.runs):
+        assert (
+            service_run.baseline_applications
+            == serial_run.baseline_applications
+        )
+    assert client.stats.submitted == len(names)
+
+
+def test_experiments_components_fan_out(client):
+    from repro.experiments.runner import run_all_experiments
+    from repro.workloads.suite import full_suite
+
+    workloads = full_suite()[:3]
+    serial = run_all_experiments(workloads)
+    via_service = run_all_experiments(workloads, client=client)
+    assert serial.claim_summary == via_service.claim_summary
+    # deterministic sections render identically; only measured-time
+    # columns (E5) may differ between any two runs
+    assert serial.quality.table() == via_service.quality.table()
+    assert serial.applicability.table() == via_service.applicability.table()
+    assert serial.enabling.table() == via_service.enabling.table()
+    assert client.stats.submitted == 7
+
+
+def test_experiments_custom_workloads_stay_serial(client):
+    from repro.experiments.runner import run_all_experiments
+    from repro.workloads.suite import Workload
+
+    custom = [Workload(name="tiny", source="program tiny\nend\n")]
+    submitted_before = client.stats.submitted
+    report = run_all_experiments(custom, client=client)
+    assert client.stats.submitted == submitted_before
+    assert report.claim_summary  # the study still ran (serially)
+
+
+def test_run_experiment_component_unknown_name():
+    from repro.experiments.runner import run_experiment_component
+
+    with pytest.raises(KeyError):
+        run_experiment_component("nonsense")

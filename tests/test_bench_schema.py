@@ -1,0 +1,61 @@
+"""Every committed BENCH_*.json conforms to the shared schema.
+
+The benchmarks themselves live under ``benchmarks/`` and run outside
+tier-1; this test pins the *shape* of their committed outputs (host
+block, sizes list, speedup fields) so a benchmark edit cannot silently
+drift the files the README and CI point at.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The benchmark outputs the repository commits.
+BENCH_FILES = (
+    "BENCH_match.json",
+    "BENCH_dependence.json",
+    "BENCH_service.json",
+)
+
+
+def _load_schema():
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_schema import validate_bench
+    finally:
+        sys.path.pop(0)
+    return validate_bench
+
+
+@pytest.mark.parametrize("name", BENCH_FILES)
+def test_committed_bench_file_conforms(name):
+    path = REPO_ROOT / name
+    assert path.exists(), f"{name} is missing from the repository root"
+    payload = json.loads(path.read_text())
+    validate_bench = _load_schema()
+    problems = validate_bench(payload)
+    assert not problems, f"{name}: {problems}"
+
+
+def test_validator_rejects_malformed_payloads():
+    validate_bench = _load_schema()
+    assert validate_bench({}) != []
+    assert any(
+        "host" in problem
+        for problem in validate_bench({"sizes": [{"size": 1, "speedup": 2}]})
+    )
+    host = {"python": "3.11", "platform": "linux", "cpus": 4}
+    assert validate_bench({"host": host, "sizes": []}) != []
+    assert any(
+        "speedup" in problem
+        for problem in validate_bench(
+            {"host": host, "sizes": [{"size": 10}]}
+        )
+    )
+    assert validate_bench(
+        {"host": host, "sizes": [{"size": 10, "match_speedup": 2.5}]}
+    ) == []
