@@ -90,6 +90,7 @@ from repro.ir.validate import ValidationError
 from repro.opts.catalog import standard_optimizers
 from repro.opts.extended import EXTENDED_SPECS
 from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+from repro.service.scheduler import ServiceError
 from repro.workloads.programs import SOURCES
 
 #: exit code for operational failures caught at the CLI boundary
@@ -109,6 +110,7 @@ _BOUNDARY_ERRORS = (
     SessionError,
     IRError,
     ValidationError,
+    ServiceError,
     ValueError,
     KeyError,
 )

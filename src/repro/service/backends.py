@@ -95,11 +95,20 @@ def _execute_optimize(job: Job) -> JobResult:
         )
     optimizers = _resolve_optimizers(job.opt_names, STANDARD_SPECS,
                                      standard_optimizers)
+    # pipeline knobs that are not DriverOptions travel in the payload
+    # (and therefore in the cache key) so a service run is byte-
+    # identical to a serial one under the same settings
+    pipeline_kwargs: dict[str, int] = {}
+    if "quarantine_after" in job.payload:
+        pipeline_kwargs["quarantine_after"] = int(
+            job.payload["quarantine_after"]  # type: ignore[arg-type]
+        )
     report = optimize(
         program,
         optimizers,
         options=job.driver_options(),
         in_place=True,
+        **pipeline_kwargs,
     )
     per_optimizer: dict[str, int] = {}
     stopped: dict[str, str] = {}
@@ -279,6 +288,9 @@ class _ProcessHandle(WorkerHandle):
         self._kind = kind
         self._result: Optional[JobResult] = None
         self._dead = False
+        self._released = False
+        #: exit code snapshot taken before the Process object is closed
+        self._exitcode: Optional[int] = None
         self.worker = f"pid:{process.pid}"
 
     def poll(self) -> Optional[JobResult]:
@@ -294,9 +306,13 @@ class _ProcessHandle(WorkerHandle):
                     else JobResult.from_dict(payload)
                 )
                 self._process.join(timeout=5.0)
+                self._release()
                 return self._result
         except (EOFError, OSError):
+            # the worker closed the pipe without a result: it is dead
             self._dead = True
+            self._release()
+            return None
         if not self._process.is_alive():
             # one last race-free look: the worker may have written the
             # result and exited between the two checks above
@@ -307,11 +323,43 @@ class _ProcessHandle(WorkerHandle):
                         payload if isinstance(payload, JobResult)
                         else JobResult.from_dict(payload)
                     )
+                    self._release()
                     return self._result
             except (EOFError, OSError):
                 pass
             self._dead = True
+            self._release()
         return None
+
+    def _release(self) -> None:
+        """Free per-job OS resources as soon as the outcome is known.
+
+        Closes the parent's pipe end, joins the exited process, and
+        closes the Process object (dropping its sentinel fd) so a
+        long-running service does not accumulate one open pipe and one
+        unreaped process per completed job.  The exit code is
+        snapshotted first — the scheduler reports it for crashes.
+        """
+        if self._released:
+            return
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self._process.is_alive():  # pragma: no cover - lingering
+            return
+        self._process.join(timeout=1.0)
+        self._exitcode = self._process.exitcode
+        try:
+            self._process.close()
+        except ValueError:  # pragma: no cover - still running
+            return
+        self._released = True
+
+    @property
+    def finished(self) -> bool:
+        """The outcome is known (result landed or the worker died)."""
+        return self._result is not None or self._dead
 
     @property
     def crashed(self) -> bool:
@@ -319,10 +367,14 @@ class _ProcessHandle(WorkerHandle):
 
     @property
     def exitcode(self) -> Optional[int]:
+        if self._released:
+            return self._exitcode
         return self._process.exitcode
 
     def kill(self) -> None:
         """Reap the worker: terminate, escalate to SIGKILL, join."""
+        if self._released:
+            return
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout=1.0)
@@ -330,10 +382,7 @@ class _ProcessHandle(WorkerHandle):
                 self._process.kill()
                 self._process.join(timeout=1.0)
         self._dead = self._result is None
-        try:
-            self._conn.close()
-        except OSError:  # pragma: no cover
-            pass
+        self._release()
 
 
 class ProcessPoolBackend:
@@ -352,6 +401,10 @@ class ProcessPoolBackend:
         self._handles: list[_ProcessHandle] = []
 
     def spawn(self, job: Job) -> WorkerHandle:
+        # prune handles whose jobs already finished (their fds are
+        # closed in _release); only live workers need tracking for
+        # close()'s shutdown reap
+        self._handles = [h for h in self._handles if not h.finished]
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_worker_main,

@@ -113,6 +113,13 @@ class ServiceClient:
     def stats(self) -> ServiceStats:
         return self.service.stats
 
+    @property
+    def queue_limit(self) -> int:
+        """The service's admission-queue limit (batch consumers window
+        their submissions to this so large campaigns are never
+        rejected with ``QueueFull``)."""
+        return self.service.config.queue_limit
+
     def close(self) -> None:
         """Close the underlying service if this client created it."""
         if self._owned:

@@ -36,8 +36,8 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
 
 from repro._version import __version__
 from repro.genesis.transaction import HealthLedger
@@ -205,6 +205,13 @@ class OptimizationService:
         Rejections (full queue, quarantined fingerprint) resolve the
         job *immediately* with a structured ``rejected`` result — the
         caller always gets an id it can :meth:`wait` on.
+
+        A submission identical to an in-flight job coalesces onto it
+        (single-flight): the follower receives a copy of the leader's
+        result, carrying the leader's timing and worker fields.  The
+        follower keeps its *own* wall-clock deadline, though — if that
+        passes before the leader lands, the follower expires
+        individually while the leader runs on unaffected.
         """
         if self._closed:
             raise ServiceError("service is closed")
@@ -276,8 +283,56 @@ class OptimizationService:
     def pump(self) -> None:
         """One non-blocking scheduling step: collect, reap, dispatch."""
         now = time.perf_counter()
+        self._expire_followers(now)
         self._collect(now)
         self._dispatch(now)
+
+    def _expire_followers(self, now: float) -> None:
+        """Enforce coalesced followers' own wall-clock budgets.
+
+        A follower rides its leader's execution but keeps its own
+        deadline: when that passes before the leader lands, the
+        follower expires individually (the leader and any other
+        followers are unaffected).
+        """
+        for record in self._leaders_with_followers():
+            keep: list[int] = []
+            for follower_id in record.followers:
+                follower = self._records[follower_id]
+                if (
+                    follower.deadline is not None
+                    and now > follower.deadline
+                ):
+                    self.stats.expired += 1
+                    follower.status = EXPIRED
+                    follower.result = self._follower_expiry(follower)
+                else:
+                    keep.append(follower_id)
+            record.followers = keep
+
+    def _leaders_with_followers(self) -> Iterator[_JobRecord]:
+        for record in self._running:
+            if record.followers:
+                yield record
+        for job_id in self._queue:
+            record = self._records[job_id]
+            if record.followers:
+                yield record
+
+    def _follower_expiry(self, follower: _JobRecord) -> JobResult:
+        return JobResult(
+            job_id=follower.job_id,
+            status=EXPIRED,
+            fingerprint=follower.job.fingerprint,
+            cache_key=follower.key,
+            coalesced=True,
+            failure=job_failure(
+                "queue",
+                "JobExpired",
+                "deadline passed while coalesced on an in-flight job "
+                f"({self._budget_text(follower)})",
+            ),
+        )
 
     def _collect(self, now: float) -> None:
         still_running: list[_JobRecord] = []
@@ -408,13 +463,17 @@ class OptimizationService:
         record.result = result
         if self._inflight.get(record.key) == record.job_id:
             del self._inflight[record.key]
+        now = time.perf_counter()
         for follower_id in record.followers:
             follower = self._records[follower_id]
-            from dataclasses import replace
-
-            follower_result = replace(
-                result, job_id=follower_id, coalesced=True
-            )
+            if follower.deadline is not None and now > follower.deadline:
+                # the leader landed after this follower's own budget:
+                # honour the follower's deadline, not the leader's
+                follower_result = self._follower_expiry(follower)
+            else:
+                follower_result = replace(
+                    result, job_id=follower_id, coalesced=True
+                )
             follower.status = follower_result.status
             follower.result = follower_result
             if follower_result.status == COMPLETED:

@@ -299,7 +299,7 @@ def run_chaos(
     baselines = None
     if client is not None and not optimizers:
         baselines = _baselines_via_service(
-            client, names, tuple(opt_names), base_options
+            client, names, tuple(opt_names), base_options, quarantine_after
         )
     report = ChaosReport(config=config)
     start = time.perf_counter()
@@ -380,21 +380,26 @@ def _baselines_via_service(
     names: Sequence[str],
     opt_names: tuple[str, ...],
     base_options: DriverOptions,
+    quarantine_after: int,
 ) -> Optional[dict[str, tuple[int, str]]]:
     """Fault-free baselines as service jobs: name -> (applications,
     optimized source).
 
     Each job carries the *same* workload text the serial path parses
-    (``Job.from_source(SOURCES[name], ...)``), so the service baseline
-    is byte-identical to a local one.  Returns None (serial fallback)
-    when the driver options cannot cross a process boundary.
+    (``Job.from_source(SOURCES[name], ...)``) and the campaign's own
+    ``quarantine_after`` (in the job payload, hence in the cache key),
+    so the service baseline runs under exactly the serial pipeline's
+    settings and is byte-identical to a local one.  Returns None
+    (serial fallback) when the driver options cannot cross a process
+    boundary.
     """
     from repro.service.job import Job, JobError
 
     try:
         jobs = {
             program_name: Job.from_source(
-                SOURCES[program_name], opt_names, replace(base_options)
+                SOURCES[program_name], opt_names, replace(base_options),
+                payload={"quarantine_after": quarantine_after},
             )
             for program_name in names
         }

@@ -21,6 +21,7 @@ The ``genesis fuzz`` CLI subcommand is a thin wrapper over
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -230,18 +231,65 @@ def _run_fuzz_service(
     client,
     progress: Optional[ProgressHook],
 ) -> None:
-    """The service-backed campaign: batch-submit, then verdict locally.
+    """The service-backed campaign: windowed submit, verdict locally.
+
+    Submissions are windowed to the service's admission-queue limit —
+    at most that many jobs are in flight at once, the oldest collected
+    before the next is submitted — so an arbitrarily large campaign
+    (iterations × check-plan entries) never trips the bounded queue's
+    ``QueueFull`` rejection.  A rejection that slips through anyway
+    (a shared service filling up behind the window) is retried after
+    the wait has freed queue room, not treated as fatal.
 
     Only catalog optimizations can execute in a worker; a plan that
     names broken-fixture optimizers falls back to serial per-check
     transformation (they exist precisely to fail, and shrinking reruns
     them locally anyway).
     """
-    from repro.service.job import Job
+    from repro.service.job import Job, REJECTED
+    from repro.service.scheduler import ServiceError
     from repro.verify.fixtures import BROKEN_SPECS
 
     options = _fuzz_driver_options(config)
-    pending: list[tuple[int, int, Program, tuple[str, ...], int]] = []
+    window = max(1, getattr(client, "queue_limit", 256))
+    inflight: deque[tuple[int, int, Program, tuple[str, ...], Job, int]]
+    inflight = deque()
+    done = 0
+
+    def collect_oldest() -> None:
+        nonlocal done
+        iteration, seed, program, opt_names, job, job_id = inflight.popleft()
+        result = client.wait(job_id)
+        for retry in range(3):
+            if result.status != REJECTED:
+                break
+            # a rejection resolves instantly, so give the queue a
+            # beat to drain before resubmitting
+            time.sleep(0.05 * (retry + 1))
+            result = client.wait(client.submit(job))
+        if not result.ok:
+            raise ServiceError(
+                f"fuzz job {job_id} ({'+'.join(opt_names)}, seed {seed}) "
+                f"did not complete: {result.failure or result.status}"
+            )
+        report.applications += result.applications
+        done += 1
+        if progress is not None and done % 25 == 0:
+            progress(
+                f"{done} service check(s), "
+                f"{len(report.failures)} failure(s)"
+            )
+        if result.applications == 0:
+            return
+        report.checks += 1
+        verdict = oracle.check(program, result.program())
+        if verdict.equivalent:
+            return
+        _record_failure(
+            report, oracle, config, iteration, seed, program, opt_names,
+            [optimizers[name] for name in opt_names], verdict,
+        )
+
     for iteration in range(config.iterations):
         seed = config.program_seed(iteration)
         program = random_program(
@@ -255,35 +303,14 @@ def _run_fuzz_service(
                     opt_names, [optimizers[name] for name in opt_names],
                 )
                 continue
+            if len(inflight) >= window:
+                collect_oldest()
             job = Job.from_program(program, opt_names, options)
-            pending.append(
-                (iteration, seed, program, opt_names, client.submit(job))
+            inflight.append(
+                (iteration, seed, program, opt_names, job, client.submit(job))
             )
-    done = 0
-    for iteration, seed, program, opt_names, job_id in pending:
-        result = client.wait(job_id)
-        if not result.ok:
-            raise RuntimeError(
-                f"fuzz job {job_id} ({'+'.join(opt_names)}, seed {seed}) "
-                f"did not complete: {result.failure or result.status}"
-            )
-        report.applications += result.applications
-        done += 1
-        if progress is not None and done % 25 == 0:
-            progress(
-                f"{done}/{len(pending)} service checks, "
-                f"{len(report.failures)} failure(s)"
-            )
-        if result.applications == 0:
-            continue
-        report.checks += 1
-        verdict = oracle.check(program, result.program())
-        if verdict.equivalent:
-            continue
-        _record_failure(
-            report, oracle, config, iteration, seed, program, opt_names,
-            [optimizers[name] for name in opt_names], verdict,
-        )
+    while inflight:
+        collect_oldest()
 
 
 def _check_one(

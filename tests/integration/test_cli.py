@@ -173,6 +173,7 @@ class TestServiceVerbs:
         requests = "\n".join([
             json.dumps({"workload": "fft", "opts": "CTP,DCE"}),
             json.dumps({"workload": "missing"}),
+            json.dumps({"cmd": "wait", "job_id": 999}),
             json.dumps({"cmd": "stats"}),
             json.dumps({"cmd": "quit"}),
         ])
@@ -185,7 +186,9 @@ class TestServiceVerbs:
         assert lines[0]["status"] == "completed"
         assert lines[0]["source"].startswith("program fft")
         assert "unknown workload" in lines[1]["error"]
-        assert "submitted" in lines[2]["stats"]
+        # a bad wait request is an error object, not a dead server
+        assert "unknown job id" in lines[2]["error"]
+        assert "submitted" in lines[3]["stats"]
         from repro import __version__
 
         assert f"v{__version__}" in err

@@ -130,6 +130,44 @@ def test_close_reaps_running_workers():
     assert result.failure.error_type == "ServiceClosed"
 
 
+def test_execute_job_honours_payload_quarantine_after(monkeypatch):
+    import repro.genesis.pipeline as pipeline_mod
+
+    seen = {}
+    real_optimize = pipeline_mod.optimize
+
+    def spy(*args, **kwargs):
+        seen["quarantine_after"] = kwargs.get("quarantine_after", 5)
+        return real_optimize(*args, **kwargs)
+
+    monkeypatch.setattr(pipeline_mod, "optimize", spy)
+    result = execute_job(_job(payload={"quarantine_after": 2}))
+    assert result.status == COMPLETED
+    assert seen["quarantine_after"] == 2
+    # without the payload knob the pipeline default stands
+    execute_job(_job("newton"))
+    assert seen["quarantine_after"] == 5
+
+
+@pytest.mark.slow
+def test_process_backend_releases_finished_handles():
+    """A finished job's pipe end is closed and its handle pruned, so a
+    long-running service does not leak one fd + process per job."""
+    import time
+
+    backend = ProcessPoolBackend(max_workers=2)
+    first = backend.spawn(_job("newton", opts=("CTP",)))
+    give_up = time.monotonic() + 60.0
+    while first.poll() is None and time.monotonic() < give_up:
+        time.sleep(0.01)
+    assert first.poll() is not None
+    assert first.finished
+    assert first._conn.closed
+    second = backend.spawn(_job("poly", opts=("CTP",)))
+    assert backend._handles == [second]
+    backend.close()
+
+
 def test_backend_name_and_width():
     assert InProcessBackend(0).max_workers == 1
     assert ProcessPoolBackend(0).max_workers == 1

@@ -52,6 +52,91 @@ def test_fuzz_injected_optimizers_force_serial(client):
     assert client.stats.submitted == submitted_before
 
 
+def test_fuzz_windows_submissions_to_queue_limit():
+    class _CountingClient(ServiceClient):
+        """Tracks how many submissions are in flight at once."""
+
+        def __init__(self, **settings):
+            super().__init__(**settings)
+            self.outstanding = 0
+            self.max_outstanding = 0
+
+        def submit(self, job):
+            self.outstanding += 1
+            self.max_outstanding = max(self.max_outstanding,
+                                       self.outstanding)
+            return super().submit(job)
+
+        def wait(self, job_id, timeout=None):
+            result = super().wait(job_id, timeout=timeout)
+            self.outstanding -= 1
+            return result
+
+    # 3 iterations x (3 opts + pipeline) = 12 jobs against a queue of 4:
+    # eager submission would reject, the window never exceeds the limit
+    config = FuzzConfig(iterations=3, size=10,
+                        opt_names=("CTP", "DCE", "CFO"))
+    with _CountingClient(backend="inprocess", queue_limit=4) as client:
+        report = run_fuzz(config, client=client)
+        assert client.stats.submitted == 12
+        assert client.stats.rejected == 0
+        assert client.max_outstanding <= 4
+    serial = run_fuzz(config)
+    assert (report.programs, report.checks, report.applications) == (
+        serial.programs, serial.checks, serial.applications
+    )
+
+
+def test_fuzz_retries_rejected_submissions():
+    from repro.service.job import JobResult, REJECTED, job_failure
+
+    class _FlakyClient(ServiceClient):
+        """Synthesizes admission rejections for the first two waits."""
+
+        def __init__(self):
+            super().__init__(backend="inprocess")
+            self.rejections_left = 2
+
+        def wait(self, job_id, timeout=None):
+            result = super().wait(job_id, timeout=timeout)
+            if self.rejections_left and result.ok:
+                self.rejections_left -= 1
+                return JobResult(
+                    job_id=job_id,
+                    status=REJECTED,
+                    failure=job_failure(
+                        "admission", "QueueFull", "synthetic rejection"
+                    ),
+                )
+            return result
+
+    config = FuzzConfig(iterations=2, size=10, opt_names=("CTP", "DCE"),
+                        pipeline=False)
+    with _FlakyClient() as client:
+        report = run_fuzz(config, client=client)
+        assert client.rejections_left == 0
+    serial = run_fuzz(config)
+    assert (report.programs, report.checks, report.applications) == (
+        serial.programs, serial.checks, serial.applications
+    )
+
+
+def test_chaos_baselines_carry_quarantine_after(client, monkeypatch):
+    jobs = []
+    real_submit = client.submit
+
+    def recording_submit(job):
+        jobs.append(job)
+        return real_submit(job)
+
+    monkeypatch.setattr(client, "submit", recording_submit)
+    config = ChaosConfig(seed=1, act_fault_rate=0.2)
+    report = run_chaos(config, program_names=["newton"], client=client,
+                       quarantine_after=7)
+    assert report.ok
+    assert [job.payload["quarantine_after"] for job in jobs] == [7]
+
+
 def test_chaos_service_baselines_match_serial(client):
     config = ChaosConfig(seed=3, act_fault_rate=0.2)
     names = ["newton", "poly"]

@@ -112,6 +112,29 @@ def test_single_flight_coalesces_concurrent_duplicates():
         assert service.result(other).ok
 
 
+def test_coalesced_follower_keeps_its_own_deadline():
+    import time
+
+    backend = _ManualBackend(max_workers=1)
+    service = OptimizationService(ServiceConfig(), backend=backend)
+    with service:
+        leader = service.submit(_job())
+        follower = service.submit(_job(deadline_seconds=0.0))
+        assert service.stats.coalesced == 1
+        time.sleep(0.01)
+        service.pump()
+        expired = service.result(follower)
+        assert expired is not None and expired.status == EXPIRED
+        assert expired.failure.error_type == "JobExpired"
+        assert expired.coalesced
+        # the leader (no deadline of its own) runs on unaffected
+        assert service.result(leader) is None
+        backend.handles[0].released = True
+        service.drain(timeout=10.0)
+        assert service.result(leader).ok
+        assert service.stats.expired == 1
+
+
 def test_queue_limit_rejects_with_structured_failure():
     backend = _ManualBackend(max_workers=1)
     service = OptimizationService(
