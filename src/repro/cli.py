@@ -41,6 +41,13 @@ rejected session command) — reported as a one-line diagnostic.
     genesis suite
         List the workload programs.
 
+    genesis search [programs...] --strategy beam --depth 4 --budget 200
+        Phase-ordering search: find the best pass ordering per
+        workload (seeded, deterministic), oracle-certify every
+        winning pipeline, and report benefit under all three machine
+        models.  ``--workers N`` evaluates candidates through the
+        process-pool service so convergent orderings are cache hits.
+
     genesis submit <program.f> --opts CTP,DCE [--backend process]
         One-shot optimization through the optimization service.
 
@@ -90,6 +97,7 @@ from repro.ir.validate import ValidationError
 from repro.opts.catalog import standard_optimizers
 from repro.opts.extended import EXTENDED_SPECS
 from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+from repro.search.space import SearchError
 from repro.service.scheduler import ServiceError
 from repro.workloads.programs import SOURCES
 
@@ -108,6 +116,7 @@ _BOUNDARY_ERRORS = (
     ConstructorError,
     GenesisRuntimeError,
     SessionError,
+    SearchError,
     IRError,
     ValidationError,
     ServiceError,
@@ -132,6 +141,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "batch": _cmd_batch,
+        "search": _cmd_search,
     }.get(args.command)
     if handler is None:
         parser.print_help()
@@ -392,6 +402,84 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--json", default=None, metavar="FILE",
         help="also write every JobResult (and service stats) as JSON",
+    )
+
+    from repro.search import MODELS_BY_NAME, STRATEGIES
+
+    search = sub.add_parser(
+        "search",
+        help="search pass orderings and report certified best pipelines",
+    )
+    search.add_argument(
+        "programs", nargs="*",
+        help="mini-Fortran source files and/or workload names "
+        "(default: the whole workload suite)",
+    )
+    search.add_argument(
+        "--opts", default=None,
+        help="comma-separated candidate passes (default: the paper's "
+        "ten)",
+    )
+    search.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="beam",
+        help="search strategy (default: beam)",
+    )
+    search.add_argument(
+        "--beam-width", type=int, default=4, metavar="W",
+        help="frontier width for beam search (default: 4)",
+    )
+    search.add_argument(
+        "--depth", type=int, default=4, metavar="D",
+        help="maximum pipeline length (default: 4)",
+    )
+    search.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="candidate evaluations allowed per program (default: 200)",
+    )
+    search.add_argument(
+        "--seed", type=int, default=0,
+        help="strategy seed; same seed, same best pipeline and visit "
+        "order (default: 0)",
+    )
+    search.add_argument(
+        "--iterations", type=int, default=4, metavar="N",
+        help="rounds for iterated greedy (default: 4)",
+    )
+    search.add_argument(
+        "--model", choices=sorted(MODELS_BY_NAME),
+        default="multiprocessor",
+        help="objective machine model (default: multiprocessor)",
+    )
+    search.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="evaluate candidates through an optimization service "
+        "with N workers (default: 0, serial in-process)",
+    )
+    search.add_argument(
+        "--backend", choices=["inprocess", "process"], default="process",
+        help="service backend for --workers (default: process)",
+    )
+    search.add_argument(
+        "--once", action="store_true",
+        help="apply each pass at its first point only (user-directed "
+        "mode)",
+    )
+    search.add_argument(
+        "--no-prune", action="store_true",
+        help="do not prune branches converging to a visited "
+        "fingerprint",
+    )
+    search.add_argument(
+        "--no-certify", action="store_true",
+        help="skip the oracle-certification of winning pipelines",
+    )
+    search.add_argument(
+        "--oracle-trials", type=int, default=3, metavar="N",
+        help="seeded oracle environments per certification (default: 3)",
+    )
+    search.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write every SearchResult as JSON",
     )
 
     serve = sub.add_parser(
@@ -780,6 +868,65 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         print(f"results written to {args.json}")
     return 0 if failed == 0 else 1
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.opts.specs import PAPER_TEN
+    from repro.search import SearchConfig, certify, search_program
+
+    config = SearchConfig(
+        opt_names=(
+            PAPER_TEN if args.opts is None
+            else _parse_opt_names(args.opts)
+        ),
+        strategy=args.strategy,
+        depth=args.depth,
+        beam_width=args.beam_width,
+        budget=args.budget,
+        seed=args.seed,
+        iterations=args.iterations,
+        objective=args.model,
+        prune=not args.no_prune,
+        apply_all=not args.once,
+    )
+    if args.programs:
+        targets = [_load_source_arg(item) for item in args.programs]
+    else:
+        targets = list(SOURCES.items())
+
+    results = []
+
+    def run(client=None) -> None:
+        for label, source in targets:
+            result = search_program(
+                source, config, client=client, name=label
+            )
+            if not args.no_certify:
+                certify(
+                    result,
+                    source,
+                    trials=args.oracle_trials,
+                    seed=args.seed,
+                    options=config.driver_options(),
+                )
+            results.append(result)
+            print(result.summary())
+
+    if args.workers > 0:
+        with _service_client(args, max_workers=args.workers) as client:
+            run(client)
+    else:
+        run()
+    if args.json:
+        Path(args.json).write_text(
+            _json.dumps(
+                [result.to_dict() for result in results], indent=2
+            )
+        )
+        print(f"results written to {args.json}")
+    return 0 if all(r.certified is not False for r in results) else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

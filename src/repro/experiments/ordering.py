@@ -13,15 +13,21 @@ Constant propagation runs first (it enables LUR by making the loop
 bounds constant — part of the E3 story), then every permutation of
 {FUS, INX, LUR} is applied, each optimization once at its first
 application point, mirroring the paper's user-directed application.
+
+The permutation sweep itself rides the phase-ordering search engine
+(:mod:`repro.search`, exhaustive strategy): the ordering study is a
+depth-3 no-repeat exhaustive search with trajectory recording, so
+there is exactly one ordering-search implementation in the repository
+and the experiment shares the engine's evaluator/cache machinery.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.report import render_table
+from repro.frontend.lower import parse_program
 from repro.genesis.driver import (
     DriverOptions,
     apply_at_point,
@@ -32,6 +38,7 @@ from repro.ir.program import Program
 from repro.machine.estimate import estimate_time
 from repro.machine.models import MULTIPROCESSOR
 from repro.opts.catalog import standard_optimizers
+from repro.search import SearchConfig, SearchResult, search_program
 from repro.workloads.suite import Workload, workload
 
 TRIO = ("FUS", "INX", "LUR")
@@ -60,6 +67,8 @@ class OrderingResult:
 
     runs: list[OrderingRun] = field(default_factory=list)
     claims: dict[str, bool] = field(default_factory=dict)
+    #: the exhaustive search that enumerated the permutations
+    search: Optional[SearchResult] = None
 
     @property
     def distinct_programs(self) -> int:
@@ -110,29 +119,51 @@ def _prepared(item: Workload) -> Program:
     return program
 
 
-def run_ordering(item: Optional[Workload] = None) -> OrderingResult:
-    """Run the full ordering study."""
+#: The ordering study as a search configuration: every no-repeat
+#: sequence of the trio, breadth-first (= ``itertools.permutations``
+#: order), each pass applied once at its first point, full trajectories
+#: recorded and convergent branches deliberately *not* pruned — the
+#: point of the study is one resulting program per ordering.
+def ordering_search_config() -> SearchConfig:
+    return SearchConfig(
+        opt_names=TRIO,
+        strategy="exhaustive",
+        depth=len(TRIO),
+        budget=64,
+        apply_all=False,
+        allow_repeats=False,
+        record_leaves=True,
+        prune=False,
+        objective=MULTIPROCESSOR.name,
+    )
+
+
+def run_ordering(
+    item: Optional[Workload] = None, client=None
+) -> OrderingResult:
+    """Run the full ordering study (optionally through a service
+    client, so permutations share the fingerprint-keyed result cache
+    with any other search riding the same service)."""
     item = item if item is not None else workload("ordering")
     optimizers = standard_optimizers(TRIO)
     base = _prepared(item)
-    result = OrderingResult()
+    search = search_program(
+        base, ordering_search_config(), client=client, name=item.name
+    )
+    result = OrderingResult(search=search)
 
-    for order in itertools.permutations(TRIO):
-        program = base.clone()
-        applied: dict[str, int] = {}
-        for name in order:
-            outcome = apply_at_point(optimizers[name], program, 0)
-            applied[name] = outcome.applied
+    for leaf in search.leaves:
+        program = parse_program(leaf.source)
         result.runs.append(
             OrderingRun(
-                order=order,
-                applied=applied,
+                order=leaf.sequence,
+                applied=dict(zip(leaf.sequence, leaf.applied)),
                 final_size=len(program),
                 loop_count=_count_loops(program),
                 estimated_cycles=estimate_time(
                     program, MULTIPROCESSOR
                 ).cycles,
-                fingerprint=_fingerprint(program),
+                fingerprint=leaf.fingerprint,
             )
         )
 

@@ -137,3 +137,57 @@ def optimize_source(
         parse_program(source), optimizers, options, in_place=True,
         verify=verify,
     )
+
+
+def optimize_searched(
+    program: Program,
+    opt_names: Sequence[str],
+    options: Optional[DriverOptions] = None,
+    in_place: bool = False,
+    client=None,
+    certify_result: bool = True,
+    oracle_trials: int = 3,
+    **search_knobs,
+):
+    """Search for the best pass ordering, then run it (Figure 3 with
+    the OPT box's order chosen by :mod:`repro.search`).
+
+    Searches orderings of ``opt_names`` with the configured strategy
+    (``search_knobs`` are :class:`repro.search.SearchConfig` fields:
+    ``strategy``, ``depth``, ``beam_width``, ``budget``, ``seed``,
+    ``objective``, ``prune``), oracle-certifies the winner unless
+    ``certify_result=False``, and applies the winning sequence through
+    the ordinary pipeline.  Returns ``(PipelineReport, SearchResult)``.
+    A ``client`` routes candidate evaluation through the optimization
+    service (process-pool parallelism + fingerprint-keyed caching).
+    """
+    from repro.opts.catalog import build_optimizer, standard_optimizers
+    from repro.opts.specs import STANDARD_SPECS
+    from repro.search import SearchConfig, certify, search_program
+    from repro.search.space import canonical_source
+
+    config = SearchConfig(
+        opt_names=tuple(opt_names), options=options, **search_knobs
+    )
+    source = canonical_source(program)
+    result = search_program(source, config, client=client,
+                            name=program.name)
+    if certify_result:
+        certify(
+            result,
+            source,
+            trials=oracle_trials,
+            seed=config.seed,
+            options=config.driver_options(),
+        )
+    winners = [
+        standard_optimizers((name,))[name]
+        if name in STANDARD_SPECS
+        else build_optimizer(name)
+        for name in result.best_sequence
+    ]
+    report = optimize(
+        program, winners, options=config.driver_options(),
+        in_place=in_place,
+    )
+    return report, result

@@ -260,6 +260,71 @@ class OptimizerSession:
         """
         return [self.apply(name, all_points=all_points) for name in names]
 
+    def search(
+        self,
+        strategy: str = "beam",
+        depth: int = 3,
+        budget: int = 60,
+        beam_width: int = 4,
+        seed: int = 0,
+        apply_winner: bool = False,
+    ):
+        """Search pass orderings of the registered optimizations.
+
+        Runs a seeded phase-ordering search (:mod:`repro.search`) over
+        the *current* program, oracle-certifies the winning pipeline,
+        and — with ``apply_winner`` — applies the winning sequence to
+        the session program through :meth:`apply_sequence`.  Returns
+        the :class:`repro.search.SearchResult`.
+        """
+        from repro.search import (
+            SearchConfig,
+            SearchError,
+            certify,
+            search_program,
+        )
+
+        command = f"search {strategy} depth={depth} budget={budget}"
+        names = tuple(self.list_optimizations())
+        try:
+            if not names:
+                raise SessionError(
+                    "no optimizations registered to search over"
+                )
+            try:
+                config = SearchConfig(
+                    opt_names=names,
+                    strategy=strategy,
+                    depth=depth,
+                    budget=budget,
+                    beam_width=beam_width,
+                    seed=seed,
+                )
+                source = self.source_text()
+                result = search_program(
+                    source, config, name=self.program.name
+                )
+                certify(
+                    result, source, seed=seed,
+                    options=config.driver_options(),
+                )
+            except SearchError as error:
+                raise SessionError(str(error)) from error
+        except SessionError as error:
+            self.history.append(
+                SessionEvent(command=command, error=str(error))
+            )
+            raise
+        self.history.append(
+            SessionEvent(
+                command=command,
+                note=f"best {result.pipeline_text()}",
+            )
+        )
+        if apply_winner and result.best_sequence:
+            self.apply_sequence(result.best_sequence)
+        return result
+
     def reset(self) -> None:
         """Restore the original program (fresh experiment)."""
         self.program = self.original.clone()
@@ -308,6 +373,8 @@ class OptimizerSession:
             stats                     analysis + matching + health counters
             health                    per-optimizer rollback/quarantine
             revive <OPT>              clear <OPT>'s quarantine
+            search [STRAT] [D] [B]    search pass orderings (certified)
+            search apply [STRAT] ...  ...and apply the winning sequence
             show                      print the intermediate code
             save <file>               write the program as source text
             history                   session history
@@ -388,6 +455,19 @@ class OptimizerSession:
             self.health.revive(name)
             self.history.append(SessionEvent(command=command))
             return f"{name} revived"
+        if verb == "search":
+            rest = list(words[1:])
+            apply_winner = bool(rest) and rest[0].lower() == "apply"
+            if apply_winner:
+                rest = rest[1:]
+            strategy = rest[0] if len(rest) >= 1 else "beam"
+            depth = int(rest[1]) if len(rest) >= 2 else 3
+            budget = int(rest[2]) if len(rest) >= 3 else 60
+            result = self.search(
+                strategy=strategy, depth=depth, budget=budget,
+                apply_winner=apply_winner,
+            )
+            return result.summary()
         if verb == "show":
             return self.show()
         if verb == "save" and len(words) == 2:

@@ -66,8 +66,12 @@ class ExecutionResult:
         return tuple(_normalize(value) for value in self.output)
 
 
-def _normalize(value: Number) -> Number:
+def _normalize(value: Number):
     if isinstance(value, float):
+        if math.isnan(value):
+            # canonical token: two programs that both computed NaN
+            # behaved the same, but nan != nan would call it divergent
+            return "nan"
         if value == 0:
             return 0.0
         return float(f"{value:.9g}")

@@ -200,3 +200,59 @@ class TestServiceVerbs:
         )
         assert code == 0
         assert "OK" in out
+
+
+class TestSearch:
+    ARGS = (
+        "search", "integrate",
+        "--opts", "CTP,CFO,DCE", "--depth", "2", "--budget", "20",
+    )
+
+    def test_search_workload_certifies(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "search.json"
+        code, out, _err = run_cli(
+            capsys, *self.ARGS, "--json", str(out_json)
+        )
+        assert code == 0
+        assert "best pipeline" in out
+        assert "oracle: PASSED" in out
+        payload = json.loads(out_json.read_text())
+        assert payload[0]["name"] == "integrate"
+        assert payload[0]["certified"] is True
+        assert payload[0]["best_sequence"]
+
+    def test_search_is_bit_reproducible(self, capsys):
+        code_a, out_a, _ = run_cli(capsys, *self.ARGS, "--seed", "7")
+        code_b, out_b, _ = run_cli(capsys, *self.ARGS, "--seed", "7")
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_search_through_service_workers(self, capsys):
+        code, out, _err = run_cli(
+            capsys, *self.ARGS, "--workers", "1",
+            "--backend", "inprocess", "--strategy", "iterated",
+            "--iterations", "2",
+        )
+        assert code == 0
+        assert "cache hit" in out
+
+    def test_search_unknown_pass(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "search", "integrate", "--opts", "NOSUCH"
+        )
+        assert code == 3
+        assert "unknown optimization" in err
+
+    def test_interact_search_command(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("search greedy 2 12\nquit\n")
+        )
+        code, out, _err = run_cli(
+            capsys, "interact", "integrate", "--opts", "CTP,CFO,DCE"
+        )
+        assert code == 0
+        assert "best pipeline" in out

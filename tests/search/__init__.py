@@ -1,0 +1,1 @@
+"""Tests for the phase-ordering search subsystem."""

@@ -1,0 +1,28 @@
+"""Oracle-certification regression: every workload's best-found
+pipeline must pass the differential-testing oracle.
+
+This is a tier-1 gate, not a fuzz-marked extra: a search result that
+cannot be certified on at least three seeded environments is a bug in
+either the search or an optimization, and should fail fast."""
+
+from repro.search import SearchConfig, search_suite
+from repro.workloads.suite import full_suite
+
+
+def test_suite_best_pipelines_certify():
+    config = SearchConfig(
+        opt_names=("CTP", "CFO", "DCE", "LUR"),
+        strategy="greedy",
+        depth=2,
+        budget=16,
+    )
+    results = search_suite(config=config, oracle_trials=3)
+    assert len(results) == len(full_suite())
+    for result in results:
+        assert result.certified is True, (
+            f"{result.name}: {result.oracle_summary}"
+        )
+        assert result.oracle_trials >= 3
+        assert result.best_score <= result.baseline_cycles[
+            config.objective
+        ]

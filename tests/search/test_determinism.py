@@ -1,0 +1,97 @@
+"""Property tests: the determinism contract of ``repro.search``.
+
+The engine promises bit-for-bit reproducibility: same seed, same best
+pipeline *and* same visit order; width-1 strategies coincide exactly;
+and every reported sequence replays through the ordinary driver
+pipeline to the fingerprint the search recorded.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.search import SearchConfig, replay_sequence, search_program
+from repro.workloads.suite import workload
+
+PASSES = ("CTP", "CFO", "DCE", "LUR")
+WORKLOADS = ("integrate", "poly", "ordering")
+
+SEARCH_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _config(strategy: str, seed: int) -> SearchConfig:
+    return SearchConfig(
+        opt_names=PASSES,
+        strategy=strategy,
+        depth=2,
+        beam_width=2,
+        budget=24,
+        iterations=2,
+        seed=seed,
+    )
+
+
+@SEARCH_SETTINGS
+@given(
+    name=st.sampled_from(WORKLOADS),
+    strategy=st.sampled_from(("beam", "greedy", "iterated")),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_same_seed_same_best_and_visit_order(name, strategy, seed):
+    source = workload(name).source
+    config = _config(strategy, seed)
+    first = search_program(source, config, name=name)
+    second = search_program(source, config, name=name)
+    assert first.best_sequence == second.best_sequence
+    assert first.best_fingerprint == second.best_fingerprint
+    assert first.best_score == second.best_score
+    assert first.visit_order == second.visit_order
+
+
+@SEARCH_SETTINGS
+@given(
+    name=st.sampled_from(WORKLOADS),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_width_one_strategies_coincide(name, seed):
+    source = workload(name).source
+    greedy = search_program(source, _config("greedy", seed))
+    beam_one = search_program(
+        source,
+        SearchConfig(
+            opt_names=PASSES, strategy="beam", beam_width=1,
+            depth=2, budget=24, seed=seed,
+        ),
+    )
+    iterated_once = search_program(
+        source,
+        SearchConfig(
+            opt_names=PASSES, strategy="iterated", iterations=1,
+            depth=2, budget=24, seed=seed,
+        ),
+    )
+    assert greedy.best_sequence == beam_one.best_sequence
+    assert greedy.best_sequence == iterated_once.best_sequence
+    assert greedy.visit_order == beam_one.visit_order
+    assert greedy.visit_order == iterated_once.visit_order
+
+
+@SEARCH_SETTINGS
+@given(
+    name=st.sampled_from(WORKLOADS),
+    strategy=st.sampled_from(("beam", "greedy", "iterated", "exhaustive")),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_best_sequence_replays_to_recorded_fingerprint(
+    name, strategy, seed
+):
+    source = workload(name).source
+    config = _config(strategy, seed)
+    result = search_program(source, config, name=name)
+    replayed = replay_sequence(
+        source, result.best_sequence, config.driver_options()
+    )
+    assert replayed.fingerprint() == result.best_fingerprint
