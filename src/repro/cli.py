@@ -214,9 +214,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "and the match engine's candidate/index/sweep counters",
     )
     optimize.add_argument(
-        "--match-mode", choices=["worklist", "rescan"], default="worklist",
-        help="application-point discovery: incremental worklist "
-        "matching (default) or the paper's restart-from-top re-scan",
+        "--match-mode", choices=["network", "worklist", "rescan"],
+        default="network",
+        help="application-point discovery: the catalog-wide shared "
+        "discrimination network (default), per-spec incremental "
+        "worklist matching, or the paper's restart-from-top re-scan",
     )
     optimize.add_argument(
         "--max-rollbacks", type=int, default=8, metavar="N",

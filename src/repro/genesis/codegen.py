@@ -116,6 +116,81 @@ def _conjuncts(cond: Cond) -> list[Cond]:
     return [cond]
 
 
+def bare_symbol(types: dict[str, ElemType], value: Value) -> Optional[str]:
+    """The symbolic-constant name of a value, when it is one."""
+    if isinstance(value, SymbolLit):
+        return value.name
+    if isinstance(value, Ref) and not value.attrs and (
+        value.base not in types
+    ):
+        return value.base
+    return None
+
+
+def shape_hint(
+    types: dict[str, ElemType],
+    format_cond: Optional[Cond],
+    var: str,
+) -> Optional[tuple[str, ...]]:
+    """Shape buckets covering every candidate for ``var``, or None.
+
+    Only top-level AND conjuncts of the clause format are consulted,
+    and only equality comparisons against symbolic constants — anything
+    else widens the hint (drops it) rather than narrowing it, so the
+    hint is always a superset filter.  Shared between the per-spec
+    matcher emission and the catalog-level discrimination network
+    (:mod:`repro.genesis.network`), which must bucket candidates by
+    exactly the same classification.
+    """
+    if format_cond is None:
+        return None
+    classes: Optional[set[str]] = None
+    rhs_kind: Optional[str] = None
+    for term in _conjuncts(format_cond):
+        if not isinstance(term, Compare) or term.relop != "==":
+            continue
+        for target, other in (
+            (term.left, term.right), (term.right, term.left)
+        ):
+            symbol = bare_symbol(types, other)
+            if symbol is None:
+                continue
+            if (
+                isinstance(target, Ref)
+                and target.base == var
+                and target.attrs == ("opc",)
+            ):
+                token = _SHAPE_BY_OPC.get(symbol)
+                if token is not None:
+                    classes = _intersect(classes, {token})
+            elif (
+                isinstance(target, FuncVal)
+                and target.func == "class"
+                and len(target.args) == 1
+                and isinstance(target.args[0], Ref)
+                and target.args[0].base == var
+                and not target.args[0].attrs
+            ):
+                tokens = _SHAPE_BY_CLASS.get(symbol)
+                if tokens is not None:
+                    classes = _intersect(classes, set(tokens))
+            elif (
+                isinstance(target, FuncVal)
+                and target.func == "type"
+                and len(target.args) == 1
+                and isinstance(target.args[0], Ref)
+                and target.args[0].base == var
+                and target.args[0].attrs == ("opr_2",)
+                and symbol in ("const", "var", "array")
+            ):
+                rhs_kind = symbol
+    if classes is None:
+        return None
+    if rhs_kind is not None and classes == {"assign"}:
+        return (f"assign:{rhs_kind}",)
+    return tuple(sorted(classes))
+
+
 def _intersect(
     current: Optional[set[str]], new: set[str]
 ) -> set[str]:
@@ -361,70 +436,10 @@ class CodeGenerator:
     def _shape_hint(
         self, format_cond: Optional[Cond], var: str
     ) -> Optional[tuple[str, ...]]:
-        """Shape buckets covering every candidate for ``var``, or None.
-
-        Only top-level AND conjuncts of the clause format are
-        consulted, and only equality comparisons against symbolic
-        constants — anything else widens the hint (drops it) rather
-        than narrowing it, so the hint is always a superset filter.
-        """
-        if format_cond is None:
-            return None
-        classes: Optional[set[str]] = None
-        rhs_kind: Optional[str] = None
-        for term in _conjuncts(format_cond):
-            if not isinstance(term, Compare) or term.relop != "==":
-                continue
-            for target, other in (
-                (term.left, term.right), (term.right, term.left)
-            ):
-                symbol = self._bare_symbol(other)
-                if symbol is None:
-                    continue
-                if (
-                    isinstance(target, Ref)
-                    and target.base == var
-                    and target.attrs == ("opc",)
-                ):
-                    token = _SHAPE_BY_OPC.get(symbol)
-                    if token is not None:
-                        classes = _intersect(classes, {token})
-                elif (
-                    isinstance(target, FuncVal)
-                    and target.func == "class"
-                    and len(target.args) == 1
-                    and isinstance(target.args[0], Ref)
-                    and target.args[0].base == var
-                    and not target.args[0].attrs
-                ):
-                    tokens = _SHAPE_BY_CLASS.get(symbol)
-                    if tokens is not None:
-                        classes = _intersect(classes, set(tokens))
-                elif (
-                    isinstance(target, FuncVal)
-                    and target.func == "type"
-                    and len(target.args) == 1
-                    and isinstance(target.args[0], Ref)
-                    and target.args[0].base == var
-                    and target.args[0].attrs == ("opr_2",)
-                    and symbol in ("const", "var", "array")
-                ):
-                    rhs_kind = symbol
-        if classes is None:
-            return None
-        if rhs_kind is not None and classes == {"assign"}:
-            return (f"assign:{rhs_kind}",)
-        return tuple(sorted(classes))
+        return shape_hint(self.types, format_cond, var)
 
     def _bare_symbol(self, value: Value) -> Optional[str]:
-        """The symbolic-constant name of a value, when it is one."""
-        if isinstance(value, SymbolLit):
-            return value.name
-        if isinstance(value, Ref) and not value.attrs and (
-            value.base not in self.types
-        ):
-            return value.base
-        return None
+        return bare_symbol(self.types, value)
 
     # ------------------------------------------------------------------
     # pre (Depend)
@@ -1029,3 +1044,116 @@ def generate_source(
 ) -> GeneratedSource:
     """Compile an analyzed specification to generated Python source."""
     return CodeGenerator(analyzed, policy).generate()
+
+
+# ----------------------------------------------------------------------
+# catalog-level emission: the shared discrimination network
+# ----------------------------------------------------------------------
+
+def emit_network(optimizers: Sequence[object]) -> GeneratedSource:
+    """Render the catalog's shared discrimination network as source.
+
+    The per-spec generators above keep the paper's contract at the spec
+    level — GENesis emits code, it does not interpret specs.  This
+    keeps the same contract at the *catalog* level: the trie built by
+    :mod:`repro.genesis.network` from every loaded spec's seed shape
+    and anchor dependence tests is rendered as one Python module whose
+    ``classify_network(ctx, qid, shapes, stats=None)`` returns the
+    names of the specs whose shared prefix admits statement ``qid`` as
+    a candidate seed.  Shared prefixes become shared ``if`` nests, so a
+    quad is classified once against the whole catalog; nodes with more
+    than one subscribing spec record the evaluations they saved in
+    ``stats['shared_prefix_hits']``.
+    """
+    from repro.genesis.network import build_trie, compile_plan
+
+    plans = sorted(
+        (compile_plan(optimizer) for optimizer in optimizers),
+        key=lambda plan: plan.name,
+    )
+    seeded = [plan for plan in plans if plan.granularity == "seed"]
+    coarse = tuple(
+        plan.name for plan in plans if plan.granularity != "seed"
+    )
+    trie = build_trie(seeded)
+    e = Emitter()
+    e.emit('"""Code generated by GENesis: catalog discrimination '
+           'network."""')
+    e.emit("from repro.genesis import library as lib")
+    e.emit()
+    e.emit("#: specs classified per candidate seed by the network")
+    e.emit(f"NETWORK_SPECS = {tuple(plan.name for plan in seeded)!r}")
+    e.emit("#: specs matched per-spec (loop-seeded or multi-pattern)")
+    e.emit(f"NETWORK_COARSE = {coarse!r}")
+    e.emit(f"NETWORK_NODES = {trie.nodes!r}")
+    e.emit(f"NETWORK_SHARED_NODES = {trie.shared_nodes!r}")
+    e.emit()
+    e.emit()
+    e.emit("def classify_network(ctx, qid, shapes, stats=None):")
+    with e.block():
+        e.emit('"""Spec names whose shared prefix admits seed '
+               '``qid``.')
+        e.emit()
+        e.emit("``shapes`` are the candidate's shape-bucket tokens; "
+               "every")
+        e.emit("test below is a necessary condition for the owning "
+               "specs,")
+        e.emit("so the returned names are a superset filter, never a")
+        e.emit("decision.  ``stats['shared_prefix_hits']`` counts the")
+        e.emit("evaluations avoided at nodes shared by several specs.")
+        e.emit('"""')
+        e.emit("out = []")
+        shaped = [
+            (token, node)
+            for token, node in trie.roots.items()
+            if token is not None
+        ]
+        for token, node in sorted(shaped):
+            e.emit(f"if {token!r} in shapes:")
+            with e.block():
+                _render_network_node(e, node)
+        unshaped = trie.roots.get(None)
+        if unshaped is not None:
+            e.emit("# seeds with no shape constraint: every quad")
+            _render_network_node(e, unshaped)
+        e.emit("return tuple(dict.fromkeys(out))")
+    return GeneratedSource(
+        name="NETWORK",
+        source=e.text(),
+        warnings=[],
+    )
+
+
+def _render_network_node(e: Emitter, node: object) -> None:
+    """Emit one trie node: shared-hit bookkeeping, accepts, children."""
+    if node.subscribers > 1:
+        e.emit("if stats is not None:")
+        with e.block():
+            e.emit(
+                f"stats['shared_prefix_hits'] += {node.subscribers - 1}"
+            )
+    for name in node.accepts:
+        e.emit(f"out.append({name!r})")
+    for test, child in node.children.items():
+        e.emit(f"if {_render_network_test(test)}:")
+        with e.block():
+            _render_network_node(e, child)
+
+
+def _render_network_test(test: object) -> str:
+    """One dependence test: an OR over edge-existence probes."""
+    parts = []
+    for kind, seed_is_src, pattern in test.atoms:
+        if seed_is_src:
+            parts.append(
+                f"lib.dep_exists(ctx, {kind!r}, qid, None, "
+                f"pattern={pattern!r})"
+            )
+        else:
+            parts.append(
+                f"lib.dep_exists(ctx, {kind!r}, None, qid, "
+                f"pattern={pattern!r})"
+            )
+    if len(parts) == 1:
+        return parts[0]
+    return "(" + " or ".join(parts) + ")"

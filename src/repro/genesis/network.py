@@ -1,0 +1,937 @@
+"""Cross-spec shared matching: one discrimination network per catalog.
+
+The per-spec engine (:mod:`repro.genesis.matching`) made a single
+optimizer's sweeps incremental; a driver iteration over the whole
+catalog still paid O(specs x candidates) because every spec was asked
+separately, each re-running its own seed scan and precondition tail.
+This module compiles *all* loaded GOSpeL specs into a single shared
+Rete-style discrimination network:
+
+* **Alpha layer** — each spec's seed constraints (the same shape hint
+  :func:`repro.genesis.codegen.shape_hint` derives for the generated
+  matchers, plus the seed-incident dependence-existence tests extracted
+  from its ``any``-quantified depend clauses) are merged into a trie.
+  Common prefixes are shared, so a candidate quad is classified once
+  against the whole catalog instead of once per spec.  The trie is
+  rendered as generated Python source by
+  :func:`repro.genesis.codegen.emit_network` — the paper's "generator
+  emits code" contract, lifted to the catalog level — and that module
+  is ``exec``-ed and used for classification.
+
+* **Beta layer** — per-spec *tails* (the generated ``match``/``pre``
+  phases, i.e. PRECOND residue and binding completion) hang off the
+  shared classification: a seed admitted for a spec runs that spec's
+  tail under a *recording* context which captures exactly which quads,
+  dependence-edge families, shape buckets, and position/structure
+  facts the run consulted.  The resulting match points are
+  materialized into per-spec agenda sets.
+
+* **Delta maintenance** — :meth:`CatalogNetwork.refresh` consumes the
+  same :class:`~repro.ir.program.Program` change log and the
+  :class:`~repro.analysis.manager.AnalysisManager`'s changed-edge
+  deltas the worklist engine already uses: a pass that touches *k*
+  quads re-tokenizes only those quads and re-runs only the tails whose
+  recorded support intersects the change.  Everything else serves from
+  the standing agendas.  Rollbacks need no special casing — undo
+  mutations are ordinary change-log entries.
+
+Specs whose seed is not a single ``any``-quantified statement variable
+(the loop-seeded specs: fusion, interchange, circulation, ...) keep a
+single *spec-granular* entry: their tail re-runs whenever its recorded
+support is touched, and serves from cache otherwise — which is what
+makes the catalog sweep cheap in steady state, where scalar edits leave
+loop structure and loop-carried dependences alone.
+
+Soundness leans on two invariants, both asserted by the shadow mode
+(``REPRO_MATCH_CHECK=1``, reusing the per-spec full re-scan check):
+
+1. every network test is a *necessary* condition for its subscribing
+   specs (shape tokens and one-sided edge-existence probes are superset
+   filters; the generated tail still decides), and
+2. an entry's recorded support is a *closure* over everything its tail
+   run consulted, so "support untouched" implies "same points".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.genesis.codegen import shape_hint
+from repro.genesis.library import statement_shapes
+from repro.gospel.ast import BoolOp, Cond, DepCond, ElemType, Quant, Ref
+
+#: dependence kinds with first-class edge stores (``fused`` is derived
+#: structurally and cannot be probed by a one-sided existence test)
+_EDGE_KINDS = frozenset({"flow", "anti", "out", "ctrl"})
+
+#: shape tokens whose quads delimit control structure (mirrors
+#: ``matching._STRUCTURAL_SHAPES``; duplicated to avoid a cycle)
+_STRUCTURAL_SHAPES = frozenset({"loop_head", "if_stmt", "marker"})
+
+
+# ----------------------------------------------------------------------
+# spec compilation: seed tests + tail granularity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DepTest:
+    """One alpha-network test: an OR over edge-existence probes.
+
+    Each atom is ``(kind, seed_is_src, pattern)``: does some ``kind``
+    edge with the candidate seed on the named side (and matching the
+    direction ``pattern``, when safe to check unanchored) exist?  A
+    single-atom test is a plain conjunct; a multi-atom test mirrors a
+    top-level OR whose terms all qualify.
+    """
+
+    atoms: tuple[tuple[str, bool, Optional[tuple[str, ...]]], ...]
+
+
+@dataclass(frozen=True)
+class TailPlan:
+    """How one spec hangs off the network."""
+
+    name: str
+    #: "seed" — per-candidate entries keyed by seed qid;
+    #: "spec" — one whole-spec entry (loop-seeded / multi-pattern)
+    granularity: str
+    #: the seed variable, for seed-granular specs
+    seed: Optional[str] = None
+    #: shape buckets covering every seed candidate (None: no constraint)
+    shapes: Optional[tuple[str, ...]] = None
+    #: necessary dependence tests on the seed, in clause order
+    dep_tests: tuple[DepTest, ...] = ()
+
+    def static_edge_keys(
+        self, qid: int
+    ) -> frozenset[tuple[str, Optional[int], Optional[int]]]:
+        """Edge families the classifier consulted for seed ``qid``.
+
+        These are support even when classification *fails*: a new edge
+        in one of these families can resurrect the seed.
+        """
+        keys = set()
+        for test in self.dep_tests:
+            for kind, seed_is_src, _pattern in test.atoms:
+                if seed_is_src:
+                    keys.add((kind, qid, None))
+                else:
+                    keys.add((kind, None, qid))
+        return frozenset(keys)
+
+
+def compile_plan(optimizer) -> TailPlan:
+    """Extract one spec's network plan from its analyzed form.
+
+    Seed granularity is *broader* than worklist eligibility: it only
+    requires that arming a one-seed restriction yields exactly that
+    seed's points — a single ``any``-quantified pattern clause whose
+    one statement-typed variable is the seed.  Loop-typed co-variables
+    are fine (e.g. ICM's ``any L1, Si``): ``lib.loops`` ignores the
+    restriction, so the tail enumerates every loop against just the
+    restricted seed.  (No dependence-anchoring requirement:
+    support-recorded staleness does not need anchor chains.)
+
+    The restriction is armed *sticky* for the whole tail run (see
+    :func:`_recording_context`), which is sound exactly when the
+    spec's one ``lib.statements`` enumeration is the seed scan —
+    Depend clauses never enumerate statements (their strategies are
+    deps/members/check), and the single-STMT-binder requirement rules
+    out a second pattern scan; the source check below is the
+    belt-and-braces guard on that generator invariant.
+    """
+    analyzed = optimizer.analyzed
+    spec = analyzed.spec
+    types = analyzed.types
+    seed: Optional[str] = None
+    if len(spec.patterns) == 1 and spec.patterns[0].quant is Quant.ANY:
+        plan0 = analyzed.pattern_plans[0]
+        stmt_vars = [
+            var
+            for var in plan0.search_vars
+            if types.get(var) is ElemType.STMT
+        ]
+        loop_only = all(
+            types.get(var) is ElemType.LOOP
+            for var in plan0.search_vars
+            if var not in stmt_vars
+        )
+        if len(stmt_vars) == 1 and loop_only and (
+            optimizer.source.count("lib.statements(") == 1
+        ):
+            seed = stmt_vars[0]
+    if seed is None:
+        return TailPlan(name=optimizer.name, granularity="spec")
+    shapes = shape_hint(types, spec.patterns[0].format, seed)
+    return TailPlan(
+        name=optimizer.name,
+        granularity="seed",
+        seed=seed,
+        shapes=shapes,
+        dep_tests=_seed_dep_tests(analyzed, seed),
+    )
+
+
+def _seed_dep_tests(analyzed, seed: str) -> tuple[DepTest, ...]:
+    """Necessary edge-existence tests on the seed, from depend clauses.
+
+    Only ``any``-quantified clauses yield tests (an ``any`` clause must
+    produce at least one binding, so each of its top-level conjuncts
+    must hold for *some* edge — a one-sided existence probe is then
+    necessary).  Direction patterns ride along only for clauses with no
+    loop memberships: membership-anchored clauses interpret vectors
+    relative to a nest level the classifier cannot reproduce.
+    """
+    types = analyzed.types
+    tests: list[DepTest] = []
+    for clause in analyzed.spec.depends:
+        if clause.quant is not Quant.ANY or clause.condition is None:
+            continue
+        pattern_ok = not clause.memberships
+        for term in _conjuncts(clause.condition):
+            atoms = _test_atoms(term, seed, types, pattern_ok)
+            if atoms:
+                tests.append(DepTest(atoms=tuple(atoms)))
+    unique: dict[frozenset, DepTest] = {}
+    for test in tests:
+        unique.setdefault(frozenset(test.atoms), test)
+    return tuple(unique.values())
+
+
+def _test_atoms(
+    term: Cond, seed: str, types: dict, pattern_ok: bool
+) -> Optional[list[tuple[str, bool, Optional[tuple[str, ...]]]]]:
+    if isinstance(term, DepCond):
+        atom = _seed_atom(term, seed, types, pattern_ok)
+        return [atom] if atom is not None else None
+    if isinstance(term, BoolOp) and term.op == "or":
+        atoms = []
+        for sub in term.terms:
+            if not isinstance(sub, DepCond):
+                return None
+            atom = _seed_atom(sub, seed, types, pattern_ok)
+            if atom is None:
+                return None
+            atoms.append(atom)
+        return atoms
+    return None
+
+
+def _seed_atom(
+    dep: DepCond, seed: str, types: dict, pattern_ok: bool
+) -> Optional[tuple[str, bool, Optional[tuple[str, ...]]]]:
+    if dep.kind not in _EDGE_KINDS:
+        return None
+
+    def bare(value: object) -> Optional[str]:
+        if isinstance(value, Ref) and not value.attrs:
+            return value.base
+        return None
+
+    src, dst = bare(dep.src), bare(dep.dst)
+    pattern = (
+        tuple(dep.direction)
+        if pattern_ok and dep.direction is not None
+        else None
+    )
+    if src == seed and dst is not None and (
+        types.get(dst) is ElemType.STMT
+    ):
+        return (dep.kind, True, pattern)
+    if dst == seed and src is not None and (
+        types.get(src) is ElemType.STMT
+    ):
+        return (dep.kind, False, pattern)
+    return None
+
+
+def _conjuncts(cond: Cond) -> list[Cond]:
+    if isinstance(cond, BoolOp) and cond.op == "and":
+        terms: list[Cond] = []
+        for term in cond.terms:
+            terms.extend(_conjuncts(term))
+        return terms
+    return [cond]
+
+
+# ----------------------------------------------------------------------
+# the trie (rendered by codegen.emit_network)
+# ----------------------------------------------------------------------
+@dataclass
+class TrieNode:
+    """One shared node: specs accepted here, further tests below."""
+
+    children: dict[DepTest, "TrieNode"] = field(default_factory=dict)
+    accepts: list[str] = field(default_factory=list)
+    #: distinct specs whose classification passes through this node
+    subscribers: int = 0
+
+
+@dataclass
+class NetworkTrie:
+    """The compiled alpha network over every seed-granular spec."""
+
+    #: shape token -> subtree; key None collects shape-free seeds
+    roots: dict[Optional[str], TrieNode]
+    nodes: int
+    #: nodes traversed by more than one spec (the sharing the network
+    #: exists for)
+    shared_nodes: int
+
+
+def build_trie(plans: Sequence[TailPlan]) -> NetworkTrie:
+    """Merge every seed plan's test chain into one trie.
+
+    A plan with several shape tokens subscribes under each (shape
+    tokens on one quad are near-disjoint; the classifier dedups).  Dep
+    tests chain in clause order below the shape root, merging with any
+    other spec that shares the same prefix.
+    """
+    roots: dict[Optional[str], TrieNode] = {}
+    for plan in plans:
+        if plan.granularity != "seed":
+            continue
+        tokens: Sequence[Optional[str]] = plan.shapes or (None,)
+        for token in tokens:
+            node = roots.setdefault(token, TrieNode())
+            node.subscribers += 1
+            for test in plan.dep_tests:
+                node = node.children.setdefault(test, TrieNode())
+                node.subscribers += 1
+            node.accepts.append(plan.name)
+    nodes = 0
+    shared = 0
+    stack = list(roots.values())
+    while stack:
+        node = stack.pop()
+        nodes += 1
+        if node.subscribers > 1:
+            shared += 1
+        stack.extend(node.children.values())
+    return NetworkTrie(roots=roots, nodes=nodes, shared_nodes=shared)
+
+
+# ----------------------------------------------------------------------
+# support recording: what did a tail run consult?
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Support:
+    """The closed-over read set of one tail run."""
+
+    qids: frozenset[int]
+    #: ``(kind, src|None, dst|None)`` edge families queried
+    edge_keys: frozenset[tuple[str, Optional[int], Optional[int]]]
+    #: shape buckets enumerated (membership changes invalidate)
+    buckets: frozenset[str]
+    whole_program: bool
+    positions: bool
+    structure: bool
+    all_edges: bool
+
+
+class _SupportRecorder:
+    """Mutable accumulator the wrappers write into."""
+
+    def __init__(self) -> None:
+        self.qids: set[int] = set()
+        self.edge_keys: set[
+            tuple[str, Optional[int], Optional[int]]
+        ] = set()
+        self.buckets: set[str] = set()
+        self.whole_program = False
+        self.positions = False
+        self.structure = False
+        self.all_edges = False
+
+    def freeze(self) -> _Support:
+        return _Support(
+            qids=frozenset(self.qids),
+            edge_keys=frozenset(self.edge_keys),
+            buckets=frozenset(self.buckets),
+            whole_program=self.whole_program,
+            positions=self.positions,
+            structure=self.structure,
+            all_edges=self.all_edges,
+        )
+
+
+class _RecordingProgram:
+    """Program proxy logging the identities and facts a tail reads.
+
+    Reads that name a statement record its qid; ordering reads
+    additionally set the ``positions`` flag; whole-program enumerations
+    set ``whole_program``.  Unknown attribute access is conservatively
+    whole-program.
+    """
+
+    def __init__(self, program, rec: _SupportRecorder):
+        self._program = program
+        self._rec = rec
+
+    @property
+    def version(self) -> int:
+        return self._program.version
+
+    def quad(self, qid: int):
+        self._rec.qids.add(qid)
+        return self._program.quad(qid)
+
+    def contains(self, qid: int) -> bool:
+        self._rec.qids.add(qid)
+        return self._program.contains(qid)
+
+    def position(self, qid: int) -> int:
+        self._rec.qids.add(qid)
+        self._rec.positions = True
+        return self._program.position(qid)
+
+    def next_qid_of(self, qid: int) -> Optional[int]:
+        self._rec.qids.add(qid)
+        self._rec.positions = True
+        result = self._program.next_qid_of(qid)
+        if result is not None:
+            self._rec.qids.add(result)
+        return result
+
+    def prev_qid_of(self, qid: int) -> Optional[int]:
+        self._rec.qids.add(qid)
+        self._rec.positions = True
+        result = self._program.prev_qid_of(qid)
+        if result is not None:
+            self._rec.qids.add(result)
+        return result
+
+    def __getitem__(self, position: int):
+        # interval reads (path/region/body): position-dependent, but
+        # only through the returned quads — record them, not the world
+        self._rec.positions = True
+        quad = self._program[position]
+        self._rec.qids.add(quad.qid)
+        return quad
+
+    def __len__(self) -> int:
+        self._rec.positions = True
+        return len(self._program)
+
+    def __iter__(self) -> Iterator:
+        self._rec.whole_program = True
+        return iter(self._program)
+
+    def qids(self):
+        self._rec.whole_program = True
+        return self._program.qids()
+
+    def scalar_names(self):
+        self._rec.whole_program = True
+        return self._program.scalar_names()
+
+    def __getattr__(self, name: str):
+        self._rec.whole_program = True
+        return getattr(self._program, name)
+
+
+class _RecordingGraph:
+    """Dependence-graph proxy logging the edge families queried."""
+
+    def __init__(self, graph, rec: _SupportRecorder):
+        self._graph = graph
+        self._rec = rec
+
+    def query(self, kind, src=None, dst=None, **kwargs):
+        self._rec.edge_keys.add((kind, src, dst))
+        return self._graph.query(kind, src=src, dst=dst, **kwargs)
+
+    def __getattr__(self, name: str):
+        self._rec.all_edges = True
+        return getattr(self._graph, name)
+
+
+class _RecordingIndex:
+    """Candidate-index proxy logging bucket and structure reads."""
+
+    def __init__(self, index, rec: _SupportRecorder):
+        self._index = index
+        self._rec = rec
+
+    @property
+    def stats(self):
+        return self._index.stats
+
+    def statements_of(self, shapes):
+        self._rec.buckets.update(shapes)
+        return self._index.statements_of(shapes)
+
+    def members_of(self, shapes):
+        self._rec.buckets.update(shapes)
+        return self._index.members_of(shapes)
+
+    def matches_shape(self, qid, shapes):
+        self._rec.qids.add(qid)
+        return self._index.matches_shape(qid, shapes)
+
+    def loops_in_order(self):
+        self._rec.structure = True
+        return self._index.loops_in_order()
+
+    def nested_pairs(self):
+        self._rec.structure = True
+        return self._index.nested_pairs()
+
+    def tight_pairs(self):
+        self._rec.structure = True
+        return self._index.tight_pairs()
+
+    def adjacent_pairs(self):
+        self._rec.structure = True
+        return self._index.adjacent_pairs()
+
+
+#: the one twin class, built on first use (lazy matching-layer import)
+_twin_class = None
+
+
+def _recording_context(ctx, manager, index, rec: _SupportRecorder):
+    """A MatchContext twin whose reads feed the recorder."""
+    global _twin_class
+    if _twin_class is None:
+        from repro.genesis.library import MatchContext
+
+        class _NetworkContext(MatchContext):
+            def __init__(self, ctx, manager, index, rec) -> None:
+                super().__init__(
+                    _RecordingProgram(manager.program, rec),
+                    _RecordingGraph(ctx.graph, rec),
+                    counters=ctx.counters,
+                    structure_provider=manager.structure,
+                )
+                self._rec = rec
+                self.enforce_restrictions = True
+                self.match_index = _RecordingIndex(index, rec)
+
+            @property
+            def structure(self):
+                self._rec.structure = True
+                return MatchContext.structure.fget(self)
+
+            def take_seed_restriction(self):
+                # sticky: a tail whose seed scan sits under a loop
+                # enumeration (ICM's ``any L1, Si``) re-reads the
+                # restriction once per loop.  Sound because admission
+                # to seed granularity (compile_plan) guarantees the
+                # spec's only ``lib.statements`` call is the seed scan.
+                return self._seed_restriction
+
+        _twin_class = _NetworkContext
+    return _twin_class(ctx, manager, index, rec)
+
+
+# ----------------------------------------------------------------------
+# refresh environment: one interval's change classification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _RefreshEnv:
+    """The change-log interval, digested for staleness checks."""
+
+    touched: frozenset[int]
+    structural: bool
+    loops_dirty: bool
+    touched_tokens: frozenset[str]
+    #: a touched quad's bucket tokens could not be determined
+    tokens_unknown: bool
+    deltas: frozenset[tuple[str, int, int]]
+
+    @property
+    def any_change(self) -> bool:
+        return bool(self.touched or self.deltas)
+
+
+def _classify_interval(program, changes, deltas) -> Optional[_RefreshEnv]:
+    """Digest a change-log interval; None demands a full repass."""
+    touched: set[int] = set()
+    structural = False
+    loops_dirty = False
+    tokens: set[str] = set()
+    tokens_unknown = False
+    for change in changes:
+        if change.kind == "opaque":
+            return None
+        touched.add(change.qid)
+        if change.kind in ("add", "remove", "move"):
+            structural = True
+            loops_dirty = True
+        before = getattr(change, "before", None)
+        before_shapes = None if before is None else statement_shapes(before)
+        current_shapes = (
+            statement_shapes(program.quad(change.qid))
+            if program.contains(change.qid)
+            else None
+        )
+        for shapes in (before_shapes, current_shapes):
+            if shapes and shapes[0] in _STRUCTURAL_SHAPES:
+                loops_dirty = True
+        if before_shapes is None and current_shapes is None:
+            # e.g. modified in place (no pre-image) then removed later
+            # in the log: its old buckets are unknowable
+            tokens_unknown = True
+            loops_dirty = True
+        elif change.kind == "modify" and before_shapes == current_shapes:
+            # a shape-preserving in-place edit moves no quad between
+            # buckets; tails that read its *contents* recorded the qid
+            pass
+        else:
+            tokens.update(before_shapes or ())
+            tokens.update(current_shapes or ())
+    return _RefreshEnv(
+        touched=frozenset(touched),
+        structural=structural,
+        loops_dirty=loops_dirty,
+        touched_tokens=frozenset(tokens),
+        tokens_unknown=tokens_unknown,
+        deltas=frozenset(deltas),
+    )
+
+
+def _support_stale(support: _Support, env: _RefreshEnv) -> bool:
+    """Could this interval change what the recorded run observed?"""
+    if support.whole_program and env.any_change:
+        return True
+    if support.positions and env.structural:
+        return True
+    if support.structure and env.loops_dirty:
+        return True
+    if support.all_edges and env.deltas:
+        return True
+    if not env.touched.isdisjoint(support.qids):
+        return True
+    if support.buckets and (
+        env.tokens_unknown
+        or not env.touched_tokens.isdisjoint(support.buckets)
+    ):
+        return True
+    keys = support.edge_keys
+    if keys:
+        for kind, src, dst in env.deltas:
+            if (
+                (kind, src, dst) in keys
+                or (kind, src, None) in keys
+                or (kind, None, dst) in keys
+                or (kind, None, None) in keys
+            ):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# the catalog network
+# ----------------------------------------------------------------------
+@dataclass
+class _TailEntry:
+    """Materialized points of one tail run plus their support."""
+
+    points: tuple  # of _CachedPoint triples
+    support: _Support
+
+
+class _SpecState:
+    """One spec's standing state inside the network."""
+
+    def __init__(self, plan: TailPlan, optimizer, fingerprint: str):
+        self.plan = plan
+        self.optimizer = optimizer
+        self.fingerprint = fingerprint
+        #: seed qid -> entry (seed granular); {None: entry} (spec
+        #: granular).  Absent key: never yet evaluated.
+        self.entries: dict[Optional[int], _TailEntry] = {}
+        #: version the entries describe; -1 forces a full build
+        self.version = -1
+        #: sorted, deduplicated agenda (None: needs re-sort)
+        self.agenda: Optional[list] = None
+        #: tail match-phase yields since the last serve (driver fuel)
+        self.pending_attempts = 0
+
+
+class CatalogNetwork:
+    """The shared discrimination network over one engine's catalog.
+
+    Owned by a :class:`~repro.genesis.matching.MatchEngine`; reach it
+    through ``engine.ensure_network(optimizers)`` /
+    ``engine.sweep_all(ctx)`` rather than constructing directly.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.manager = engine.manager
+        self.stats = engine.stats
+        self._specs: dict[str, _SpecState] = {}
+        #: the exec-ed generated classifier module's namespace
+        self._classifier = None
+        self._classifier_source = None
+        self._classifier_stale = True
+        #: per-version classification memo: qid -> admitted spec names
+        self._classified_version = -1
+        self._classify_cache: dict[int, tuple[str, ...]] = {}
+        self._shared_hits = {"shared_prefix_hits": 0}
+
+    # -- registration --------------------------------------------------
+    def register(self, optimizers: Sequence) -> None:
+        """Adopt (or re-adopt) catalog members by spec fingerprint."""
+        from repro.genesis.matching import spec_fingerprint
+
+        for optimizer in optimizers:
+            fingerprint = spec_fingerprint(optimizer)
+            state = self._specs.get(optimizer.name)
+            if state is not None and state.fingerprint == fingerprint:
+                state.optimizer = optimizer  # same spec, newer object
+                continue
+            self._specs[optimizer.name] = _SpecState(
+                plan=compile_plan(optimizer),
+                optimizer=optimizer,
+                fingerprint=fingerprint,
+            )
+            self._classifier_stale = True
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._specs))
+
+    def members(self) -> list:
+        """Registered optimizer objects, in name order."""
+        return [self._specs[name].optimizer for name in self.names()]
+
+    @property
+    def source(self):
+        """The generated classifier module (for inspection/tests)."""
+        self._ensure_classifier()
+        return self._classifier_source
+
+    # -- the generated classifier --------------------------------------
+    def _ensure_classifier(self):
+        if self._classifier is None or self._classifier_stale:
+            from repro.genesis.codegen import emit_network
+
+            ordered = [
+                self._specs[name].optimizer for name in self.names()
+            ]
+            generated = emit_network(ordered)
+            namespace: dict = {}
+            code = compile(
+                generated.source, "<genesis:NETWORK>", "exec"
+            )
+            exec(code, namespace)  # noqa: S102 - same as generator._execute
+            self._classifier = namespace
+            self._classifier_source = generated
+            self._classifier_stale = False
+            self._classify_cache.clear()
+            self._classified_version = -1
+            self.stats.network_nodes = namespace["NETWORK_NODES"]
+        return self._classifier
+
+    def _classify(self, ctx, qid: int) -> tuple[str, ...]:
+        """Admitted spec names for one candidate seed (memoized per
+        program version across every spec's refresh)."""
+        cached = self._classify_cache.get(qid)
+        if cached is not None:
+            return cached
+        namespace = self._ensure_classifier()
+        shapes = statement_shapes(self.manager.program.quad(qid))
+        admitted = namespace["classify_network"](
+            ctx, qid, shapes, self._shared_hits
+        )
+        self._classify_cache[qid] = admitted
+        self.stats.network_tokens += 1
+        self.stats.network_shared_hits = (
+            self._shared_hits["shared_prefix_hits"]
+        )
+        return admitted
+
+    # -- maintenance ---------------------------------------------------
+    def refresh(self, ctx) -> bool:
+        """Bring every spec's agenda up to the program version.
+
+        Returns False when this context cannot be served soundly (a
+        foreign/stale graph, or restrictions overridden) — the caller
+        then falls back to per-spec sweeps.
+        """
+        manager = self.manager
+        program = manager.program
+        if not getattr(ctx, "enforce_restrictions", True):
+            return False
+        if ctx.graph is not manager._graph:
+            return False
+        base = getattr(ctx, "program", None)
+        if base is not None and base is not program:
+            return False
+        started = time.perf_counter()
+        version = program.version
+        if version != self._classified_version:
+            self._classify_cache.clear()
+            self._classified_version = version
+        env_cache: dict[int, Optional[_RefreshEnv]] = {}
+        for name in self.names():
+            state = self._specs[name]
+            if state.version == version:
+                continue
+            env = self._interval_env(state.version, env_cache)
+            self._refresh_spec(state, ctx, env)
+            state.version = version
+        self.stats.network_seconds += time.perf_counter() - started
+        return True
+
+    def _interval_env(
+        self,
+        from_version: int,
+        cache: dict[int, Optional[_RefreshEnv]],
+    ) -> Optional[_RefreshEnv]:
+        if from_version < 0:
+            return None
+        if from_version in cache:
+            return cache[from_version]
+        program = self.manager.program
+        env: Optional[_RefreshEnv] = None
+        changes = program.changes_since(from_version)
+        if changes is not None:
+            deltas = self.manager.dependence_deltas_since(from_version)
+            if deltas is not None:
+                env = _classify_interval(program, changes, deltas)
+        cache[from_version] = env
+        return env
+
+    def _refresh_spec(
+        self, state: _SpecState, ctx, env: Optional[_RefreshEnv]
+    ) -> None:
+        if state.plan.granularity == "seed":
+            self._refresh_seed_spec(state, ctx, env)
+        else:
+            self._refresh_whole_spec(state, ctx, env)
+
+    def _refresh_whole_spec(
+        self, state: _SpecState, ctx, env: Optional[_RefreshEnv]
+    ) -> None:
+        entry = state.entries.get(None)
+        if entry is not None and env is not None and not _support_stale(
+            entry.support, env
+        ):
+            self.stats.network_entries_reused += 1
+            return
+        points, support, attempts = self._run_tail(state, ctx, None)
+        state.entries = {None: _TailEntry(points, support)}
+        state.agenda = None
+        state.pending_attempts += attempts
+
+    def _refresh_seed_spec(
+        self, state: _SpecState, ctx, env: Optional[_RefreshEnv]
+    ) -> None:
+        program = self.manager.program
+        index = self.engine.index
+        plan = state.plan
+        if plan.shapes is not None:
+            bucket = index.members_of(plan.shapes)
+        else:
+            bucket = set(program.qids())
+        entries = state.entries
+        changed = False
+        if env is None:
+            entries.clear()
+            dirty = set(bucket)
+            changed = True
+        else:
+            for seed in [s for s in entries if s not in bucket]:
+                del entries[seed]
+                changed = True
+            dirty = {
+                seed
+                for seed, entry in entries.items()
+                if seed in env.touched
+                or _support_stale(entry.support, env)
+            }
+            dirty |= bucket - entries.keys()
+            self.stats.network_entries_reused += (
+                len(entries) - len(dirty & entries.keys())
+            )
+        for seed in sorted(dirty, key=program.position):
+            admitted = self._classify(ctx, seed)
+            static = plan.static_edge_keys(seed)
+            if plan.name in admitted:
+                points, support, attempts = self._run_tail(
+                    state, ctx, seed
+                )
+                support = _Support(
+                    qids=support.qids | {seed},
+                    edge_keys=support.edge_keys | static,
+                    buckets=support.buckets,
+                    whole_program=support.whole_program,
+                    positions=support.positions,
+                    structure=support.structure,
+                    all_edges=support.all_edges,
+                )
+                state.pending_attempts += attempts
+            else:
+                points = ()
+                support = _Support(
+                    qids=frozenset({seed}),
+                    edge_keys=static,
+                    buckets=frozenset(),
+                    whole_program=False,
+                    positions=False,
+                    structure=False,
+                    all_edges=False,
+                )
+            entries[seed] = _TailEntry(points, support)
+            changed = True
+        if changed:
+            state.agenda = None
+
+    def _run_tail(
+        self, state: _SpecState, ctx, seed: Optional[int]
+    ) -> tuple[tuple, _Support, int]:
+        """Run one spec's generated match/pre tail under recording.
+
+        ``seed`` restricts the spec's only statement enumeration to
+        that quad (sticky, so a seed scan nested under a loop
+        enumeration stays restricted on every loop); ``None`` runs the
+        full enumeration (whole-spec entries only — seed specs always
+        run per-seed)."""
+        rec = _SupportRecorder()
+        twin = _recording_context(ctx, self.manager, self.engine.index, rec)
+        if seed is not None:
+            twin.arm_seed_restriction((seed,))  # sticky on the twin
+        raw, attempts = self.engine._enumerate(state.optimizer, twin)
+        unique: dict = {}
+        for point in raw:
+            unique.setdefault(point[0], point)
+        self.stats.network_tail_runs += 1
+        return tuple(unique.values()), rec.freeze(), attempts
+
+    # -- serving -------------------------------------------------------
+    def serve(self, name: str):
+        """One spec's standing agenda: ``(points, attempts)``.
+
+        Points are independent copies in the engine's canonical order;
+        ``attempts`` drains the tail yields accumulated since the last
+        serve (the driver's fuel accounting).
+        """
+        from repro.genesis.matching import _sort_points
+
+        state = self._specs[name]
+        if state.agenda is None:
+            merged: dict = {}
+            for entry in state.entries.values():
+                for point in entry.points:
+                    merged.setdefault(point[0], point)
+            state.agenda = _sort_points(
+                list(merged.values()), self.manager.program
+            )
+        attempts = state.pending_attempts
+        state.pending_attempts = 0
+        points = [
+            (sig, dict(bindings)) for sig, bindings, _ in state.agenda
+        ]
+        self.stats.network_agenda_points += len(points)
+        return points, attempts
+
+    def invalidate(self) -> None:
+        """Drop every standing entry (next refresh rebuilds)."""
+        for state in self._specs.values():
+            state.entries.clear()
+            state.agenda = None
+            state.version = -1

@@ -1,0 +1,301 @@
+"""The shared catalog discrimination network: parity, chaos, units.
+
+The network's contract mirrors the worklist's: the agenda it serves
+for every registered spec must equal — points *and* canonical order —
+what that spec's own :meth:`MatchEngine.sweep` would have found.  The
+property tests here drive that across the whole catalog on random
+structured programs under random edit scripts; the chaos test pushes
+transaction rollbacks through the delta-maintenance path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.manager import AnalysisManager
+from repro.genesis.codegen import emit_network
+from repro.genesis.driver import DriverOptions, make_context, run_optimizer
+from repro.genesis.generator import generate_optimizer
+from repro.genesis.matching import MatchEngine, MatchIndex, spec_fingerprint
+from repro.genesis.network import build_trie, compile_plan
+from repro.genesis.transaction import ProgramTransaction
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Const, Var
+from repro.opts.specs import STANDARD_SPECS
+from repro.workloads.synthetic import random_program
+
+ALL_OPTIMIZERS = (
+    "BMP", "CFO", "CPP", "CRC", "CTP", "DCE", "FUS", "ICM", "INX",
+    "LUR", "PAR",
+)
+
+COMMON = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _edit(program, op: int, val: int) -> None:
+    """One random-but-reproducible program edit."""
+    if op == 0:
+        qids = list(program.qids())
+        target = qids[val % len(qids)]
+        program.insert_after(
+            target,
+            Quad(
+                Opcode.ASSIGN,
+                result=Var(f"n{val % 7}"),
+                a=Const(val % 11),
+            ),
+        )
+    elif op == 1:
+        victims = [
+            quad
+            for quad in program
+            if quad.opcode is Opcode.ASSIGN and isinstance(quad.a, Const)
+        ]
+        if not victims:
+            return
+        quad = victims[val % len(victims)]
+        before = program.preimage(quad.qid)
+        quad.set_operand("a", Const(val % 13))
+        program.touch(quad.qid, before=before)
+    else:
+        victims = [quad for quad in program if not quad.is_structural()]
+        if len(victims) < 2:
+            return
+        program.remove(victims[val % len(victims)].qid)
+
+
+def _agenda(result):
+    """(signature, bindings) pairs, in served order."""
+    return [(sig, bindings) for sig, bindings in result.points]
+
+
+def _reference(engine, optimizer, program, manager):
+    """Ground truth: an uncached full sweep on a throwaway engine."""
+    ctx = make_context(program, manager=manager)
+    return _agenda(engine.sweep(optimizer, ctx, allow_worklist=False))
+
+
+# ----------------------------------------------------------------------
+# property: shared-network agenda == per-spec sweep, whole catalog
+# ----------------------------------------------------------------------
+@settings(**COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    script=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=4,
+    ),
+)
+def test_sweep_all_matches_per_spec_sweeps(optimizers, seed, script):
+    program = random_program(seed, size=14, max_depth=2)
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=True)
+    manager._match_engine = engine  # what engine_for would attach
+    catalog = [optimizers[name] for name in ALL_OPTIMIZERS]
+    reference = MatchEngine(manager, full_check=False)
+    for step in [None, *script]:
+        if step is not None:
+            _edit(program, *step)
+        ctx = make_context(program, manager=manager)
+        results = engine.sweep_all(ctx, catalog)
+        assert set(results) == set(ALL_OPTIMIZERS)
+        for name in ALL_OPTIMIZERS:
+            assert results[name].mode == "network"
+            want = _reference(reference, optimizers[name], program, manager)
+            assert _agenda(results[name]) == want, name
+    assert engine.stats.network_sweeps > 0
+    assert engine.stats.shadow_checks >= engine.stats.network_sweeps
+
+
+# ----------------------------------------------------------------------
+# chaos: rollbacks flow through the delta-maintenance path
+# ----------------------------------------------------------------------
+@settings(**COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    script=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_network_survives_rollback(optimizers, seed, script):
+    program = random_program(seed, size=14, max_depth=2)
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=True)
+    manager._match_engine = engine
+    catalog = [optimizers[name] for name in ALL_OPTIMIZERS]
+    ctx = make_context(program, manager=manager)
+    engine.sweep_all(ctx, catalog)  # prime every agenda
+
+    txn = ProgramTransaction(program)
+    txn.begin()
+    for step in script:
+        _edit(program, *step)
+    # mid-transaction state is served (and shadow-checked) like any
+    engine.sweep_all(make_context(program, manager=manager))
+    txn.rollback()
+
+    # post-rollback: agendas must equal a from-scratch enumeration, and
+    # the candidate index must be byte-equal to a fresh rebuild
+    results = engine.sweep_all(make_context(program, manager=manager))
+    reference = MatchEngine(manager, full_check=False)
+    for name in ALL_OPTIMIZERS:
+        want = _reference(reference, optimizers[name], program, manager)
+        assert _agenda(results[name]) == want, name
+    fresh = MatchIndex(program)
+    fresh.refresh(manager.structure)
+    assert engine.index.fingerprint() == fresh.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# property: driver parity, network mode vs restart-from-top rescan
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("opt_name", ("CTP", "CPP", "DCE", "LUR"))
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_network_driver_matches_rescan(optimizers, opt_name, seed):
+    base = random_program(seed, size=14, max_depth=3)
+    network = base.clone()
+    rescan = base.clone()
+    options = DriverOptions(
+        apply_all=True, max_applications=30, match_mode="network"
+    )
+    net_result = run_optimizer(optimizers[opt_name], network, options)
+    scan_result = run_optimizer(
+        optimizers[opt_name],
+        rescan,
+        DriverOptions(
+            apply_all=True, max_applications=30, match_mode="rescan"
+        ),
+    )
+    assert [str(q) for q in network] == [str(q) for q in rescan]
+    assert len(net_result.applications) == len(scan_result.applications)
+
+
+# ----------------------------------------------------------------------
+# unit: the compiled trie and its rendered source
+# ----------------------------------------------------------------------
+def test_emit_network_over_standard_catalog(optimizers):
+    generated = emit_network([optimizers[n] for n in ALL_OPTIMIZERS])
+    assert generated.name == "NETWORK"
+    namespace: dict = {}
+    exec(compile(generated.source, "<test:NETWORK>", "exec"), namespace)
+    # seed-granular specs (one ANY statement binder, loop co-binders
+    # allowed) are classified by the network; pure-loop and
+    # multi-pattern specs stay per-spec ("coarse")
+    assert set(namespace["NETWORK_SPECS"]) == {
+        "CFO", "CPP", "CTP", "DCE", "ICM",
+    }
+    assert set(namespace["NETWORK_SPECS"]) | set(
+        namespace["NETWORK_COARSE"]
+    ) == set(ALL_OPTIMIZERS)
+    assert namespace["NETWORK_NODES"] > 0
+    # CFO and DCE both test binop seeds: at least one shared prefix
+    assert namespace["NETWORK_SHARED_NODES"] >= 1
+    assert callable(namespace["classify_network"])
+
+
+def test_classifier_admits_constant_assign(optimizers):
+    program = random_program(3, size=10, max_depth=1)
+    first = next(iter(program)).qid
+    added = program.insert_after(
+        first, Quad(Opcode.ASSIGN, result=Var("c"), a=Const(5))
+    )
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=False)
+    manager._match_engine = engine
+    catalog = [optimizers[n] for n in ALL_OPTIMIZERS]
+    ctx = make_context(program, manager=manager)
+    results = engine.sweep_all(ctx, catalog)
+    # the fresh constant definition is dead (nothing reads c), so the
+    # network's DCE agenda must contain a point seeded at it
+    dce = [bindings for _, bindings in results["DCE"].points]
+    assert any(added.qid in bindings.values() for bindings in dce)
+
+
+def test_trie_merges_common_prefixes(optimizers):
+    variant = STANDARD_SPECS["CTP"].replace(
+        "type(Si.opr_1) == var;",
+        "type(Si.opr_1) == var AND Si.opr_2 == {k};",
+    )
+    plans = [compile_plan(optimizers["CTP"])]
+    for k in (1, 2, 3):
+        plans.append(
+            compile_plan(
+                generate_optimizer(variant.format(k=k), name=f"CTP_V{k}")
+            )
+        )
+    merged = build_trie(plans)
+    alone = sum(build_trie([plan]).nodes for plan in plans)
+    # all four share the assign:const root and the flow(=) test node
+    assert merged.nodes < alone
+    assert merged.shared_nodes >= 1
+    solo = build_trie(plans[:1])
+    assert merged.nodes == solo.nodes  # variants add no new nodes
+
+
+# ----------------------------------------------------------------------
+# regression: sweep caches are keyed by spec fingerprint, not identity
+# ----------------------------------------------------------------------
+def test_sweep_cache_survives_regenerated_optimizer(optimizers):
+    program = random_program(4, size=12, max_depth=1)
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=False)
+    manager._match_engine = engine
+    first = generate_optimizer(STANDARD_SPECS["CTP"], name="CTP")
+    twin = generate_optimizer(STANDARD_SPECS["CTP"], name="CTP")
+    assert first is not twin
+    assert spec_fingerprint(first) == spec_fingerprint(twin)
+
+    engine.sweep(first, make_context(program, manager=manager))
+    before = engine.stats.cached_sweeps
+    # same spec, different object identity: the cache must be served
+    result = engine.sweep(twin, make_context(program, manager=manager))
+    assert result.mode == "cached"
+    assert engine.stats.cached_sweeps == before + 1
+
+    # a *different* spec under the same name must drop the cache
+    imposter = generate_optimizer(STANDARD_SPECS["CPP"], name="CTP")
+    assert spec_fingerprint(imposter) != spec_fingerprint(first)
+    result = engine.sweep(imposter, make_context(program, manager=manager))
+    assert result.mode == "full"
+
+
+# ----------------------------------------------------------------------
+# unit: the network surfaces its counters through MatchStats
+# ----------------------------------------------------------------------
+def test_network_counters_reach_stats_summary(optimizers):
+    program = random_program(6, size=12, max_depth=2)
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=False)
+    manager._match_engine = engine
+    catalog = [optimizers[n] for n in ALL_OPTIMIZERS]
+    engine.sweep_all(make_context(program, manager=manager), catalog)
+    stats = engine.stats.as_dict()
+    for key in (
+        "network_sweeps",
+        "network_nodes",
+        "network_shared_hits",
+        "network_tokens",
+        "network_tail_runs",
+        "network_entries_reused",
+        "network_agenda_points",
+        "network_seconds",
+    ):
+        assert key in stats, key
+    assert stats["network_sweeps"] == len(ALL_OPTIMIZERS)
+    assert stats["network_nodes"] > 0
+    assert "network:" in engine.stats.summary()
