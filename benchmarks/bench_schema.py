@@ -5,8 +5,11 @@ Every benchmark (``BENCH_match.json``, ``BENCH_dependence.json``,
 dashboards and regression checks can read any of them identically:
 
 * ``host`` — where the numbers were measured: ``python`` version,
-  ``platform`` string, and ``cpus`` (usable cores — parallel speedups
-  are meaningless without it);
+  ``platform`` string, ``cpus`` (usable cores, the scheduler's
+  affinity mask), ``cpu_count`` (``os.cpu_count()``, the machine's
+  total — parallel speedups are meaningless without both), and
+  optionally ``backend`` (the service worker mode the numbers were
+  taken under);
 * ``sizes`` — a non-empty list of measurements, each with an integer
   ``size`` (the workload scale knob) and at least one ``*speedup*``
   field (the ratio the benchmark exists to track).
@@ -26,17 +29,25 @@ import sys
 from pathlib import Path
 
 
-def host_info() -> dict[str, object]:
-    """Where these numbers were measured."""
+def host_info(backend: str | None = None) -> dict[str, object]:
+    """Where (and under which service backend) these numbers were
+    measured.  ``cpus`` is the usable-core count (affinity mask);
+    ``cpu_count`` is the machine total — a 0.9x "parallel speedup"
+    on a 1-CPU host is expected, not a regression, and the host block
+    is what lets a reader tell the difference."""
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
-    return {
+    info: dict[str, object] = {
         "python": sys.version.split()[0],
         "platform": _platform.platform(),
         "cpus": cpus,
+        "cpu_count": os.cpu_count() or 1,
     }
+    if backend is not None:
+        info["backend"] = backend
+    return info
 
 
 def validate_bench(payload: dict) -> list[str]:
@@ -52,6 +63,14 @@ def validate_bench(payload: dict) -> list[str]:
         cpus = host.get("cpus")
         if not isinstance(cpus, int) or cpus < 1:
             problems.append("host.cpus must be an integer >= 1")
+        cpu_count = host.get("cpu_count")
+        if not isinstance(cpu_count, int) or cpu_count < 1:
+            problems.append("host.cpu_count must be an integer >= 1")
+        backend = host.get("backend")
+        if backend is not None and (
+            not isinstance(backend, str) or not backend
+        ):
+            problems.append("host.backend must be a non-empty string")
     sizes = payload.get("sizes")
     if not isinstance(sizes, list) or not sizes:
         problems.append("'sizes' must be a non-empty list")

@@ -55,9 +55,21 @@ rejected session command) — reported as a one-line diagnostic.
         Optimize many programs concurrently through the service;
         identical submissions are cache-served/coalesced.
 
-    genesis serve [--backend process] [--workers N]
-        JSON-lines service loop: one request object per stdin line,
-        one result object per stdout line (see docs/service.md).
+    genesis serve --listen [HOST:]PORT [--cache-dir DIR]
+        Network optimization service: concurrent TCP JSON-lines
+        sessions, a crash-safe persistent cache tier, graceful
+        SIGTERM drain (exit 0).  Without --listen, the same dialect
+        runs over stdin/stdout as a single-session debug loop.
+
+    genesis submit|batch|search ... --connect HOST:PORT
+        Send jobs to a running server instead of building a local
+        service; retried with capped jittered backoff (idempotent
+        under cache keys).
+
+    genesis chaos --network
+        Network chaos campaign: kill -9 servers mid-job, sever
+        connections mid-response, crash cache writes — asserting
+        byte-identical results and zero corrupt cache entries.
 
 ``genesis fuzz --workers N`` and ``genesis chaos --workers N`` run
 their campaigns' transformation/baseline jobs through a process-pool
@@ -260,6 +272,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-job wall-clock deadline; overrunning workers are "
         "reaped and the job fails structurally",
     )
+    service_flags.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent disk tier under the in-memory result cache "
+        "(crash-safe, shareable across restarts and processes)",
+    )
+    service_flags.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="send jobs to a running 'genesis serve --listen' server "
+        "instead of a local service (retried with capped jittered "
+        "backoff; safe because submission is idempotent under cache "
+        "keys); local backend/worker flags are ignored",
+    )
+    service_flags.add_argument(
+        "--retry-attempts", type=int, default=5, metavar="N",
+        help="retry budget per request for --connect (default: 5)",
+    )
+    service_flags.add_argument(
+        "--connect-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="TCP connect timeout for --connect (default: 2)",
+    )
+    service_flags.add_argument(
+        "--request-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-request read timeout for --connect (default: 120; "
+        "heartbeats keep long jobs alive)",
+    )
 
     experiments = sub.add_parser(
         "experiments", help="reproduce the paper's Section 4"
@@ -374,6 +411,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compute fault-free baselines through a process-pool "
         "optimization service with N workers (default: 0, serial)",
     )
+    chaos.add_argument(
+        "--network", action="store_true",
+        help="run the network chaos campaign instead: kill -9 servers "
+        "mid-job, sever connections mid-response, crash cache writes "
+        "mid-rename; asserts byte-identical results vs a serial "
+        "baseline and zero corrupt disk entries",
+    )
+    chaos.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="server lifetimes for --network (default: 3)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=12, metavar="N",
+        help="jobs per campaign for --network (default: 12)",
+    )
 
     submit = sub.add_parser(
         "submit", parents=[service_flags],
@@ -462,6 +514,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="service backend for --workers (default: process)",
     )
     search.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="evaluate candidates through a running 'genesis serve "
+        "--listen' server (implies service evaluation; --workers/"
+        "--backend are ignored)",
+    )
+    search.add_argument(
         "--once", action="store_true",
         help="apply each pass at its first point only (user-directed "
         "mode)",
@@ -486,12 +544,46 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", parents=[service_flags],
-        help="run the optimization service over stdin/stdout "
-        "(JSON-lines)",
+        help="run the optimization service over a TCP socket "
+        "(--listen) or stdin/stdout (JSON-lines debug fallback)",
     )
     serve.add_argument(
         "--cache-capacity", type=int, default=256, metavar="N",
         help="result-cache entries before LRU eviction (default: 256)",
+    )
+    serve.add_argument(
+        "--listen", default=None, metavar="[HOST:]PORT",
+        help="serve the JSON-lines protocol over TCP (port 0 picks a "
+        "free port; see --port-file); SIGTERM drains gracefully",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="FILE",
+        help="write the bound port here atomically once listening "
+        "(the handshake for scripts using --listen :0)",
+    )
+    serve.add_argument(
+        "--cache-disk-mb", type=int, default=64, metavar="MB",
+        help="size cap for the --cache-dir tier before oldest-first "
+        "GC (default: 64)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="unresolved waits per connection before a retryable "
+        "Backpressure rejection (default: 64)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="seconds in-flight jobs get to land during a drain "
+        "(default: 10)",
+    )
+    serve.add_argument(
+        "--chaos-disconnect", type=float, default=0.0, metavar="R",
+        help="test-only: sever connections after half a response at "
+        "this seeded rate",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for --chaos-disconnect (default: 0)",
     )
     return parser
 
@@ -717,6 +809,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.opts.specs import PAPER_TEN
     from repro.verify import ChaosConfig, run_chaos
 
+    if args.network:
+        from repro.verify.netchaos import NetChaosConfig, run_network_chaos
+
+        report = run_network_chaos(
+            NetChaosConfig(
+                seed=args.seed,
+                rounds=args.rounds,
+                jobs=args.jobs,
+            ),
+            progress=print,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
     if args.opts is None:
         opt_names = PAPER_TEN
     else:
@@ -782,12 +888,34 @@ def _cmd_suite(_args: argparse.Namespace) -> int:
 # the optimization service verbs
 # ----------------------------------------------------------------------
 def _service_client(args: argparse.Namespace, **overrides):
+    connect = getattr(args, "connect", None)
+    if connect:
+        from repro.service.net.client import (
+            NetworkServiceClient,
+            RetryPolicy,
+        )
+        from repro.service.net.server import _parse_hostport
+
+        host, port = _parse_hostport(connect)
+        return NetworkServiceClient(
+            host,
+            port,
+            connect_timeout=getattr(args, "connect_timeout", 2.0),
+            request_timeout=getattr(args, "request_timeout", 120.0),
+            retry=RetryPolicy(
+                attempts=getattr(args, "retry_attempts", 5)
+            ),
+            log=lambda message: print(
+                message, file=sys.stderr, flush=True
+            ),
+        )
     from repro.service import ServiceClient
 
     settings = {
         "backend": getattr(args, "backend", "process"),
         "max_workers": getattr(args, "workers", 4),
         "queue_limit": getattr(args, "queue_limit", 256),
+        "cache_dir": getattr(args, "cache_dir", None),
         "default_deadline": getattr(args, "job_deadline", None),
     }
     settings.update(overrides)
@@ -916,7 +1044,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             results.append(result)
             print(result.summary())
 
-    if args.workers > 0:
+    if args.connect or args.workers > 0:
         with _service_client(args, max_workers=args.workers) as client:
             run(client)
     else:
@@ -932,40 +1060,41 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """The JSON-lines service loop (see docs/service.md for the
-    request/response protocol)."""
+    """The JSON-lines service: over TCP with --listen (concurrent
+    sessions, events, graceful drain), else over stdin/stdout as a
+    single-session debug fallback (same dialect, same job spellings —
+    see docs/service.md)."""
     import json as _json
 
-    from repro.service.job import Job, JobError, options_from_dict
+    from repro.service.net.protocol import job_from_request
+
+    if args.listen is not None:
+        from repro.service.net.server import (
+            ServeConfig,
+            _parse_hostport,
+            run_server,
+        )
+
+        host, port = _parse_hostport(args.listen)
+        return run_server(ServeConfig(
+            host=host,
+            port=port,
+            backend=args.backend,
+            max_workers=args.workers,
+            queue_limit=args.queue_limit,
+            cache_capacity=args.cache_capacity,
+            cache_dir=args.cache_dir,
+            cache_disk_bytes=args.cache_disk_mb * 1024 * 1024,
+            default_deadline=args.job_deadline,
+            max_pending=args.max_pending,
+            drain_grace=args.drain_grace,
+            port_file=args.port_file,
+            chaos_disconnect=args.chaos_disconnect,
+            chaos_seed=args.chaos_seed,
+        ))
 
     def emit(payload: dict) -> None:
         print(_json.dumps(payload), flush=True)
-
-    def job_from_request(request: dict) -> Job:
-        if "workload" in request:
-            name = str(request["workload"])
-            if name not in SOURCES:
-                raise JobError(
-                    f"unknown workload {name!r}; known: "
-                    f"{', '.join(SOURCES)}"
-                )
-            source = SOURCES[name]
-        elif "source" in request:
-            source = str(request["source"])
-        else:
-            raise JobError("request needs a 'source' or 'workload' key")
-        opts = request.get("opts", "CTP,CFO,DCE")
-        if isinstance(opts, str):
-            opt_names = _parse_opt_names(opts)
-        else:
-            opt_names = tuple(str(name).upper() for name in opts)
-        options = DriverOptions(apply_all=True)
-        if "options" in request:
-            options = options_from_dict(dict(request["options"]))
-        return Job.from_source(
-            source, opt_names, options,
-            deadline_seconds=request.get("deadline"),
-        )
 
     client = _service_client(
         args,

@@ -210,12 +210,15 @@ class ServiceEvaluator(Evaluator):
     """
 
     def __init__(self, client, options: Optional[DriverOptions] = None):
-        from repro.service.client import ServiceClient
-
-        if not isinstance(client, ServiceClient):
-            raise SearchError(
-                "ServiceEvaluator needs a repro.service.ServiceClient"
-            )
+        # duck-typed so the network client (repro.service.net) plugs in
+        # exactly like the in-process one
+        for method in ("submit", "wait"):
+            if not callable(getattr(client, method, None)):
+                raise SearchError(
+                    "ServiceEvaluator needs a service client with "
+                    "submit/wait (repro.service.ServiceClient or "
+                    "repro.service.net.NetworkServiceClient)"
+                )
         self.client = client
         self.options = options or DriverOptions(apply_all=True)
         self.stats = EvaluatorStats()

@@ -11,15 +11,24 @@ across releases.
 
 Plain LRU with hit/miss/eviction counters; capacity is in entries, not
 bytes, since results are small (the optimized source plus counters).
+
+An optional persistent tier (:class:`~repro.service.diskcache.DiskCache`)
+layers beneath the LRU: a memory miss falls through to disk, a disk hit
+is promoted back into memory, and every completed result is published
+to both — so results survive restarts and are shared across a fleet of
+serve processes pointed at the same directory.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.service.job import JobResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.diskcache import DiskCache
 
 
 @dataclass
@@ -54,12 +63,14 @@ class CacheStats:
 
 
 class ResultCache:
-    """LRU cache of completed :class:`JobResult` keyed by cache key."""
+    """LRU cache of completed :class:`JobResult` keyed by cache key,
+    with an optional persistent :class:`DiskCache` tier beneath it."""
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, disk: Optional["DiskCache"] = None):
         if capacity < 0:
             raise ValueError("cache capacity must be >= 0")
         self.capacity = capacity
+        self.disk = disk
         self._entries: OrderedDict[str, JobResult] = OrderedDict()
         self.stats = CacheStats()
 
@@ -74,20 +85,35 @@ class ResultCache:
 
         A hit refreshes the entry's recency.  The returned object is a
         shallow copy, so callers may stamp their own job id and timing
-        on it without corrupting the cache.
+        on it without corrupting the cache.  A memory miss falls
+        through to the persistent tier; a disk hit is promoted back
+        into the LRU so a warm restart pays the disk read once.
         """
         entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return replace(entry, cached=True)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return replace(entry, cached=True)
+        if self.disk is not None:
+            loaded = self.disk.get(key)
+            if loaded is not None:
+                self._store_memory(key, loaded)
+                self.stats.hits += 1
+                return replace(loaded, cached=True)
+        self.stats.misses += 1
+        return None
 
     def put(self, key: str, result: JobResult) -> None:
         """Store a completed result (non-completed results are not
         cacheable: crashes and deadline kills must be retried)."""
-        if self.capacity == 0 or not result.ok:
+        if not result.ok:
+            return
+        self._store_memory(key, result)
+        if self.disk is not None:
+            self.disk.put(key, result)
+
+    def _store_memory(self, key: str, result: JobResult) -> None:
+        if self.capacity == 0:
             return
         self._entries[key] = replace(result, cached=False, coalesced=False)
         self._entries.move_to_end(key)
@@ -97,4 +123,5 @@ class ResultCache:
             self.stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the persistent tier is unaffected)."""
         self._entries.clear()

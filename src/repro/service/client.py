@@ -39,6 +39,7 @@ class ServiceClient:
         max_workers: int = 2,
         queue_limit: int = 256,
         cache_capacity: int = 256,
+        cache_dir: Optional[str] = None,
         default_deadline: Optional[float] = None,
         log=None,
     ):
@@ -52,6 +53,7 @@ class ServiceClient:
                     max_workers=max_workers,
                     queue_limit=queue_limit,
                     cache_capacity=cache_capacity,
+                    cache_dir=cache_dir,
                     default_deadline=default_deadline,
                 ),
                 log=log,

@@ -47,6 +47,7 @@ from repro.service.backends import (
     WorkerHandle,
 )
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.diskcache import DiskCache
 from repro.service.job import (
     COMPLETED,
     EXPIRED,
@@ -75,8 +76,13 @@ class ServiceConfig:
     max_workers: int = 2
     #: bounded-queue admission limit (waiting jobs, running excluded)
     queue_limit: int = 256
-    #: result-cache capacity in entries (0 disables caching)
+    #: result-cache capacity in entries (0 disables the memory tier)
     cache_capacity: int = 256
+    #: directory for the persistent disk cache tier (None: memory only);
+    #: shareable across restarts and across a fleet of serve processes
+    cache_dir: Optional[str] = None
+    #: size cap for the disk tier before oldest-first GC
+    cache_disk_bytes: int = 64 * 1024 * 1024
     #: default service-level wall-clock budget per job (None: no limit)
     default_deadline: Optional[float] = None
     #: worker crashes/stalls per fingerprint before it is quarantined
@@ -104,9 +110,11 @@ class ServiceStats:
     crashes: int = 0
     max_queue_depth: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    #: persistent-tier counters (None when no cache_dir is configured)
+    disk: Optional[object] = None
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
@@ -119,15 +127,21 @@ class ServiceStats:
             "max_queue_depth": self.max_queue_depth,
             "cache": self.cache.as_dict(),
         }
+        if self.disk is not None:
+            payload["disk"] = self.disk.as_dict()
+        return payload
 
     def summary(self) -> str:
-        return (
+        text = (
             f"service: {self.submitted} submitted, {self.completed} "
             f"completed, {self.failed} failed, {self.rejected} rejected, "
             f"{self.expired} expired, {self.coalesced} coalesced, "
             f"{self.cache_served} cache-served, {self.crashes} crash(es), "
             f"{self.reaped} reaped; {self.cache}"
         )
+        if self.disk is not None:
+            text += f"; {self.disk}"
+        return text
 
 
 @dataclass
@@ -172,13 +186,21 @@ class OptimizationService:
                 f"unknown backend {self.config.backend!r} "
                 "(expected 'inprocess' or 'process')"
             )
-        self.cache = ResultCache(self.config.cache_capacity)
+        disk = (
+            DiskCache(self.config.cache_dir, self.config.cache_disk_bytes)
+            if self.config.cache_dir
+            else None
+        )
+        self.cache = ResultCache(self.config.cache_capacity, disk=disk)
         #: crash-looping fingerprints trip the same circuit breaker
         #: that quarantines misbehaving optimizers in a pipeline
         self.health = HealthLedger(
             quarantine_after=max(1, self.config.crash_quarantine)
         )
-        self.stats = ServiceStats(cache=self.cache.stats)
+        self.stats = ServiceStats(
+            cache=self.cache.stats,
+            disk=disk.stats if disk is not None else None,
+        )
         self._records: dict[int, _JobRecord] = {}
         self._queue: deque[int] = deque()
         self._running: list[_JobRecord] = []
@@ -510,6 +532,14 @@ class OptimizationService:
         if record is None:
             raise ServiceError(f"unknown job id {job_id}")
         return record.result
+
+    def status(self, job_id: int) -> str:
+        """The job's lifecycle state (the network server streams its
+        transitions as job events)."""
+        record = self._records.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job id {job_id}")
+        return record.status
 
     def wait(self, job_id: int, timeout: Optional[float] = None) -> JobResult:
         """Pump until the job resolves; returns its result."""

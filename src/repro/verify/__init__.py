@@ -24,7 +24,11 @@ is the machinery that *checks* that claim empirically:
 * :mod:`repro.verify.chaos` — the fault-injection harness: wrap any
   optimizer so its ``act`` raises mid-mutation, corrupts the IR, or
   stalls at seeded rates, and run whole pipelines under injected
-  faults to prove the transactional driver contains every failure.
+  faults to prove the transactional driver contains every failure;
+* :mod:`repro.verify.netchaos` — the network chaos harness: kill -9
+  real server processes mid-job, sever connections mid-response, and
+  crash cache writes mid-rename, asserting byte-identical results vs.
+  a serial baseline and zero corrupt persistent-cache entries.
 
 Wiring into the rest of the system: ``DriverOptions(verify=True)``
 checks every single application in-line (the pipeline and the
@@ -43,6 +47,13 @@ from repro.verify.chaos import (
     run_chaos,
 )
 from repro.verify.envgen import EnvironmentGenerator, InputEnvironment
+from repro.verify.netchaos import (
+    NetChaosConfig,
+    NetChaosError,
+    NetChaosReport,
+    NetChaosStats,
+    run_network_chaos,
+)
 from repro.verify.fixtures import BROKEN_SPECS, broken_optimizer
 from repro.verify.fuzz import (
     FuzzConfig,
@@ -77,7 +88,12 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "InputEnvironment",
+    "NetChaosConfig",
+    "NetChaosError",
+    "NetChaosReport",
+    "NetChaosStats",
     "ShrinkResult",
+    "run_network_chaos",
     "VerificationError",
     "broken_optimizer",
     "chaotic",

@@ -1,0 +1,393 @@
+"""The network chaos harness: crash servers, sever wires, corrupt
+nothing.
+
+Where :mod:`repro.verify.chaos` attacks the transactional driver from
+*inside* an optimizer (acts that raise, corrupt, or stall), this
+harness attacks the PR 8 network service from *outside* — the three
+failure families an operator actually meets:
+
+* **kill -9 mid-job** — a real server process, jobs in flight, SIGKILL
+  with no drain; the harness restarts it on the same port and the
+  client's reconnect-and-resubmit retries collect every result anyway;
+* **sever mid-response** — the server's seeded ``chaos_disconnect``
+  writes half a response line and hard-aborts the TCP connection; the
+  client must treat the torn line as a transport failure (the job
+  already ran, so the resubmission is a disk-cache hit);
+* **crash mid-cache-write** — ``REPRO_CHAOS_DISKCACHE=crash-put:<n>``
+  makes the server ``os._exit`` halfway through writing a cache temp
+  file; atomic rename means the published tier can never hold the
+  half-written entry.
+
+Every round replays the same seeded job list against one shared cache
+directory, so later rounds (and the final warm-restart pass) must be
+served from the persistent tier.  The campaign passes only if
+
+1. every job eventually resolves ``completed`` with **byte-identical**
+   optimized source vs. a serial no-network baseline,
+2. :meth:`~repro.service.diskcache.DiskCache.verify` finds **zero**
+   corrupt entries in the shared cache directory, and
+3. a fresh server on the same directory serves the warm-restart pass
+   ≥ ``warm_hit_floor`` (default 95%) from disk.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.genesis.driver import DriverOptions
+from repro.service.diskcache import CHAOS_ENV, DiskCache
+from repro.service.job import Job, JobResult
+from repro.service.net.client import NetworkServiceClient, RetryPolicy
+from repro.workloads.programs import SOURCES
+
+
+class NetChaosError(RuntimeError):
+    """The harness itself could not run (not a campaign verdict)."""
+
+
+#: pipelines the seeded campaign draws from (all terminate in DCE so
+#: the optimized sources differ visibly from the originals)
+_PIPELINES = (
+    ("CTP", "DCE"),
+    ("CFO", "DCE"),
+    ("CTP", "CFO", "DCE"),
+    ("CTP", "CFO", "CPP", "DCE"),
+)
+
+#: chaos applied per round, rotating; crash-put must come first —
+#: later rounds are disk-cache hits, so no further puts would crash
+_ROUND_KINDS = ("crash-put", "kill9", "sever")
+
+
+@dataclass
+class NetChaosConfig:
+    seed: int = 0
+    #: server lifetimes; round ``i`` applies ``_ROUND_KINDS[i % 3]``
+    rounds: int = 3
+    #: seeded (workload, pipeline) jobs replayed every round
+    jobs: int = 12
+    backend: str = "process"
+    workers: int = 2
+    #: server-side probability of severing a connection mid-response
+    #: during a "sever" round
+    sever_rate: float = 0.4
+    #: the put index that crashes the server in a "crash-put" round
+    crash_put_after: int = 3
+    #: client retry budget (kept tight: the harness restarts servers
+    #: synchronously, so one reconnect normally suffices)
+    retry_attempts: int = 6
+    request_timeout: float = 60.0
+    startup_timeout: float = 30.0
+    #: required disk-served fraction on the final warm-restart pass
+    warm_hit_floor: float = 0.95
+
+
+@dataclass
+class NetChaosStats:
+    jobs: int = 0
+    resolved: int = 0
+    kills: int = 0
+    crash_exits: int = 0
+    restarts: int = 0
+    drains: int = 0
+    client_attempts: int = 0
+    retried_submissions: int = 0
+    mismatches: int = 0
+    corrupt_entries: int = 0
+    warm_hits: int = 0
+    warm_misses: int = 0
+
+
+@dataclass
+class NetChaosReport:
+    config: NetChaosConfig
+    stats: NetChaosStats
+    mismatched_keys: list = field(default_factory=list)
+    corrupt_paths: list = field(default_factory=list)
+    warm_hit_rate: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.stats.mismatches == 0
+            and self.stats.corrupt_entries == 0
+            and self.warm_hit_rate >= self.config.warm_hit_floor
+        )
+
+    def summary(self) -> str:
+        s = self.stats
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"netchaos[seed={self.config.seed}]: {verdict}: "
+            f"{s.resolved}/{s.jobs} job(s) resolved over "
+            f"{self.config.rounds} round(s); "
+            f"{s.kills} kill -9, {s.crash_exits} cache-write crash(es), "
+            f"{s.restarts} restart(s), {s.drains} graceful drain(s); "
+            f"{s.client_attempts} client attempt(s), "
+            f"{s.retried_submissions} retried; "
+            f"{s.mismatches} mismatch(es) vs serial baseline, "
+            f"{s.corrupt_entries} corrupt disk entr(ies), "
+            f"warm-restart {self.warm_hit_rate:.0%} disk-served "
+            f"(floor {self.config.warm_hit_floor:.0%})"
+        )
+
+
+class _ServerHandle:
+    """One ``genesis serve --listen`` subprocess under harness control."""
+
+    def __init__(
+        self,
+        config: NetChaosConfig,
+        cache_dir: str,
+        scratch: Path,
+        port: int = 0,
+        sever_rate: float = 0.0,
+        crash_put_after: Optional[int] = None,
+    ):
+        self.config = config
+        self.port_file = scratch / f"port-{time.monotonic_ns()}"
+        env = dict(os.environ)
+        src_root = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        if crash_put_after is not None:
+            env[CHAOS_ENV] = f"crash-put:{crash_put_after}"
+        else:
+            env.pop(CHAOS_ENV, None)
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--listen", f"127.0.0.1:{port}",
+            "--backend", config.backend,
+            "--workers", str(config.workers),
+            "--cache-dir", cache_dir,
+            "--port-file", str(self.port_file),
+            "--chaos-seed", str(config.seed),
+            "--chaos-disconnect", str(sever_rate),
+            "--drain-grace", "20",
+        ]
+        self.proc = subprocess.Popen(
+            command, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + config.startup_timeout
+        while not self.port_file.exists():
+            if self.proc.poll() is not None:
+                raise NetChaosError(
+                    f"server died during startup "
+                    f"(exit {self.proc.returncode})"
+                )
+            if time.monotonic() > deadline:
+                self.proc.kill()
+                raise NetChaosError("server did not bind in time")
+            time.sleep(0.02)
+        self.port = int(self.port_file.read_text())
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill9(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def drain(self) -> int:
+        """SIGTERM and wait; returns the exit status (0 = clean)."""
+        if self.alive():
+            self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=60)
+
+
+def _campaign_jobs(config: NetChaosConfig) -> list[Job]:
+    import random
+
+    rng = random.Random(config.seed)
+    names = sorted(SOURCES)
+    options = DriverOptions(apply_all=True)
+    jobs = []
+    for _ in range(config.jobs):
+        name = rng.choice(names)
+        pipeline = _PIPELINES[rng.randrange(len(_PIPELINES))]
+        jobs.append(Job.from_source(SOURCES[name], pipeline, options))
+    return jobs
+
+
+def _serial_baseline(jobs: list[Job]) -> dict[str, JobResult]:
+    """Fault-free, network-free ground truth, keyed by cache key."""
+    from repro.service.client import ServiceClient
+
+    baseline: dict[str, JobResult] = {}
+    with ServiceClient(backend="inprocess", cache_capacity=0) as client:
+        for job in jobs:
+            key = job.cache_key()
+            if key not in baseline:
+                baseline[key] = client.wait(client.submit(job))
+    return baseline
+
+
+def run_network_chaos(
+    config: Optional[NetChaosConfig] = None,
+    progress=None,
+    scratch_dir: Optional[str] = None,
+) -> NetChaosReport:
+    """Run the seeded campaign; see the module docstring for the rules."""
+    import tempfile
+
+    config = config or NetChaosConfig()
+    say = progress or (lambda message: None)
+    stats = NetChaosStats()
+    report = NetChaosReport(config=config, stats=stats)
+
+    jobs = _campaign_jobs(config)
+    stats.jobs = len(jobs) * config.rounds
+    say(f"netchaos: {len(jobs)} seeded job(s) x {config.rounds} round(s)")
+    baseline = _serial_baseline(jobs)
+    say(f"netchaos: serial baseline over {len(baseline)} unique job(s)")
+
+    with tempfile.TemporaryDirectory(dir=scratch_dir) as tmp:
+        scratch = Path(tmp)
+        cache_dir = str(scratch / "cache")
+
+        def start(port=0, sever=0.0, crash=None) -> _ServerHandle:
+            stats.restarts += 1
+            return _ServerHandle(
+                config, cache_dir, scratch,
+                port=port, sever_rate=sever, crash_put_after=crash,
+            )
+
+        for round_index in range(config.rounds):
+            kind = _ROUND_KINDS[round_index % len(_ROUND_KINDS)]
+            say(f"netchaos: round {round_index + 1} ({kind})")
+            server = start(
+                sever=config.sever_rate if kind == "sever" else 0.0,
+                crash=(
+                    config.crash_put_after if kind == "crash-put" else None
+                ),
+            )
+            client = NetworkServiceClient(
+                "127.0.0.1", server.port,
+                request_timeout=config.request_timeout,
+                retry=RetryPolicy(
+                    attempts=config.retry_attempts,
+                    base_delay=0.05,
+                    max_delay=0.4,
+                    seed=config.seed + round_index,
+                ),
+            )
+            try:
+                tickets = [client.submit(job) for job in jobs]
+                if kind == "kill9":
+                    # jobs are in flight right now; no drain, no mercy
+                    server.kill9()
+                    stats.kills += 1
+                    server = start(port=server.port)
+                for ticket, job in zip(tickets, jobs):
+                    result, server = _collect_ticket(
+                        client, ticket, job, server, start, stats
+                    )
+                    _check_result(
+                        result, job, baseline, stats, report, say
+                    )
+            finally:
+                client.close()
+                exit_status = server.drain()
+                if exit_status == 0:
+                    stats.drains += 1
+                stats.client_attempts += client.attempts
+                stats.retried_submissions += len(client.delays)
+
+        # the cache directory must contain zero corrupt entries, no
+        # matter how many processes died mid-write
+        verify = DiskCache(cache_dir).verify()
+        stats.corrupt_entries = len(verify.corrupt)
+        report.corrupt_paths = [str(path) for path in verify.corrupt]
+        say(
+            f"netchaos: disk verify: {verify.entries} entr(ies), "
+            f"{len(verify.corrupt)} corrupt, {len(verify.temp_files)} "
+            f"stranded temp file(s)"
+        )
+
+        # warm restart: a fresh server on the same directory must serve
+        # the whole campaign from the persistent tier
+        server = start()
+        client = NetworkServiceClient(
+            "127.0.0.1", server.port,
+            request_timeout=config.request_timeout,
+            retry=RetryPolicy(attempts=config.retry_attempts),
+        )
+        try:
+            for job in jobs:
+                result = client._optimize_job(job)
+                expected = baseline[job.cache_key()]
+                if result.source != expected.source:
+                    stats.mismatches += 1
+                    report.mismatched_keys.append(job.cache_key())
+            remote = client.stats
+            disk = (remote.get("disk") or {})
+            stats.warm_hits = int(disk.get("hits", 0))
+            stats.warm_misses = int(disk.get("misses", 0))
+        finally:
+            client.close()
+            if server.drain() == 0:
+                stats.drains += 1
+        served = stats.warm_hits + stats.warm_misses
+        report.warm_hit_rate = (
+            stats.warm_hits / served if served else 0.0
+        )
+        say(
+            f"netchaos: warm restart: {stats.warm_hits}/{served} "
+            f"disk-served"
+        )
+
+    return report
+
+
+def _collect_ticket(client, ticket, job, server, start, stats):
+    """Collect one ticket, restarting the server if chaos took it down.
+
+    Returns ``(result, server)`` — the server handle may be a new
+    process (same port) if the old one died mid-collection.
+    """
+    from repro.service.net.client import ServiceUnavailable
+
+    for _ in range(4):
+        try:
+            return client.wait(ticket), server
+        except ServiceUnavailable:
+            # the server is gone (crash-put suicide or kill round
+            # timing); note how it died, resurrect it on the same
+            # port, and resubmit — idempotent under the cache key
+            if server.alive():
+                raise  # unreachable server that is alive: a real bug
+            from repro.service.diskcache import CACHE_CRASH_EXIT
+
+            if server.proc.returncode == CACHE_CRASH_EXIT:
+                stats.crash_exits += 1
+            elif server.proc.returncode != 0:
+                stats.kills += 1
+            server = start(port=server.port)
+            ticket = client.submit(job)
+    raise NetChaosError("server kept dying; campaign cannot converge")
+
+
+def _check_result(result, job, baseline, stats, report, say) -> None:
+    """One resolved job vs. the serial baseline (byte-identical)."""
+    expected = baseline[job.cache_key()]
+    if (
+        result.status != "completed"
+        or result.source != expected.source
+    ):
+        stats.mismatches += 1
+        report.mismatched_keys.append(job.cache_key())
+        say(
+            f"netchaos: MISMATCH for {job.cache_key()[:12]}: "
+            f"status={result.status}"
+        )
+    else:
+        stats.resolved += 1

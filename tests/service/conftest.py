@@ -1,0 +1,85 @@
+"""Shared helpers for the service tests: real server subprocesses."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+
+class ServerProcess:
+    """One ``genesis serve --listen`` subprocess with a port-file
+    handshake, for tests that need a real network server to abuse."""
+
+    def __init__(self, tmp_path: Path, *extra_args: str, env=None):
+        self.port_file = tmp_path / f"port-{time.monotonic_ns()}"
+        self.log_path = tmp_path / f"server-{time.monotonic_ns()}.log"
+        run_env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        run_env["PYTHONPATH"] = os.pathsep.join(
+            [src, run_env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        if env:
+            run_env.update(env)
+        self._log_handle = open(self.log_path, "w")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--listen", "127.0.0.1:0",
+                "--port-file", str(self.port_file),
+                *extra_args,
+            ],
+            env=run_env,
+            stdout=subprocess.DEVNULL,
+            stderr=self._log_handle,
+        )
+        deadline = time.monotonic() + 30
+        while not self.port_file.exists():
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server died during startup "
+                    f"(exit {self.proc.returncode}):\n{self.log_text()}"
+                )
+            if time.monotonic() > deadline:
+                self.proc.kill()
+                raise RuntimeError("server did not bind in time")
+            time.sleep(0.02)
+        self.port = int(self.port_file.read_text())
+
+    def log_text(self) -> str:
+        self._log_handle.flush()
+        return self.log_path.read_text()
+
+    def sigterm(self) -> int:
+        """Graceful drain; returns the exit status."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=60)
+
+    def kill9(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+        self._log_handle.close()
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    """Start servers; everything started is torn down after the test."""
+    started = []
+
+    def start(*extra_args: str, env=None) -> ServerProcess:
+        server = ServerProcess(tmp_path, *extra_args, env=env)
+        started.append(server)
+        return server
+
+    yield start
+    for server in started:
+        server.stop()

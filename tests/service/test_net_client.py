@@ -1,0 +1,356 @@
+"""The retrying network client, against scripted fake servers.
+
+Every failure family the client must survive gets a deterministic
+reproduction: connection refused, mid-read disconnect, queue-full
+rejection — each retried under the capped, seeded-jitter backoff —
+and a poisoned request, which must fail once and never be retried.
+"""
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.genesis.driver import DriverOptions
+from repro.service.job import Job, JobResult, job_failure
+from repro.service.net.client import (
+    NetworkServiceClient,
+    RequestError,
+    RetryPolicy,
+    ServiceUnavailable,
+)
+from repro.service.net.protocol import decode_line, encode_line
+from repro.workloads.programs import SOURCES
+
+
+def _job():
+    return Job.from_source(
+        SOURCES["poly"], ("CTP", "DCE"), DriverOptions(apply_all=True)
+    )
+
+
+def _completed(job, job_id=1):
+    return JobResult(
+        job_id=job_id,
+        status="completed",
+        fingerprint=job.fingerprint,
+        source="optimized\n",
+        applications=1,
+    )
+
+
+def _rejected(job, error_type="QueueFull"):
+    return JobResult(
+        job_id=1,
+        status="rejected",
+        fingerprint=job.fingerprint,
+        failure=job_failure("admission", error_type, "queue is full"),
+    )
+
+
+class FakeServer:
+    """A scripted JSON-lines endpoint: one handler per connection."""
+
+    def __init__(self, *handlers):
+        self.handlers = list(handlers)
+        self.connections = 0
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        for handler in self.handlers:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                handler(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.sock.close()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _read_request(conn) -> dict:
+    data = b""
+    while not data.endswith(b"\n"):
+        chunk = conn.recv(65536)
+        if not chunk:
+            raise ConnectionError("client went away")
+        data += chunk
+    return decode_line(data)
+
+
+def _answer_hello(conn) -> dict:
+    """Consume the hello request and answer it; returns the request."""
+    request = _read_request(conn)
+    assert request["cmd"] == "hello"
+    conn.sendall(encode_line({
+        "id": request["id"], "ok": True, "queue_limit": 4,
+        "max_pending": 4,
+    }))
+    return request
+
+
+def _client(port, attempts=4, **kwargs):
+    slept = []
+    policy = RetryPolicy(
+        attempts=attempts, base_delay=0.01, max_delay=0.05,
+        seed=99, sleep=slept.append,
+    )
+    client = NetworkServiceClient(
+        "127.0.0.1", port, connect_timeout=1.0, request_timeout=5.0,
+        retry=policy, **kwargs,
+    )
+    client.slept = slept
+    return client
+
+
+class TestBackoffPolicy:
+    def test_delays_monotone_below_cap_seeded(self):
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.05, multiplier=2.0,
+            max_delay=1000.0, jitter=0.25, seed=42,
+        )
+        rng = random.Random(policy.seed)
+        delays = [policy.delay(n, rng) for n in range(8)]
+        assert delays == sorted(delays), "seeded backoff must be monotone"
+        assert all(d > 0 for d in delays)
+
+    def test_delay_never_exceeds_cap_plus_jitter(self):
+        policy = RetryPolicy(base_delay=0.05, max_delay=0.2, jitter=0.25)
+        rng = random.Random(7)
+        for attempt in range(20):
+            assert policy.delay(attempt, rng) <= 0.2 * 1.25
+
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy(seed=5)
+        a = [policy.delay(n, random.Random(5)) for n in range(5)]
+        b = [policy.delay(n, random.Random(5)) for n in range(5)]
+        assert a == b
+
+
+class TestConnectionRefused:
+    def test_refused_exhausts_budget_then_raises(self):
+        # bind-and-close guarantees nothing listens on the port
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = _client(port, attempts=4)
+        with pytest.raises(ServiceUnavailable) as info:
+            client.request({"cmd": "ping"})
+        assert client.attempts == 4, "every budgeted attempt was made"
+        assert len(client.delays) == 3, "no sleep after the last attempt"
+        assert client.delays == sorted(client.delays)
+        assert client.slept == client.delays, "delays were actually slept"
+        assert "4 attempt(s)" in str(info.value)
+
+
+class TestMidReadDisconnect:
+    def test_truncated_response_retried_to_success(self):
+        job = _job()
+        done = _completed(job)
+
+        def sever_mid_response(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            line = encode_line({
+                "id": request["id"], "result": done.to_dict(),
+            })
+            conn.sendall(line[: len(line) // 2])  # half, no newline
+            conn.shutdown(socket.SHUT_RDWR)
+
+        def serve_properly(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            conn.sendall(encode_line({
+                "id": request["id"], "result": done.to_dict(),
+            }))
+
+        server = FakeServer(sever_mid_response, serve_properly)
+        client = _client(server.port)
+        result = client._optimize_job(job)
+        assert result.status == "completed"
+        assert result.source == "optimized\n"
+        assert server.connections == 2, "client reconnected after the tear"
+        assert len(client.delays) == 1, "one backoff pause between tries"
+        server.close()
+
+    def test_abrupt_close_before_any_byte_retried(self):
+        job = _job()
+        done = _completed(job)
+
+        def slam_shut(conn):
+            _answer_hello(conn)
+            _read_request(conn)
+            conn.shutdown(socket.SHUT_RDWR)  # EOF instead of a response
+
+        def serve_properly(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            conn.sendall(encode_line({
+                "id": request["id"], "result": done.to_dict(),
+            }))
+
+        server = FakeServer(slam_shut, serve_properly)
+        client = _client(server.port)
+        assert client._optimize_job(job).status == "completed"
+        server.close()
+
+
+class TestQueueFullRejection:
+    def test_queue_full_result_retried_with_backoff(self):
+        job = _job()
+
+        # one connection: first submit rejected QueueFull, second lands
+        def scripted(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            conn.sendall(encode_line({
+                "id": request["id"],
+                "result": _rejected(job).to_dict(),
+            }))
+            request = _read_request(conn)
+            conn.sendall(encode_line({
+                "id": request["id"],
+                "result": _completed(job).to_dict(),
+            }))
+
+        server = FakeServer(scripted)
+        client = _client(server.port)
+        result = client._optimize_job(job)
+        assert result.status == "completed"
+        assert len(client.delays) == 1, "rejection was backed off once"
+        server.close()
+
+    def test_rejections_exhaust_budget(self):
+        job = _job()
+
+        def always_reject(conn):
+            _answer_hello(conn)
+            try:
+                while True:
+                    request = _read_request(conn)
+                    conn.sendall(encode_line({
+                        "id": request["id"],
+                        "result": _rejected(job).to_dict(),
+                    }))
+            except ConnectionError:
+                pass
+
+        server = FakeServer(always_reject)
+        client = _client(server.port, attempts=3)
+        with pytest.raises(ServiceUnavailable) as info:
+            client._optimize_job(job)
+        assert "QueueFull" in str(info.value)
+        server.close()
+
+
+class TestPoisonedRequest:
+    def test_terminal_error_never_retried(self):
+        def poison(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            conn.sendall(encode_line({
+                "id": request["id"],
+                "error": "unknown optimization(s): ZZZ",
+                "error_type": "JobError",
+                "retryable": False,
+            }))
+            # if the client retried, a second request would arrive and
+            # the handler would answer it — the counters would show it
+            try:
+                request = _read_request(conn)
+                conn.sendall(encode_line({
+                    "id": request["id"],
+                    "error": "unknown optimization(s): ZZZ",
+                    "error_type": "JobError",
+                    "retryable": False,
+                }))
+            except ConnectionError:
+                pass
+
+        server = FakeServer(poison)
+        client = _client(server.port)
+        with pytest.raises(RequestError) as info:
+            client.request({"cmd": "submit", "source": "bogus"})
+        assert info.value.error_type == "JobError"
+        assert client.delays == [], "poisoned requests are never retried"
+        assert client.slept == []
+        assert client.attempts == 1
+        server.close()
+
+    def test_retryable_wire_error_is_retried(self):
+        job = _job()
+
+        def draining_then_fine(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            conn.sendall(encode_line({
+                "id": request["id"],
+                "error": "server is draining",
+                "error_type": "ServerDraining",
+                "retryable": True,
+            }))
+            try:
+                request = _read_request(conn)
+                conn.sendall(encode_line({
+                    "id": request["id"],
+                    "result": _completed(job).to_dict(),
+                }))
+            except ConnectionError:
+                pass
+
+        def serve_properly(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            conn.sendall(encode_line({
+                "id": request["id"],
+                "result": _completed(job).to_dict(),
+            }))
+
+        server = FakeServer(draining_then_fine, serve_properly)
+        client = _client(server.port)
+        result = client._optimize_job(job)
+        assert result.status == "completed"
+        assert len(client.delays) == 1
+        server.close()
+
+
+class TestEventSkipping:
+    def test_events_and_heartbeats_skipped_while_waiting(self):
+        job = _job()
+
+        def chatty(conn):
+            _answer_hello(conn)
+            request = _read_request(conn)
+            conn.sendall(encode_line({"event": "job", "job_id": 1,
+                                      "status": "running"}))
+            conn.sendall(encode_line({"event": "heartbeat", "t": 0}))
+            conn.sendall(encode_line({
+                "id": request["id"],
+                "result": _completed(job).to_dict(),
+            }))
+
+        server = FakeServer(chatty)
+        client = _client(server.port)
+        result = client._optimize_job(job)
+        assert result.status == "completed"
+        assert client.attempts == 1
+        server.close()

@@ -48,7 +48,9 @@ def test_validator_rejects_malformed_payloads():
         "host" in problem
         for problem in validate_bench({"sizes": [{"size": 1, "speedup": 2}]})
     )
-    host = {"python": "3.11", "platform": "linux", "cpus": 4}
+    host = {
+        "python": "3.11", "platform": "linux", "cpus": 4, "cpu_count": 8,
+    }
     assert validate_bench({"host": host, "sizes": []}) != []
     assert any(
         "speedup" in problem
@@ -58,4 +60,27 @@ def test_validator_rejects_malformed_payloads():
     )
     assert validate_bench(
         {"host": host, "sizes": [{"size": 10, "match_speedup": 2.5}]}
+    ) == []
+    # cpu_count is required; backend is optional but must be a string
+    legacy = {"python": "3.11", "platform": "linux", "cpus": 4}
+    assert any(
+        "cpu_count" in problem
+        for problem in validate_bench(
+            {"host": legacy, "sizes": [{"size": 10, "speedup": 2.0}]}
+        )
+    )
+    assert any(
+        "backend" in problem
+        for problem in validate_bench(
+            {
+                "host": dict(host, backend=7),
+                "sizes": [{"size": 10, "speedup": 2.0}],
+            }
+        )
+    )
+    assert validate_bench(
+        {
+            "host": dict(host, backend="process"),
+            "sizes": [{"size": 10, "speedup": 2.0}],
+        }
     ) == []

@@ -1,0 +1,51 @@
+"""The network chaos campaign: all three failure families, one gate."""
+
+from repro.verify.netchaos import (
+    NetChaosConfig,
+    NetChaosReport,
+    NetChaosStats,
+    run_network_chaos,
+)
+
+
+def test_seeded_campaign_converges_byte_identical(tmp_path):
+    """Three rounds — crash-put, kill -9, sever — over one shared
+    cache directory: every job must resolve byte-identical to the
+    serial baseline, the disk tier must verify clean, and a warm
+    restart must be served from disk."""
+    config = NetChaosConfig(seed=3, rounds=3, jobs=3)
+    report = run_network_chaos(config, scratch_dir=str(tmp_path))
+    assert report.ok, report.summary()
+    assert report.stats.resolved == 9
+    assert report.stats.mismatches == 0
+    assert report.stats.corrupt_entries == 0
+    assert report.stats.kills >= 1, "the kill -9 round actually killed"
+    assert report.stats.crash_exits >= 1, (
+        "the crash-put round actually crashed a cache write"
+    )
+    assert report.warm_hit_rate >= 0.95
+    assert report.stats.drains >= config.rounds, (
+        "surviving servers drained cleanly (exit 0)"
+    )
+
+
+def test_report_verdict_logic():
+    config = NetChaosConfig()
+    stats = NetChaosStats(resolved=5, jobs=5)
+    good = NetChaosReport(
+        config=config, stats=stats, warm_hit_rate=1.0
+    )
+    assert good.ok
+    assert "OK" in good.summary()
+
+    stats_bad = NetChaosStats(resolved=5, jobs=5, mismatches=1)
+    bad = NetChaosReport(
+        config=config, stats=stats_bad, warm_hit_rate=1.0
+    )
+    assert not bad.ok
+    assert "FAILED" in bad.summary()
+
+    cold = NetChaosReport(
+        config=config, stats=NetChaosStats(), warm_hit_rate=0.5
+    )
+    assert not cold.ok, "a cold warm-restart pass fails the campaign"
