@@ -75,6 +75,7 @@ def validate_bench(payload: dict) -> list[str]:
     if not isinstance(sizes, list) or not sizes:
         problems.append("'sizes' must be a non-empty list")
         return problems
+    previous_size: int | None = None
     for index, entry in enumerate(sizes):
         if not isinstance(entry, dict):
             problems.append(f"sizes[{index}] must be an object")
@@ -82,6 +83,14 @@ def validate_bench(payload: dict) -> list[str]:
         size = entry.get("size")
         if not isinstance(size, int) or size < 1:
             problems.append(f"sizes[{index}].size must be an integer >= 1")
+        else:
+            if previous_size is not None and size <= previous_size:
+                problems.append(
+                    f"sizes[{index}].size ({size}) must exceed "
+                    f"sizes[{index - 1}].size ({previous_size}): entries "
+                    "are one scaling curve, smallest first"
+                )
+            previous_size = size
         speedups = [
             key for key, value in entry.items()
             if "speedup" in key and isinstance(value, (int, float))

@@ -86,9 +86,12 @@ def build_cfg(program: Program) -> CFG:
         preds=[[] for _ in range(size + 1)],
     )
 
-    # match the structured regions
+    # match the structured regions (reverse maps recorded here so edge
+    # construction is O(1) per marker instead of scanning every region)
     else_of: dict[int, Optional[int]] = {}
     endif_of: dict[int, int] = {}
+    head_of_enddo: dict[int, int] = {}
+    guard_of_else: dict[int, int] = {}
     stack: list[tuple[str, int]] = []
     for position, quad in enumerate(program):
         op = quad.opcode
@@ -98,6 +101,7 @@ def build_cfg(program: Program) -> CFG:
             kind, head = stack.pop()
             assert kind == "do"
             cfg.enddo_of[head] = position
+            head_of_enddo[position] = head
         elif op is Opcode.IF:
             stack.append(("if", position))
             else_of[position] = None
@@ -105,6 +109,7 @@ def build_cfg(program: Program) -> CFG:
             kind, guard = stack[-1]
             assert kind == "if"
             else_of[guard] = position
+            guard_of_else[position] = guard
         elif op is Opcode.ENDIF:
             kind, guard = stack.pop()
             assert kind == "if"
@@ -123,7 +128,11 @@ def build_cfg(program: Program) -> CFG:
             add_edge(position, position + 1)  # enter the body
             add_edge(position, enddo + 1)  # zero-trip skip
         elif op is Opcode.ENDDO:
-            head = _head_of(cfg.enddo_of, position)
+            head = head_of_enddo.get(position)
+            if head is None:
+                raise IRError(
+                    f"no loop head for ENDDO at position {position}"
+                )
             add_edge(position, head, back=True)  # next iteration
             add_edge(position, position + 1)  # loop exit
         elif op is Opcode.IF:
@@ -134,23 +143,11 @@ def build_cfg(program: Program) -> CFG:
             else:
                 add_edge(position, endif_of[position])
         elif op is Opcode.ELSE:
-            guard = _guard_of(else_of, position)
+            guard = guard_of_else.get(position)
+            if guard is None:
+                raise IRError(f"no IF for ELSE at position {position}")
             add_edge(position, endif_of[guard])  # skip the ELSE body
         else:
             add_edge(position, position + 1)
 
     return cfg
-
-
-def _head_of(enddo_of: dict[int, int], enddo_position: int) -> int:
-    for head, enddo in enddo_of.items():
-        if enddo == enddo_position:
-            return head
-    raise IRError(f"no loop head for ENDDO at position {enddo_position}")
-
-
-def _guard_of(else_of: dict[int, Optional[int]], else_position: int) -> int:
-    for guard, orelse in else_of.items():
-        if orelse == else_position:
-            return guard
-    raise IRError(f"no IF for ELSE at position {else_position}")

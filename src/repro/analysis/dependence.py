@@ -20,12 +20,8 @@ from typing import Optional, Sequence
 
 from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.control_dep import compute_control_deps
-from repro.analysis.dataflow import (
-    DataflowResult,
-    bits_to_indices,
-    solve_forward,
-)
 from repro.analysis.graph import DepEdge, DependenceGraph
+from repro.analysis.siteflow import SiteFlow, SiteSets
 from repro.analysis.subscript import (
     LoopContext,
     expand_direction_vectors,
@@ -99,8 +95,17 @@ class DependenceAnalyzer:
         self._use_sites: list[_Site] = []
         self._defs_of_var: dict[str, list[_Site]] = {}
         self._uses_of_var: dict[str, list[_Site]] = {}
-        self._def_mask: dict[str, int] = {}
-        self._use_mask: dict[str, int] = {}
+        self._site_flow_cache: Optional[SiteFlow] = None
+        # memoization for the array-pair tests: all of these are pure
+        # functions of values that cannot change within one analysis
+        # (the structure table and program are fixed for the version),
+        # and large programs repeat a small vocabulary of subscript
+        # shapes across millions of access pairs
+        self._context_cache: dict[int, LoopContext] = {}
+        self._lcvs_cache: dict[int, frozenset[str]] = {}
+        self._rename_cache: dict[tuple, tuple] = {}
+        self._pair_test_cache: dict[tuple, Optional[tuple]] = {}
+        self._vector_cache: dict[tuple, list[tuple[str, ...]]] = {}
         self._collect_scalar_sites()
 
     def _wanted(self, name: str) -> bool:
@@ -152,75 +157,52 @@ class DependenceAnalyzer:
                     )
                     self._use_sites.append(site)
                     self._uses_of_var.setdefault(name, []).append(site)
-        for site in self._def_sites:
-            self._def_mask[site.var] = (
-                self._def_mask.get(site.var, 0) | (1 << site.index)
-            )
-        for site in self._use_sites:
-            self._use_mask[site.var] = (
-                self._use_mask.get(site.var, 0) | (1 << site.index)
-            )
 
     # ------------------------------------------------------------------
     # scalar dependences
     # ------------------------------------------------------------------
     def _scalar_dependences(self) -> None:
-        def_full, def_acyclic = self._solve_sites(self._def_sites, kill_defs=True)
-        use_full, use_acyclic = self._solve_sites(self._use_sites, kill_defs=True,
-                                                  gen_uses=True)
-        self._acyclic_defs_cache = def_acyclic
-        self._flow_and_out(def_full, def_acyclic)
-        self._anti(use_full, use_acyclic)
+        flow = self._site_flow()
+        self._flow_and_out(flow.def_full, flow.def_acyclic)
+        self._anti(flow.use_full, flow.use_acyclic)
 
-    def _solve_sites(
-        self,
-        sites: Sequence[_Site],
-        kill_defs: bool,
-        gen_uses: bool = False,
-    ) -> tuple[DataflowResult, DataflowResult]:
-        size = len(self.program)
-        gen = [0] * size
-        kill = [0] * size
-        var_mask: dict[str, int] = {}
-        entry_bits = 0
-        for site in sites:
-            if site.position == -1:
-                entry_bits |= 1 << site.index
-            else:
-                gen[site.position] |= 1 << site.index
-            var_mask[site.var] = var_mask.get(site.var, 0) | (1 << site.index)
-        if kill_defs:
-            for position, quad in enumerate(self.program):
-                var = quad.defined_scalar()
-                if var is None:
-                    continue
-                mask = var_mask.get(var, 0)
-                if gen_uses:
-                    kill[position] |= mask  # a def kills pending uses
-                else:
-                    kill[position] |= mask & ~gen[position]
-        full = solve_forward(self.cfg, gen, kill, may=True,
-                             entry_bits=entry_bits)
-        acyclic = solve_forward(self.cfg, gen, kill, may=True, acyclic=True,
-                                entry_bits=entry_bits)
-        return full, acyclic
+    def _site_flow(self) -> SiteFlow:
+        """The structured reaching-sites solutions, built on demand.
 
-    def _flow_and_out(
-        self, full: DataflowResult, acyclic: DataflowResult
-    ) -> None:
-        # Pairs are driven from the solved bit sets: a source site can
-        # produce an edge into a sink only if it reaches the sink in the
-        # full (may, cyclic) solution — carried edges included, since
-        # surviving a back edge into an exposed sink implies reaching
-        # it.  This keeps the work proportional to real dependences
-        # rather than |defs| x |uses| per variable.
+        Query points are every site's own position plus the ENDDO
+        position of every loop enclosing a site (where
+        :meth:`_emit_carried` asks whether a value survives the back
+        edge), each paired with the site's variable.
+        """
+        flow = self._site_flow_cache
+        if flow is None:
+            needed: dict[int, set[str]] = {}
+            for sites in (self._def_sites, self._use_sites):
+                for site in sites:
+                    if site.position < 0:
+                        continue
+                    needed.setdefault(site.position, set()).add(site.var)
+                    for head in self.structure.loop_chain(site.qid):
+                        loop = self.structure.loops[head]
+                        enddo = self.program.position(loop.end_qid)
+                        needed.setdefault(enddo, set()).add(site.var)
+            flow = SiteFlow(
+                self.program, self._def_sites, self._use_sites, needed
+            )
+            self._site_flow_cache = flow
+        return flow
+
+    def _flow_and_out(self, full: SiteSets, acyclic: SiteSets) -> None:
+        # Pairs are driven from the solved reaching sets: a source site
+        # can produce an edge into a sink only if it reaches the sink
+        # in the full (may, cyclic) solution — carried edges included,
+        # since surviving a back edge into an exposed sink implies
+        # reaching it.  This keeps the work proportional to real
+        # dependences rather than |defs| x |uses| per variable.
 
         # flow: def site reaches a use of the same variable
         for use in self._use_sites:
-            def_bits = full.in_bits(use.position) & self._def_mask.get(
-                use.var, 0
-            )
-            for def_index in bits_to_indices(def_bits):
+            for def_index in sorted(full.at(use.position, use.var)):
                 definition = self._def_sites[def_index]
                 if definition.position == -1:
                     continue
@@ -240,10 +222,7 @@ class DependenceAnalyzer:
                 continue
             if self._is_own_lcv_def(later):
                 continue
-            def_bits = full.in_bits(later.position) & self._def_mask.get(
-                later.var, 0
-            )
-            for def_index in bits_to_indices(def_bits):
+            for def_index in sorted(full.at(later.position, later.var)):
                 # a re-executed definition reaches itself around a back
                 # edge: the carried self-output that orders a loop's
                 # iterations appears here naturally
@@ -276,17 +255,16 @@ class DependenceAnalyzer:
             quad.defined_scalar() == site.var
         )
 
-    def _anti(self, full: DataflowResult, acyclic: DataflowResult) -> None:
+    def _anti(self, full: SiteSets, acyclic: SiteSets) -> None:
         # anti: use site "reaches" a def of the same variable
         for definition in self._def_sites:
             if definition.position == -1:
                 continue
             if self._is_own_lcv_def(definition):
                 continue
-            use_bits = full.in_bits(definition.position) & (
-                self._use_mask.get(definition.var, 0)
-            )
-            for use_index in bits_to_indices(use_bits):
+            for use_index in sorted(
+                full.at(definition.position, definition.var)
+            ):
                 use = self._use_sites[use_index]
                 if use.qid == definition.qid:
                     # within one statement the reads precede the write;
@@ -310,15 +288,14 @@ class DependenceAnalyzer:
         kind: str,
         src: _Site,
         dst: _Site,
-        full: DataflowResult,
-        acyclic: DataflowResult,
+        full: SiteSets,
+        acyclic: SiteSets,
         allow_same_stmt_equal: bool,
     ) -> None:
         """Emit loop-independent and loop-carried edges for a site pair."""
-        bit = 1 << src.index
         common = self.structure.common_loops(src.qid, dst.qid)
         depth = len(common)
-        if acyclic.in_bits(dst.position) & bit:
+        if src.index in acyclic.at(dst.position, src.var):
             self.graph.add(
                 DepEdge(
                     kind=kind,
@@ -333,7 +310,7 @@ class DependenceAnalyzer:
         self._emit_carried(kind, src, dst, full, common)
 
     def _emit_carried_only(
-        self, kind: str, src: _Site, dst: _Site, full: DataflowResult
+        self, kind: str, src: _Site, dst: _Site, full: SiteSets
     ) -> None:
         common = self.structure.common_loops(src.qid, dst.qid)
         self._emit_carried(kind, src, dst, full, common)
@@ -343,17 +320,16 @@ class DependenceAnalyzer:
         kind: str,
         src: _Site,
         dst: _Site,
-        full: DataflowResult,
+        full: SiteSets,
         common: Sequence[Loop],
     ) -> None:
         """Loop-carried edges: one per common loop whose back edge the
         value survives and into whose next iteration the sink is
         exposed."""
-        bit = 1 << src.index
         depth = len(common)
         for level, loop in enumerate(common):
             enddo_position = self.program.position(loop.end_qid)
-            if not (full.in_bits(enddo_position) & bit):
+            if src.index not in full.at(enddo_position, src.var):
                 continue
             if not self._upward_exposed(dst, loop):
                 continue
@@ -376,24 +352,15 @@ class DependenceAnalyzer:
         boundary def) reaching the site in the acyclic solution."""
         head_position = self.program.position(loop.head_qid)
         end_position = self.program.position(loop.end_qid)
-        acyclic = self._acyclic_def_result
-        bits = acyclic.in_bits(site.position)
+        reaching = self._site_flow().def_acyclic.at(site.position, site.var)
         for definition in self._defs_of_var.get(site.var, ()):
-            if not (bits & (1 << definition.index)):
+            if definition.index not in reaching:
                 continue
             if definition.position == -1:
                 return True
             if not head_position < definition.position < end_position:
                 return True
         return False
-
-    @property
-    def _acyclic_def_result(self) -> DataflowResult:
-        result = getattr(self, "_acyclic_defs_cache", None)
-        if result is None:
-            _full, result = self._solve_sites(self._def_sites, kill_defs=True)
-            self._acyclic_defs_cache = result
-        return result
 
     # ------------------------------------------------------------------
     # array dependences
@@ -428,17 +395,30 @@ class DependenceAnalyzer:
         contexts = []
         common_lcvs = set()
         for loop in common:
-            head = self.program.quad(loop.head_qid)
-            common_lcvs.add(_lcv_name(head))
-            contexts.append(
-                LoopContext(var=_lcv_name(head), trip_count=trip_count(head))
-            )
+            context = self._context_cache.get(loop.head_qid)
+            if context is None:
+                head = self.program.quad(loop.head_qid)
+                context = LoopContext(
+                    var=_lcv_name(head), trip_count=trip_count(head)
+                )
+                self._context_cache[loop.head_qid] = context
+            common_lcvs.add(context.var)
+            contexts.append(context)
         src_subs = self._disambiguate(src, common_lcvs, "src")
         dst_subs = self._disambiguate(dst, common_lcvs, "dst")
-        per_level = test_access_pair(src_subs, dst_subs, contexts)
+        key = (src_subs, dst_subs, tuple(contexts))
+        try:
+            per_level = self._pair_test_cache[key]
+        except KeyError:
+            verdict = test_access_pair(src_subs, dst_subs, contexts)
+            per_level = None if verdict is None else tuple(verdict)
+            self._pair_test_cache[key] = per_level
         if per_level is None:
             return
-        vectors = expand_direction_vectors(per_level)
+        vectors = self._vector_cache.get(per_level)
+        if vectors is None:
+            vectors = expand_direction_vectors(per_level)
+            self._vector_cache[per_level] = vectors
         if len(vectors) > MAX_VECTORS_PER_PAIR:
             clipped = len(vectors) - MAX_VECTORS_PER_PAIR
             note = (
@@ -495,16 +475,13 @@ class DependenceAnalyzer:
         assumption that symbolic subscript terms are invariant across
         the region under test.
         """
-        own_lcvs: set[str] = set()
-        current = self.structure.enclosing_loop.get(access.qid)
-        while current is not None:
-            head = self.program.quad(current)
-            lcv = _lcv_name(head)
-            if lcv not in common_lcvs:
-                own_lcvs.add(lcv)
-            current = self.structure.loops[current].parent
+        own_lcvs = self._chain_lcvs(access.qid) - common_lcvs
         if not own_lcvs:
             return access.ref.subscripts
+        key = (access.ref.subscripts, frozenset(own_lcvs), tag)
+        cached = self._rename_cache.get(key)
+        if cached is not None:
+            return cached
         renamed = []
         for sub in access.ref.subscripts:
             if isinstance(sub, Affine):
@@ -516,7 +493,22 @@ class DependenceAnalyzer:
                 renamed.append(sub)
             else:
                 renamed.append(sub)
-        return tuple(renamed)
+        result = tuple(renamed)
+        self._rename_cache[key] = result
+        return result
+
+    def _chain_lcvs(self, qid: int) -> frozenset[str]:
+        """Control-variable names of every loop enclosing ``qid``."""
+        cached = self._lcvs_cache.get(qid)
+        if cached is None:
+            names: set[str] = set()
+            current = self.structure.enclosing_loop.get(qid)
+            while current is not None:
+                names.add(_lcv_name(self.program.quad(current)))
+                current = self.structure.loops[current].parent
+            cached = frozenset(names)
+            self._lcvs_cache[qid] = cached
+        return cached
 
     def _may_execute_in_order(
         self, src: _ArrayAccess, dst: _ArrayAccess

@@ -795,29 +795,76 @@ def _fused_edges(
     """
     if src is None or dst is None:
         raise GenesisRuntimeError("fused_dep needs both statements")
-    src_loop = ctx.structure.enclosing_loop.get(src)
-    dst_loop = ctx.structure.enclosing_loop.get(dst)
-    if src_loop is None or dst_loop is None or src_loop == dst_loop:
+    return fused_pair_directions(ctx.program, ctx.structure, src, dst, pattern)
+
+
+def fused_pair_directions(
+    program: Program,
+    structure: StructureTable,
+    src: int,
+    dst: int,
+    pattern: Optional[Sequence[str]],
+) -> list[tuple[int, int, tuple[str, ...]]]:
+    """Fused-loop dependence vectors for one statement pair.
+
+    The per-pair legality core, shared with the hand-coded FUS baseline
+    (:mod:`repro.opts.handcoded.loop`) so the two implementations'
+    verdicts stay identical by construction.
+    """
+    # The loops being fused are the outermost ancestors on which the two
+    # statements' loop chains diverge — not the innermost enclosing
+    # loops, which may be nested inner loops with unrelated control
+    # variables.
+    src_chain = structure.loop_chain(src)
+    dst_chain = structure.loop_chain(dst)
+    src_loop: Optional[int] = None
+    dst_loop: Optional[int] = None
+    fork_depth = 0
+    for depth in range(max(len(src_chain), len(dst_chain))):
+        head_a = src_chain[depth] if depth < len(src_chain) else None
+        head_b = dst_chain[depth] if depth < len(dst_chain) else None
+        if head_a != head_b:
+            src_loop, dst_loop, fork_depth = head_a, head_b, depth
+            break
+    if src_loop is None or dst_loop is None:
         return []
-    src_head = ctx.program.quad(src_loop)
-    dst_head = ctx.program.quad(dst_loop)
+    src_head = program.quad(src_loop)
+    dst_head = program.quad(dst_loop)
     src_lcv = src_head.result.name  # type: ignore[union-attr]
     dst_lcv = dst_head.result.name  # type: ignore[union-attr]
 
+    def inner_lcvs(chain: Sequence[int]) -> set[str]:
+        names = set()
+        for head_qid in chain[fork_depth + 1 :]:
+            result = program.quad(head_qid).result
+            if isinstance(result, Var):
+                names.add(result.name)
+        return names
+
+    # Variables of loops nested *inside* the fused loops vary within one
+    # fused iteration; tagging them per side keeps the subscript tester
+    # from identifying the two sides' unrelated instances (and from
+    # treating them as loop-invariant symbols).
+    src_varying = inner_lcvs(src_chain)
+    dst_varying = inner_lcvs(dst_chain)
+
     results: list[tuple[int, int, tuple[str, ...]]] = []
-    src_quad = ctx.program.quad(src)
-    dst_quad = ctx.program.quad(dst)
+    src_quad = program.quad(src)
+    dst_quad = program.quad(dst)
     context = [LoopContext(var=src_lcv, trip_count=trip_count(src_head))]
 
-    def rename(ref: ArrayRef, old: str, new: str) -> ArrayRef:
+    def rename(
+        ref: ArrayRef, old: str, new: str, varying: set[str], tag: str
+    ) -> ArrayRef:
         subs: list[Union[Affine, Var]] = []
         for sub in ref.subscripts:
+            if isinstance(sub, Var) and sub.name == old:
+                sub = Affine.var(new)
             if isinstance(sub, Affine):
-                subs.append(sub.substitute(old, Affine.var(new)))
-            elif isinstance(sub, Var) and sub.name == old:
-                subs.append(Affine.var(new))
-            else:
-                subs.append(sub)
+                sub = sub.substitute(old, Affine.var(new))
+                for name in varying:
+                    sub = sub.substitute(name, Affine.var(name + tag))
+            subs.append(sub)
         return ArrayRef(ref.name, tuple(subs))
 
     for src_ref, src_write in _element_accesses(src_quad):
@@ -826,19 +873,38 @@ def _fused_edges(
                 continue
             if not (src_write or dst_write):
                 continue
-            aligned_dst = rename(dst_ref, dst_lcv, src_lcv)
+            aligned_src = rename(
+                src_ref, src_lcv, src_lcv, src_varying, "#1"
+            )
+            aligned_dst = rename(
+                dst_ref, dst_lcv, src_lcv, dst_varying, "#2"
+            )
             per_level = test_access_pair(
-                src_ref.subscripts, aligned_dst.subscripts, context
+                aligned_src.subscripts, aligned_dst.subscripts, context
             )
             if per_level is None:
                 continue
             for vector in expand_direction_vectors(per_level):
                 if matches_direction_pattern(vector, pattern):
                     results.append((src, dst, vector))
-    # scalar values flowing between the loops also fuse into carried
-    # dependences (conservative: direction unknown)
-    src_scalar = src_quad.defined_scalar()
-    if src_scalar is not None and src_scalar in dst_quad.used_scalar_names():
+    # Scalars shared between the loop bodies also fuse into carried
+    # dependences — in *any* of the three kinds: a value L1 computes and
+    # L2 reads (flow), a value L1 reads and L2 overwrites (anti: the
+    # original program finishes every L1 read before the first L2
+    # write), or a value both redefine (output).  Direction unknown,
+    # so all three are conservative matches.  The fused control
+    # variables are exempt: L2's header reinitializes them.
+    lcv_names = {src_lcv, dst_lcv}
+    src_def = src_quad.defined_scalar()
+    dst_def = dst_quad.defined_scalar()
+    shared: set[str] = set()
+    if src_def is not None and src_def in dst_quad.used_scalar_names():
+        shared.add(src_def)
+    if dst_def is not None and dst_def in src_quad.used_scalar_names():
+        shared.add(dst_def)
+    if src_def is not None and src_def == dst_def:
+        shared.add(src_def)
+    if shared - lcv_names:
         for vector_dir in ("<", "=", ">"):
             if matches_direction_pattern((vector_dir,), pattern):
                 results.append((src, dst, (vector_dir,)))

@@ -191,6 +191,10 @@ class IRBuilder:
             raise ValueError("if_else region ended without orelse.begin()")
         self.emit(Quad(Opcode.ENDIF))
 
+    def __len__(self) -> int:
+        """Quads emitted so far (size-targeted generators read this)."""
+        return len(self._program)
+
     # ------------------------------------------------------------------
     def build(self) -> Program:
         """Finish and validate the program."""

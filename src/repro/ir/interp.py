@@ -102,7 +102,7 @@ class Interpreter:
         self.max_steps = max_steps
         self.strict = strict
         self.array_bounds = array_bounds
-        self._quads = list(program.quads)
+        self._quads = list(program)
         self._enddo_of: dict[int, int] = {}
         self._else_endif_of: dict[int, tuple[Optional[int], int]] = {}
 

@@ -57,6 +57,7 @@ class StructureTable:
         self.enclosing_loop: dict[int, Optional[int]] = {}
         #: guard qids (IF or loop head) controlling each quad, outermost first
         self.controllers: dict[int, tuple[int, ...]] = {}
+        self._chain_cache: dict[int, tuple[int, ...]] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -167,22 +168,33 @@ class StructureTable:
         """GOSpeL ``mem(S, L)``: is ``qid`` in the body of loop ``head_qid``?"""
         return qid in set(self.loop_of(head_qid).body_qids)
 
+    def loop_chain(self, qid: int) -> tuple[int, ...]:
+        """Head qids of the loops enclosing a quad, outermost first.
+
+        Cached per quad: dependence analysis asks for the chain of both
+        endpoints of every access pair, and the table is immutable for
+        its program version.
+        """
+        cached = self._chain_cache.get(qid)
+        if cached is not None:
+            return cached
+        heads: list[int] = []
+        current = self.enclosing_loop.get(qid)
+        while current is not None:
+            heads.append(current)
+            current = self.loops[current].parent
+        heads.reverse()
+        chain = tuple(heads)
+        self._chain_cache[qid] = chain
+        return chain
+
     def common_loops(self, qid_a: int, qid_b: int) -> list[Loop]:
         """Loops enclosing both quads, outermost first.
 
         The length of this list is the length of the direction vectors
         for dependences between the two statements.
         """
-        def chain(qid: int) -> list[int]:
-            heads: list[int] = []
-            current = self.enclosing_loop.get(qid)
-            while current is not None:
-                heads.append(current)
-                current = self.loops[current].parent
-            heads.reverse()
-            return heads
-
-        chain_a, chain_b = chain(qid_a), chain(qid_b)
+        chain_a, chain_b = self.loop_chain(qid_a), self.loop_chain(qid_b)
         shared: list[Loop] = []
         for head_a, head_b in zip(chain_a, chain_b):
             if head_a != head_b:

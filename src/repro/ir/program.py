@@ -6,16 +6,33 @@ that dependence edges and GOSpeL statement bindings remain meaningful
 while a transformation rewrites the code.  Structural views (the loop
 table, conditional regions) are recomputed lazily and invalidated by a
 version counter whenever the quad list changes.
+
+Storage is the blocked order-maintenance list of
+:mod:`repro.ir.blocklist`: mutations and position queries cost
+O(B + n/B) amortized Python work instead of the dense-index rebuild's
+O(n), and the program fingerprint is maintained incrementally from
+per-block segment caches instead of re-rendering every quad — the two
+properties that let the driver/matching/search stack run on 10^5–10^6
+quad programs (see ``docs/ir.md`` for the representation and the
+per-operation complexity guarantees).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
-from repro.ir.quad import Opcode, Quad
+from repro.ir.blocklist import QuadStore
+from repro.ir.quad import CONTENT_HASH_BYTES, Opcode, Quad
+
+#: Environment variable enabling the fingerprint shadow check: every
+#: incrementally maintained digest is recomputed from scratch (all
+#: per-quad and per-block caches ignored) and compared, mirroring
+#: ``REPRO_ANALYSIS_CHECK`` and ``REPRO_MATCH_CHECK``.
+ENV_FP_CHECK = "REPRO_FP_CHECK"
 
 
 class IRError(Exception):
@@ -30,6 +47,16 @@ class RollbackUnavailable(IRError):
     (``opaque`` touches, in-place :meth:`Program.touch` modifications).
     Callers holding a deep-clone snapshot fall back to
     :meth:`Program.restore_from`.
+    """
+
+
+class FingerprintMismatchError(AssertionError):
+    """The ``REPRO_FP_CHECK`` shadow found a digest divergence.
+
+    The incrementally maintained fingerprint (cached per-quad hashes,
+    per-block segments) disagreed with a from-scratch recompute — a
+    cache-invalidation bug, almost always an in-place quad mutation
+    that was never reported through :meth:`Program.touch`.
     """
 
 
@@ -83,10 +110,9 @@ class Program:
 
     def __init__(self, quads: Iterable[Quad] = (), name: str = "main"):
         self.name = name
-        self._quads: list[Quad] = []
+        self._store = QuadStore()
         self._next_qid = 0
         self._version = 0
-        self._index: dict[int, int] = {}
         self._changelog: list[ProgramChange] = []
         #: versions at or below this are no longer covered by the log
         self._log_floor = 0
@@ -95,6 +121,9 @@ class Program:
         self._pins: list[int] = []
         #: (version, digest) memo for :meth:`fingerprint`
         self._fingerprint_cache: Optional[tuple[int, str]] = None
+        #: (version, names) memos for the name queries
+        self._scalar_names_cache: Optional[tuple[int, frozenset[str]]] = None
+        self._array_names_cache: Optional[tuple[int, frozenset[str]]] = None
         for quad in quads:
             self.append(quad)
 
@@ -108,56 +137,68 @@ class Program:
 
     @property
     def quads(self) -> tuple[Quad, ...]:
-        """The quads in program order (read-only view)."""
-        return tuple(self._quads)
+        """The quads in program order (read-only view).
+
+        Materializes an O(n) tuple on every read — iteration-only
+        callers should use ``for quad in program`` (or ``reversed``)
+        and ``len(program)`` instead.
+        """
+        return tuple(self._store)
 
     def __len__(self) -> int:
-        return len(self._quads)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Quad]:
-        return iter(self._quads)
+        return iter(self._store)
 
-    def __getitem__(self, position: int) -> Quad:
-        return self._quads[position]
+    def __reversed__(self) -> Iterator[Quad]:
+        return reversed(self._store)
+
+    def __getitem__(
+        self, position: Union[int, slice]
+    ) -> Union[Quad, tuple[Quad, ...]]:
+        if isinstance(position, slice):
+            return tuple(self._store)[position]
+        return self._store.get(position)
 
     def quad(self, qid: int) -> Quad:
         """The quad with the given qid.
 
         Raises :class:`IRError` for unknown (e.g. deleted) qids.
         """
-        position = self._index.get(qid)
-        if position is None:
-            raise IRError(f"no quad with qid {qid}")
-        return self._quads[position]
+        try:
+            return self._store.get_by_qid(qid)
+        except KeyError:
+            raise IRError(f"no quad with qid {qid}") from None
 
     def position(self, qid: int) -> int:
         """Current list position of a qid (the library's ``find``)."""
-        position = self._index.get(qid)
-        if position is None:
-            raise IRError(f"no quad with qid {qid}")
-        return position
+        try:
+            return self._store.position(qid)
+        except KeyError:
+            raise IRError(f"no quad with qid {qid}") from None
 
     def contains(self, qid: int) -> bool:
         """True when a quad with this qid is currently in the program."""
-        return qid in self._index
+        return self._store.contains(qid)
 
     def qids(self) -> list[int]:
         """All qids in program order."""
-        return [quad.qid for quad in self._quads]
+        return [quad.qid for quad in self._store]
 
     def next_qid_of(self, qid: int) -> Optional[int]:
         """qid of the following quad (GOSpeL ``.NXT``), or None at end."""
         position = self.position(qid) + 1
-        if position >= len(self._quads):
+        if position >= len(self._store):
             return None
-        return self._quads[position].qid
+        return self._store.get(position).qid
 
     def prev_qid_of(self, qid: int) -> Optional[int]:
         """qid of the preceding quad (GOSpeL ``.PREV``), or None at start."""
         position = self.position(qid) - 1
         if position < 0:
             return None
-        return self._quads[position].qid
+        return self._store.get(position).qid
 
     # ------------------------------------------------------------------
     # change log
@@ -194,34 +235,31 @@ class Program:
     # mutation
     # ------------------------------------------------------------------
     def _assign_qid(self, quad: Quad) -> Quad:
-        if quad.qid != -1 and quad.qid in self._index:
+        if quad.qid != -1 and self._store.contains(quad.qid):
             raise IRError(f"qid {quad.qid} already present")
         if quad.qid == -1:
             quad.qid = self._next_qid
         self._next_qid = max(self._next_qid, quad.qid) + 1
+        # the quad may have lived (and been mutated) outside any
+        # program since its hash was cached; trust nothing on entry
+        quad.drop_content_hash()
         return quad
-
-    def _reindex(self, start: int = 0) -> None:
-        for position in range(start, len(self._quads)):
-            self._index[self._quads[position].qid] = position
-        self._version += 1
 
     def append(self, quad: Quad) -> Quad:
         """Add a quad at the end of the program, assigning it a qid."""
         self._assign_qid(quad)
-        self._quads.append(quad)
-        self._index[quad.qid] = len(self._quads) - 1
+        self._store.append(quad)
         self._version += 1
         self._log("add", quad.qid)
         return quad
 
     def insert_at(self, position: int, quad: Quad) -> Quad:
         """Insert a quad at a list position, assigning it a qid."""
-        if not 0 <= position <= len(self._quads):
+        if not 0 <= position <= len(self._store):
             raise IRError(f"insert position {position} out of range")
         self._assign_qid(quad)
-        self._quads.insert(position, quad)
-        self._reindex(position)
+        self._store.insert(position, quad)
+        self._version += 1
         self._log("add", quad.qid)
         return quad
 
@@ -237,13 +275,12 @@ class Program:
         """Insert ``quad`` immediately before the quad named ``qid``."""
         return self.insert_at(self.position(qid), quad)
 
-    def _detach(self, qid: int) -> Quad:
+    def _detach(self, qid: int) -> tuple[int, Quad]:
         """Unlink a quad without logging (shared by remove and move)."""
-        position = self.position(qid)
-        quad = self._quads.pop(position)
-        del self._index[qid]
-        self._reindex(position)
-        return quad
+        try:
+            return self._store.pop_qid(qid)
+        except KeyError:
+            raise IRError(f"no quad with qid {qid}") from None
 
     def preimage(self, qid: int) -> Quad:
         """A qid-preserving copy of a quad's current state.
@@ -252,10 +289,7 @@ class Program:
         mutation and hand it to :meth:`touch` so the change stays
         undoable by :meth:`rollback_to`.
         """
-        position = self._index.get(qid)
-        if position is None:
-            raise IRError(f"no quad with qid {qid}")
-        copy = self._quads[position].copy()
+        copy = self.quad(qid).copy()
         copy.qid = qid
         return copy
 
@@ -263,9 +297,9 @@ class Program:
 
     def remove(self, qid: int) -> Quad:
         """Remove and return the quad named ``qid`` (``Delete``)."""
-        position = self.position(qid)
         before = self._preimage(qid)
-        quad = self._detach(qid)
+        position, quad = self._detach(qid)
+        self._version += 1
         self._log("remove", qid, position, before)
         return quad
 
@@ -273,28 +307,29 @@ class Program:
         """Move the quad ``qid`` to just after ``after_qid`` (``Move``)."""
         if qid == after_qid:
             raise IRError("cannot move a quad after itself")
-        old_position = self.position(qid)
-        quad = self._detach(qid)
+        if not self._store.contains(after_qid):
+            raise IRError(f"no quad with qid {after_qid}")
+        old_position, quad = self._detach(qid)
         quad.qid = qid  # keep its identity across the move
-        self._quads.insert(self.position(after_qid) + 1, quad)
-        self._reindex()
+        self._store.insert(self.position(after_qid) + 1, quad)
+        self._version += 1
         self._log("move", qid, old_position)
 
     def move_to_front(self, qid: int) -> None:
         """Move the quad ``qid`` to the start of the program."""
-        old_position = self.position(qid)
-        quad = self._detach(qid)
+        old_position, quad = self._detach(qid)
         quad.qid = qid
-        self._quads.insert(0, quad)
-        self._reindex()
+        self._store.insert(0, quad)
+        self._version += 1
         self._log("move", qid, old_position)
 
     def replace(self, qid: int, quad: Quad) -> Quad:
         """Replace the quad named ``qid`` in place, keeping the qid."""
-        position = self.position(qid)
         before = self._preimage(qid)
+        position = self._store.position(qid)
         quad.qid = qid
-        self._quads[position] = quad
+        quad.drop_content_hash()
+        self._store.replace_qid(qid, quad)
         self._version += 1
         self._log("modify", qid, position, before)
         return quad
@@ -307,7 +342,8 @@ class Program:
         Passing the mutated quad's ``qid`` lets incremental analysis
         consumers (:class:`repro.analysis.manager.AnalysisManager`)
         invalidate only the touched region; an untagged touch forces
-        them to recompute everything.
+        them — and the incremental fingerprint — to recompute
+        everything.
 
         ``before`` — a qid-preserving copy of the quad taken *before*
         the mutation — makes the touch undoable by
@@ -315,14 +351,16 @@ class Program:
         any covering transaction must restore from a deep snapshot.
         """
         self._version += 1
-        if qid is not None and qid in self._index:
+        if qid is not None and self._store.contains(qid):
             if before is not None and before.qid != qid:
                 raise IRError(
                     f"pre-image qid {before.qid} does not match touched "
                     f"qid {qid}"
                 )
-            self._log("modify", qid, self._index[qid], before)
+            self._store.invalidate_hash(qid)
+            self._log("modify", qid, self._store.position(qid), before)
         else:
+            self._store.invalidate_all_hashes()
             self._log("opaque", -1)
 
     # ------------------------------------------------------------------
@@ -394,11 +432,10 @@ class Program:
             quad.qid = change.qid
             self.insert_at(change.position, quad)
         elif change.kind == "move":
-            old_position = self.position(change.qid)
-            quad = self._detach(change.qid)
+            old_position, quad = self._detach(change.qid)
             quad.qid = change.qid
-            self._quads.insert(change.position, quad)
-            self._reindex()
+            self._store.insert(change.position, quad)
+            self._version += 1
             self._log("move", change.qid, old_position)
         elif change.kind == "modify":
             assert change.before is not None
@@ -416,13 +453,12 @@ class Program:
         restore, so it is cleared and floored — incremental consumers
         recompute from scratch on their next access.
         """
-        self._quads = []
-        self._index = {}
-        for quad in snapshot._quads:
+        quads = []
+        for quad in snapshot._store:
             duplicate = quad.copy()
             duplicate.qid = quad.qid
-            self._quads.append(duplicate)
-            self._index[duplicate.qid] = len(self._quads) - 1
+            quads.append(duplicate)
+        self._store.rebuild(quads)
         self._next_qid = max(self._next_qid, snapshot._next_qid)
         self._version += 1
         self._changelog.clear()
@@ -456,12 +492,15 @@ class Program:
     def clone(self) -> "Program":
         """A deep copy preserving qids (for experiments and baselines)."""
         fresh = Program(name=self.name)
-        for quad in self._quads:
+        quads = []
+        next_qid = fresh._next_qid
+        for quad in self._store:
             duplicate = quad.copy()
             duplicate.qid = quad.qid
-            fresh._assign_qid(duplicate)
-            fresh._quads.append(duplicate)
-            fresh._index[duplicate.qid] = len(fresh._quads) - 1
+            quads.append(duplicate)
+            next_qid = max(next_qid, quad.qid) + 1
+        fresh._store.rebuild(quads)
+        fresh._next_qid = next_qid
         fresh._version += 1
         # the bulk copy above bypassed the change log; mark earlier
         # versions as unreachable so no consumer trusts an empty log
@@ -480,41 +519,89 @@ class Program:
         the ordering experiment, the match-index state hash, and the
         service result cache (:mod:`repro.service`).
 
-        Cached against :attr:`version`, so repeated reads between
-        mutations are O(1).
+        The digest is the SHA-256 of the per-quad content hashes
+        (:meth:`repro.ir.quad.Quad.content_hash`) concatenated in
+        program order.  It is maintained *incrementally*: quad hashes
+        are cached on the quads, block segments on the storage blocks,
+        so after k edits only the k dirty blocks re-hash — O(k·B)
+        leaf work plus one stream over 16 bytes/quad — instead of the
+        seed path's full re-render of all n quads.  Repeated reads
+        between mutations are O(1) (version-keyed memo).
+
+        With ``REPRO_FP_CHECK=1`` every digest is shadow-checked
+        against a from-scratch recompute and
+        :class:`FingerprintMismatchError` is raised on divergence.
         """
         cached = self._fingerprint_cache
         if cached is not None and cached[0] == self._version:
             return cached[1]
         hasher = hashlib.sha256()
-        for quad in self._quads:
-            hasher.update(str(quad).encode())
-            hasher.update(b"\n")
+        for segment in self._store.segments():
+            hasher.update(segment)
         digest = hasher.hexdigest()
+        if os.environ.get(ENV_FP_CHECK, "") not in ("", "0"):
+            full = self._full_fingerprint()
+            if digest != full:
+                raise FingerprintMismatchError(
+                    "incremental fingerprint diverged from full "
+                    f"recompute at program version {self._version}: "
+                    f"{digest[:16]}… != {full[:16]}… — an in-place "
+                    "quad mutation was not reported through touch()"
+                )
         self._fingerprint_cache = (self._version, digest)
         return digest
 
+    def _full_fingerprint(self) -> str:
+        """The fingerprint recomputed from scratch, ignoring every
+        cache (the ``REPRO_FP_CHECK`` shadow arm and the benchmark
+        baseline)."""
+        hasher = hashlib.sha256()
+        for quad in self._store:
+            hasher.update(
+                hashlib.sha256(
+                    str(quad).encode()
+                ).digest()[:CONTENT_HASH_BYTES]
+            )
+        return hasher.hexdigest()
+
     def scalar_names(self) -> frozenset[str]:
-        """Every scalar variable name defined or used in the program."""
+        """Every scalar variable name defined or used in the program.
+
+        Version-keyed memo: repeated reads between mutations are O(1)
+        instead of an O(n) rescan.
+        """
+        cached = self._scalar_names_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         names: set[str] = set()
-        for quad in self._quads:
+        for quad in self._store:
             names.update(quad.used_scalar_names())
             defined = quad.defined_scalar()
             if defined is not None:
                 names.add(defined)
-        return frozenset(names)
+        result = frozenset(names)
+        self._scalar_names_cache = (self._version, result)
+        return result
 
     def array_names(self) -> frozenset[str]:
-        """Every array name referenced in the program."""
+        """Every array name referenced in the program.
+
+        Version-keyed memo, like :meth:`scalar_names`.
+        """
+        cached = self._array_names_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         names: set[str] = set()
-        for quad in self._quads:
+        for quad in self._store:
             for _pos, ref in quad.used_array_refs():
                 names.add(ref.name)
             written = quad.defined_array()
             if written is not None:
                 names.add(written.name)
             # READ/WRITE of whole arrays appear as ArrayRef in ``a``
-        return frozenset(names)
+        result = frozenset(names)
+        self._array_names_cache = (self._version, result)
+        return result
 
     def check_structure(self) -> None:
         """Validate that loop and conditional markers nest properly.
@@ -525,7 +612,7 @@ class Program:
         structured IR.
         """
         stack: list[Opcode] = []
-        for quad in self._quads:
+        for quad in self._store:
             op = quad.opcode
             if op in (Opcode.DO, Opcode.DOALL, Opcode.IF):
                 stack.append(op)

@@ -10,6 +10,7 @@ as three-address statements ``result := a opc b``.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional
 
@@ -87,6 +88,12 @@ STRUCTURAL_OPS = frozenset(
 #: Comparison operators usable in ``IF`` quads.
 RELOPS = ("<", "<=", ">", ">=", "==", "!=")
 
+#: Truncated length of one quad's content hash — the per-quad leaf of
+#: the program fingerprint.  16 bytes keep per-state collision odds
+#: negligible while halving the digest bytes the whole-program hash
+#: streams over.
+CONTENT_HASH_BYTES = 16
+
 
 @dataclass
 class Quad:
@@ -124,6 +131,13 @@ class Quad:
     step: Optional[Operand] = None
     qid: int = -1
     source_line: Optional[int] = None
+
+    #: cached content hash — never compared, shown, or carried through
+    #: :func:`dataclasses.replace` (copies recompute); invalidated
+    #: through the :meth:`Program.touch`/``replace`` pre-image flow
+    _chash: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.opcode is Opcode.IF and self.relop not in RELOPS:
@@ -257,6 +271,36 @@ class Quad:
             if pos != "result" and isinstance(operand, ArrayRef):
                 refs.append((pos, operand))
         return refs
+
+    # ------------------------------------------------------------------
+    # content hashing
+    # ------------------------------------------------------------------
+    def content_hash(self) -> bytes:
+        """This quad's 16-byte rendering hash, cached on the quad.
+
+        Two quads have equal content hashes exactly when they render to
+        the same text (qids and source lines do not participate) — the
+        per-quad leaf of :meth:`repro.ir.program.Program.fingerprint`.
+        The cache is sound only under the mutation contract: in-place
+        field edits must be reported through ``Program.touch`` (or
+        ``replace``), which drops the stale entry.
+        """
+        cached = self._chash
+        if cached is None:
+            cached = hashlib.sha256(
+                str(self).encode()
+            ).digest()[:CONTENT_HASH_BYTES]
+            self._chash = cached
+        return cached
+
+    def refresh_content_hash(self) -> bytes:
+        """Recompute the content hash, ignoring any cached value."""
+        self._chash = None
+        return self.content_hash()
+
+    def drop_content_hash(self) -> None:
+        """Invalidate the cached content hash (pre-image flow)."""
+        self._chash = None
 
     # ------------------------------------------------------------------
     # misc

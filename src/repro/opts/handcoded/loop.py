@@ -11,7 +11,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.graph import DepEdge, DependenceGraph
 from repro.analysis.subscript import matches_anchored_pattern
-from repro.genesis.library import LoopBinding
+from repro.genesis.library import LoopBinding, fused_pair_directions
 from repro.ir.loops import Loop, StructureTable, trip_count
 from repro.ir.program import Program
 from repro.ir.quad import Opcode, Quad
@@ -368,7 +368,7 @@ class HandCodedFUS(HandCodedOptimizer):
             )
             if has_io:
                 continue  # fusing would reorder the I/O streams
-            if self._fusion_prevented(program, first, second):
+            if self._fusion_prevented(program, structure, first, second):
                 continue
             points.append(
                 {
@@ -380,46 +380,24 @@ class HandCodedFUS(HandCodedOptimizer):
 
     @staticmethod
     def _fusion_prevented(
-        program: Program, first: Loop, second: Loop
+        program: Program,
+        structure: StructureTable,
+        first: Loop,
+        second: Loop,
     ) -> bool:
-        """A backward fused dependence: the second body reads/writes an
-        element the first body touches in a *later* iteration."""
-        first_lcv = program.quad(first.head_qid).result
-        second_lcv = program.quad(second.head_qid).result
-        assert isinstance(first_lcv, Var) and isinstance(second_lcv, Var)
+        """A backward fused dependence: the second body reads/writes a
+        value the first body touches in a *later* iteration.
 
-        def accesses(body: Sequence[int]):
-            found = []
-            for qid in body:
-                quad = program.quad(qid)
-                written = quad.defined_array()
-                if written is not None:
-                    found.append((written, True))
-                for _pos, ref in quad.used_array_refs():
-                    found.append((ref, False))
-                scalar = quad.defined_scalar()
-                if scalar is not None:
-                    found.append((scalar, True))
-                for name in quad.used_scalar_names():
-                    found.append((name, False))
-            return found
-
-        first_accesses = accesses(first.body_qids)
-        second_accesses = accesses(second.body_qids)
-        for ref_a, write_a in first_accesses:
-            for ref_b, write_b in second_accesses:
-                if not (write_a or write_b):
-                    continue
-                if isinstance(ref_a, str) or isinstance(ref_b, str):
-                    if ref_a == ref_b and ref_a not in (
-                        first_lcv.name, second_lcv.name
-                    ):
-                        return True  # conservative for scalars
-                    continue
-                if ref_a.name != ref_b.name:
-                    continue
-                if _backward_distance(ref_a, ref_b, first_lcv.name,
-                                      second_lcv.name):
+        Delegates every statement pair to the same legality core the
+        generated FUS optimizer runs (``fused_dep`` with a ``(>)``
+        direction pattern), so the baseline and the generated code
+        cannot drift apart on what fuses.
+        """
+        for src in first.body_qids:
+            for dst in second.body_qids:
+                if fused_pair_directions(
+                    program, structure, src, dst, (">",)
+                ):
                     return True
         return False
 
@@ -445,31 +423,6 @@ class HandCodedFUS(HandCodedOptimizer):
         program.remove(second.head)
         program.remove(second.end)
         return point
-
-
-def _backward_distance(
-    ref_a: ArrayRef, ref_b: ArrayRef, lcv_a: str, lcv_b: str
-) -> bool:
-    """Would the dependence between the two references be backward
-    (sink iteration earlier than source) once the loops are fused?"""
-    for sub_a, sub_b in zip(ref_a.subscripts, ref_b.subscripts):
-        if isinstance(sub_a, Var) or isinstance(sub_b, Var):
-            return True  # opaque subscripts: assume prevented
-        aligned_b = sub_b.substitute(lcv_b, Affine.var(lcv_a))
-        coeff_a = sub_a.coefficient(lcv_a)
-        coeff_b = aligned_b.coefficient(lcv_a)
-        if coeff_a != coeff_b:
-            return True  # conservative: unknown distance
-        if coeff_a == 0:
-            if sub_a != aligned_b:
-                return False  # provably different elements: no dep
-            continue
-        delta = sub_a.const - aligned_b.const
-        if delta % coeff_a != 0:
-            return False  # no integer solution: independent
-        if delta // coeff_a < 0:
-            return True  # element written later in the first loop
-    return False
 
 
 class HandCodedICM(HandCodedOptimizer):

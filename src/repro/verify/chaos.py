@@ -92,7 +92,7 @@ class ChaosStats:
 def _partial_damage(program: Program) -> None:
     """One logged, rollback-coverable mutation simulating a half-done
     action: delete the last non-structural statement."""
-    for quad in reversed(program.quads):
+    for quad in reversed(program):
         if not quad.is_structural():
             program.remove(quad.qid)
             return
@@ -100,7 +100,7 @@ def _partial_damage(program: Program) -> None:
 
 def _corrupt(program: Program) -> None:
     """Tear the IR with a *logged* mutation so validation must fail."""
-    for quad in program.quads:
+    for quad in program:
         if quad.opcode in (Opcode.ENDDO, Opcode.ENDIF):
             program.remove(quad.qid)
             return

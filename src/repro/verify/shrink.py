@@ -116,7 +116,7 @@ def shrink_program(
     predicate evaluations.
     """
     name = name or f"{program.name}_shrunk"
-    current = list(program.quads)
+    current = list(program)
     original_statements = len(current)
     rounds = 0
     attempts = 0
@@ -137,7 +137,7 @@ def shrink_program(
                 # not a repro; anything else is a real bug — propagate
                 failed = False
             if failed:
-                current = list(candidate.quads)
+                current = list(candidate)
                 improved = True
                 break
     return ShrinkResult(

@@ -1,6 +1,16 @@
 """Workload programs: the HOMPACK/numerical-suite substitutes."""
 
 from repro.workloads.programs import SOURCES
+from repro.workloads.scale import ScaleGenerator, bulk_alloc, large_program
 from repro.workloads.suite import Workload, full_suite, run_workload, workload
 
-__all__ = ["SOURCES", "Workload", "full_suite", "run_workload", "workload"]
+__all__ = [
+    "SOURCES",
+    "ScaleGenerator",
+    "Workload",
+    "bulk_alloc",
+    "full_suite",
+    "large_program",
+    "run_workload",
+    "workload",
+]

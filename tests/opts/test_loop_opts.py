@@ -518,6 +518,69 @@ class TestFUS:
         assert len(points(optimizers, "FUS", source)) == 1
         optimize(optimizers, "FUS", source)
 
+    def test_refuses_backward_scalar_anti_dependence(self, optimizers):
+        # the first body *reads* z on every iteration, the second
+        # *writes* it: unfused, every read completes before the first
+        # write; fused, iteration i's write reaches iteration i+1's read
+        assert points(optimizers, "FUS", """
+            program t
+              integer i, n
+              real r(12)
+              real x, z
+              n = 6
+              z = 1.0
+              do i = 1, n
+                x = z
+                r(i) = x + 1.0
+              end do
+              do i = 1, n
+                z = r(i) * 2.0
+              end do
+              write x
+            end
+        """) == []
+
+    def test_refuses_inner_loop_array_reads(self, optimizers):
+        # the second loop's *inner* j-loop reads r(1..3); unfused it
+        # sees the first loop's final values, fused it reads elements
+        # the first body has not written yet.  The inner control
+        # variable must not be mistaken for the fused one (or for a
+        # loop-invariant symbol).
+        assert points(optimizers, "FUS", """
+            program t
+              integer i, j, n
+              real r(12), s(12)
+              n = 6
+              do i = 1, n
+                r(i) = i * 1.0
+              end do
+              do i = 1, n
+                do j = 1, 3
+                  s(j) = r(j) + 1.0
+                end do
+              end do
+              write s(2)
+            end
+        """) == []
+
+    def test_refuses_rewritten_fixed_element(self, optimizers):
+        # a(5) is rewritten every iteration of the first loop; the
+        # second loop's reads must all see the *last* write
+        assert points(optimizers, "FUS", """
+            program t
+              integer i, n
+              real a(10), b(10)
+              n = 6
+              do i = 1, n
+                a(5) = i * 1.0
+              end do
+              do i = 1, n
+                b(i) = a(5)
+              end do
+              write b(2)
+            end
+        """) == []
+
     def test_refuses_io_bodies(self, optimizers):
         assert points(optimizers, "FUS", """
             program t

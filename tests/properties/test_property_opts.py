@@ -86,3 +86,18 @@ def test_dce_never_grows_programs(optimizers, seed):
         DriverOptions(apply_all=True, max_applications=40),
     )
     assert len(program) <= size_before
+
+
+def test_fusion_seed_451_regression(optimizers):
+    """Hypothesis found this falsifying example for FUS: adjacent loops
+    linked by a scalar anti dependence (the first body reads z, the
+    second writes it) and by array reads inside a nested inner loop —
+    both backward-carried once fused.  Pinned because the example
+    database is not committed."""
+    program = random_program(451, size=14, max_depth=3)
+    transformed = program.clone()
+    run_optimizer(
+        optimizers["FUS"], transformed,
+        DriverOptions(apply_all=True, max_applications=25),
+    )
+    assert same_behaviour(program, transformed), format_program(transformed)

@@ -19,6 +19,7 @@ BENCH_FILES = (
     "BENCH_match.json",
     "BENCH_dependence.json",
     "BENCH_service.json",
+    "BENCH_ir.json",
 )
 
 
@@ -84,3 +85,23 @@ def test_validator_rejects_malformed_payloads():
             "sizes": [{"size": 10, "speedup": 2.0}],
         }
     ) == []
+
+
+def test_validator_rejects_non_increasing_sizes():
+    """The sizes list is one scaling curve: strictly increasing."""
+    validate_bench = _load_schema()
+    host = {
+        "python": "3.11", "platform": "linux", "cpus": 4, "cpu_count": 8,
+    }
+    def curve(*sizes):
+        return {
+            "host": host,
+            "sizes": [{"size": s, "speedup": 1.5} for s in sizes],
+        }
+    assert validate_bench(curve(10, 100, 1000)) == []
+    assert any(
+        "exceed" in problem for problem in validate_bench(curve(10, 10))
+    )
+    assert any(
+        "exceed" in problem for problem in validate_bench(curve(100, 10))
+    )
