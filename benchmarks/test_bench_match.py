@@ -14,8 +14,9 @@ show at least a :data:`TARGET_SPEEDUP` matching-phase improvement.
 ``test_network_spec_scaling`` is the catalog-size arm (ISSUE 7): the
 steady-state per-edit cost of re-deriving every loaded spec's agenda,
 once with a per-spec ``sweep()`` loop and once through the shared
-discrimination network's ``sweep_all()``, at catalog sizes 1/5/11 and
-a ~50-spec prefix-sharing stress catalog; recorded under
+discrimination network's ``sweep_all()``, at catalog sizes 1/5/11,
+the full 26-spec real catalog (standard + extended + inferred), and a
+~50-spec prefix-sharing stress catalog; recorded under
 ``spec_scaling`` in the same JSON.
 
 ``test_smoke_worklist_matches_rescan`` and
@@ -36,11 +37,18 @@ from bench_schema import write_bench
 from repro.analysis.manager import AnalysisManager
 from repro.genesis.driver import DriverOptions, make_context, run_optimizer
 from repro.genesis.generator import generate_optimizer
-from repro.genesis.matching import MatchEngine, MatchStats, engine_for
+from repro.genesis.matching import (
+    MatchEngine,
+    MatchStats,
+    engine_for,
+    spec_fingerprint,
+)
 from repro.ir.program import Program
 from repro.ir.quad import Opcode
 from repro.ir.types import Const
-from repro.opts.catalog import standard_optimizers
+from repro.opts.catalog import build_optimizer, standard_optimizers
+from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.inferred import INFERRED_SPECS
 from repro.opts.specs import STANDARD_SPECS
 from repro.workloads.synthetic import random_program
 
@@ -141,11 +149,12 @@ def test_worklist_speedup(pipeline_optimizers):
 # catalog-size scaling: shared network vs a per-spec sweep loop (ISSUE 7)
 # ----------------------------------------------------------------------
 
-#: Catalog sizes for the spec-count scaling arm.  The last size pads
-#: the standard eleven with CTP variants whose seed shape and anchor
-#: dependence test are identical, so the shared trie merges their
-#: whole prefix — the prefix-sharing stress case.
-SPEC_SIZES = (1, 5, 11, 50)
+#: Catalog sizes for the spec-count scaling arm.  26 is the full real
+#: catalog (standard + extended + inferred); the last size pads it
+#: with CTP variants whose seed shape and anchor dependence test are
+#: identical, so the shared trie merges their whole prefix — the
+#: prefix-sharing stress case.
+SPEC_SIZES = (1, 5, 11, 26, 50)
 
 #: Steady-state edits per measurement (constant-value modifies).
 EDITS = 12
@@ -161,12 +170,31 @@ ALL_NAMES = (
     "LUR", "PAR",
 )
 
+#: The real catalog beyond the paper's eleven: the extended hand-
+#: written specs, then the machine-inferred ones — every entry is a
+#: shipped spec reachable through ``build_optimizer``.  CSE is
+#: excluded: its unconstrained any-pair enumeration costs ~200ms per
+#: edit in *both* arms (nothing to share, nothing to incrementalize),
+#: which would swamp the quantity this arm measures; the exclusion is
+#: recorded in the JSON.
+EXCLUDED_FROM_SCALING = ("CSE",)
+REAL_TAIL = tuple(
+    name
+    for name in sorted(EXTENDED_SPECS)
+    if name not in EXCLUDED_FROM_SCALING
+) + tuple(sorted(INFERRED_SPECS))
+
 
 def _scaling_catalog(count: int) -> list:
-    """The first ``count`` specs: the standard catalog, then CTP
-    variants that share its whole discrimination prefix."""
+    """The first ``count`` specs of the real catalog (standard, then
+    extended, then inferred), padded past it with CTP variants that
+    share the standard prefix.  Every entry carries a distinct
+    ``spec_fingerprint``, which is what keys the engine's per-spec
+    sweep caches and profiles."""
     standard = standard_optimizers()
     catalog = [standard[name] for name in ALL_NAMES[:count]]
+    for name in REAL_TAIL[: max(0, count - len(catalog))]:
+        catalog.append(build_optimizer(name))
     variant = STANDARD_SPECS["CTP"].replace(
         "type(Si.opr_1) == var;",
         "type(Si.opr_1) == var AND Si.opr_2 == {k};",
@@ -177,6 +205,8 @@ def _scaling_catalog(count: int) -> list:
                 variant.format(k=1000 + k), name=f"CTP_V{k}"
             )
         )
+    fingerprints = {spec_fingerprint(optimizer) for optimizer in catalog}
+    assert len(fingerprints) == len(catalog), "catalog fingerprint clash"
     return catalog
 
 
@@ -281,6 +311,7 @@ def test_network_spec_scaling():
     payload["spec_scaling"] = {
         "program_size": SCALING_PROGRAM_SIZE,
         "edits_per_measurement": EDITS,
+        "excluded_specs": list(EXCLUDED_FROM_SCALING),
         "targets": {
             str(size): target
             for size, target in TARGET_NETWORK_SPEEDUP.items()

@@ -48,6 +48,15 @@ rejected session command) — reported as a one-line diagnostic.
         models.  ``--workers N`` evaluates candidates through the
         process-pool service so convergent orderings are cache hits.
 
+    genesis infer [--seed N] [--pairs N] [--out DIR] [--workers N]
+        Spec inference: mine candidate rewrites from before/after
+        pairs, generalize them through the abstraction ladder, and
+        admission-certify each rung (sema, legality, the differential
+        oracle, the shared-network shadow check).  Admitted specs
+        print as GOSpeL source; rejections leave shrunk
+        counterexamples.  ``--emit-module`` renders the admitted set
+        as a catalog module (how ``repro.opts.inferred`` is made).
+
     genesis submit <program.f> --opts CTP,DCE [--backend process]
         One-shot optimization through the optimization service.
 
@@ -108,6 +117,7 @@ from repro.ir.program import IRError
 from repro.ir.validate import ValidationError
 from repro.opts.catalog import standard_optimizers
 from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.inferred import INFERRED_SPECS
 from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
 from repro.search.space import SearchError
 from repro.service.scheduler import ServiceError
@@ -154,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": _cmd_submit,
         "batch": _cmd_batch,
         "search": _cmd_search,
+        "infer": _cmd_infer,
     }.get(args.command)
     if handler is None:
         parser.print_help()
@@ -542,6 +553,76 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write every SearchResult as JSON",
     )
 
+    infer = sub.add_parser(
+        "infer",
+        help="mine, generalize, and admission-certify new GOSpeL specs",
+    )
+    infer.add_argument(
+        "--seed", type=int, default=0,
+        help="mining and admission seed; same seed, same admitted "
+        "catalog (default: 0)",
+    )
+    infer.add_argument(
+        "--pairs", type=int, default=18, metavar="N",
+        help="seeded pair-generator stream length (default: 18, two "
+        "passes over the plant templates)",
+    )
+    infer.add_argument(
+        "--trace-programs", type=int, default=24, metavar="N",
+        help="fuzz-corpus programs to trace-mine with statement-local "
+        "catalog optimizers (default: 24; 0 disables the trace arm)",
+    )
+    infer.add_argument(
+        "--trials", type=int, default=3, metavar="N",
+        help="random oracle environments per admission check, on top "
+        "of the zeros/ones/halves edge environments (default: 3)",
+    )
+    infer.add_argument(
+        "--corpus-programs", type=int, default=5, metavar="N",
+        help="random admission-corpus programs (default: 5)",
+    )
+    infer.add_argument(
+        "--corpus-size", type=int, default=12, metavar="N",
+        help="statement budget per corpus program (default: 12)",
+    )
+    infer.add_argument(
+        "--max-windows", type=int, default=None, metavar="N",
+        help="cap on mined windows entering the ladder (default: all; "
+        "dropped windows are reported, not silent)",
+    )
+    infer.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write admitted .gospel files and shrunk rejection "
+        "counterexamples here",
+    )
+    infer.add_argument(
+        "--emit-module", default=None, metavar="FILE",
+        help="also render the admitted set as a repro.opts catalog "
+        "module (what src/repro/opts/inferred.py is)",
+    )
+    infer.add_argument(
+        "--no-network", action="store_true",
+        help="skip the shared-network shadow gate",
+    )
+    infer.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the full inference result as JSON",
+    )
+    infer.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="screen candidates through an optimization service with "
+        "N workers (default: 0, serial in-process)",
+    )
+    infer.add_argument(
+        "--backend", choices=["inprocess", "process"], default="process",
+        help="service backend for --workers (default: process)",
+    )
+    infer.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="screen candidates through a running 'genesis serve "
+        "--listen' server (--workers/--backend are ignored)",
+    )
+
     serve = sub.add_parser(
         "serve", parents=[service_flags],
         help="run the optimization service over a TCP socket "
@@ -594,7 +675,9 @@ def _load_program_arg(text: str):
     return parse_program(Path(text).read_text())
 
 
-_ALL_SPECS = {**STANDARD_SPECS, **EXTENDED_SPECS, **VARIANT_SPECS}
+_ALL_SPECS = {
+    **STANDARD_SPECS, **EXTENDED_SPECS, **INFERRED_SPECS, **VARIANT_SPECS
+}
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -931,6 +1014,7 @@ def _load_source_arg(text: str) -> tuple[str, str]:
 
 def _parse_opt_names(opts: str) -> tuple[str, ...]:
     from repro.opts.extended import EXTENDED_SPECS
+    from repro.opts.inferred import INFERRED_SPECS
     from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
 
     names = tuple(name.strip().upper() for name in opts.split(","))
@@ -938,11 +1022,12 @@ def _parse_opt_names(opts: str) -> tuple[str, ...]:
         if not (
             name in STANDARD_SPECS
             or name in EXTENDED_SPECS
+            or name in INFERRED_SPECS
             or name in VARIANT_SPECS
         ):
             raise KeyError(
                 f"unknown optimization {name!r}; catalog has "
-                f"{sorted(STANDARD_SPECS) + sorted(EXTENDED_SPECS) + sorted(VARIANT_SPECS)}"
+                f"{sorted(STANDARD_SPECS) + sorted(EXTENDED_SPECS) + sorted(INFERRED_SPECS) + sorted(VARIANT_SPECS)}"
             )
     return names
 
@@ -1057,6 +1142,83 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
         print(f"results written to {args.json}")
     return 0 if all(r.certified is not False for r in results) else 1
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.synth.infer import (
+        InferenceConfig,
+        emit_module,
+        run_inference,
+    )
+
+    config = InferenceConfig(
+        seed=args.seed,
+        pairs=args.pairs,
+        trace_programs=args.trace_programs,
+        corpus_programs=args.corpus_programs,
+        corpus_size=args.corpus_size,
+        trials=args.trials,
+        out_dir=Path(args.out) if args.out else None,
+        network_gate=not args.no_network,
+        max_windows=args.max_windows,
+    )
+
+    def run(client=None):
+        return run_inference(
+            config, client=client, progress=lambda line: print(f"  {line}")
+        )
+
+    if args.connect or args.workers > 0:
+        with _service_client(args, max_workers=args.workers) as client:
+            result = run(client)
+    else:
+        result = run()
+    print(result.summary())
+    if args.emit_module:
+        Path(args.emit_module).write_text(emit_module(result))
+        print(f"catalog module written to {args.emit_module}")
+    if args.json:
+        Path(args.json).write_text(
+            _json.dumps(
+                {
+                    "windows": result.windows,
+                    "screened": result.screened,
+                    "elapsed_seconds": result.elapsed_seconds,
+                    "admitted": [
+                        {
+                            "name": spec.name,
+                            "origin": spec.origin,
+                            "rung": spec.rung,
+                            "rung_label": spec.rung_label,
+                            "applications": spec.applications,
+                            "fingerprint": spec.fingerprint,
+                            "source": spec.source,
+                        }
+                        for spec in result.admitted
+                    ],
+                    "rejections": [
+                        {
+                            "name": report.name,
+                            "rung": report.rung,
+                            "gate": report.rejected_gate,
+                            "counterexample": (
+                                str(report.counterexample)
+                                if report.counterexample
+                                else None
+                            ),
+                        }
+                        for report in result.rejections
+                    ],
+                    "duplicates": dict(result.duplicates),
+                    "skipped_windows": dict(result.skipped_windows),
+                },
+                indent=2,
+            )
+        )
+        print(f"results written to {args.json}")
+    return 0 if result.admitted else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

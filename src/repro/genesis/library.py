@@ -951,6 +951,11 @@ def path_set(ctx: MatchContext, src: object, dst: object) -> tuple[int, ...]:
     cuts *into* a loop, later iterations interleave the rest of that
     loop's body between the endpoints, so the interval is widened to
     whole loops before being returned.
+
+    An endpoint that the widening pulled strictly inside the interval
+    stays in the set: its other-iteration instances execute between
+    the two endpoint executions (a use inside a loop that also kills
+    the copied variable kills it for every later iteration).
     """
     src_position = ctx.program.position(_as_qid(src))
     dst_position = ctx.program.position(_as_qid(dst))
@@ -977,9 +982,7 @@ def path_set(ctx: MatchContext, src: object, dst: object) -> tuple[int, ...]:
                 high = end_position
                 changed = True
     return tuple(
-        ctx.program[i].qid
-        for i in range(low + 1, high)
-        if i not in (src_position, dst_position)
+        ctx.program[i].qid for i in range(low + 1, high)
     )
 
 

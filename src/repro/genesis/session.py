@@ -331,6 +331,43 @@ class OptimizerSession:
             self.apply_sequence(result.best_sequence)
         return result
 
+    def infer(self, pairs: int = 18, seed: int = 0):
+        """Mine and admission-certify new specs; register the winners.
+
+        Runs the spec-inference harness (:mod:`repro.synth`) with its
+        seeded pair generator, registers every admitted optimizer into
+        this session (so ``points``/``apply``/``search`` see them
+        immediately), and returns the
+        :class:`repro.synth.infer.InferenceResult`.  The trace-mining
+        arm is left off here — a session wants fast turnaround; use
+        ``genesis infer`` for full campaigns.
+        """
+        from repro.synth.infer import InferenceConfig, run_inference
+
+        command = f"infer pairs={pairs} seed={seed}"
+        try:
+            result = run_inference(
+                InferenceConfig(
+                    seed=seed, pairs=pairs, trace_programs=0
+                )
+            )
+        except Exception as error:
+            raise self._record_error(command, str(error)) from error
+        for admitted in result.admitted:
+            self.register(admitted.optimizer())
+        self.history.append(
+            SessionEvent(
+                command=command,
+                note=(
+                    f"admitted {len(result.admitted)} spec(s): "
+                    + ", ".join(s.name for s in result.admitted)
+                    if result.admitted
+                    else "admitted 0 specs"
+                ),
+            )
+        )
+        return result
+
     def reset(self) -> None:
         """Restore the original program (fresh experiment)."""
         self.program = self.original.clone()
@@ -381,6 +418,8 @@ class OptimizerSession:
             revive <OPT>              clear <OPT>'s quarantine
             search [STRAT] [D] [B]    search pass orderings (certified)
             search apply [STRAT] ...  ...and apply the winning sequence
+            infer [PAIRS] [SEED]      mine + certify new specs; register
+                                      the admitted optimizers
             show                      print the intermediate code
             save <file>               write the program as source text
             history                   session history
@@ -473,6 +512,11 @@ class OptimizerSession:
                 strategy=strategy, depth=depth, budget=budget,
                 apply_winner=apply_winner,
             )
+            return result.summary()
+        if verb == "infer":
+            pairs = int(words[1]) if len(words) >= 2 else 18
+            seed = int(words[2]) if len(words) >= 3 else 0
+            result = self.infer(pairs=pairs, seed=seed)
             return result.summary()
         if verb == "show":
             return self.show()

@@ -1,0 +1,249 @@
+"""GOSpeL unparser: :class:`~repro.gospel.ast.Specification` -> source.
+
+The spec-inference subsystem (``repro.synth``) builds candidate
+specifications as ASTs; persisting an admitted candidate means turning
+the AST back into concrete GOSpeL text that the normal
+parser -> sema -> codegen path accepts.  The contract is a strict
+round trip::
+
+    parse_spec(unparse_spec(spec), spec.name) == normalize_spec(spec)
+
+where :func:`normalize_spec` erases the representation details that
+cannot survive a print/parse cycle (token line numbers, the original
+source text, and two value spellings the parser never produces —
+``SymbolLit`` and negative ``NumberLit``).  ``tests/gospel/test_unparse.py``
+enforces the round trip with hypothesis over the full shipped catalog
+and synthesized ASTs.
+
+Unparsing choices that keep the cycle exact:
+
+* every ``Arith`` is parenthesized (the parser's parenthesized-value
+  production is transparent, so grouping survives re-parsing);
+* symbolic constants print as bare identifiers, which the parser reads
+  back as single-segment :class:`Ref` nodes — it *never* constructs
+  ``SymbolLit``;
+* loop-pair occurrence binders, already split into two plain binders
+  by the parser, print as ``L1, L2`` (the ``(L1, L2)`` sugar is
+  optional on input and ambiguous with position capture on output);
+* a binder-free Depend clause prints in the ``quant : cond ;`` form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+from repro.gospel.ast import (
+    Action,
+    AddAction,
+    Arith,
+    Binder,
+    Cond,
+    CopyAction,
+    Declaration,
+    DeleteAction,
+    DependClause,
+    ElemType,
+    ForallAction,
+    ModifyAction,
+    MoveAction,
+    NumberLit,
+    PatternClause,
+    Ref,
+    Specification,
+    SymbolLit,
+    PAIR_TYPES,
+)
+
+
+class GospelUnparseError(ValueError):
+    """An AST node the concrete syntax cannot express."""
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _number(lit: NumberLit) -> str:
+    text = str(lit.value)
+    if "e" in text or "E" in text or "inf" in text or "nan" in text:
+        raise GospelUnparseError(
+            f"number {lit.value!r} has no GOSpeL literal spelling"
+        )
+    return text
+
+
+def _value(node) -> str:
+    """Values and conditions share the AST ``__str__`` forms, which were
+    written to match the concrete grammar; the unparser routes through
+    them so there is exactly one rendering of each node, but re-checks
+    the few nodes whose ``__str__`` could print something unparsable."""
+    if isinstance(node, NumberLit):
+        if isinstance(node.value, (int, float)) and node.value < 0:
+            # the lexer has no negative literals; print as unary minus,
+            # which parses to Arith('-', 0, x) — normalize_spec folds
+            # both spellings to the same node
+            return f"-{_number(NumberLit(-node.value))}"
+        return _number(node)
+    return str(node)
+
+
+def _binders(binders: tuple[Binder, ...]) -> str:
+    for binder in binders:
+        if "\0" in binder.name:
+            raise GospelUnparseError(
+                "unsplit loop-pair occurrence binder "
+                f"{binder.name.replace(chr(0), '/')!r} (parse through "
+                "parse_spec, which splits them)"
+            )
+    return ", ".join(str(b) for b in binders)
+
+
+def _declaration(decl: Declaration) -> str:
+    if decl.elem_type in PAIR_TYPES:
+        if len(decl.names) % 2:
+            raise GospelUnparseError(
+                f"pair declaration {decl.names!r} has an odd name count"
+            )
+        pairs = [
+            f"({decl.names[i]}, {decl.names[i + 1]})"
+            for i in range(0, len(decl.names), 2)
+        ]
+        names = ", ".join(pairs)
+    else:
+        names = ", ".join(decl.names)
+    if not names:
+        raise GospelUnparseError("declaration with no names")
+    return f"  {decl.elem_type.value}: {names};"
+
+
+def _pattern_clause(clause: PatternClause) -> str:
+    binders = _binders(clause.binders)
+    if clause.format is None:
+        return f"    {clause.quant.value} {binders};"
+    return f"    {clause.quant.value} {binders}: {clause.format};"
+
+
+def _depend_clause(clause: DependClause) -> str:
+    binders = _binders(clause.binders)
+    parts = [str(m) for m in clause.memberships]
+    if clause.condition is not None:
+        parts.append(str(clause.condition))
+    if not parts:
+        raise GospelUnparseError(
+            f"Depend clause {clause.quant.value!r} has neither "
+            "memberships nor a condition"
+        )
+    head = f"{clause.quant.value} {binders}".rstrip()
+    return f"    {head}: {', '.join(parts)};"
+
+
+def _action(action: Action, indent: str = "  ") -> str:
+    # primitive actions end with ';' in their __str__; forall does not
+    # take one (and its __str__ matches the braced grammar)
+    return f"{indent}{action}"
+
+
+def _check_literals(node) -> None:
+    """Reject literal spellings the lexer cannot read back.
+
+    Conditions and actions print through the AST ``__str__`` forms, so
+    an ``inf``/``nan``/exponent float nested inside one would silently
+    re-parse as a bare identifier; walk the tree and refuse instead.
+    """
+    if isinstance(node, NumberLit):
+        _number(NumberLit(abs(node.value)))
+        return
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if isinstance(value, tuple):
+                for item in value:
+                    _check_literals(item)
+            else:
+                _check_literals(value)
+
+
+def unparse_spec(spec: Specification) -> str:
+    """Render a specification as parseable GOSpeL source."""
+    _check_literals(spec)
+    lines = ["TYPE"]
+    lines.extend(_declaration(d) for d in spec.declarations)
+    lines.append("PRECOND")
+    lines.append("  Code_Pattern")
+    lines.extend(_pattern_clause(c) for c in spec.patterns)
+    lines.append("  Depend")
+    lines.extend(_depend_clause(c) for c in spec.depends)
+    lines.append("ACTION")
+    lines.extend(_action(a) for a in spec.actions)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# round-trip normalization
+# ----------------------------------------------------------------------
+def _normalize_node(node):
+    """Recursively erase print/parse-variant details from an AST node."""
+    if isinstance(node, Specification):
+        return Specification(
+            name=node.name,
+            declarations=tuple(
+                _normalize_node(d) for d in node.declarations
+            ),
+            patterns=tuple(_normalize_node(p) for p in node.patterns),
+            depends=tuple(_normalize_node(d) for d in node.depends),
+            actions=tuple(_normalize_node(a) for a in node.actions),
+            source="",
+        )
+    if isinstance(node, SymbolLit):
+        # the parser reads bare symbols as single-segment Refs
+        return Ref(base=node.name)
+    if isinstance(node, Arith):
+        left = _normalize_node(node.left)
+        right = _normalize_node(node.right)
+        if (
+            node.op == "-"
+            and isinstance(left, NumberLit)
+            and left.value == 0
+            and isinstance(right, NumberLit)
+        ):
+            # unary minus: '-3' parses as (0 - 3); fold both spellings
+            return NumberLit(value=-right.value)
+        return Arith(op=node.op, left=left, right=right)
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        updates = {}
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if field.name == "line":
+                updates[field.name] = 0
+            elif isinstance(value, tuple):
+                updates[field.name] = tuple(
+                    _normalize_node(item) for item in value
+                )
+            elif dataclasses.is_dataclass(value) and not isinstance(
+                value, type
+            ):
+                updates[field.name] = _normalize_node(value)
+        if updates:
+            return dataclasses.replace(node, **updates)
+        return node
+    return node
+
+
+def normalize_spec(spec: Specification) -> Specification:
+    """Canonical form for comparing a spec across a print/parse cycle.
+
+    Zeroes every ``line``, drops ``source``, reads ``SymbolLit`` as the
+    equivalent bare :class:`Ref`, and folds the two spellings of a
+    negative literal (``NumberLit(-n)`` vs ``Arith('-', 0, n)``) into
+    one node.  Semantics-preserving: sema and codegen treat both
+    members of each folded pair identically.
+    """
+    return _normalize_node(spec)
+
+
+def roundtrips(spec: Specification) -> bool:
+    """Does ``spec`` survive unparse -> parse exactly (normalized)?"""
+    from repro.gospel.parser import parse_spec
+
+    reparsed = parse_spec(unparse_spec(spec), name=spec.name)
+    return normalize_spec(reparsed) == normalize_spec(spec)

@@ -8,6 +8,7 @@ from typing import Optional
 from repro.genesis.generator import GeneratedOptimizer, generate_optimizer
 from repro.genesis.strategy import StrategyPolicy
 from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.inferred import INFERRED_SPECS
 from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
 
 
@@ -19,12 +20,13 @@ def build_optimizer(
     source = (
         STANDARD_SPECS.get(name)
         or EXTENDED_SPECS.get(name)
+        or INFERRED_SPECS.get(name)
         or VARIANT_SPECS.get(name)
     )
     if source is None:
         raise KeyError(
             f"unknown optimization {name!r}; catalog has "
-            f"{sorted(STANDARD_SPECS) + sorted(EXTENDED_SPECS) + sorted(VARIANT_SPECS)}"
+            f"{sorted(STANDARD_SPECS) + sorted(EXTENDED_SPECS) + sorted(INFERRED_SPECS) + sorted(VARIANT_SPECS)}"
         )
     return generate_optimizer(source, name=name, policy=policy)
 

@@ -94,7 +94,8 @@ def _execute_optimize(job: Job) -> JobResult:
             f"{program.fingerprint()[:12]}…"
         )
     optimizers = _resolve_optimizers(job.opt_names, STANDARD_SPECS,
-                                     standard_optimizers)
+                                     standard_optimizers,
+                                     inline=job.payload.get("spec_sources"))
     # pipeline knobs that are not DriverOptions travel in the payload
     # (and therefore in the cache key) so a service run is byte-
     # identical to a serial one under the same settings
@@ -132,17 +133,34 @@ def _execute_optimize(job: Job) -> JobResult:
     )
 
 
-def _resolve_optimizers(opt_names, standard_specs, standard_optimizers):
-    """Catalog lookups, sharing the generated-optimizer cache."""
+def _resolve_optimizers(opt_names, standard_specs, standard_optimizers,
+                        inline=None):
+    """Catalog lookups, sharing the generated-optimizer cache.
+
+    ``inline`` maps names to GOSpeL sources shipped in the job payload
+    (``payload["spec_sources"]``) — how the spec-inference pipeline
+    evaluates candidates that exist in no catalog yet.  Inline sources
+    shadow catalog names and, being part of the payload, participate
+    in the result-cache key.
+    """
+    from repro.genesis.generator import generate_optimizer
     from repro.opts.catalog import build_optimizer
 
+    inline = inline or {}
     standard = standard_optimizers(
-        tuple(sorted({n for n in opt_names if n in standard_specs}))
+        tuple(sorted(
+            {n for n in opt_names if n in standard_specs and n not in inline}
+        ))
     )
-    return [
-        standard[name] if name in standard else build_optimizer(name)
-        for name in opt_names
-    ]
+
+    def resolve(name):
+        if name in inline:
+            return generate_optimizer(str(inline[name]), name=name)
+        if name in standard:
+            return standard[name]
+        return build_optimizer(name)
+
+    return [resolve(name) for name in opt_names]
 
 
 def _execute_experiment(job: Job) -> JobResult:

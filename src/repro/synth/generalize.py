@@ -1,0 +1,454 @@
+"""The template-based abstraction ladder: quad windows -> GOSpeL specs.
+
+A mined :class:`~repro.synth.mine.RewriteWindow` is a *concrete*
+rewrite — specific variables, specific constants.  The ladder lifts it
+into a sequence of candidate specifications with progressively weaker
+TYPE/PRECOND clauses, **most general first**:
+
+``shape``
+    opcode + operand-kind holes only: every concrete variable becomes
+    an operand-kind test (``type(Si.opr_2) == var``), every constant a
+    kind test, nothing else.  Usually unsound — this rung exists so
+    the admission pipeline demonstrably refuses over-generalization.
+``equal``
+    ``shape`` plus the operand-equality relations observed in the
+    window (``Si.opr_2 == Si.opr_3`` for ``x := y - y``).
+``pinned``
+    ``equal`` plus the constant-value pins (``Si.opr_3 == 2``) — the
+    most specific statement-shaped rung, still fully general over
+    variable names.
+``guarded`` (delete windows only)
+    ``pinned`` plus a second statement binder with a Depend guard
+    (``no Sj: flow_dep(Si, Sj);``) — the dependence-qualified rung of
+    the ladder, reached only when the unguarded deletion fails.
+
+Rungs that render to identical GOSpeL source are collapsed.  The
+admission pipeline walks the ladder top-down and keeps the first rung
+that survives every gate: the most general certified spec.
+
+Candidates are built as :mod:`repro.gospel.ast` values and rendered
+with :func:`repro.gospel.unparse.unparse_spec`, then travel the normal
+``parse -> sema -> codegen`` path — an inferred spec is an ordinary
+catalog citizen from its first parse.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gospel.ast import (
+    Action,
+    Binder,
+    BoolOp,
+    Compare,
+    Cond,
+    Declaration,
+    DeleteAction,
+    DepCond,
+    DependClause,
+    ElemType,
+    ModifyAction,
+    NumberLit,
+    PatternClause,
+    Quant,
+    Ref,
+    Specification,
+    Value,
+)
+from repro.gospel.unparse import unparse_spec
+from repro.ir.builder import IRBuilder
+from repro.ir.program import Program
+from repro.ir.quad import Opcode, Quad
+from repro.ir.types import Const, Operand, Var
+from repro.synth.mine import RewriteWindow
+
+#: quad opcodes the statement ladder can express, with their GOSpeL
+#: symbol spellings
+OPCODE_SYMBOLS = {
+    Opcode.ASSIGN: "assign",
+    Opcode.ADD: "add",
+    Opcode.SUB: "sub",
+    Opcode.MUL: "mul",
+    Opcode.DIV: "div",
+    Opcode.MOD: "mod",
+    Opcode.POW: "pow",
+}
+
+#: operand positions of a statement binder, in GOSpeL attribute form
+_POSITIONS = ("opr_2", "opr_3")
+
+#: probe programs generated per rung (one raw + the rest value-skewed)
+PROBE_COUNT = 3
+
+#: scalar names probes draw from (the synthetic-workload pool)
+_PROBE_POOL = ("u", "v", "w", "x", "y", "z")
+
+
+class GeneralizeError(ValueError):
+    """A window the abstraction ladder cannot lift."""
+
+
+@dataclass
+class Candidate:
+    """One rung of one window's ladder, ready for admission."""
+
+    name: str
+    rung: int
+    rung_label: str  # "shape" | "equal" | "pinned" | "guarded"
+    spec: Specification
+    source: str
+    origin: str
+    window_key: str
+    exemplar = None  # Program, attached by the harness
+    #: rung-discriminating probe programs: input-driven scaffolds whose
+    #: rewrite site instantiates exactly what this rung generalized
+    #: away (random constants where pins were dropped, distinct
+    #: variables where equalities were dropped) — the oracle's
+    #: environments reach the site through ``read`` statements, so an
+    #: over-general rung is refuted deterministically
+    probes: tuple[Program, ...] = field(default=())
+
+    def __str__(self) -> str:
+        return f"{self.name} (rung {self.rung}: {self.rung_label})"
+
+
+def _si(attr: str) -> Ref:
+    return Ref(base="Si", attrs=(attr,))
+
+
+def _sym(name: str) -> Ref:
+    # bare symbols parse as single-segment Refs; build them the same way
+    return Ref(base=name)
+
+
+def _operand_value(operand: Operand, by_operand: dict) -> Optional[Value]:
+    """Express an after-side operand in terms of the before statement."""
+    if isinstance(operand, Const):
+        return NumberLit(value=operand.value)
+    if isinstance(operand, Var):
+        position = by_operand.get(operand)
+        if position is None:
+            return None  # not derivable from the matched statement
+        return _si(position)
+    return None
+
+
+def _conjunction(terms: list[Cond]) -> Cond:
+    if not terms:
+        raise GeneralizeError("empty precondition")
+    if len(terms) == 1:
+        return terms[0]
+    return BoolOp(op="and", terms=tuple(terms))
+
+
+def window_name(window: RewriteWindow) -> str:
+    """A readable, deterministic spec name for a window.
+
+    ``INF_<OPCODE>_<operand tokens>`` with variables lettered X/Y/Z in
+    order of appearance and constants spelled inline (``M`` for a
+    minus sign): ``x := y - y -> x := 0`` names ``INF_SUB_XX``; the
+    deletion of ``x := x`` names ``INF_DEL_ASSIGN_X``.
+    """
+    before = window.before[0]
+    letters: dict[str, str] = {}
+    tokens: list[str] = []
+    for operand in (before.a, before.b):
+        if operand is None:
+            continue
+        if isinstance(operand, Const):
+            tokens.append(str(operand.value).replace("-", "M"))
+        elif isinstance(operand, Var):
+            if operand.name not in letters:
+                letters[operand.name] = "XYZW"[len(letters) % 4]
+            tokens.append(letters[operand.name])
+    prefix = "INF_DEL" if not window.after else "INF"
+    opcode = before.opcode.name
+    suffix = "".join(tokens) or "NIL"
+    return f"{prefix}_{opcode}_{suffix}"
+
+
+def ladder(window: RewriteWindow) -> list[Candidate]:
+    """All ladder rungs for a window, most general first.
+
+    Returns ``[]`` for windows the statement ladder cannot express
+    (multi-statement diffs, array operands in the rewrite slot,
+    operands of the after side that do not occur in the before side) —
+    the harness reports these as skipped, it does not guess.
+    """
+    if len(window.before) != 1 or len(window.after) > 1:
+        return []
+    before = window.before[0]
+    if before.opcode not in OPCODE_SYMBOLS:
+        return []
+    if not isinstance(before.result, Var):
+        return []
+    operands = {"opr_2": before.a, "opr_3": before.b}
+    for operand in operands.values():
+        if operand is not None and not isinstance(operand, (Var, Const)):
+            return []  # array element in the rewrite slot: may-alias
+
+    # ------------------------------------------------------------------
+    # precondition pieces
+    # ------------------------------------------------------------------
+    shape: list[Cond] = [
+        Compare(relop="==", left=_si("opc"),
+                right=_sym(OPCODE_SYMBOLS[before.opcode])),
+        Compare(relop="==",
+                left=_type_of("opr_1"), right=_sym("var")),
+    ]
+    pins: list[Cond] = []
+    for position in _POSITIONS:
+        operand = operands[position]
+        if operand is None:
+            continue
+        if isinstance(operand, Var):
+            shape.append(
+                Compare(relop="==", left=_type_of(position),
+                        right=_sym("var"))
+            )
+        else:
+            shape.append(
+                Compare(relop="==", left=_type_of(position),
+                        right=_sym("const"))
+            )
+            pins.append(
+                Compare(relop="==", left=_si(position),
+                        right=NumberLit(value=operand.value))
+            )
+    equalities: list[Cond] = []
+    slots = [("opr_1", before.result)] + [
+        (position, operands[position]) for position in _POSITIONS
+    ]
+    for index, (position, operand) in enumerate(slots):
+        for other_position, other in slots[index + 1 :]:
+            if operand is not None and operand == other:
+                equalities.append(
+                    Compare(relop="==", left=_si(position),
+                            right=_si(other_position))
+                )
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    if window.after:
+        actions = _modify_actions(before, window.after[0], operands)
+        if actions is None:
+            return []
+    else:
+        actions = [DeleteAction(target=Ref(base="Si"))]
+
+    # ------------------------------------------------------------------
+    # assemble the rungs
+    # ------------------------------------------------------------------
+    name = window_name(window)
+    rungs: list[tuple[str, list[Cond], bool]] = [
+        ("shape", shape, False),
+        ("equal", shape + equalities, False),
+        ("pinned", shape + equalities + pins, False),
+    ]
+    if not window.after:
+        rungs.append(("guarded", shape + equalities + pins, True))
+
+    candidates: list[Candidate] = []
+    seen_sources: set[str] = set()
+    for rung_index, (label, conds, guarded) in enumerate(rungs):
+        spec = _assemble(name, conds, actions, guarded)
+        source = unparse_spec(spec)
+        if source in seen_sources:
+            continue  # e.g. no equalities: "equal" collapses into "shape"
+        seen_sources.add(source)
+        candidate = Candidate(
+            name=name,
+            rung=rung_index,
+            rung_label=label,
+            spec=spec,
+            source=source,
+            origin=window.origin,
+            window_key=window.key(),
+            probes=probe_programs(before, label, name),
+        )
+        candidate.exemplar = window.exemplar
+        candidates.append(candidate)
+    return candidates
+
+
+def probe_programs(
+    before: Quad, rung_label: str, name: str, count: int = PROBE_COUNT
+) -> tuple[Program, ...]:
+    """Input-driven programs whose rewrite site matches one rung.
+
+    Each probe reads its scalars from the oracle's input stream, emits
+    one statement satisfying exactly the rung's precondition —
+    equality classes are honored only when the rung keeps them, pinned
+    constants only when the rung pins them (dropped pins become random
+    constants from 3..9, outside every identity value) — and writes
+    every scalar back out.  Probe 0 uses the raw input values (the
+    zeros/ones/halves edge environments reach the site verbatim, which
+    deterministically refutes division- and fractional-unsound
+    rewrites); later probes skew each scalar by a distinct constant so
+    any two distinct variables are guaranteed distinct values even in
+    constant environments (which refutes dropped-equality rungs).
+    """
+    equalities_on = rung_label in ("equal", "pinned", "guarded")
+    pins_on = rung_label in ("pinned", "guarded")
+    slots = [
+        ("opr_1", before.result),
+        ("opr_2", before.a),
+        ("opr_3", before.b),
+    ]
+    probes = []
+    for index in range(count):
+        rng = random.Random(f"probe:{name}:{rung_label}:{index}")
+        classes: dict[object, str] = {}
+        names: list[str] = []
+
+        def scalar_for(slot: str, operand: Var) -> str:
+            key = operand.name if equalities_on else slot
+            if key not in classes:
+                classes[key] = _PROBE_POOL[len(classes) % len(_PROBE_POOL)]
+                names.append(classes[key])
+            return classes[key]
+
+        fields = {}
+        for slot, operand in slots:
+            if operand is None:
+                fields[slot] = None
+            elif isinstance(operand, Var):
+                fields[slot] = Var(scalar_for(slot, operand))
+            elif pins_on:
+                fields[slot] = Const(operand.value)
+            else:
+                fields[slot] = Const(rng.randint(3, 9))
+        builder = IRBuilder(name=f"probe_{name}_{rung_label}_{index}")
+        for scalar in names:
+            builder.read(scalar)
+        if index:
+            for offset, scalar in enumerate(names):
+                builder.binary(scalar, scalar, "+", offset + index)
+        builder.emit(
+            Quad(
+                before.opcode,
+                result=fields["opr_1"],
+                a=fields["opr_2"],
+                b=fields["opr_3"],
+            )
+        )
+        for scalar in names:
+            builder.write(scalar)
+        probes.append(builder.build())
+    return tuple(probes)
+
+
+def _type_of(position: str) -> Value:
+    from repro.gospel.ast import FuncVal
+
+    return FuncVal(func="type", args=(_si(position),))
+
+
+def _modify_actions(
+    before: Quad, after: Quad, operands: dict
+) -> Optional[list[Action]]:
+    """The modify sequence rewriting ``before`` into ``after``.
+
+    Returns ``None`` when the after statement is not expressible in
+    terms of the matched one.  Operand modifies are ordered so no
+    field is read after it has been overwritten (``x := 2*y`` to
+    ``x := y + y`` must copy ``opr_2`` from ``opr_3`` *before* any
+    write of ``opr_3`` — the scheduler handles the general case and
+    refuses true cycles, which would need a temporary).
+    """
+    if after.opcode not in OPCODE_SYMBOLS:
+        return None
+    if after.result != before.result:
+        return None
+    by_operand = {
+        operand: position
+        for position, operand in reversed(
+            [("opr_1", before.result)]
+            + [(pos, operands[pos]) for pos in _POSITIONS]
+        )
+        if operand is not None
+    }
+    after_fields = {"opr_2": after.a, "opr_3": after.b}
+    pending: list[tuple[str, Value, frozenset[str]]] = []
+    for position in _POSITIONS:
+        old = operands[position]
+        new = after_fields[position]
+        if new == old:
+            continue
+        if new is None:
+            pending.append((position, _sym("none"), frozenset()))
+            continue
+        value = _operand_value(new, by_operand)
+        if value is None:
+            return None
+        reads = (
+            frozenset(value.attrs[:1]) if isinstance(value, Ref) and
+            value.attrs else frozenset()
+        )
+        pending.append((position, value, reads))
+
+    actions: list[Action] = []
+    if after.opcode is not before.opcode:
+        actions.append(
+            ModifyAction(
+                lvalue=_si("opc"),
+                new_value=_sym(OPCODE_SYMBOLS[after.opcode]),
+            )
+        )
+    while pending:
+        for item in pending:
+            target, value, _reads = item
+            blocked = any(
+                target in other_reads
+                for other_target, _v, other_reads in pending
+                if other_target != target
+            )
+            if not blocked:
+                actions.append(ModifyAction(lvalue=_si(target),
+                                            new_value=value))
+                pending.remove(item)
+                break
+        else:
+            return None  # a true swap cycle: needs a temporary
+    return actions
+
+
+def _assemble(
+    name: str,
+    conds: list[Cond],
+    actions: list[Action],
+    guarded: bool,
+) -> Specification:
+    declarations = [
+        Declaration(elem_type=ElemType.STMT, names=("Si",))
+    ]
+    depends: list[DependClause] = []
+    if guarded:
+        declarations = [
+            Declaration(elem_type=ElemType.STMT, names=("Si", "Sj"))
+        ]
+        depends.append(
+            DependClause(
+                quant=Quant.NO,
+                binders=(Binder(name="Sj"),),
+                memberships=(),
+                condition=DepCond(
+                    kind="flow", src=Ref(base="Si"), dst=Ref(base="Sj")
+                ),
+            )
+        )
+    pattern = PatternClause(
+        quant=Quant.ANY,
+        binders=(Binder(name="Si"),),
+        format=_conjunction(conds),
+    )
+    return Specification(
+        name=name,
+        declarations=tuple(declarations),
+        patterns=(pattern,),
+        depends=tuple(depends),
+        actions=tuple(actions),
+    )

@@ -446,7 +446,7 @@ def replay_repro(
     for name in opt_names:
         if name in optimizers:
             continue
-        optimizers[name] = _resolve_optimizer(name)
+        optimizers[name] = _resolve_optimizer(name, Path(path).parent)
     trials = int(metadata.get("oracle-trials", 3))
     seed = int(metadata.get("oracle-seed", 0))
     config = FuzzConfig(seed=seed, trials=trials, opt_names=opt_names)
@@ -458,11 +458,25 @@ def replay_repro(
     return oracle.check(program, transformed), applied
 
 
-def _resolve_optimizer(name: str) -> GeneratedOptimizer:
+def _resolve_optimizer(
+    name: str, search_dir: Optional[Path] = None
+) -> GeneratedOptimizer:
     from repro.verify.fixtures import BROKEN_SPECS, broken_optimizer
 
     if name in BROKEN_SPECS:
         return broken_optimizer(name)
     from repro.opts.catalog import build_optimizer
 
-    return build_optimizer(name)
+    try:
+        return build_optimizer(name)
+    except KeyError:
+        # Refuted inference candidates never join a catalog, but the
+        # admission pipeline leaves their GOSpeL source next to the
+        # counterexample as ``reject_<name>.gospel`` — replay from it.
+        if search_dir is not None:
+            sibling = search_dir / f"reject_{name}.gospel"
+            if sibling.exists():
+                from repro.genesis.generator import generate_optimizer
+
+                return generate_optimizer(sibling.read_text(), name=name)
+        raise

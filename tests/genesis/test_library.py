@@ -303,6 +303,28 @@ class TestSets:
         path = lib.path_set(ctx, copy.qid, use.qid)
         assert redef.qid in path
 
+    def test_path_set_keeps_endpoint_widened_into_loop(self):
+        b = IRBuilder()
+        copy = b.assign("v", "u")
+        with b.loop("i", 1, 7):
+            use = b.binary("u", "v", "+", -1)
+        b.write("u")
+        ctx = context_for(b)
+        # the use's earlier-iteration instances run between the copy
+        # and the use, so the endpoint stays in the widened path
+        assert use.qid in lib.path_set(ctx, copy.qid, use.qid)
+
+    def test_path_set_excludes_boundary_endpoints(self):
+        b = IRBuilder()
+        s0 = b.assign("a", 1)
+        with b.loop("i", 1, 3):
+            inner = b.assign("b", "a")
+        last = b.write("b")
+        ctx = context_for(b)
+        path = lib.path_set(ctx, s0.qid, last.qid)
+        assert s0.qid not in path and last.qid not in path
+        assert inner.qid in path
+
     def test_set_operations(self):
         assert lib.set_inter((1, 2, 3), (2, 3, 4)) == (2, 3)
         assert lib.set_union((1, 2), (2, 3)) == (1, 2, 3)

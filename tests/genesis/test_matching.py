@@ -222,3 +222,51 @@ def test_shadow_mode_checks_worklist_sweeps(optimizers):
     _run(optimizers["CTP"], program, "worklist", manager=manager)
     assert engine.stats.shadow_checks > 0
     assert engine.stats.shadow_checks == engine.stats.worklist_sweeps
+
+
+# ----------------------------------------------------------------------
+# unit: sweep caches are keyed by spec fingerprint, not object identity
+# ----------------------------------------------------------------------
+def test_sweep_cache_survives_regeneration_of_same_spec():
+    """Two generations of the same source share a fingerprint, so the
+    second sweep is served from cache despite the fresh object."""
+    from repro.genesis.driver import make_context
+    from repro.genesis.matching import spec_fingerprint
+    from repro.opts.catalog import build_optimizer
+
+    program = random_program(11, size=20, max_depth=1)
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=False)
+    first = build_optimizer("CTP")
+    second = build_optimizer("CTP")
+    assert first is not second or True  # lru may share; fingerprint rules
+    assert spec_fingerprint(first) == spec_fingerprint(second)
+    engine.sweep(first, make_context(program, manager=manager))
+    cached_before = engine.stats.cached_sweeps
+    engine.sweep(second, make_context(program, manager=manager))
+    assert engine.stats.cached_sweeps == cached_before + 1
+
+
+def test_sweep_cache_invalidated_on_changed_source_same_name():
+    """A re-generated spec with the same name but different source
+    must not reuse the previous points."""
+    from repro.genesis.driver import make_context
+    from repro.genesis.generator import generate_optimizer
+    from repro.opts.specs import STANDARD_SPECS
+
+    program = random_program(11, size=20, max_depth=1)
+    manager = AnalysisManager(program)
+    engine = MatchEngine(manager, full_check=False)
+    original = generate_optimizer(STANDARD_SPECS["CTP"], name="CTP")
+    variant_source = STANDARD_SPECS["CTP"].replace(
+        "type(Si.opr_1) == var;",
+        "type(Si.opr_1) == var AND Si.opr_2 == 424242;",
+    )
+    variant = generate_optimizer(variant_source, name="CTP")
+    engine.sweep(original, make_context(program, manager=manager))
+    cached_before = engine.stats.cached_sweeps
+    full_before = engine.stats.full_sweeps
+    result = engine.sweep(variant, make_context(program, manager=manager))
+    assert engine.stats.cached_sweeps == cached_before
+    assert engine.stats.full_sweeps == full_before + 1
+    assert result.points == []  # nothing assigns 424242

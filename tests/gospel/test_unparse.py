@@ -1,0 +1,273 @@
+"""Round-trip tests for the GOSpeL unparser.
+
+The contract (``src/repro/gospel/unparse.py``) is::
+
+    parse_spec(unparse_spec(spec), spec.name) == normalize_spec(spec)
+
+checked here over the complete shipped catalog (standard, extended,
+variant, inferred, and the deliberately broken fixtures) and over
+synthesized ASTs: the abstraction-ladder candidates the inference
+subsystem builds programmatically, plus hypothesis-composed
+specifications assembled from random condition/action fragments.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gospel.ast import (
+    BoolOp,
+    Arith,
+    Binder,
+    Compare,
+    Declaration,
+    DeleteAction,
+    DepCond,
+    DependClause,
+    ElemType,
+    ModifyAction,
+    NumberLit,
+    PatternClause,
+    Quant,
+    Ref,
+    Specification,
+    SymbolLit,
+)
+from repro.gospel.parser import parse_spec
+from repro.gospel.unparse import (
+    GospelUnparseError,
+    normalize_spec,
+    roundtrips,
+    unparse_spec,
+)
+from repro.opts.extended import EXTENDED_SPECS
+from repro.opts.inferred import INFERRED_SPECS
+from repro.opts.specs import STANDARD_SPECS, VARIANT_SPECS
+from repro.synth.generalize import ladder
+from repro.synth.mine import PLANT_TEMPLATES, PairGenerator, mine_pairs
+from repro.verify.fixtures import BROKEN_SPECS
+
+FULL_CATALOG = {
+    **STANDARD_SPECS,
+    **EXTENDED_SPECS,
+    **VARIANT_SPECS,
+    **INFERRED_SPECS,
+    **BROKEN_SPECS,
+}
+
+
+# ----------------------------------------------------------------------
+# shipped catalog
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(FULL_CATALOG))
+def test_catalog_spec_roundtrips(name):
+    spec = parse_spec(FULL_CATALOG[name], name=name)
+    assert roundtrips(spec), unparse_spec(spec)
+
+
+@pytest.mark.parametrize("name", sorted(FULL_CATALOG))
+def test_unparse_is_idempotent(name):
+    """unparse(parse(unparse(spec))) == unparse(spec): the printed form
+    is a fixed point, so emitted catalog files never churn."""
+    spec = parse_spec(FULL_CATALOG[name], name=name)
+    once = unparse_spec(spec)
+    twice = unparse_spec(parse_spec(once, name=name))
+    assert once == twice
+
+
+# ----------------------------------------------------------------------
+# synthesized ASTs: the abstraction ladder builds specs as ASTs
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    index=st.integers(min_value=0, max_value=len(PLANT_TEMPLATES) - 1),
+)
+def test_ladder_candidates_roundtrip(seed, index):
+    generator = PairGenerator(seed=seed)
+    windows = mine_pairs([generator.pair(index)])
+    for window in windows:
+        for candidate in ladder(window):
+            assert roundtrips(candidate.spec), candidate.source
+
+
+# ----------------------------------------------------------------------
+# hypothesis-composed specifications
+# ----------------------------------------------------------------------
+_OPC_SYMBOLS = ("assign", "add", "sub", "mul", "div", "mod", "pow")
+_FIELDS = ("opr_1", "opr_2", "opr_3")
+
+_values = st.one_of(
+    st.integers(min_value=-9, max_value=9).map(NumberLit),
+    st.sampled_from(_OPC_SYMBOLS + ("var", "const", "none")).map(
+        lambda name: SymbolLit(name)
+    ),
+    st.sampled_from(_FIELDS).map(lambda f: Ref(base="Si", attrs=(f,))),
+)
+
+
+def _compare(relop, left, right):
+    return Compare(relop=relop, left=left, right=right)
+
+
+_conds = st.one_of(
+    st.tuples(st.sampled_from(("==", "!=")), _values, _values).map(
+        lambda t: _compare(t[0], t[1], t[2])
+    ),
+    st.tuples(_values, _values).map(
+        lambda t: _compare("==", Arith(op="+", left=t[0], right=t[1]), t[1])
+    ),
+)
+
+
+def _conjunction(conds):
+    if len(conds) == 1:
+        return conds[0]
+    return BoolOp(op="and", terms=tuple(conds))
+
+
+_specs = st.builds(
+    lambda conds, guarded, actions: Specification(
+        name="HYP",
+        declarations=(
+            Declaration(
+                elem_type=ElemType.STMT,
+                names=("Si", "Sj") if guarded else ("Si",),
+            ),
+        ),
+        patterns=(
+            PatternClause(
+                quant=Quant.ANY,
+                binders=(Binder("Si"),),
+                format=_conjunction(conds),
+            ),
+        ),
+        depends=(
+            (
+                DependClause(
+                    quant=Quant.NO,
+                    binders=(Binder("Sj"),),
+                    memberships=(),
+                    condition=DepCond(
+                        kind="flow", src=Ref("Si"), dst=Ref("Sj")
+                    ),
+                ),
+            )
+            if guarded
+            else ()
+        ),
+        actions=actions,
+    ),
+    conds=st.lists(_conds, min_size=1, max_size=4).map(tuple),
+    guarded=st.booleans(),
+    actions=st.one_of(
+        st.just((DeleteAction(target=Ref("Si")),)),
+        st.lists(
+            st.tuples(st.sampled_from(_FIELDS), _values).map(
+                lambda t: ModifyAction(
+                    lvalue=Ref(base="Si", attrs=(t[0],)), new_value=t[1]
+                )
+            ),
+            min_size=1,
+            max_size=3,
+        ).map(tuple),
+    ),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec=_specs)
+def test_composed_specs_roundtrip(spec):
+    assert roundtrips(spec), unparse_spec(spec)
+
+
+# ----------------------------------------------------------------------
+# unparsable nodes are refused, not mangled
+# ----------------------------------------------------------------------
+def _minimal(**overrides):
+    base = dict(
+        name="BAD",
+        declarations=(
+            Declaration(elem_type=ElemType.STMT, names=("Si",)),
+        ),
+        patterns=(
+            PatternClause(quant=Quant.ANY, binders=(Binder("Si"),), format=None),
+        ),
+        depends=(),
+        actions=(DeleteAction(target=Ref("Si")),),
+    )
+    base.update(overrides)
+    return Specification(**base)
+
+
+def test_unsplit_pair_binder_is_refused():
+    spec = _minimal(
+        patterns=(
+            PatternClause(
+                quant=Quant.ANY,
+                binders=(Binder("L1\0L2"),),
+                format=None,
+            ),
+        ),
+    )
+    with pytest.raises(GospelUnparseError):
+        unparse_spec(spec)
+
+
+def test_empty_declaration_is_refused():
+    spec = _minimal(
+        declarations=(Declaration(elem_type=ElemType.STMT, names=()),),
+    )
+    with pytest.raises(GospelUnparseError):
+        unparse_spec(spec)
+
+
+def test_unspellable_number_is_refused():
+    spec = _minimal(
+        patterns=(
+            PatternClause(
+                quant=Quant.ANY,
+                binders=(Binder("Si"),),
+                format=Compare(
+                    relop="==",
+                    left=Ref(base="Si", attrs=("opr_2",)),
+                    right=NumberLit(float("inf")),
+                ),
+            ),
+        ),
+    )
+    with pytest.raises(GospelUnparseError):
+        unparse_spec(spec)
+
+
+def test_normalize_folds_negative_literal_spellings():
+    minus = Arith(op="-", left=NumberLit(0), right=NumberLit(3))
+    spec_a = _minimal(
+        patterns=(
+            PatternClause(
+                quant=Quant.ANY,
+                binders=(Binder("Si"),),
+                format=Compare(
+                    relop="==",
+                    left=Ref(base="Si", attrs=("opr_2",)),
+                    right=minus,
+                ),
+            ),
+        ),
+    )
+    spec_b = _minimal(
+        patterns=(
+            PatternClause(
+                quant=Quant.ANY,
+                binders=(Binder("Si"),),
+                format=Compare(
+                    relop="==",
+                    left=Ref(base="Si", attrs=("opr_2",)),
+                    right=NumberLit(-3),
+                ),
+            ),
+        ),
+    )
+    assert normalize_spec(spec_a) == normalize_spec(spec_b)

@@ -88,6 +88,23 @@ def test_dce_never_grows_programs(optimizers, seed):
     assert len(program) <= size_before
 
 
+def test_copy_propagation_seed_907_regression(optimizers):
+    """Hypothesis found this falsifying example for CPP: a copy
+    ``v := u`` before a loop propagated into ``u := v + -1`` inside
+    it — the use statement itself redefines the copied variable, so
+    every later iteration reads the clobbered value.  ``path(Si, Sj)``
+    now keeps an endpoint the loop-widening pulled inside the
+    interval, which lets the anti-dependence guard see the kill.
+    Pinned because the example database is not committed."""
+    program = random_program(907, size=12)
+    transformed = program.clone()
+    run_optimizer(
+        optimizers["CPP"], transformed,
+        DriverOptions(apply_all=True, max_applications=40),
+    )
+    assert same_behaviour(program, transformed), format_program(transformed)
+
+
 def test_fusion_seed_451_regression(optimizers):
     """Hypothesis found this falsifying example for FUS: adjacent loops
     linked by a scalar anti dependence (the first body reads z, the

@@ -1,0 +1,127 @@
+"""Abstraction-ladder tests: rung structure, naming, probes."""
+
+from __future__ import annotations
+
+from repro.genesis.generator import generate_optimizer
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import run_program
+from repro.synth.generalize import ladder, window_name
+from repro.synth.mine import diff_pair
+
+
+def _window(before_stmts, after_stmts):
+    def build(statements):
+        builder = IRBuilder()
+        builder.assign("sink", 0)
+        for target, left, symbol, right in statements:
+            if symbol is None:
+                builder.assign(target, left)
+            else:
+                builder.binary(target, left, symbol, right)
+        builder.write("sink")
+        return builder.build()
+
+    return diff_pair(build(before_stmts), build(after_stmts), origin="unit")
+
+
+SUB_SELF = _window([("a", "x", "-", "x")], [("a", 0, None, None)])
+MUL_ZERO = _window([("a", "x", "*", 0)], [("a", 0, None, None)])
+
+
+class TestWindowName:
+    def test_variable_lettering(self):
+        assert window_name(SUB_SELF) == "INF_SUB_XX"
+
+    def test_constants_inline(self):
+        assert window_name(MUL_ZERO) == "INF_MUL_X0"
+
+    def test_deletion_prefix(self):
+        window = _window([("a", "a", None, None)], [])
+        assert window_name(window).startswith("INF_DEL_ASSIGN")
+
+
+class TestLadder:
+    def test_rungs_are_most_general_first(self):
+        candidates = ladder(SUB_SELF)
+        assert len(candidates) >= 2
+        labels = [c.rung_label for c in candidates]
+        assert labels == sorted(
+            labels,
+            key=["shape", "equal", "pinned", "guarded"].index,
+        )
+        assert [c.rung for c in candidates] == list(range(len(candidates)))
+
+    def test_equal_rung_requires_operand_equality(self):
+        by_label = {c.rung_label: c for c in ladder(SUB_SELF)}
+        assert "equal" in by_label
+        assert "Si.opr_2 == Si.opr_3" in by_label["equal"].source
+        if "shape" in by_label:
+            assert (
+                "Si.opr_2 == Si.opr_3" not in by_label["shape"].source
+            )
+
+    def test_pinned_rung_pins_constants(self):
+        by_label = {c.rung_label: c for c in ladder(MUL_ZERO)}
+        assert "pinned" in by_label
+        assert "Si.opr_3 == 0" in by_label["pinned"].source
+
+    def test_delete_window_gets_guarded_rung(self):
+        window = _window([("a", "a", None, None)], [])
+        by_label = {c.rung_label: c for c in ladder(window)}
+        assert "guarded" in by_label
+        assert "no Sj" in by_label["guarded"].source
+        assert "flow_dep(Si, Sj)" in by_label["guarded"].source
+
+    def test_identical_rungs_collapse(self):
+        candidates = ladder(SUB_SELF)
+        sources = [c.source for c in candidates]
+        assert len(sources) == len(set(sources))
+
+    def test_every_rung_compiles(self):
+        for window in (SUB_SELF, MUL_ZERO):
+            for candidate in ladder(window):
+                optimizer = generate_optimizer(
+                    candidate.source, name=candidate.name
+                )
+                assert optimizer is not None
+
+    def test_array_result_window_is_inexpressible(self):
+        before = IRBuilder()
+        with before.loop("i", 1, 3):
+            before.binary(before.arr("p", "i"), "x", "-", "x")
+        after = IRBuilder()
+        with after.loop("i", 1, 3):
+            after.assign(after.arr("p", "i"), 0)
+        window = diff_pair(before.build(), after.build(), origin="unit")
+        assert window is not None
+        assert ladder(window) == []
+
+
+class TestProbes:
+    def test_probes_attached_to_candidates(self):
+        for candidate in ladder(SUB_SELF):
+            assert len(candidate.probes) == 3
+
+    def test_probes_read_inputs_and_run(self):
+        candidate = ladder(SUB_SELF)[-1]
+        for probe in candidate.probes:
+            result = run_program(probe, inputs=[5, 7, 11, 13])
+            assert result.output
+
+    def test_shape_probes_separate_equality_classes(self):
+        """A shape-rung probe must not accidentally satisfy the
+        dropped equality: distinct before-side positions get distinct
+        scalars, so a spec that needs opr_2 == opr_3 cannot fire on
+        the shape probe of a window that had equal operands."""
+        by_label = {c.rung_label: c for c in ladder(SUB_SELF)}
+        if "shape" not in by_label:
+            return
+        probe = by_label["shape"].probes[0]
+        reads = [q for q in probe if q.opcode.name == "READ"]
+        assert len(reads) >= 2  # x - x splits into two classes
+
+    def test_equal_probes_share_the_class(self):
+        by_label = {c.rung_label: c for c in ladder(SUB_SELF)}
+        probe = by_label["equal"].probes[0]
+        reads = [q for q in probe if q.opcode.name == "READ"]
+        assert len(reads) == 2  # result + one shared operand class

@@ -1,0 +1,108 @@
+"""Mining tests: before/after diffing, window keys, pair generation."""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.opts.catalog import build_optimizer
+from repro.synth.mine import (
+    PLANT_TEMPLATES,
+    PairGenerator,
+    diff_pair,
+    mine_fuzz_corpus,
+    mine_pairs,
+)
+
+
+def _program(statements):
+    builder = IRBuilder()
+    for target, left, symbol, right in statements:
+        if symbol is None:
+            builder.assign(target, left)
+        else:
+            builder.binary(target, left, symbol, right)
+    builder.write(statements[-1][0])
+    return builder.build()
+
+
+class TestDiffPair:
+    def test_single_statement_rewrite(self):
+        before = _program([("a", 1, None, None), ("b", "x", "-", "x")])
+        after = _program([("a", 1, None, None), ("b", 0, None, None)])
+        window = diff_pair(before, after, origin="unit")
+        assert window is not None
+        assert len(window.before) == 1 and len(window.after) == 1
+        assert window.origin == "unit"
+        assert len(window.exemplar) == len(before)
+
+    def test_identical_programs_yield_no_window(self):
+        program = _program([("a", 1, None, None)])
+        assert diff_pair(program, program.clone(), origin="unit") is None
+
+    def test_wide_diffs_are_dropped(self):
+        before = _program(
+            [(name, "x", "+", "y") for name in "abcde"]
+        )
+        after = _program(
+            [(name, "y", "*", "x") for name in "abcde"]
+        )
+        assert diff_pair(before, after, origin="unit", max_window=3) is None
+
+    def test_window_key_is_renaming_invariant(self):
+        first = diff_pair(
+            _program([("a", "x", "-", "x")]),
+            _program([("a", 0, None, None)]),
+            origin="unit",
+        )
+        second = diff_pair(
+            _program([("q", "w", "-", "w")]),
+            _program([("q", 0, None, None)]),
+            origin="unit",
+        )
+        assert first.key() == second.key()
+
+    def test_window_key_separates_distinct_rewrites(self):
+        sub = diff_pair(
+            _program([("a", "x", "-", "x")]),
+            _program([("a", 0, None, None)]),
+            origin="unit",
+        )
+        mul = diff_pair(
+            _program([("a", "x", "*", 0)]),
+            _program([("a", 0, None, None)]),
+            origin="unit",
+        )
+        assert sub.key() != mul.key()
+
+
+class TestPairGenerator:
+    def test_deterministic(self):
+        first = PairGenerator(seed=3).pairs(9)
+        second = PairGenerator(seed=3).pairs(9)
+        for a, b in zip(first, second):
+            assert a.origin == b.origin
+            wa = diff_pair(a.before, a.after, a.origin)
+            wb = diff_pair(b.before, b.after, b.origin)
+            assert (wa is None) == (wb is None)
+            if wa is not None:
+                assert wa.key() == wb.key()
+
+    def test_covers_every_template(self):
+        pairs = PairGenerator(seed=0).pairs(len(PLANT_TEMPLATES))
+        origins = {pair.origin.split(":")[1] for pair in pairs}
+        assert origins == {t.key for t in PLANT_TEMPLATES}
+
+    def test_mine_pairs_dedupes_by_key(self):
+        generator = PairGenerator(seed=0)
+        windows = mine_pairs(generator.pairs(2 * len(PLANT_TEMPLATES)))
+        keys = [w.key() for w in windows]
+        assert len(keys) == len(set(keys))
+
+
+class TestTraceMining:
+    def test_fuzz_corpus_windows_carry_optimizer_origin(self):
+        optimizers = [build_optimizer("STR"), build_optimizer("ALG")]
+        windows = mine_fuzz_corpus(optimizers, programs=24)
+        assert windows, "trace arm mined nothing from 24 programs"
+        for window in windows:
+            assert window.origin.startswith("trace:")
+            assert window.exemplar is not None
